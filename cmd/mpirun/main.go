@@ -1,0 +1,96 @@
+// mpirun launches an SPMD job of N OS processes connected over TCP — the
+// paper's Distributed Memory mode with real process isolation. It plays
+// the role of WMPI/p4's startup daemon (§3.2): it runs the rendezvous
+// coordinator, sets each worker's job geometry through the environment,
+// and propagates exit status.
+//
+// Usage:
+//
+//	mpirun -np 4 ./myprog arg1 arg2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"strconv"
+	"sync"
+
+	"gompi/internal/launch"
+)
+
+func main() {
+	np := flag.Int("np", 2, "number of processes")
+	eager := flag.Int("eager", 0, "eager/rendezvous threshold in bytes (0 = default)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: mpirun [-np N] [-eager BYTES] prog [args...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *np < 1 {
+		fmt.Fprintln(os.Stderr, "mpirun: -np must be at least 1")
+		os.Exit(2)
+	}
+	prog := flag.Arg(0)
+	args := flag.Args()[1:]
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mpirun: coordinator listener: %v\n", err)
+		os.Exit(1)
+	}
+	coordErr := make(chan error, 1)
+	go func() { coordErr <- launch.Coordinate(ln, *np) }()
+
+	procs := make([]*exec.Cmd, *np)
+	for r := 0; r < *np; r++ {
+		cmd := exec.Command(prog, args...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		cmd.Env = append(os.Environ(),
+			launch.EnvRank+"="+strconv.Itoa(r),
+			launch.EnvSize+"="+strconv.Itoa(*np),
+			launch.EnvCoord+"="+ln.Addr().String(),
+			launch.EnvEager+"="+strconv.Itoa(*eager),
+		)
+		if err := cmd.Start(); err != nil {
+			fmt.Fprintf(os.Stderr, "mpirun: starting rank %d: %v\n", r, err)
+			for _, p := range procs[:r] {
+				p.Process.Kill() //nolint:errcheck // best-effort teardown
+			}
+			os.Exit(1)
+		}
+		procs[r] = cmd
+	}
+
+	exit := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for r, p := range procs {
+		wg.Add(1)
+		go func(rank int, cmd *exec.Cmd) {
+			defer wg.Done()
+			if err := cmd.Wait(); err != nil {
+				mu.Lock()
+				if exit == 0 {
+					exit = 1
+				}
+				mu.Unlock()
+				fmt.Fprintf(os.Stderr, "mpirun: rank %d: %v\n", rank, err)
+			}
+		}(r, p)
+	}
+	wg.Wait()
+	if err := <-coordErr; err != nil && exit == 0 {
+		fmt.Fprintf(os.Stderr, "mpirun: %v\n", err)
+		exit = 1
+	}
+	ln.Close()
+	os.Exit(exit)
+}

@@ -1,0 +1,74 @@
+// Pi: the classic SPMD numerical-integration example — each rank
+// integrates a strided slice of ∫₀¹ 4/(1+x²) dx and a Reduce(SUM)
+// assembles π at rank 0. A second phase estimates π by Monte Carlo with
+// rank-decorrelated streams and an Allreduce, exercising LONG reductions.
+//
+//	go run ./examples/pi [-n 2000000] [-np 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"gompi/mpi"
+)
+
+func main() {
+	n := flag.Int("n", 2_000_000, "integration intervals / samples")
+	np := flag.Int("np", 4, "number of ranks")
+	flag.Parse()
+	if err := mpi.Run(*np, func(env *mpi.Env) error {
+		return pi(env, *n)
+	}); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func pi(env *mpi.Env, n int) error {
+	world := env.CommWorld()
+	rank, size := world.Rank(), world.Size()
+
+	// Phase 1: midpoint rule, strided across ranks.
+	h := 1.0 / float64(n)
+	sum := 0.0
+	for i := rank; i < n; i += size {
+		x := h * (float64(i) + 0.5)
+		sum += 4.0 / (1.0 + x*x)
+	}
+	in := []float64{h * sum}
+	out := []float64{0}
+	if err := world.Reduce(in, 0, out, 0, 1, mpi.DOUBLE, mpi.SUM, 0); err != nil {
+		return err
+	}
+	if rank == 0 {
+		fmt.Printf("pi (integration): %.12f  error %.3e\n", out[0], math.Abs(out[0]-math.Pi))
+	}
+
+	// Phase 2: Monte Carlo with per-rank streams.
+	rng := rand.New(rand.NewSource(int64(rank)*7919 + 17))
+	local := n / size
+	hits := int64(0)
+	for i := 0; i < local; i++ {
+		x, y := rng.Float64(), rng.Float64()
+		if x*x+y*y <= 1 {
+			hits++
+		}
+	}
+	hin := []int64{hits, int64(local)}
+	hout := []int64{0, 0}
+	if err := world.Allreduce(hin, 0, hout, 0, 2, mpi.LONG, mpi.SUM); err != nil {
+		return err
+	}
+	est := 4 * float64(hout[0]) / float64(hout[1])
+	if rank == 0 {
+		fmt.Printf("pi (monte carlo): %.6f  (%d samples)\n", est, hout[1])
+	}
+	// Every rank holds the same global estimate after Allreduce.
+	if math.Abs(est-math.Pi) > 0.05 {
+		return fmt.Errorf("rank %d: monte carlo estimate %v too far from pi", rank, est)
+	}
+	return nil
+}

@@ -1,0 +1,316 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gompi/internal/core"
+	"gompi/internal/transport"
+	"gompi/mpi"
+)
+
+// devicePair builds the two-rank fabric for a spec: shm for SM mode,
+// loopback TCP for DM mode, with the spec's calibration profile applied.
+func devicePair(s Spec) ([]transport.Device, error) {
+	lp := linkProfile(s.Impl, s.Platform, s.Mode, s.Paper1999)
+	out := make([]transport.Device, 2)
+	if s.Mode == DM {
+		devs, err := transport.NewLoopbackJob(2)
+		if err != nil {
+			return nil, err
+		}
+		for i, d := range devs {
+			out[i] = transport.NewShaped(d, lp)
+		}
+		return out, nil
+	}
+	for i, d := range transport.NewShmJob(2, 0) {
+		out[i] = transport.NewShaped(d, lp)
+	}
+	return out, nil
+}
+
+// wsockPingPong measures the raw transport: framed echo over the devices
+// with no MPI software on top — the paper's Winsock-C baseline.
+func wsockPingPong(s Spec) ([]Point, error) {
+	devs, err := devicePair(s)
+	if err != nil {
+		return nil, err
+	}
+	defer devs[0].Close()
+	defer devs[1].Close()
+
+	done := make(chan error, 1)
+	go func() {
+		// Echo side: return every frame until a zero-length stop frame.
+		for {
+			f, err := devs[1].Recv()
+			if err != nil {
+				done <- err
+				return
+			}
+			if len(f) == 0 {
+				done <- nil
+				return
+			}
+			if err := devs[1].Send(0, f); err != nil {
+				done <- err
+				return
+			}
+		}
+	}()
+
+	points := make([]Point, 0, len(s.Sizes))
+	for _, size := range s.Sizes {
+		reps := repsFor(s.Reps, size, s.Paper1999, s.Mode)
+		buf := make([]byte, size)
+		for w := 0; w < s.warmupFor(reps); w++ {
+			if err := pingOnce(devs[0], buf); err != nil {
+				return nil, err
+			}
+		}
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			if err := pingOnce(devs[0], buf); err != nil {
+				return nil, err
+			}
+		}
+		elapsed := time.Since(start)
+		points = append(points, newPoint(size, elapsed/time.Duration(2*reps)))
+	}
+	if err := devs[0].Send(1, nil); err != nil {
+		return nil, err
+	}
+	if err := <-done; err != nil {
+		return nil, err
+	}
+	return points, nil
+}
+
+func pingOnce(d transport.Device, buf []byte) error {
+	frame := make([]byte, len(buf))
+	copy(frame, buf)
+	if err := d.Send(1, frame); err != nil {
+		return err
+	}
+	_, err := d.Recv()
+	return err
+}
+
+// nativePingPong measures the core engine called directly — the paper's
+// native C MPI rows, without the OO binding's packing, validation or
+// crossing costs.
+func nativePingPong(s Spec) ([]Point, error) {
+	devs, err := devicePair(s)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.Config{EagerLimit: s.EagerLimit}
+	p0 := core.NewProc(devs[0], cfg)
+	p1 := core.NewProc(devs[1], cfg)
+	defer p0.Close()
+	defer p1.Close()
+
+	const ctx, tag = 0, 5
+	schedule := make([]int, 0, len(s.Sizes))
+	repsOf := make(map[int]int, len(s.Sizes))
+	for _, size := range s.Sizes {
+		schedule = append(schedule, size)
+		repsOf[size] = repsFor(s.Reps, size, s.Paper1999, s.Mode)
+	}
+
+	var wg sync.WaitGroup
+	var echoErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, size := range schedule {
+			for r := 0; r < s.warmupFor(repsOf[size])+repsOf[size]; r++ {
+				rreq := p1.Irecv(ctx, 0, tag)
+				st := rreq.Wait()
+				sreq, err := p1.Isend(ctx, 1, 0, tag, rreq.Payload, core.ModeStandard)
+				if err != nil {
+					echoErr = err
+					return
+				}
+				sreq.Wait()
+				_ = st
+			}
+		}
+	}()
+
+	points := make([]Point, 0, len(s.Sizes))
+	for _, size := range schedule {
+		buf := make([]byte, size)
+		reps := repsOf[size]
+		warm := s.warmupFor(reps)
+		roundTrip := func() error {
+			payload := make([]byte, len(buf))
+			copy(payload, buf)
+			sreq, err := p0.Isend(ctx, 0, 1, tag, payload, core.ModeStandard)
+			if err != nil {
+				return err
+			}
+			rreq := p0.Irecv(ctx, 1, tag)
+			rreq.Wait()
+			sreq.Wait()
+			return nil
+		}
+		for w := 0; w < warm; w++ {
+			if err := roundTrip(); err != nil {
+				return nil, err
+			}
+		}
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			if err := roundTrip(); err != nil {
+				return nil, err
+			}
+		}
+		elapsed := time.Since(start)
+		points = append(points, newPoint(size, elapsed/time.Duration(2*reps)))
+	}
+	wg.Wait()
+	if echoErr != nil {
+		return nil, echoErr
+	}
+	return points, nil
+}
+
+// bindingPingPong measures the full OO binding — the paper's mpiJava
+// rows — including packing, argument validation and (in paper mode) the
+// emulated JNI crossing cost.
+func bindingPingPong(s Spec) ([]Point, error) {
+	results := make([]Point, 0, len(s.Sizes))
+	var mu sync.Mutex
+	opt := mpi.RunOptions{
+		NP:              2,
+		TCP:             s.Mode == DM,
+		EagerLimit:      s.EagerLimit,
+		Link:            toEmu(linkProfile(s.Impl, s.Platform, s.Mode, s.Paper1999)),
+		BindingOverhead: overheadFor(s),
+	}
+	err := mpi.RunWith(opt, func(env *mpi.Env) error {
+		world := env.CommWorld()
+		rank := world.Rank()
+		const tag = 5
+		for _, size := range s.Sizes {
+			reps := repsFor(s.Reps, size, s.Paper1999, s.Mode)
+			warm := s.warmupFor(reps)
+			buf := make([]byte, size)
+			total := warm + reps
+			if rank == 1 {
+				for r := 0; r < total; r++ {
+					if _, err := world.Recv(buf, 0, size, mpi.BYTE, 0, tag); err != nil {
+						return err
+					}
+					if err := world.Send(buf, 0, size, mpi.BYTE, 0, tag); err != nil {
+						return err
+					}
+				}
+				continue
+			}
+			for w := 0; w < warm; w++ {
+				if err := world.Send(buf, 0, size, mpi.BYTE, 1, tag); err != nil {
+					return err
+				}
+				if _, err := world.Recv(buf, 0, size, mpi.BYTE, 1, tag); err != nil {
+					return err
+				}
+			}
+			start := time.Now()
+			for r := 0; r < reps; r++ {
+				if err := world.Send(buf, 0, size, mpi.BYTE, 1, tag); err != nil {
+					return err
+				}
+				if _, err := world.Recv(buf, 0, size, mpi.BYTE, 1, tag); err != nil {
+					return err
+				}
+			}
+			elapsed := time.Since(start)
+			mu.Lock()
+			results = append(results, newPoint(size, elapsed/time.Duration(2*reps)))
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+func toEmu(lp transport.LinkProfile) mpi.LinkEmulation {
+	return mpi.LinkEmulation{
+		PerMessage:  lp.PerMessage,
+		Latency:     lp.Latency,
+		BytesPerSec: lp.BytesPerSec,
+		PerByte:     lp.PerByte,
+		StagingCopy: lp.StagingCopy,
+	}
+}
+
+// Table1Row holds one environment's 1-byte latencies in both modes.
+type Table1Row struct {
+	Label  string
+	SM, DM time.Duration
+}
+
+// Table1 reproduces the paper's Table 1: the 1-byte one-way latency of
+// every environment in SM and DM modes.
+func Table1(paper bool, reps int) ([]Table1Row, error) {
+	specs := []Spec{
+		{Impl: Wsock},
+		{Impl: NativeC, Platform: WMPI},
+		{Impl: JavaOO, Platform: WMPI},
+		{Impl: NativeC, Platform: MPICH},
+		{Impl: JavaOO, Platform: MPICH},
+	}
+	rows := make([]Table1Row, 0, len(specs))
+	for _, base := range specs {
+		row := Table1Row{Label: base.Label()}
+		for _, mode := range []Mode{SM, DM} {
+			s := base
+			s.Mode = mode
+			s.Paper1999 = paper
+			s.Sizes = []int{1}
+			s.Reps = reps
+			pts, err := Run(s)
+			if err != nil {
+				return nil, fmt.Errorf("bench %s/%s: %w", s.Label(), mode, err)
+			}
+			if mode == SM {
+				row.SM = pts[0].OneWay
+			} else {
+				row.DM = pts[0].OneWay
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Figure runs the four MPI curves of Figure 5 (SM) or Figure 6 (DM):
+// {WMPI, MPICH} × {C, Java}. Keys are the paper's labels.
+func Figure(mode Mode, paper bool, maxSize, reps int) (map[string][]Point, error) {
+	out := make(map[string][]Point, 4)
+	for _, platform := range []Platform{WMPI, MPICH} {
+		for _, impl := range []Impl{NativeC, JavaOO} {
+			s := Spec{
+				Impl:      impl,
+				Platform:  platform,
+				Mode:      mode,
+				Paper1999: paper,
+				Sizes:     FigureSizes(maxSize),
+				Reps:      reps,
+			}
+			pts, err := Run(s)
+			if err != nil {
+				return nil, fmt.Errorf("bench %s/%s: %w", s.Label(), mode, err)
+			}
+			out[s.Label()] = pts
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,611 @@
+package coll
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"gompi/internal/core"
+	"gompi/internal/dtype"
+)
+
+// Comm is the collective layer's view of a communicator: the rank's
+// progress engine, the communicator's reserved collective context, the
+// caller's group rank and size, and the group-rank→world-rank map.
+// Collectives on one communicator must be called by all members in the
+// same order (the MPI rule); the layer relies on per-pair FIFO matching
+// for correctness across back-to-back collectives.
+type Comm struct {
+	P     *core.Proc
+	Ctx   int32
+	Rank  int
+	Size  int
+	World func(groupRank int) int
+}
+
+// Internal tags, one per collective family. Distinct tags keep different
+// collectives' traffic from cross-matching when consecutive calls
+// overlap in flight.
+const (
+	tagBarrier = iota + 1
+	tagBcast
+	tagGather
+	tagScatter
+	tagAllgather
+	tagAlltoall
+	tagReduce
+	tagScan
+	tagCtxAlloc
+)
+
+func (c *Comm) send(dst, tag int, b []byte) error {
+	req, err := c.P.Isend(c.Ctx, c.Rank, c.World(dst), tag, b, core.ModeStandard)
+	if err != nil {
+		return err
+	}
+	req.Wait()
+	return nil
+}
+
+func (c *Comm) isend(dst, tag int, b []byte) (*core.Request, error) {
+	return c.P.Isend(c.Ctx, c.Rank, c.World(dst), tag, b, core.ModeStandard)
+}
+
+func (c *Comm) recv(src, tag int) ([]byte, error) {
+	req := c.P.Irecv(c.Ctx, int32(src), int32(tag))
+	st := req.Wait()
+	if st.Cancelled {
+		return nil, fmt.Errorf("coll: receive cancelled")
+	}
+	return req.Payload, nil
+}
+
+// sendrecv runs a concurrent exchange with two (possibly distinct)
+// partners, the building block of the symmetric algorithms.
+func (c *Comm) sendrecv(dst, src, tag int, out []byte) ([]byte, error) {
+	sreq, err := c.isend(dst, tag, out)
+	if err != nil {
+		return nil, err
+	}
+	in, err := c.recv(src, tag)
+	if err != nil {
+		return nil, err
+	}
+	sreq.Wait()
+	return in, nil
+}
+
+// rel maps a group rank to its rank relative to root; unrel inverts it.
+func rel(rank, root, size int) int { return (rank - root + size) % size }
+
+func unrel(vr, root, size int) int { return (vr + root) % size }
+
+func (c *Comm) check(root int) error {
+	if root < 0 || root >= c.Size {
+		return fmt.Errorf("coll: root rank %d out of range [0,%d)", root, c.Size)
+	}
+	return nil
+}
+
+// Barrier blocks until every member has entered it (dissemination
+// algorithm: ⌈log2 p⌉ rounds of shifted exchanges).
+func (c *Comm) Barrier() error {
+	for k := 1; k < c.Size; k <<= 1 {
+		dst := (c.Rank + k) % c.Size
+		src := (c.Rank - k + c.Size) % c.Size
+		if _, err := c.sendrecv(dst, src, tagBarrier, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Bcast distributes root's payload to every member along a binomial tree
+// and returns it (the root gets its own slice back).
+func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
+	if err := c.check(root); err != nil {
+		return nil, err
+	}
+	vr := rel(c.Rank, root, c.Size)
+	mask := 1
+	for mask < c.Size {
+		if vr&mask != 0 {
+			got, err := c.recv(unrel(vr-mask, root, c.Size), tagBcast)
+			if err != nil {
+				return nil, err
+			}
+			data = got
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if vr+mask < c.Size {
+			if err := c.send(unrel(vr+mask, root, c.Size), tagBcast, data); err != nil {
+				return nil, err
+			}
+		}
+		mask >>= 1
+	}
+	return data, nil
+}
+
+// bundle encoding: u32 count, then per block u32 vrank, u32 len, bytes.
+func encodeBundle(blocks map[int][]byte) []byte {
+	n := 4
+	for _, b := range blocks {
+		n += 8 + len(b)
+	}
+	out := make([]byte, 0, n)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(blocks)))
+	for vr, b := range blocks {
+		out = binary.LittleEndian.AppendUint32(out, uint32(vr))
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(b)))
+		out = append(out, b...)
+	}
+	return out
+}
+
+func decodeBundle(data []byte, into map[int][]byte) error {
+	if len(data) < 4 {
+		return fmt.Errorf("coll: short bundle")
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	data = data[4:]
+	for i := 0; i < n; i++ {
+		if len(data) < 8 {
+			return fmt.Errorf("coll: truncated bundle header")
+		}
+		vr := int(binary.LittleEndian.Uint32(data))
+		ln := int(binary.LittleEndian.Uint32(data[4:]))
+		data = data[8:]
+		if len(data) < ln {
+			return fmt.Errorf("coll: truncated bundle block")
+		}
+		into[vr] = data[:ln:ln]
+		data = data[ln:]
+	}
+	return nil
+}
+
+// Gather collects every member's block at root along a binomial tree.
+// At root the result is indexed by group rank; other ranks get nil.
+func (c *Comm) Gather(root int, mine []byte) ([][]byte, error) {
+	if err := c.check(root); err != nil {
+		return nil, err
+	}
+	vr := rel(c.Rank, root, c.Size)
+	have := map[int][]byte{vr: mine}
+	mask := 1
+	for mask < c.Size {
+		if vr&mask != 0 {
+			if err := c.send(unrel(vr-mask, root, c.Size), tagGather, encodeBundle(have)); err != nil {
+				return nil, err
+			}
+			return nil, nil
+		}
+		if vr+mask < c.Size {
+			got, err := c.recv(unrel(vr+mask, root, c.Size), tagGather)
+			if err != nil {
+				return nil, err
+			}
+			if err := decodeBundle(got, have); err != nil {
+				return nil, err
+			}
+		}
+		mask <<= 1
+	}
+	out := make([][]byte, c.Size)
+	for v, b := range have {
+		out[unrel(v, root, c.Size)] = b
+	}
+	return out, nil
+}
+
+// Scatter distributes parts (indexed by group rank, significant at root
+// only) along a binomial tree; every member returns its own block.
+// Blocks may have different sizes, so Scatter doubles as Scatterv.
+func (c *Comm) Scatter(root int, parts [][]byte) ([]byte, error) {
+	if err := c.check(root); err != nil {
+		return nil, err
+	}
+	vr := rel(c.Rank, root, c.Size)
+	have := make(map[int][]byte)
+	mask := 1
+	if vr == 0 {
+		if len(parts) != c.Size {
+			return nil, fmt.Errorf("coll: scatter with %d parts for %d ranks", len(parts), c.Size)
+		}
+		for r, b := range parts {
+			have[rel(r, root, c.Size)] = b
+		}
+		for mask < c.Size {
+			mask <<= 1
+		}
+		mask >>= 1
+	} else {
+		for mask < c.Size {
+			if vr&mask != 0 {
+				got, err := c.recv(unrel(vr-mask, root, c.Size), tagScatter)
+				if err != nil {
+					return nil, err
+				}
+				if err := decodeBundle(got, have); err != nil {
+					return nil, err
+				}
+				break
+			}
+			mask <<= 1
+		}
+		mask >>= 1
+	}
+	for mask > 0 {
+		if vr+mask < c.Size {
+			sub := make(map[int][]byte)
+			hi := vr + 2*mask
+			if hi > c.Size {
+				hi = c.Size
+			}
+			for v := vr + mask; v < hi; v++ {
+				if b, ok := have[v]; ok {
+					sub[v] = b
+					delete(have, v)
+				}
+			}
+			if err := c.send(unrel(vr+mask, root, c.Size), tagScatter, encodeBundle(sub)); err != nil {
+				return nil, err
+			}
+		}
+		mask >>= 1
+	}
+	return have[vr], nil
+}
+
+// Allgather collects every member's block at every member (ring
+// algorithm, p-1 shifted steps). Blocks may differ in size, so this also
+// serves Allgatherv.
+func (c *Comm) Allgather(mine []byte) ([][]byte, error) {
+	blocks := make([][]byte, c.Size)
+	blocks[c.Rank] = mine
+	right := (c.Rank + 1) % c.Size
+	left := (c.Rank - 1 + c.Size) % c.Size
+	cur := mine
+	for step := 0; step < c.Size-1; step++ {
+		in, err := c.sendrecv(right, left, tagAllgather, cur)
+		if err != nil {
+			return nil, err
+		}
+		origin := (c.Rank - step - 1 + c.Size) % c.Size
+		blocks[origin] = in
+		cur = in
+	}
+	return blocks, nil
+}
+
+// Alltoall delivers parts[j] to member j and returns the blocks received
+// from every member (pairwise-exchange algorithm). Variable block sizes
+// make it also serve Alltoallv.
+func (c *Comm) Alltoall(parts [][]byte) ([][]byte, error) {
+	if len(parts) != c.Size {
+		return nil, fmt.Errorf("coll: alltoall with %d parts for %d ranks", len(parts), c.Size)
+	}
+	out := make([][]byte, c.Size)
+	out[c.Rank] = parts[c.Rank]
+	for step := 1; step < c.Size; step++ {
+		dst := (c.Rank + step) % c.Size
+		src := (c.Rank - step + c.Size) % c.Size
+		in, err := c.sendrecv(dst, src, tagAlltoall, parts[dst])
+		if err != nil {
+			return nil, err
+		}
+		out[src] = in
+	}
+	return out, nil
+}
+
+// Reduce folds every member's dense slice with op, leaving the result at
+// root (returned there; nil elsewhere). Commutative ops use a binomial
+// tree; non-commutative ops gather and fold in rank order.
+func (c *Comm) Reduce(root int, mine any, op *Op) (any, error) {
+	if err := c.check(root); err != nil {
+		return nil, err
+	}
+	if !op.Commutative {
+		return c.reduceOrdered(root, mine, op)
+	}
+	vr := rel(c.Rank, root, c.Size)
+	acc := dtype.CloneDense(mine)
+	mask := 1
+	for mask < c.Size {
+		if vr&mask != 0 {
+			wire, err := dtype.EncodeDense(acc)
+			if err != nil {
+				return nil, err
+			}
+			if err := c.send(unrel(vr-mask, root, c.Size), tagReduce, wire); err != nil {
+				return nil, err
+			}
+			return nil, nil
+		}
+		if vr+mask < c.Size {
+			got, err := c.recv(unrel(vr+mask, root, c.Size), tagReduce)
+			if err != nil {
+				return nil, err
+			}
+			cls, _ := dtype.ClassOf(acc)
+			partial, err := dtype.DecodeDense(got, cls)
+			if err != nil {
+				return nil, err
+			}
+			// acc holds lower-rank contributions: fold acc into
+			// partial, then adopt partial as the accumulator.
+			if err := op.Apply(acc, partial); err != nil {
+				return nil, err
+			}
+			acc = partial
+		}
+		mask <<= 1
+	}
+	return acc, nil
+}
+
+// reduceOrdered gathers all contributions at root and folds them in
+// strict rank order, as required for non-commutative operations.
+func (c *Comm) reduceOrdered(root int, mine any, op *Op) (any, error) {
+	wire, err := dtype.EncodeDense(mine)
+	if err != nil {
+		return nil, err
+	}
+	blocks, err := c.Gather(root, wire)
+	if err != nil {
+		return nil, err
+	}
+	if c.Rank != root {
+		return nil, nil
+	}
+	cls, _ := dtype.ClassOf(mine)
+	acc, err := dtype.DecodeDense(blocks[0], cls)
+	if err != nil {
+		return nil, err
+	}
+	for r := 1; r < c.Size; r++ {
+		next, err := dtype.DecodeDense(blocks[r], cls)
+		if err != nil {
+			return nil, err
+		}
+		if err := op.Apply(acc, next); err != nil {
+			return nil, err
+		}
+		acc = next
+	}
+	return acc, nil
+}
+
+// Allreduce folds every member's dense slice with op and returns the
+// result at every member. Commutative ops use recursive doubling with
+// the standard non-power-of-two pre/post folding; non-commutative ops
+// reduce to rank 0 and broadcast.
+func (c *Comm) Allreduce(mine any, op *Op) (any, error) {
+	if !op.Commutative {
+		res, err := c.Reduce(0, mine, op)
+		if err != nil {
+			return nil, err
+		}
+		var wire []byte
+		if c.Rank == 0 {
+			if wire, err = dtype.EncodeDense(res); err != nil {
+				return nil, err
+			}
+		}
+		wire, err = c.Bcast(0, wire)
+		if err != nil {
+			return nil, err
+		}
+		cls, _ := dtype.ClassOf(mine)
+		return dtype.DecodeDense(wire, cls)
+	}
+
+	cls, _ := dtype.ClassOf(mine)
+	acc := dtype.CloneDense(mine)
+	p2 := 1
+	for p2*2 <= c.Size {
+		p2 *= 2
+	}
+	remainder := c.Size - p2
+
+	newRank := -1
+	switch {
+	case c.Rank < 2*remainder && c.Rank%2 == 0:
+		// Fold into the odd neighbour, then idle.
+		wire, err := dtype.EncodeDense(acc)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.send(c.Rank+1, tagReduce, wire); err != nil {
+			return nil, err
+		}
+	case c.Rank < 2*remainder:
+		got, err := c.recv(c.Rank-1, tagReduce)
+		if err != nil {
+			return nil, err
+		}
+		lower, err := dtype.DecodeDense(got, cls)
+		if err != nil {
+			return nil, err
+		}
+		if err := op.Apply(lower, acc); err != nil {
+			return nil, err
+		}
+		newRank = c.Rank / 2
+	default:
+		newRank = c.Rank - remainder
+	}
+
+	realOf := func(nr int) int {
+		if nr < remainder {
+			return nr*2 + 1
+		}
+		return nr + remainder
+	}
+
+	if newRank >= 0 {
+		for mask := 1; mask < p2; mask <<= 1 {
+			partner := newRank ^ mask
+			wire, err := dtype.EncodeDense(acc)
+			if err != nil {
+				return nil, err
+			}
+			got, err := c.sendrecv(realOf(partner), realOf(partner), tagReduce, wire)
+			if err != nil {
+				return nil, err
+			}
+			theirs, err := dtype.DecodeDense(got, cls)
+			if err != nil {
+				return nil, err
+			}
+			if partner < newRank {
+				if err := op.Apply(theirs, acc); err != nil {
+					return nil, err
+				}
+			} else {
+				if err := op.Apply(acc, theirs); err != nil {
+					return nil, err
+				}
+				acc = theirs
+			}
+		}
+	}
+
+	// Post-fold: odd members of the front block return results to the
+	// idled even members.
+	if c.Rank < 2*remainder {
+		if c.Rank%2 == 0 {
+			got, err := c.recv(c.Rank+1, tagReduce)
+			if err != nil {
+				return nil, err
+			}
+			return dtype.DecodeDense(got, cls)
+		}
+		wire, err := dtype.EncodeDense(acc)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.send(c.Rank-1, tagReduce, wire); err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}
+
+// Scan computes the inclusive prefix reduction in rank order along a
+// chain, which preserves non-commutative operation order by
+// construction.
+func (c *Comm) Scan(mine any, op *Op) (any, error) {
+	acc := dtype.CloneDense(mine)
+	if c.Rank > 0 {
+		got, err := c.recv(c.Rank-1, tagScan)
+		if err != nil {
+			return nil, err
+		}
+		cls, _ := dtype.ClassOf(mine)
+		prefix, err := dtype.DecodeDense(got, cls)
+		if err != nil {
+			return nil, err
+		}
+		if err := op.Apply(prefix, acc); err != nil {
+			return nil, err
+		}
+	}
+	if c.Rank < c.Size-1 {
+		wire, err := dtype.EncodeDense(acc)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.send(c.Rank+1, tagScan, wire); err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}
+
+// ReduceScatter folds with op, then scatters consecutive segments of the
+// result: member r receives counts[r] elements. Implemented as an
+// ordered reduce to rank 0 followed by a scatter of the segments.
+func (c *Comm) ReduceScatter(mine any, counts []int, op *Op) (any, error) {
+	if len(counts) != c.Size {
+		return nil, fmt.Errorf("coll: reduce_scatter with %d counts for %d ranks", len(counts), c.Size)
+	}
+	res, err := c.Reduce(0, mine, op)
+	if err != nil {
+		return nil, err
+	}
+	var parts [][]byte
+	if c.Rank == 0 {
+		parts = make([][]byte, c.Size)
+		lo := 0
+		for r, n := range counts {
+			seg := dtype.SliceDense(res, lo, lo+n)
+			if parts[r], err = dtype.EncodeDense(seg); err != nil {
+				return nil, err
+			}
+			lo += n
+		}
+	}
+	wire, err := c.Scatter(0, parts)
+	if err != nil {
+		return nil, err
+	}
+	cls, _ := dtype.ClassOf(mine)
+	return dtype.DecodeDense(wire, cls)
+}
+
+// AgreeContextBase agrees on a context-id base for a new communicator:
+// the max of all members' local candidates, via Allreduce over this
+// (parent) communicator's collective context.
+func (c *Comm) AgreeContextBase() (int32, error) {
+	cand := []int32{c.P.AllocContexts()}
+	res, err := c.Allreduce(cand, Max)
+	if err != nil {
+		return 0, err
+	}
+	base := res.([]int32)[0]
+	c.P.CommitContexts(base)
+	return base, nil
+}
+
+// Exscan computes the exclusive prefix reduction in rank order (the
+// MPI-2 extension the paper's §5.3 targets): member r receives the fold
+// of members 0..r-1. Rank 0's result is undefined and returned nil.
+func (c *Comm) Exscan(mine any, op *Op) (any, error) {
+	var prefix any
+	if c.Rank > 0 {
+		got, err := c.recv(c.Rank-1, tagScan)
+		if err != nil {
+			return nil, err
+		}
+		cls, _ := dtype.ClassOf(mine)
+		if prefix, err = dtype.DecodeDense(got, cls); err != nil {
+			return nil, err
+		}
+	}
+	if c.Rank < c.Size-1 {
+		// Forward the inclusive prefix including my contribution.
+		var combined any
+		if c.Rank == 0 {
+			combined = mine
+		} else {
+			combined = dtype.CloneDense(mine)
+			if err := op.Apply(prefix, combined); err != nil {
+				return nil, err
+			}
+		}
+		wire, err := dtype.EncodeDense(combined)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.send(c.Rank+1, tagScan, wire); err != nil {
+			return nil, err
+		}
+	}
+	return prefix, nil
+}

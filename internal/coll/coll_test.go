@@ -1,0 +1,394 @@
+package coll
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"gompi/internal/core"
+	"gompi/internal/transport"
+)
+
+// runGroup executes fn concurrently on n fresh ranks and returns
+// per-rank results.
+func runGroup(t *testing.T, n int, fn func(c *Comm) (any, error)) []any {
+	t.Helper()
+	devs := transport.NewShmJob(n, 0)
+	procs := make([]*core.Proc, n)
+	for i, d := range devs {
+		procs[i] = core.NewProc(d, core.Config{EagerLimit: 256})
+	}
+	defer func() {
+		for _, p := range procs {
+			p.Close()
+		}
+	}()
+	results := make([]any, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			group := make([]int, n)
+			for j := range group {
+				group[j] = j
+			}
+			c := &Comm{
+				P:     procs[rank],
+				Ctx:   1,
+				Rank:  rank,
+				Size:  n,
+				World: func(gr int) int { return group[gr] },
+			}
+			results[rank], errs[rank] = fn(c)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", i, err)
+		}
+	}
+	return results
+}
+
+func TestBarrierAllSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7} {
+		runGroup(t, n, func(c *Comm) (any, error) {
+			for i := 0; i < 3; i++ {
+				if err := c.Barrier(); err != nil {
+					return nil, err
+				}
+			}
+			return nil, nil
+		})
+	}
+}
+
+func TestBcastAllRootsAllSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 5} {
+		for root := 0; root < n; root++ {
+			root := root
+			results := runGroup(t, n, func(c *Comm) (any, error) {
+				var data []byte
+				if c.Rank == root {
+					data = []byte(fmt.Sprintf("from-%d", root))
+				}
+				return c.Bcast(root, data)
+			})
+			want := fmt.Sprintf("from-%d", root)
+			for r, res := range results {
+				if string(res.([]byte)) != want {
+					t.Fatalf("n=%d root=%d rank=%d: got %q", n, root, r, res)
+				}
+			}
+		}
+	}
+}
+
+func TestGatherScatterInverse(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 6} {
+		for root := 0; root < n; root += 2 {
+			root := root
+			results := runGroup(t, n, func(c *Comm) (any, error) {
+				mine := []byte{byte(c.Rank), byte(c.Rank * 2)}
+				blocks, err := c.Gather(root, mine)
+				if err != nil {
+					return nil, err
+				}
+				// Root scatters the same blocks back.
+				back, err := c.Scatter(root, blocks)
+				if err != nil {
+					return nil, err
+				}
+				return back, nil
+			})
+			for r, res := range results {
+				want := []byte{byte(r), byte(r * 2)}
+				if !bytes.Equal(res.([]byte), want) {
+					t.Fatalf("n=%d root=%d rank=%d: got %v", n, root, r, res)
+				}
+			}
+		}
+	}
+}
+
+func TestGatherVariableSizes(t *testing.T) {
+	results := runGroup(t, 4, func(c *Comm) (any, error) {
+		mine := bytes.Repeat([]byte{byte(c.Rank)}, c.Rank+1)
+		return c.Gather(0, mine)
+	})
+	blocks := results[0].([][]byte)
+	for r, b := range blocks {
+		if len(b) != r+1 {
+			t.Fatalf("rank %d block: %v", r, b)
+		}
+	}
+	for r := 1; r < 4; r++ {
+		if results[r] != nil && results[r].([][]byte) != nil {
+			t.Fatalf("non-root rank %d received blocks", r)
+		}
+	}
+}
+
+func TestAllgatherEveryoneSeesAll(t *testing.T) {
+	for _, n := range []int{1, 2, 5} {
+		results := runGroup(t, n, func(c *Comm) (any, error) {
+			return c.Allgather([]byte{byte(c.Rank + 1)})
+		})
+		for r, res := range results {
+			blocks := res.([][]byte)
+			for j, b := range blocks {
+				if len(b) != 1 || b[0] != byte(j+1) {
+					t.Fatalf("n=%d rank=%d slot %d: %v", n, r, j, b)
+				}
+			}
+		}
+	}
+}
+
+func TestAlltoallTransposition(t *testing.T) {
+	const n = 4
+	results := runGroup(t, n, func(c *Comm) (any, error) {
+		parts := make([][]byte, n)
+		for j := range parts {
+			parts[j] = []byte{byte(c.Rank*10 + j)}
+		}
+		return c.Alltoall(parts)
+	})
+	for r, res := range results {
+		got := res.([][]byte)
+		for j := range got {
+			if got[j][0] != byte(j*10+r) {
+				t.Fatalf("rank %d slot %d: got %d", r, j, got[j][0])
+			}
+		}
+	}
+}
+
+func TestReduceSumMatchesReference(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 8} {
+		results := runGroup(t, n, func(c *Comm) (any, error) {
+			mine := []int32{int32(c.Rank + 1), int32(c.Rank * c.Rank)}
+			return c.Reduce(0, mine, Sum)
+		})
+		var w0, w1 int32
+		for r := 0; r < n; r++ {
+			w0 += int32(r + 1)
+			w1 += int32(r * r)
+		}
+		got := results[0].([]int32)
+		if got[0] != w0 || got[1] != w1 {
+			t.Fatalf("n=%d: got %v, want [%d %d]", n, got, w0, w1)
+		}
+	}
+}
+
+func TestAllreduceMatchesReferenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		vals := make([][]float64, n)
+		for r := range vals {
+			vals[r] = []float64{float64(rng.Intn(100)) - 50, float64(rng.Intn(100))}
+		}
+		results := runGroup(t, n, func(c *Comm) (any, error) {
+			return c.Allreduce(append([]float64(nil), vals[c.Rank]...), Sum)
+		})
+		want := []float64{0, 0}
+		for _, v := range vals {
+			want[0] += v[0]
+			want[1] += v[1]
+		}
+		for _, res := range results {
+			if !reflect.DeepEqual(res, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonCommutativeOpReducesInRankOrder(t *testing.T) {
+	// Matrix-multiply-like op: string concatenation encoded as bytes is
+	// simplest, but ops work on numeric slices — use a "first wins
+	// digit append": inout = in*10 + inout, which is order-sensitive.
+	appendOp := NewOp("append", false, func(in, inout any) error {
+		a := in.([]int64)
+		b := inout.([]int64)
+		for i := range b {
+			b[i] = a[i]*10 + b[i]
+		}
+		return nil
+	})
+	for _, n := range []int{2, 3, 5} {
+		results := runGroup(t, n, func(c *Comm) (any, error) {
+			return c.Allreduce([]int64{int64(c.Rank + 1)}, appendOp)
+		})
+		var want int64
+		for r := 0; r < n; r++ {
+			want = want*10 + int64(r+1)
+		}
+		for rank, res := range results {
+			if got := res.([]int64)[0]; got != want {
+				t.Fatalf("n=%d rank %d: got %d, want %d (rank-order violated)", n, rank, got, want)
+			}
+		}
+	}
+}
+
+func TestScanPrefix(t *testing.T) {
+	const n = 5
+	results := runGroup(t, n, func(c *Comm) (any, error) {
+		return c.Scan([]int32{int32(c.Rank + 1)}, Sum)
+	})
+	for r, res := range results {
+		want := int32((r + 1) * (r + 2) / 2)
+		if got := res.([]int32)[0]; got != want {
+			t.Fatalf("rank %d: scan %d, want %d", r, got, want)
+		}
+	}
+}
+
+func TestReduceScatterSegments(t *testing.T) {
+	const n = 3
+	counts := []int{1, 2, 3}
+	results := runGroup(t, n, func(c *Comm) (any, error) {
+		mine := []int32{1, 2, 3, 4, 5, 6} // same on every rank
+		return c.ReduceScatter(mine, counts, Sum)
+	})
+	at := 0
+	for r, res := range results {
+		got := res.([]int32)
+		if len(got) != counts[r] {
+			t.Fatalf("rank %d: %d elements, want %d", r, len(got), counts[r])
+		}
+		for i := range got {
+			want := int32((at + i + 1) * n)
+			if got[i] != want {
+				t.Fatalf("rank %d elem %d: got %d, want %d", r, i, got[i], want)
+			}
+		}
+		at += counts[r]
+	}
+}
+
+func TestMaxLocMinLoc(t *testing.T) {
+	const n = 4
+	results := runGroup(t, n, func(c *Comm) (any, error) {
+		// Pair (value, index): value peaks at rank 2.
+		v := float64(10 - (c.Rank-2)*(c.Rank-2))
+		return c.Allreduce([]float64{v, float64(c.Rank)}, MaxLoc)
+	})
+	for r, res := range results {
+		got := res.([]float64)
+		if got[0] != 10 || got[1] != 2 {
+			t.Fatalf("rank %d: maxloc %v, want [10 2]", r, got)
+		}
+	}
+	// Tie: MPI picks the minimum index.
+	results = runGroup(t, n, func(c *Comm) (any, error) {
+		return c.Allreduce([]int32{7, int32(c.Rank)}, MaxLoc)
+	})
+	for r, res := range results {
+		got := res.([]int32)
+		if got[0] != 7 || got[1] != 0 {
+			t.Fatalf("rank %d: tie maxloc %v, want [7 0]", r, got)
+		}
+	}
+	results = runGroup(t, n, func(c *Comm) (any, error) {
+		return c.Allreduce([]int32{int32(c.Rank + 5), int32(c.Rank)}, MinLoc)
+	})
+	for r, res := range results {
+		got := res.([]int32)
+		if got[0] != 5 || got[1] != 0 {
+			t.Fatalf("rank %d: minloc %v", r, got)
+		}
+	}
+}
+
+func TestLogicalAndBitwiseOps(t *testing.T) {
+	const n = 3
+	results := runGroup(t, n, func(c *Comm) (any, error) {
+		return c.Allreduce([]bool{true, c.Rank != 1, false}, Land)
+	})
+	for _, res := range results {
+		got := res.([]bool)
+		if got[0] != true || got[1] != false || got[2] != false {
+			t.Fatalf("land: %v", got)
+		}
+	}
+	results = runGroup(t, n, func(c *Comm) (any, error) {
+		return c.Allreduce([]int32{int32(1 << c.Rank)}, Bor)
+	})
+	for _, res := range results {
+		if got := res.([]int32)[0]; got != 7 {
+			t.Fatalf("bor: %d, want 7", got)
+		}
+	}
+	results = runGroup(t, n, func(c *Comm) (any, error) {
+		return c.Allreduce([]int64{int64(c.Rank)}, Bxor)
+	})
+	for _, res := range results {
+		if got := res.([]int64)[0]; got != 0^1^2 {
+			t.Fatalf("bxor: %d", got)
+		}
+	}
+}
+
+func TestOpClassErrors(t *testing.T) {
+	if err := Band.Apply([]float64{1}, []float64{2}); err == nil {
+		t.Fatal("bitwise op on floats must error")
+	}
+	if err := Sum.Apply([]bool{true}, []bool{false}); err == nil {
+		t.Fatal("sum on booleans must error")
+	}
+}
+
+func TestAgreeContextBase(t *testing.T) {
+	const n = 4
+	results := runGroup(t, n, func(c *Comm) (any, error) {
+		b1, err := c.AgreeContextBase()
+		if err != nil {
+			return nil, err
+		}
+		b2, err := c.AgreeContextBase()
+		if err != nil {
+			return nil, err
+		}
+		return []int32{b1, b2}, nil
+	})
+	first := results[0].([]int32)
+	if first[1] != first[0]+2 {
+		t.Fatalf("second base %d, want %d", first[1], first[0]+2)
+	}
+	for r, res := range results {
+		got := res.([]int32)
+		if got[0] != first[0] || got[1] != first[1] {
+			t.Fatalf("rank %d disagrees: %v vs %v", r, got, first)
+		}
+	}
+}
+
+func TestBundleRoundTrip(t *testing.T) {
+	in := map[int][]byte{0: []byte("a"), 3: []byte("bcd"), 7: nil}
+	enc := encodeBundle(in)
+	out := make(map[int][]byte)
+	if err := decodeBundle(enc, out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 || string(out[3]) != "bcd" || len(out[7]) != 0 {
+		t.Fatalf("bundle roundtrip: %v", out)
+	}
+	if err := decodeBundle([]byte{1}, out); err == nil {
+		t.Fatal("short bundle must error")
+	}
+}

@@ -1,0 +1,530 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"gompi/internal/transport"
+)
+
+// DefaultEagerLimit is the payload size, in bytes, at or below which a
+// standard-mode message is shipped eagerly; larger messages use the
+// RTS/CTS rendezvous protocol. MPICH-era implementations sit in the same
+// range; the ablation bench sweeps this knob.
+const DefaultEagerLimit = 64 << 10
+
+// Config tunes a Proc.
+type Config struct {
+	// EagerLimit is the eager/rendezvous switch-over in payload bytes;
+	// 0 selects DefaultEagerLimit, negative forces all-rendezvous.
+	EagerLimit int
+}
+
+func (c Config) eagerLimit() int {
+	switch {
+	case c.EagerLimit == 0:
+		return DefaultEagerLimit
+	case c.EagerLimit < 0:
+		return -1
+	default:
+		return c.EagerLimit
+	}
+}
+
+// inMsg is an arrived, not-yet-matched message (the unexpected queue
+// entry): either a complete eager message or an RTS advertisement.
+type inMsg struct {
+	kind    byte
+	env     envelope
+	id      uint64
+	size    int // advertised payload size for kRts
+	payload []byte
+}
+
+// outFrame is a frame produced by the matching engine to be sent after
+// the engine lock is released (sending under the lock can deadlock with
+// the peer's flow control; see the ordering argument in DESIGN.md).
+type outFrame struct {
+	dst   int32
+	frame []byte
+}
+
+// Proc is one rank's progress engine. All methods are safe for
+// concurrent use by the rank's user goroutine and its progress goroutine.
+type Proc struct {
+	dev transport.Device
+	cfg Config
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	posted  []*Request // posted receives, post order
+	arrived []*inMsg   // unexpected messages, arrival order
+	sent    map[uint64]*Request
+	recving map[uint64]*Request
+	nextID  uint64
+	nextCtx int32
+	closed  bool
+
+	stats Stats
+
+	wg sync.WaitGroup
+	// inflight tracks control frames (CTS/ACK/DATA) sent
+	// asynchronously from the progress loop; Close drains them before
+	// closing the device so no frame is dropped at shutdown.
+	inflight sync.WaitGroup
+}
+
+// NewProc wraps a device with a progress engine and starts its progress
+// goroutine.
+func NewProc(dev transport.Device, cfg Config) *Proc {
+	p := &Proc{
+		dev:     dev,
+		cfg:     cfg,
+		sent:    make(map[uint64]*Request),
+		recving: make(map[uint64]*Request),
+		nextCtx: 2, // 0 and 1 belong to COMM_WORLD
+	}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(1)
+	go p.progress()
+	return p
+}
+
+// Rank returns the world rank.
+func (p *Proc) Rank() int { return p.dev.Rank() }
+
+// Size returns the world size.
+func (p *Proc) Size() int { return p.dev.Size() }
+
+// EagerLimit reports the configured eager/rendezvous threshold.
+func (p *Proc) EagerLimit() int { return p.cfg.eagerLimit() }
+
+// Close shuts the engine down: the device is closed and the progress
+// goroutine joined. Outstanding requests never complete after Close; the
+// binding layer runs a barrier first so correct programs are quiescent.
+func (p *Proc) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	// Let asynchronously-sent control frames reach their destination
+	// inboxes first: a barrier completing on this rank may still owe a
+	// peer its rendezvous payload.
+	p.inflight.Wait()
+	err := p.dev.Close()
+	p.wg.Wait()
+	return err
+}
+
+// progress pumps the device, feeding every frame through the matching
+// engine and transmitting any frames the engine produces in response.
+func (p *Proc) progress() {
+	defer p.wg.Done()
+	for {
+		raw, err := p.dev.Recv()
+		if err != nil {
+			p.mu.Lock()
+			p.closed = true
+			p.cond.Broadcast()
+			p.mu.Unlock()
+			return
+		}
+		f, err := parseFrame(raw)
+		if err != nil {
+			// A malformed frame indicates a wire-level bug, not a
+			// user error; drop it loudly in debug builds.
+			continue
+		}
+		outs, after := p.handle(f)
+		// Control frames (CTS/ACK/DATA) are keyed by unique ids and
+		// order-insensitive, so they are sent asynchronously: a
+		// blocking send here could form a progress↔progress
+		// flow-control cycle between two ranks flooding each other.
+		// Matching-relevant frames (eager, RTS) are only ever sent
+		// from user goroutines, preserving MPI's non-overtaking rule.
+		for _, o := range outs {
+			p.inflight.Add(1)
+			go func(o outFrame) {
+				defer p.inflight.Done()
+				p.dev.Send(int(o.dst), o.frame) //nolint:errcheck // peer teardown races are benign
+			}(o)
+		}
+		// Rendezvous payloads are copied into the frame, so the user
+		// buffer is reusable before the wire send finishes; complete
+		// now.
+		for _, c := range after {
+			p.complete(c.req, nil, c.st)
+		}
+	}
+}
+
+type lateComplete struct {
+	req *Request
+	st  Status
+}
+
+// handle runs the matching engine on one frame. It returns frames to
+// transmit and requests to complete once those frames are sent.
+func (p *Proc) handle(f parsed) (outs []outFrame, after []lateComplete) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch f.kind {
+	case kEager, kEagerSync:
+		req := p.takeMatchLocked(f.env)
+		if req != nil {
+			p.stats.RecvsMatched.Add(1)
+			p.stats.BytesRecv.Add(uint64(len(f.payload)))
+		}
+		if req == nil {
+			m := &inMsg{kind: f.kind, env: f.env, id: f.id}
+			m.payload = append([]byte(nil), f.payload...)
+			p.arrived = append(p.arrived, m)
+			p.cond.Broadcast()
+			return nil, nil
+		}
+		payload := append([]byte(nil), f.payload...)
+		p.completeLocked(req, payload, Status{
+			SourceGroup: int(f.env.srcGroup),
+			Tag:         int(f.env.tag),
+			Bytes:       len(payload),
+		})
+		if f.kind == kEagerSync {
+			outs = append(outs, outFrame{dst: f.env.srcWorld, frame: buildAck(int32(p.Rank()), f.id)})
+		}
+	case kRts:
+		req := p.takeMatchLocked(f.env)
+		if req != nil {
+			p.stats.RecvsMatched.Add(1)
+			p.stats.BytesRecv.Add(uint64(f.size))
+		}
+		if req == nil {
+			p.arrived = append(p.arrived, &inMsg{kind: kRts, env: f.env, id: f.id, size: f.size})
+			p.cond.Broadcast()
+			return nil, nil
+		}
+		outs = append(outs, p.grantRtsLocked(req, f.env, f.id))
+	case kCts:
+		req, ok := p.sent[f.id]
+		if !ok {
+			return nil, nil // cancelled or duplicate
+		}
+		delete(p.sent, f.id)
+		payloadLen := len(req.data)
+		data := buildData(int32(p.Rank()), f.recvID, req.data)
+		req.data = nil
+		outs = append(outs, outFrame{dst: f.env.srcWorld, frame: data})
+		after = append(after, lateComplete{req: req, st: Status{Bytes: payloadLen}})
+	case kData:
+		req, ok := p.recving[f.recvID]
+		if !ok {
+			return nil, nil
+		}
+		delete(p.recving, f.recvID)
+		payload := append([]byte(nil), f.payload...)
+		p.completeLocked(req, payload, Status{
+			SourceGroup: int(req.Stat.SourceGroup),
+			Tag:         req.Stat.Tag,
+			Bytes:       len(payload),
+		})
+	case kAck:
+		req, ok := p.sent[f.id]
+		if !ok {
+			return nil, nil
+		}
+		delete(p.sent, f.id)
+		after = append(after, lateComplete{req: req, st: Status{Bytes: len(req.data)}})
+	}
+	return outs, after
+}
+
+// grantRtsLocked matches a receive request to an RTS: it registers the
+// pending data delivery and emits the CTS. The request's status source
+// and tag are pre-filled so the kData handler can preserve them.
+func (p *Proc) grantRtsLocked(req *Request, env envelope, senderID uint64) outFrame {
+	p.nextID++
+	recvID := p.nextID
+	req.Stat.SourceGroup = int(env.srcGroup)
+	req.Stat.Tag = int(env.tag)
+	p.recving[recvID] = req
+	return outFrame{dst: env.srcWorld, frame: buildCts(int32(p.Rank()), senderID, recvID)}
+}
+
+// takeMatchLocked removes and returns the oldest posted receive matching
+// the envelope, or nil.
+func (p *Proc) takeMatchLocked(env envelope) *Request {
+	for i, r := range p.posted {
+		if matches(r, env) {
+			p.posted = append(p.posted[:i], p.posted[i+1:]...)
+			return r
+		}
+	}
+	return nil
+}
+
+func matches(r *Request, env envelope) bool {
+	if r.ctx != env.ctx {
+		return false
+	}
+	if r.src != AnySource && r.src != env.srcGroup {
+		return false
+	}
+	if r.tag != AnyTag && r.tag != env.tag {
+		return false
+	}
+	return true
+}
+
+func matchesMsg(m *inMsg, ctx, src, tag int32) bool {
+	if ctx != m.env.ctx {
+		return false
+	}
+	if src != AnySource && src != m.env.srcGroup {
+		return false
+	}
+	if tag != AnyTag && tag != m.env.tag {
+		return false
+	}
+	return true
+}
+
+// Isend starts a send of payload on context ctx to world rank dstWorld.
+// srcGroup is the caller's rank within the communicator group (carried in
+// the envelope for matching). The payload slice is owned by the engine
+// after the call.
+func (p *Proc) Isend(ctx int32, srcGroup int, dstWorld int, tag int, payload []byte, mode Mode) (*Request, error) {
+	env := envelope{
+		srcWorld: int32(p.Rank()),
+		ctx:      ctx,
+		srcGroup: int32(srcGroup),
+		tag:      int32(tag),
+	}
+	req := newRequest(p, reqSend)
+	req.dstWorld = int32(dstWorld)
+	req.ctxS = ctx
+
+	eager := p.cfg.eagerLimit()
+	small := eager >= 0 && len(payload) <= eager
+
+	p.stats.BytesSent.Add(uint64(len(payload)))
+	switch {
+	case mode != ModeSync && small:
+		// Eager standard/ready: buffer-safe once framed; the request
+		// completes immediately.
+		p.stats.SendsEager.Add(1)
+		frame := buildEager(false, env, 0, payload)
+		p.complete(req, nil, Status{Bytes: len(payload)})
+		if err := p.dev.Send(dstWorld, frame); err != nil {
+			return req, fmt.Errorf("core: eager send: %w", err)
+		}
+	case mode == ModeSync && small:
+		// Eager synchronous: ship payload now, complete on matched ack.
+		p.stats.SendsSync.Add(1)
+		p.mu.Lock()
+		p.nextID++
+		id := p.nextID
+		req.id = id
+		req.data = payload
+		p.sent[id] = req
+		p.mu.Unlock()
+		if err := p.dev.Send(dstWorld, buildEager(true, env, id, payload)); err != nil {
+			return req, fmt.Errorf("core: sync eager send: %w", err)
+		}
+	default:
+		// Rendezvous: advertise, ship payload on CTS.
+		p.stats.SendsRndv.Add(1)
+		p.mu.Lock()
+		p.nextID++
+		id := p.nextID
+		req.id = id
+		req.data = payload
+		p.sent[id] = req
+		p.mu.Unlock()
+		if err := p.dev.Send(dstWorld, buildRts(env, id, len(payload))); err != nil {
+			return req, fmt.Errorf("core: rts send: %w", err)
+		}
+	}
+	return req, nil
+}
+
+// Irecv posts a receive on context ctx for (src, tag), either of which
+// may be the AnySource/AnyTag wildcard. src is a group rank.
+func (p *Proc) Irecv(ctx int32, src, tag int32) *Request {
+	req := newRequest(p, reqRecv)
+	req.ctx, req.src, req.tag = ctx, src, tag
+
+	p.mu.Lock()
+	m, idx := p.findArrivedLocked(ctx, src, tag)
+	if m == nil {
+		p.posted = append(p.posted, req)
+		p.mu.Unlock()
+		return req
+	}
+	p.arrived = append(p.arrived[:idx], p.arrived[idx+1:]...)
+	p.stats.RecvsUnexpected.Add(1)
+	if m.kind == kRts {
+		p.stats.BytesRecv.Add(uint64(m.size))
+	} else {
+		p.stats.BytesRecv.Add(uint64(len(m.payload)))
+	}
+	var out *outFrame
+	switch m.kind {
+	case kEager:
+		p.completeLocked(req, m.payload, Status{
+			SourceGroup: int(m.env.srcGroup),
+			Tag:         int(m.env.tag),
+			Bytes:       len(m.payload),
+		})
+	case kEagerSync:
+		p.completeLocked(req, m.payload, Status{
+			SourceGroup: int(m.env.srcGroup),
+			Tag:         int(m.env.tag),
+			Bytes:       len(m.payload),
+		})
+		o := outFrame{dst: m.env.srcWorld, frame: buildAck(int32(p.Rank()), m.id)}
+		out = &o
+	case kRts:
+		o := p.grantRtsLocked(req, m.env, m.id)
+		out = &o
+	}
+	p.mu.Unlock()
+	if out != nil {
+		p.dev.Send(int(out.dst), out.frame) //nolint:errcheck // teardown race
+	}
+	return req
+}
+
+// findArrivedLocked returns the oldest unexpected message matching
+// (ctx, src, tag) and its index.
+func (p *Proc) findArrivedLocked(ctx, src, tag int32) (*inMsg, int) {
+	for i, m := range p.arrived {
+		if matchesMsg(m, ctx, src, tag) {
+			return m, i
+		}
+	}
+	return nil, -1
+}
+
+// Probe blocks until a message matching (ctx, src, tag) has arrived (or
+// at least been advertised via RTS) and returns its envelope status
+// without receiving it.
+func (p *Proc) Probe(ctx, src, tag int32) (Status, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if m, _ := p.findArrivedLocked(ctx, src, tag); m != nil {
+			return statusOf(m), nil
+		}
+		if p.closed {
+			return Status{}, transport.ErrClosed
+		}
+		p.cond.Wait()
+	}
+}
+
+// Iprobe is the non-blocking Probe.
+func (p *Proc) Iprobe(ctx, src, tag int32) (Status, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if m, _ := p.findArrivedLocked(ctx, src, tag); m != nil {
+		return statusOf(m), true
+	}
+	return Status{}, false
+}
+
+func statusOf(m *inMsg) Status {
+	n := len(m.payload)
+	if m.kind == kRts {
+		n = m.size
+	}
+	return Status{SourceGroup: int(m.env.srcGroup), Tag: int(m.env.tag), Bytes: n}
+}
+
+// Cancel attempts to cancel a request. Receives cancel if still posted;
+// sends cancel if the rendezvous has not been granted. Returns true if
+// the cancellation took effect.
+func (p *Proc) Cancel(r *Request) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if r.completed {
+		return false
+	}
+	if r.kind == reqRecv {
+		for i, q := range p.posted {
+			if q == r {
+				p.posted = append(p.posted[:i], p.posted[i+1:]...)
+				p.stats.Cancelled.Add(1)
+				p.completeLocked(r, nil, Status{Cancelled: true})
+				return true
+			}
+		}
+		return false
+	}
+	if _, ok := p.sent[r.id]; ok {
+		delete(p.sent, r.id)
+		p.stats.Cancelled.Add(1)
+		p.completeLocked(r, nil, Status{Cancelled: true})
+		return true
+	}
+	return false
+}
+
+// WaitAny blocks until one of the non-nil, non-completed-yet requests
+// completes and returns its index. Requests already completed are
+// returned immediately (lowest index first). Returns -1 if every entry
+// is nil.
+func (p *Proc) WaitAny(reqs []*Request) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	all := true
+	for _, r := range reqs {
+		if r != nil {
+			all = false
+			break
+		}
+	}
+	if all {
+		return -1
+	}
+	for {
+		for i, r := range reqs {
+			if r != nil && r.completed {
+				return i
+			}
+		}
+		if p.closed {
+			return -1
+		}
+		p.cond.Wait()
+	}
+}
+
+// AllocContexts runs the local half of collective context-id allocation:
+// it returns this rank's candidate pair base. The binding layer agrees on
+// the max across the group and reports it back via CommitContexts.
+func (p *Proc) AllocContexts() int32 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.nextCtx
+}
+
+// CommitContexts records the group-agreed context base; the new
+// communicator uses (base, base+1) and the counter moves past them.
+func (p *Proc) CommitContexts(base int32) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if base+2 > p.nextCtx {
+		p.nextCtx = base + 2
+	}
+}
+
+// PendingUnexpected reports the current unexpected-queue length
+// (diagnostics and tests).
+func (p *Proc) PendingUnexpected() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.arrived)
+}

@@ -1,0 +1,382 @@
+package core
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"gompi/internal/transport"
+)
+
+func newPair(t *testing.T, cfg Config) (*Proc, *Proc) {
+	t.Helper()
+	devs := transport.NewShmJob(2, 0)
+	p0 := NewProc(devs[0], cfg)
+	p1 := NewProc(devs[1], cfg)
+	t.Cleanup(func() {
+		p0.Close()
+		p1.Close()
+	})
+	return p0, p1
+}
+
+func TestEagerSendRecv(t *testing.T) {
+	p0, p1 := newPair(t, Config{})
+	payload := []byte("hello engine")
+	sreq, err := p0.Isend(0, 0, 1, 42, payload, ModeStandard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sreq.Wait()
+	rreq := p1.Irecv(0, 0, 42)
+	st := rreq.Wait()
+	if !bytes.Equal(rreq.Payload, payload) {
+		t.Fatalf("payload %q", rreq.Payload)
+	}
+	if st.SourceGroup != 0 || st.Tag != 42 || st.Bytes != len(payload) {
+		t.Fatalf("status %+v", st)
+	}
+}
+
+func TestRendezvousLargeMessage(t *testing.T) {
+	p0, p1 := newPair(t, Config{EagerLimit: 64})
+	payload := make([]byte, 10_000)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	sreq, err := p0.Isend(0, 0, 1, 7, payload, ModeStandard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The send must NOT complete before the receive is posted
+	// (rendezvous holds the payload).
+	if _, done := sreq.Test(); done {
+		t.Fatal("rendezvous send completed without a matching receive")
+	}
+	rreq := p1.Irecv(0, 0, 7)
+	st := rreq.Wait()
+	sreq.Wait()
+	if st.Bytes != len(payload) || !bytes.Equal(rreq.Payload, payload) {
+		t.Fatal("rendezvous payload corrupted")
+	}
+}
+
+func TestForcedRendezvous(t *testing.T) {
+	// Negative EagerLimit: even 1-byte messages use RTS/CTS.
+	p0, p1 := newPair(t, Config{EagerLimit: -1})
+	sreq, err := p0.Isend(0, 0, 1, 1, []byte{9}, ModeStandard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, done := sreq.Test(); done {
+		t.Fatal("forced rendezvous completed eagerly")
+	}
+	rreq := p1.Irecv(0, 0, 1)
+	rreq.Wait()
+	sreq.Wait()
+	if rreq.Payload[0] != 9 {
+		t.Fatal("payload lost")
+	}
+}
+
+func TestSyncSendWaitsForMatch(t *testing.T) {
+	p0, p1 := newPair(t, Config{})
+	sreq, err := p0.Isend(0, 0, 1, 3, []byte("sync"), ModeSync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if _, done := sreq.Test(); done {
+		t.Fatal("Ssend completed before the receive was posted")
+	}
+	rreq := p1.Irecv(0, 0, 3)
+	rreq.Wait()
+	sreq.Wait() // must now complete via the matched ack
+}
+
+func TestWildcards(t *testing.T) {
+	p0, p1 := newPair(t, Config{})
+	if _, err := p0.Isend(0, 0, 1, 5, []byte("a"), ModeStandard); err != nil {
+		t.Fatal(err)
+	}
+	rreq := p1.Irecv(0, AnySource, AnyTag)
+	st := rreq.Wait()
+	if st.SourceGroup != 0 || st.Tag != 5 {
+		t.Fatalf("wildcard status %+v", st)
+	}
+}
+
+func TestMatchingOrder(t *testing.T) {
+	p0, p1 := newPair(t, Config{})
+	for i := 0; i < 50; i++ {
+		if _, err := p0.Isend(0, 0, 1, 9, []byte{byte(i)}, ModeStandard); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		rreq := p1.Irecv(0, 0, 9)
+		rreq.Wait()
+		if rreq.Payload[0] != byte(i) {
+			t.Fatalf("message %d overtaken by %d", i, rreq.Payload[0])
+		}
+	}
+}
+
+func TestContextSeparation(t *testing.T) {
+	p0, p1 := newPair(t, Config{})
+	// Same (src, tag), two contexts: each receive pulls from its own.
+	if _, err := p0.Isend(4, 0, 1, 1, []byte("ctx4"), ModeStandard); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p0.Isend(6, 0, 1, 1, []byte("ctx6"), ModeStandard); err != nil {
+		t.Fatal(err)
+	}
+	r6 := p1.Irecv(6, 0, 1)
+	r6.Wait()
+	if string(r6.Payload) != "ctx6" {
+		t.Fatalf("ctx6 got %q", r6.Payload)
+	}
+	r4 := p1.Irecv(4, 0, 1)
+	r4.Wait()
+	if string(r4.Payload) != "ctx4" {
+		t.Fatalf("ctx4 got %q", r4.Payload)
+	}
+}
+
+func TestPostedBeforeArrival(t *testing.T) {
+	p0, p1 := newPair(t, Config{})
+	rreq := p1.Irecv(0, 0, 2)
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		p0.Isend(0, 0, 1, 2, []byte("late"), ModeStandard) //nolint:errcheck
+	}()
+	st := rreq.Wait()
+	if st.Bytes != 4 {
+		t.Fatalf("status %+v", st)
+	}
+}
+
+func TestProbeAndIprobe(t *testing.T) {
+	p0, p1 := newPair(t, Config{})
+	if _, ok := p1.Iprobe(0, AnySource, AnyTag); ok {
+		t.Fatal("Iprobe saw a ghost message")
+	}
+	if _, err := p0.Isend(0, 0, 1, 11, []byte("probe me"), ModeStandard); err != nil {
+		t.Fatal(err)
+	}
+	st, err := p1.Probe(0, AnySource, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Bytes != 8 || st.Tag != 11 {
+		t.Fatalf("probe status %+v", st)
+	}
+	// The message is still there.
+	if _, ok := p1.Iprobe(0, 0, 11); !ok {
+		t.Fatal("Iprobe lost the message after Probe")
+	}
+	rreq := p1.Irecv(0, 0, 11)
+	rreq.Wait()
+	if p1.PendingUnexpected() != 0 {
+		t.Fatal("unexpected queue not drained")
+	}
+}
+
+func TestProbeSeesRendezvousSize(t *testing.T) {
+	p0, p1 := newPair(t, Config{EagerLimit: 16})
+	payload := make([]byte, 1000)
+	if _, err := p0.Isend(0, 0, 1, 13, payload, ModeStandard); err != nil {
+		t.Fatal(err)
+	}
+	st, err := p1.Probe(0, 0, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Bytes != 1000 {
+		t.Fatalf("probe of RTS advertises %d bytes, want 1000", st.Bytes)
+	}
+	rreq := p1.Irecv(0, 0, 13)
+	rreq.Wait()
+}
+
+func TestCancelRecv(t *testing.T) {
+	_, p1 := newPair(t, Config{})
+	rreq := p1.Irecv(0, 0, 99)
+	if !p1.Cancel(rreq) {
+		t.Fatal("cancel of unmatched receive failed")
+	}
+	st := rreq.Wait()
+	if !st.Cancelled {
+		t.Fatal("status not marked cancelled")
+	}
+	// Cancelling again is a no-op.
+	if p1.Cancel(rreq) {
+		t.Fatal("double cancel succeeded")
+	}
+}
+
+func TestCancelSendRendezvous(t *testing.T) {
+	p0, _ := newPair(t, Config{EagerLimit: -1})
+	sreq, err := p0.Isend(0, 0, 1, 1, []byte("never"), ModeStandard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p0.Cancel(sreq) {
+		t.Fatal("cancel of ungran rendezvous send failed")
+	}
+	if st := sreq.Wait(); !st.Cancelled {
+		t.Fatal("send status not cancelled")
+	}
+}
+
+func TestWaitAny(t *testing.T) {
+	p0, p1 := newPair(t, Config{})
+	r1 := p1.Irecv(0, 0, 21)
+	r2 := p1.Irecv(0, 0, 22)
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		p0.Isend(0, 0, 1, 22, []byte("two"), ModeStandard) //nolint:errcheck
+	}()
+	idx := p1.WaitAny([]*Request{r1, r2})
+	if idx != 1 {
+		t.Fatalf("WaitAny = %d, want 1", idx)
+	}
+	if idx := p1.WaitAny([]*Request{nil, nil}); idx != -1 {
+		t.Fatalf("WaitAny(nil,nil) = %d, want -1", idx)
+	}
+	p1.Cancel(r1)
+}
+
+func TestConcurrentTraffic(t *testing.T) {
+	devs := transport.NewShmJob(4, 0)
+	procs := make([]*Proc, 4)
+	for i, d := range devs {
+		procs[i] = NewProc(d, Config{EagerLimit: 128})
+	}
+	defer func() {
+		for _, p := range procs {
+			p.Close()
+		}
+	}()
+	const msgs = 100
+	var wg sync.WaitGroup
+	for me := range procs {
+		wg.Add(1)
+		go func(me int) {
+			defer wg.Done()
+			p := procs[me]
+			var reqs []*Request
+			for k := 0; k < msgs; k++ {
+				for dst := range procs {
+					if dst == me {
+						continue
+					}
+					size := 1 + (k*37)%300 // straddles the eager limit
+					payload := bytes.Repeat([]byte{byte(me)}, size)
+					sreq, err := p.Isend(0, me, dst, k, payload, ModeStandard)
+					if err != nil {
+						t.Errorf("isend: %v", err)
+						return
+					}
+					reqs = append(reqs, sreq)
+				}
+			}
+			for k := 0; k < msgs; k++ {
+				for src := range procs {
+					if src == me {
+						continue
+					}
+					rreq := p.Irecv(0, int32(src), int32(k))
+					reqs = append(reqs, rreq)
+				}
+			}
+			for _, r := range reqs {
+				r.Wait()
+			}
+		}(me)
+	}
+	wg.Wait()
+}
+
+func TestContextAllocation(t *testing.T) {
+	p0, _ := newPair(t, Config{})
+	base := p0.AllocContexts()
+	if base < 2 {
+		t.Fatalf("initial context base %d reserved for world", base)
+	}
+	p0.CommitContexts(base)
+	if next := p0.AllocContexts(); next != base+2 {
+		t.Fatalf("after commit: %d, want %d", next, base+2)
+	}
+	// Commit of an older base must not move the counter backwards.
+	p0.CommitContexts(base - 2)
+	if next := p0.AllocContexts(); next != base+2 {
+		t.Fatalf("backwards commit moved counter to %d", next)
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	devs := transport.NewShmJob(2, 0)
+	p := NewProc(devs[0], Config{})
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	devs[1].Close()
+}
+
+func TestStatsProtocolSelection(t *testing.T) {
+	p0, p1 := newPair(t, Config{EagerLimit: 64})
+	// Small standard: eager. Large standard: rendezvous. Small sync.
+	small := make([]byte, 16)
+	large := make([]byte, 1000)
+	r1 := p1.Irecv(0, 0, 1) // posted before arrival
+	sreq, err := p0.Isend(0, 0, 1, 1, small, ModeStandard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1.Wait()
+	sreq.Wait()
+	if sreq, err = p0.Isend(0, 0, 1, 2, large, ModeStandard); err != nil {
+		t.Fatal(err)
+	}
+	r2 := p1.Irecv(0, 0, 2)
+	r2.Wait()
+	sreq.Wait()
+	if sreq, err = p0.Isend(0, 0, 1, 3, small, ModeSync); err != nil {
+		t.Fatal(err)
+	}
+	r3 := p1.Irecv(0, 0, 3) // arrives unexpected first? ordering: sync sent before post
+	r3.Wait()
+	sreq.Wait()
+
+	s0 := p0.StatsSnapshot()
+	if s0.SendsEager != 1 || s0.SendsRndv != 1 || s0.SendsSync != 1 {
+		t.Fatalf("sender stats: %+v", s0)
+	}
+	if s0.BytesSent != 16+1000+16 {
+		t.Fatalf("bytes sent: %d", s0.BytesSent)
+	}
+	s1 := p1.StatsSnapshot()
+	if s1.RecvsMatched+s1.RecvsUnexpected != 3 {
+		t.Fatalf("receiver stats: %+v", s1)
+	}
+	if s1.RecvsMatched < 1 {
+		t.Fatalf("posted-first receive not counted as matched: %+v", s1)
+	}
+	if s1.BytesRecv != 16+1000+16 {
+		t.Fatalf("bytes recv: %d", s1.BytesRecv)
+	}
+}
+
+func TestStatsCancelled(t *testing.T) {
+	_, p1 := newPair(t, Config{})
+	r := p1.Irecv(0, 0, 50)
+	p1.Cancel(r)
+	if got := p1.StatsSnapshot().Cancelled; got != 1 {
+		t.Fatalf("cancelled count %d", got)
+	}
+}

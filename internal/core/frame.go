@@ -1,0 +1,167 @@
+// Package core implements the message-passing progress engine under the
+// public mpi binding: envelope matching with wildcards, the eager and
+// rendezvous (RTS/CTS/DATA) wire protocols, send modes, unexpected-message
+// queuing, probe, cancel, and request completion. It is the layer that a
+// native MPI (MPICH, WMPI) provides in the paper; here it is built from
+// scratch over the transport device abstraction.
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Frame kinds.
+const (
+	kEager     byte = iota // complete message, payload inline
+	kEagerSync             // eager message requiring a matched ack (Ssend)
+	kRts                   // rendezvous request-to-send, payload held at sender
+	kCts                   // clear-to-send, receiver matched an RTS
+	kData                  // rendezvous payload
+	kAck                   // matched-ack for kEagerSync
+)
+
+// Wildcards used in receive matching. The public binding maps its own
+// constants onto these.
+const (
+	AnySource int32 = -111
+	AnyTag    int32 = -112
+)
+
+// envelope is the matching triple carried by every message-bearing frame,
+// plus the sender's world rank for reply routing.
+type envelope struct {
+	srcWorld int32
+	ctx      int32
+	srcGroup int32 // sender's rank within the communicator's group
+	tag      int32
+}
+
+// frame header layout after the kind byte:
+//
+//	kEager/kEagerSync: env(16) id(8) payload...
+//	kRts:              env(16) id(8) size(4)
+//	kCts:              srcWorld(4) id(8) recvID(8)
+//	kData:             srcWorld(4) recvID(8) payload...
+//	kAck:              srcWorld(4) id(8)
+const envLen = 16
+
+func putEnv(b []byte, e envelope) {
+	binary.LittleEndian.PutUint32(b[0:], uint32(e.srcWorld))
+	binary.LittleEndian.PutUint32(b[4:], uint32(e.ctx))
+	binary.LittleEndian.PutUint32(b[8:], uint32(e.srcGroup))
+	binary.LittleEndian.PutUint32(b[12:], uint32(e.tag))
+}
+
+func getEnv(b []byte) envelope {
+	return envelope{
+		srcWorld: int32(binary.LittleEndian.Uint32(b[0:])),
+		ctx:      int32(binary.LittleEndian.Uint32(b[4:])),
+		srcGroup: int32(binary.LittleEndian.Uint32(b[8:])),
+		tag:      int32(binary.LittleEndian.Uint32(b[12:])),
+	}
+}
+
+func buildEager(sync bool, e envelope, id uint64, payload []byte) []byte {
+	f := make([]byte, 1+envLen+8+len(payload))
+	f[0] = kEager
+	if sync {
+		f[0] = kEagerSync
+	}
+	putEnv(f[1:], e)
+	binary.LittleEndian.PutUint64(f[1+envLen:], id)
+	copy(f[1+envLen+8:], payload)
+	return f
+}
+
+func buildRts(e envelope, id uint64, size int) []byte {
+	f := make([]byte, 1+envLen+8+4)
+	f[0] = kRts
+	putEnv(f[1:], e)
+	binary.LittleEndian.PutUint64(f[1+envLen:], id)
+	binary.LittleEndian.PutUint32(f[1+envLen+8:], uint32(size))
+	return f
+}
+
+func buildCts(srcWorld int32, id, recvID uint64) []byte {
+	f := make([]byte, 1+4+8+8)
+	f[0] = kCts
+	binary.LittleEndian.PutUint32(f[1:], uint32(srcWorld))
+	binary.LittleEndian.PutUint64(f[5:], id)
+	binary.LittleEndian.PutUint64(f[13:], recvID)
+	return f
+}
+
+func buildData(srcWorld int32, recvID uint64, payload []byte) []byte {
+	f := make([]byte, 1+4+8+len(payload))
+	f[0] = kData
+	binary.LittleEndian.PutUint32(f[1:], uint32(srcWorld))
+	binary.LittleEndian.PutUint64(f[5:], recvID)
+	copy(f[13:], payload)
+	return f
+}
+
+func buildAck(srcWorld int32, id uint64) []byte {
+	f := make([]byte, 1+4+8)
+	f[0] = kAck
+	binary.LittleEndian.PutUint32(f[1:], uint32(srcWorld))
+	binary.LittleEndian.PutUint64(f[5:], id)
+	return f
+}
+
+// parsed is a decoded incoming frame.
+type parsed struct {
+	kind    byte
+	env     envelope
+	id      uint64
+	recvID  uint64
+	size    int
+	payload []byte
+}
+
+func parseFrame(f []byte) (parsed, error) {
+	if len(f) < 1 {
+		return parsed{}, fmt.Errorf("core: empty frame")
+	}
+	p := parsed{kind: f[0]}
+	body := f[1:]
+	switch p.kind {
+	case kEager, kEagerSync:
+		if len(body) < envLen+8 {
+			return p, fmt.Errorf("core: short eager frame (%d bytes)", len(f))
+		}
+		p.env = getEnv(body)
+		p.id = binary.LittleEndian.Uint64(body[envLen:])
+		p.payload = body[envLen+8:]
+	case kRts:
+		if len(body) < envLen+12 {
+			return p, fmt.Errorf("core: short rts frame (%d bytes)", len(f))
+		}
+		p.env = getEnv(body)
+		p.id = binary.LittleEndian.Uint64(body[envLen:])
+		p.size = int(binary.LittleEndian.Uint32(body[envLen+8:]))
+	case kCts:
+		if len(body) < 20 {
+			return p, fmt.Errorf("core: short cts frame (%d bytes)", len(f))
+		}
+		p.env.srcWorld = int32(binary.LittleEndian.Uint32(body))
+		p.id = binary.LittleEndian.Uint64(body[4:])
+		p.recvID = binary.LittleEndian.Uint64(body[12:])
+	case kData:
+		if len(body) < 12 {
+			return p, fmt.Errorf("core: short data frame (%d bytes)", len(f))
+		}
+		p.env.srcWorld = int32(binary.LittleEndian.Uint32(body))
+		p.recvID = binary.LittleEndian.Uint64(body[4:])
+		p.payload = body[12:]
+	case kAck:
+		if len(body) < 12 {
+			return p, fmt.Errorf("core: short ack frame (%d bytes)", len(f))
+		}
+		p.env.srcWorld = int32(binary.LittleEndian.Uint32(body))
+		p.id = binary.LittleEndian.Uint64(body[4:])
+	default:
+		return p, fmt.Errorf("core: unknown frame kind %d", p.kind)
+	}
+	return p, nil
+}

@@ -1,0 +1,112 @@
+package core
+
+// Mode selects the MPI send mode semantics for a core send operation.
+type Mode uint8
+
+// Send modes. Buffered sends are realized in the binding layer (which
+// owns the attached buffer) on top of ModeStandard.
+const (
+	// ModeStandard completes when the message payload is safely
+	// buffered or delivered (eager), or once the rendezvous data has
+	// been shipped (large messages).
+	ModeStandard Mode = iota
+	// ModeSync completes only after the receiver has matched the
+	// message (MPI_Ssend).
+	ModeSync
+	// ModeReady asserts a matching receive is already posted
+	// (MPI_Rsend). The engine transmits it as a standard send; posting
+	// without a matching receive is erroneous per the MPI standard.
+	ModeReady
+)
+
+// Status carries the completion information of a core operation.
+type Status struct {
+	// SourceGroup is the sender's rank within the communicator group
+	// the message was sent on.
+	SourceGroup int
+	// Tag is the message tag.
+	Tag int
+	// Bytes is the payload length in wire bytes.
+	Bytes int
+	// Cancelled reports whether the operation completed by
+	// cancellation.
+	Cancelled bool
+}
+
+type reqKind uint8
+
+const (
+	reqSend reqKind = iota
+	reqRecv
+)
+
+// Request is a pending point-to-point operation. Completion is published
+// by closing done; Stat and Payload are written before the close and may
+// be read freely after Wait/Test observe completion.
+type Request struct {
+	proc *Proc
+	kind reqKind
+	done chan struct{}
+
+	// Guarded by proc.mu until completion.
+	completed bool
+
+	// Completion results.
+	Stat    Status
+	Payload []byte // receive payload (wire bytes), nil for sends
+
+	// Receive matching parameters.
+	ctx, src, tag int32
+
+	// Send protocol state.
+	id       uint64
+	data     []byte // retained payload for rendezvous
+	dstWorld int32
+	ctxS     int32 // send-side context (for diagnostics)
+}
+
+func newRequest(p *Proc, k reqKind) *Request {
+	return &Request{proc: p, kind: k, done: make(chan struct{})}
+}
+
+// Done returns a channel closed when the request completes.
+func (r *Request) Done() <-chan struct{} { return r.done }
+
+// Wait blocks until the request completes and returns its status.
+func (r *Request) Wait() *Status {
+	<-r.done
+	return &r.Stat
+}
+
+// Test reports whether the request has completed, returning the status
+// if so.
+func (r *Request) Test() (*Status, bool) {
+	select {
+	case <-r.done:
+		return &r.Stat, true
+	default:
+		return nil, false
+	}
+}
+
+// IsRecv reports whether this is a receive request.
+func (r *Request) IsRecv() bool { return r.kind == reqRecv }
+
+// completeLocked finalizes a request. proc.mu must be held.
+func (p *Proc) completeLocked(r *Request, payload []byte, st Status) {
+	if r.completed {
+		return
+	}
+	r.Payload = payload
+	r.Stat = st
+	r.completed = true
+	close(r.done)
+	p.cond.Broadcast()
+}
+
+// complete finalizes a request, taking the engine lock.
+func (p *Proc) complete(r *Request, payload []byte, st Status) {
+	p.mu.Lock()
+	p.completeLocked(r, payload, st)
+	p.mu.Unlock()
+}

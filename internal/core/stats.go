@@ -1,0 +1,55 @@
+package core
+
+import "sync/atomic"
+
+// Stats are monotonic per-engine counters, exposed for diagnostics and
+// for tests that assert protocol selection (eager vs rendezvous) and
+// matching behaviour. All counters are updated with atomics and may be
+// read at any time.
+type Stats struct {
+	// SendsEager counts standard/ready-mode messages shipped eagerly.
+	SendsEager atomic.Uint64
+	// SendsSync counts synchronous-mode eager messages (ack-gated).
+	SendsSync atomic.Uint64
+	// SendsRndv counts messages that took the RTS/CTS/DATA path.
+	SendsRndv atomic.Uint64
+	// BytesSent totals payload bytes handed to the device.
+	BytesSent atomic.Uint64
+	// RecvsMatched counts receives satisfied from the posted queue
+	// (message arrived after the receive was posted).
+	RecvsMatched atomic.Uint64
+	// RecvsUnexpected counts receives satisfied from the unexpected
+	// queue (message arrived first).
+	RecvsUnexpected atomic.Uint64
+	// BytesRecv totals payload bytes delivered to receives.
+	BytesRecv atomic.Uint64
+	// Cancelled counts operations completed by cancellation.
+	Cancelled atomic.Uint64
+}
+
+// Snapshot is a plain-value copy of the counters.
+type Snapshot struct {
+	SendsEager, SendsSync, SendsRndv uint64
+	BytesSent                        uint64
+	RecvsMatched, RecvsUnexpected    uint64
+	BytesRecv                        uint64
+	Cancelled                        uint64
+}
+
+// Stats returns the engine's counter set.
+func (p *Proc) Stats() *Stats { return &p.stats }
+
+// StatsSnapshot copies the current counter values.
+func (p *Proc) StatsSnapshot() Snapshot {
+	s := &p.stats
+	return Snapshot{
+		SendsEager:      s.SendsEager.Load(),
+		SendsSync:       s.SendsSync.Load(),
+		SendsRndv:       s.SendsRndv.Load(),
+		BytesSent:       s.BytesSent.Load(),
+		RecvsMatched:    s.RecvsMatched.Load(),
+		RecvsUnexpected: s.RecvsUnexpected.Load(),
+		BytesRecv:       s.BytesRecv.Load(),
+		Cancelled:       s.Cancelled.Load(),
+	}
+}

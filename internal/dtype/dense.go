@@ -1,0 +1,76 @@
+package dtype
+
+import "fmt"
+
+// Dense-slice utilities used by the collective layer: reductions operate
+// on dense, typed element slices extracted from user buffers.
+
+// CloneDense returns a copy of a dense slice.
+func CloneDense(d any) any {
+	switch s := d.(type) {
+	case []byte:
+		return append([]byte(nil), s...)
+	case []bool:
+		return append([]bool(nil), s...)
+	case []int16:
+		return append([]int16(nil), s...)
+	case []int32:
+		return append([]int32(nil), s...)
+	case []int64:
+		return append([]int64(nil), s...)
+	case []float32:
+		return append([]float32(nil), s...)
+	case []float64:
+		return append([]float64(nil), s...)
+	case []any:
+		return append([]any(nil), s...)
+	}
+	panic(fmt.Sprintf("dtype: CloneDense on %T", d))
+}
+
+// SliceDense returns the subslice d[lo:hi] sharing storage with d.
+func SliceDense(d any, lo, hi int) any {
+	switch s := d.(type) {
+	case []byte:
+		return s[lo:hi]
+	case []bool:
+		return s[lo:hi]
+	case []int16:
+		return s[lo:hi]
+	case []int32:
+		return s[lo:hi]
+	case []int64:
+		return s[lo:hi]
+	case []float32:
+		return s[lo:hi]
+	case []float64:
+		return s[lo:hi]
+	case []any:
+		return s[lo:hi]
+	}
+	panic(fmt.Sprintf("dtype: SliceDense on %T", d))
+}
+
+// CopyDense copies src into dst (same class) and returns the number of
+// elements copied.
+func CopyDense(dst, src any) int {
+	switch d := dst.(type) {
+	case []byte:
+		return copy(d, src.([]byte))
+	case []bool:
+		return copy(d, src.([]bool))
+	case []int16:
+		return copy(d, src.([]int16))
+	case []int32:
+		return copy(d, src.([]int32))
+	case []int64:
+		return copy(d, src.([]int64))
+	case []float32:
+		return copy(d, src.([]float32))
+	case []float64:
+		return copy(d, src.([]float64))
+	case []any:
+		return copy(d, src.([]any))
+	}
+	panic(fmt.Sprintf("dtype: CopyDense on %T", dst))
+}

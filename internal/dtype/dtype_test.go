@@ -1,0 +1,174 @@
+package dtype
+
+import (
+	"testing"
+)
+
+func TestClassWireSize(t *testing.T) {
+	cases := map[Class]int{
+		U8: 1, Bool: 1, I16: 2, I32: 4, I64: 8, F32: 4, F64: 8, Obj: 0,
+	}
+	for c, want := range cases {
+		if got := c.WireSize(); got != want {
+			t.Errorf("%s.WireSize() = %d, want %d", c, got, want)
+		}
+	}
+}
+
+func TestBasicType(t *testing.T) {
+	b := Basic(I32, "INT")
+	if b.Size() != 1 || b.Extent() != 1 || b.Lb() != 0 || b.Ub() != 1 {
+		t.Fatalf("basic type geometry wrong: %v", b)
+	}
+	if !b.Committed() {
+		t.Fatal("basic types must be committed")
+	}
+}
+
+func TestContiguous(t *testing.T) {
+	c, err := Contiguous(5, Basic(F64, "DOUBLE"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() != 5 || c.Extent() != 5 {
+		t.Fatalf("contiguous(5): size=%d extent=%d", c.Size(), c.Extent())
+	}
+	if len(c.runs) != 1 || c.runs[0].n != 5 {
+		t.Fatalf("contiguous should collapse to one run, got %v", c.runs)
+	}
+	if _, err := Contiguous(-1, Basic(F64, "D")); err == nil {
+		t.Fatal("negative count must error")
+	}
+	empty, err := Contiguous(0, Basic(F64, "D"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Size() != 0 || empty.Extent() != 0 {
+		t.Fatalf("empty contiguous: size=%d extent=%d", empty.Size(), empty.Extent())
+	}
+}
+
+func TestVectorGeometry(t *testing.T) {
+	v, err := Vector(3, 2, 4, Basic(I32, "INT"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Size() != 6 {
+		t.Errorf("size = %d, want 6", v.Size())
+	}
+	// Blocks at 0,4,8, two elements each -> ub = 10.
+	if v.Extent() != 10 {
+		t.Errorf("extent = %d, want 10", v.Extent())
+	}
+	wantDisps := []int{0, 1, 4, 5, 8, 9}
+	for i, d := range v.disps {
+		if d != wantDisps[i] {
+			t.Fatalf("disps = %v, want %v", v.disps, wantDisps)
+		}
+	}
+}
+
+func TestVectorOverNonUnitExtent(t *testing.T) {
+	inner, err := Vector(2, 1, 3, Basic(I32, "INT")) // disps {0,3}, extent 4
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer, err := Vector(2, 1, 2, inner) // stride 2 * extent 4 = 8 elements
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 3, 8, 11}
+	if len(outer.disps) != len(want) {
+		t.Fatalf("disps = %v, want %v", outer.disps, want)
+	}
+	for i := range want {
+		if outer.disps[i] != want[i] {
+			t.Fatalf("disps = %v, want %v", outer.disps, want)
+		}
+	}
+}
+
+func TestHvectorStrideInElements(t *testing.T) {
+	h, err := Hvector(2, 2, 5, Basic(I16, "SHORT"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 5, 6}
+	for i := range want {
+		if h.disps[i] != want[i] {
+			t.Fatalf("disps = %v, want %v", h.disps, want)
+		}
+	}
+}
+
+func TestIndexed(t *testing.T) {
+	ix, err := Indexed([]int{2, 1}, []int{0, 5}, Basic(U8, "BYTE"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 5}
+	for i := range want {
+		if ix.disps[i] != want[i] {
+			t.Fatalf("disps = %v, want %v", ix.disps, want)
+		}
+	}
+	if _, err := Indexed([]int{1}, []int{0, 1}, Basic(U8, "B")); err == nil {
+		t.Fatal("mismatched lengths must error")
+	}
+	if _, err := Indexed([]int{-2}, []int{0}, Basic(U8, "B")); err == nil {
+		t.Fatal("negative blocklen must error")
+	}
+}
+
+func TestStructSameBaseRestriction(t *testing.T) {
+	i32 := Basic(I32, "INT")
+	f64 := Basic(F64, "DOUBLE")
+	if _, err := Struct([]int{1, 1}, []int{0, 1}, []*Type{i32, f64}); err != ErrStructBase {
+		t.Fatalf("mixed-base struct: got %v, want ErrStructBase", err)
+	}
+	s, err := Struct([]int{2, 1}, []int{0, 3}, []*Type{i32, i32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() != 3 || s.Extent() != 4 {
+		t.Fatalf("struct geometry: size=%d extent=%d", s.Size(), s.Extent())
+	}
+}
+
+func TestStructMarkers(t *testing.T) {
+	i32 := Basic(I32, "INT")
+	lb := Marker(true, "LB")
+	ub := Marker(false, "UB")
+	s, err := Struct([]int{1, 1, 1}, []int{-2, 0, 7}, []*Type{lb, i32, ub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Lb() != -2 || s.Ub() != 7 || s.Extent() != 9 {
+		t.Fatalf("marker bounds: lb=%d ub=%d extent=%d", s.Lb(), s.Ub(), s.Extent())
+	}
+	if s.Size() != 1 {
+		t.Fatalf("markers must not contribute elements: size=%d", s.Size())
+	}
+}
+
+func TestCommitRequired(t *testing.T) {
+	v, err := Vector(2, 1, 2, Basic(I32, "INT"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]int32, 10)
+	if _, err := Pack(nil, buf, 0, 1, v); err != ErrUncommitted {
+		t.Fatalf("uncommitted pack: got %v", err)
+	}
+	v.Commit()
+	if _, err := Pack(nil, buf, 0, 1, v); err != nil {
+		t.Fatalf("committed pack: %v", err)
+	}
+}
+
+func TestPairTypes(t *testing.T) {
+	p := Pair(F32, "FLOAT2")
+	if !p.IsPair() || p.Size() != 2 || p.Extent() != 2 {
+		t.Fatalf("pair geometry: %v", p)
+	}
+}

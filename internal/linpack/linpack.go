@@ -1,0 +1,204 @@
+// Package linpack reproduces the paper's §4.6 compute-side argument: a
+// 200 MHz PentiumPro ran Fortran LINPACK at ≈62 Mflop/s but Java LINPACK
+// at ≈22 Mflop/s, and that JVM penalty — not the extra software layers —
+// accounts for most of mpiJava's overhead. The package provides the
+// LINPACK kernel (dgefa/dgesl, partial pivoting) in two variants:
+//
+//   - Native: flat storage, hoisted row slices, daxpy-style inner loops
+//     — what an optimising Fortran/C compiler produced.
+//   - Interpreted: jagged 2-D arrays, per-element accessor calls and
+//     redundant index arithmetic — the code shape a 1998 JVM executed.
+//
+// The benchmark harness reports both in Mflop/s; the ratio, not the
+// absolute numbers, is the reproduction target.
+package linpack
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Matrix is a dense column-major n×n matrix with leading dimension n.
+type Matrix struct {
+	N int
+	A []float64 // A[i + j*N] = element (i,j)
+}
+
+// NewMatrix builds the standard LINPACK random-like test matrix using a
+// deterministic linear congruential generator, plus the right-hand side
+// b = A·ones.
+func NewMatrix(n int) (*Matrix, []float64) {
+	m := &Matrix{N: n, A: make([]float64, n*n)}
+	seed := int64(1325)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			seed = (3125 * seed) % 65536
+			m.A[i+j*n] = (float64(seed) - 32768.0) / 16384.0
+		}
+	}
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := 0.0
+		for j := 0; j < n; j++ {
+			s += m.A[i+j*n]
+		}
+		b[i] = s
+	}
+	return m, b
+}
+
+// Dgefa factors the matrix in place by gaussian elimination with partial
+// pivoting, returning the pivot vector. It is the optimised ("native")
+// variant.
+func Dgefa(m *Matrix) ([]int, error) {
+	n := m.N
+	a := m.A
+	ipvt := make([]int, n)
+	for k := 0; k < n-1; k++ {
+		col := a[k*n : (k+1)*n]
+		// Find pivot.
+		l := k
+		maxv := math.Abs(col[k])
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(col[i]); v > maxv {
+				maxv, l = v, i
+			}
+		}
+		ipvt[k] = l
+		if col[l] == 0 {
+			return ipvt, fmt.Errorf("linpack: singular at column %d", k)
+		}
+		if l != k {
+			col[l], col[k] = col[k], col[l]
+		}
+		// Scale below-diagonal entries.
+		t := -1.0 / col[k]
+		for i := k + 1; i < n; i++ {
+			col[i] *= t
+		}
+		// Daxpy updates of the trailing columns.
+		for j := k + 1; j < n; j++ {
+			cj := a[j*n : (j+1)*n]
+			t := cj[l]
+			if l != k {
+				cj[l], cj[k] = cj[k], cj[l]
+			}
+			if t == 0 {
+				continue
+			}
+			for i := k + 1; i < n; i++ {
+				cj[i] += t * col[i]
+			}
+		}
+	}
+	ipvt[n-1] = n - 1
+	if a[(n-1)+(n-1)*n] == 0 {
+		return ipvt, fmt.Errorf("linpack: singular at last column")
+	}
+	return ipvt, nil
+}
+
+// Dgesl solves A·x = b using the Dgefa factorisation; b is overwritten
+// with the solution.
+func Dgesl(m *Matrix, ipvt []int, b []float64) {
+	n := m.N
+	a := m.A
+	// Forward elimination.
+	for k := 0; k < n-1; k++ {
+		l := ipvt[k]
+		t := b[l]
+		if l != k {
+			b[l], b[k] = b[k], b[l]
+		}
+		col := a[k*n : (k+1)*n]
+		for i := k + 1; i < n; i++ {
+			b[i] += t * col[i]
+		}
+	}
+	// Back substitution.
+	for k := n - 1; k >= 0; k-- {
+		b[k] /= a[k+k*n]
+		t := -b[k]
+		col := a[k*n : (k+1)*n]
+		for i := 0; i < k; i++ {
+			b[i] += t * col[i]
+		}
+	}
+}
+
+// Residual computes the max-norm residual ‖A·x − b‖ of a solution
+// against a fresh copy of the system, normalised LINPACK-style.
+func Residual(n int, x []float64) float64 {
+	m, b := NewMatrix(n)
+	worst := 0.0
+	for i := 0; i < n; i++ {
+		s := -b[i]
+		for j := 0; j < n; j++ {
+			s += m.A[i+j*n] * x[j]
+		}
+		if v := math.Abs(s); v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// Flops returns the nominal LINPACK operation count for order n.
+func Flops(n int) float64 {
+	nf := float64(n)
+	return 2.0/3.0*nf*nf*nf + 2.0*nf*nf
+}
+
+// Result is one benchmark measurement.
+type Result struct {
+	Variant  string
+	N        int
+	Seconds  float64
+	Mflops   float64
+	Residual float64
+}
+
+// RunNative factors and solves once with the optimised kernel and
+// reports Mflop/s.
+func RunNative(n int) (Result, error) {
+	m, b := NewMatrix(n)
+	start := time.Now()
+	ipvt, err := Dgefa(m)
+	if err != nil {
+		return Result{}, err
+	}
+	Dgesl(m, ipvt, b)
+	sec := time.Since(start).Seconds()
+	return Result{
+		Variant:  "native",
+		N:        n,
+		Seconds:  sec,
+		Mflops:   Flops(n) / sec / 1e6,
+		Residual: Residual(n, b),
+	}, nil
+}
+
+// RunInterpreted factors and solves once with the interpreted-style
+// kernel and reports Mflop/s.
+func RunInterpreted(n int) (Result, error) {
+	m, b := newJagged(n)
+	start := time.Now()
+	ipvt, err := dgefaInterp(m, n)
+	if err != nil {
+		return Result{}, err
+	}
+	dgeslInterp(m, n, ipvt, b)
+	sec := time.Since(start).Seconds()
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = b.get(i)
+	}
+	return Result{
+		Variant:  "interpreted",
+		N:        n,
+		Seconds:  sec,
+		Mflops:   Flops(n) / sec / 1e6,
+		Residual: Residual(n, x),
+	}, nil
+}

@@ -1,0 +1,63 @@
+package linpack
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSolveSmallSystem(t *testing.T) {
+	for _, n := range []int{5, 50, 100} {
+		m, b := NewMatrix(n)
+		ipvt, err := Dgefa(m)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		Dgesl(m, ipvt, b)
+		// b = A·ones, so x must be all ones.
+		for i, x := range b {
+			if math.Abs(x-1) > 1e-8 {
+				t.Fatalf("n=%d: x[%d] = %v", n, i, x)
+			}
+		}
+		if r := Residual(n, b); r > 1e-8 {
+			t.Fatalf("n=%d: residual %v", n, r)
+		}
+	}
+}
+
+func TestInterpretedMatchesNative(t *testing.T) {
+	const n = 60
+	nat, err := RunNative(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	interp, err := RunInterpreted(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nat.Residual > 1e-8 || interp.Residual > 1e-8 {
+		t.Fatalf("residuals: native %v, interpreted %v", nat.Residual, interp.Residual)
+	}
+	if nat.Mflops <= 0 || interp.Mflops <= 0 {
+		t.Fatalf("non-positive rates: %v %v", nat.Mflops, interp.Mflops)
+	}
+}
+
+func TestDeterministicMatrix(t *testing.T) {
+	a, _ := NewMatrix(10)
+	b, _ := NewMatrix(10)
+	for i := range a.A {
+		if a.A[i] != b.A[i] {
+			t.Fatal("matrix generation not deterministic")
+		}
+	}
+	if a.A[0] < -2 || a.A[0] > 2 {
+		t.Fatalf("element scale: %v", a.A[0])
+	}
+}
+
+func TestFlops(t *testing.T) {
+	if Flops(100) != 2.0/3.0*1e6+2e4 {
+		t.Fatalf("Flops(100) = %v", Flops(100))
+	}
+}

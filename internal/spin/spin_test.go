@@ -1,0 +1,35 @@
+package spin
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWaitAccuracy(t *testing.T) {
+	for _, d := range []time.Duration{
+		0,
+		20 * time.Microsecond,
+		200 * time.Microsecond,
+		2 * time.Millisecond,
+	} {
+		start := time.Now()
+		Wait(d)
+		got := time.Since(start)
+		if got < d {
+			t.Errorf("Wait(%v) returned after %v (early)", d, got)
+		}
+		// Generous overshoot bound: scheduler noise happens, but the
+		// hybrid strategy must stay in the right ballpark.
+		if d > 0 && got > d+5*time.Millisecond {
+			t.Errorf("Wait(%v) took %v (gross overshoot)", d, got)
+		}
+	}
+}
+
+func TestWaitNegative(t *testing.T) {
+	start := time.Now()
+	Wait(-time.Second)
+	if time.Since(start) > time.Millisecond {
+		t.Error("negative Wait must return immediately")
+	}
+}

@@ -1,0 +1,378 @@
+package testsuite
+
+import (
+	"gompi/mpi"
+)
+
+// The collective-operation programs (13).
+
+func init() {
+	register(Program{Name: "barrier", Category: CatCollective, NP: 4, Run: progBarrier})
+	register(Program{Name: "bcast", Category: CatCollective, NP: 4, Run: progBcast})
+	register(Program{Name: "gather", Category: CatCollective, NP: 4, Run: progGather})
+	register(Program{Name: "gatherv", Category: CatCollective, NP: 4, Run: progGatherv})
+	register(Program{Name: "scatter", Category: CatCollective, NP: 4, Run: progScatter})
+	register(Program{Name: "scatterv", Category: CatCollective, NP: 4, Run: progScatterv})
+	register(Program{Name: "allgather", Category: CatCollective, NP: 4, Run: progAllgather})
+	register(Program{Name: "allgatherv", Category: CatCollective, NP: 4, Run: progAllgatherv})
+	register(Program{Name: "alltoall", Category: CatCollective, NP: 4, Run: progAlltoall})
+	register(Program{Name: "alltoallv", Category: CatCollective, NP: 4, Run: progAlltoallv})
+	register(Program{Name: "reduce", Category: CatCollective, NP: 5, Run: progReduce})
+	register(Program{Name: "allreduce", Category: CatCollective, NP: 5, Run: progAllreduce})
+	register(Program{Name: "scan", Category: CatCollective, NP: 4, Run: progScan})
+}
+
+// progBarrier: no rank may leave barrier k before every rank entered it;
+// verified with a flag message that must not overtake the barrier.
+func progBarrier(env *mpi.Env) error {
+	w := env.CommWorld()
+	rank := w.Rank()
+	for round := 0; round < 3; round++ {
+		if err := w.Barrier(); err != nil {
+			return err
+		}
+		// After each barrier, a quick neighbour handshake must find
+		// both sides in the same round.
+		out := []int32{int32(round)}
+		in := []int32{-1}
+		peer := rank ^ 1
+		if peer < w.Size() {
+			if _, err := w.Sendrecv(out, 0, 1, mpi.INT, peer, 90+round,
+				in, 0, 1, mpi.INT, peer, 90+round); err != nil {
+				return err
+			}
+			if err := expectEq("barrier round", in[0], int32(round)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// progBcast: broadcast from every root in turn, several datatypes.
+func progBcast(env *mpi.Env) error {
+	w := env.CommWorld()
+	for root := 0; root < w.Size(); root++ {
+		ints := make([]int32, 8)
+		if w.Rank() == root {
+			for i := range ints {
+				ints[i] = int32(root*100 + i)
+			}
+		}
+		if err := w.Bcast(ints, 0, 8, mpi.INT, root); err != nil {
+			return err
+		}
+		for i, v := range ints {
+			if err := expectEq("bcast int", v, int32(root*100+i)); err != nil {
+				return err
+			}
+		}
+		dbl := []float64{0}
+		if w.Rank() == root {
+			dbl[0] = float64(root) + 0.5
+		}
+		if err := w.Bcast(dbl, 0, 1, mpi.DOUBLE, root); err != nil {
+			return err
+		}
+		if err := expectEq("bcast double", dbl[0], float64(root)+0.5); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// progGather: root collects rank-stamped blocks in rank order.
+func progGather(env *mpi.Env) error {
+	w := env.CommWorld()
+	rank, size := w.Rank(), w.Size()
+	const blk = 3
+	send := make([]int32, blk)
+	for i := range send {
+		send[i] = int32(rank*10 + i)
+	}
+	for root := 0; root < size; root++ {
+		recv := make([]int32, blk*size)
+		if err := w.Gather(send, 0, blk, mpi.INT, recv, 0, blk, mpi.INT, root); err != nil {
+			return err
+		}
+		if rank == root {
+			want := make([]int32, 0, blk*size)
+			for r := 0; r < size; r++ {
+				for i := 0; i < blk; i++ {
+					want = append(want, int32(r*10+i))
+				}
+			}
+			if err := expectInts("gather result", recv, want); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// progGatherv: rank r contributes r+1 elements at displacement r*(r+1)/2.
+func progGatherv(env *mpi.Env) error {
+	w := env.CommWorld()
+	rank, size := w.Rank(), w.Size()
+	scount := rank + 1
+	send := make([]int32, scount)
+	for i := range send {
+		send[i] = int32(rank)
+	}
+	counts := make([]int, size)
+	displs := make([]int, size)
+	total := 0
+	for r := 0; r < size; r++ {
+		counts[r] = r + 1
+		displs[r] = total
+		total += r + 1
+	}
+	recv := make([]int32, total)
+	if err := w.Gatherv(send, 0, scount, mpi.INT, recv, 0, counts, displs, mpi.INT, 0); err != nil {
+		return err
+	}
+	if rank == 0 {
+		var want []int32
+		for r := 0; r < size; r++ {
+			for i := 0; i < r+1; i++ {
+				want = append(want, int32(r))
+			}
+		}
+		return expectInts("gatherv result", recv, want)
+	}
+	return nil
+}
+
+// progScatter: root distributes rank-stamped blocks.
+func progScatter(env *mpi.Env) error {
+	w := env.CommWorld()
+	rank, size := w.Rank(), w.Size()
+	const blk = 2
+	var send []int64
+	if rank == 1 {
+		send = make([]int64, blk*size)
+		for r := 0; r < size; r++ {
+			for i := 0; i < blk; i++ {
+				send[r*blk+i] = int64(r*1000 + i)
+			}
+		}
+	}
+	recv := make([]int64, blk)
+	if err := w.Scatter(send, 0, blk, mpi.LONG, recv, 0, blk, mpi.LONG, 1); err != nil {
+		return err
+	}
+	for i := 0; i < blk; i++ {
+		if err := expectEq("scatter block", recv[i], int64(rank*1000+i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// progScatterv: variable-size blocks with gaps in the send layout.
+func progScatterv(env *mpi.Env) error {
+	w := env.CommWorld()
+	rank, size := w.Rank(), w.Size()
+	counts := make([]int, size)
+	displs := make([]int, size)
+	pos := 0
+	for r := 0; r < size; r++ {
+		counts[r] = r + 1
+		displs[r] = pos + 1 // leave a one-element hole before each block
+		pos += r + 2
+	}
+	var send []int32
+	if rank == 0 {
+		send = make([]int32, pos)
+		for r := 0; r < size; r++ {
+			for i := 0; i < counts[r]; i++ {
+				send[displs[r]+i] = int32(r*10 + i)
+			}
+		}
+	}
+	recv := make([]int32, counts[rank])
+	if err := w.Scatterv(send, 0, counts, displs, mpi.INT, recv, 0, counts[rank], mpi.INT, 0); err != nil {
+		return err
+	}
+	for i := range recv {
+		if err := expectEq("scatterv block", recv[i], int32(rank*10+i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// progAllgather: every rank assembles the full rank vector.
+func progAllgather(env *mpi.Env) error {
+	w := env.CommWorld()
+	rank, size := w.Rank(), w.Size()
+	send := []int32{int32(rank * 7)}
+	recv := make([]int32, size)
+	if err := w.Allgather(send, 0, 1, mpi.INT, recv, 0, 1, mpi.INT); err != nil {
+		return err
+	}
+	for r := 0; r < size; r++ {
+		if err := expectEq("allgather slot", recv[r], int32(r*7)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// progAllgatherv: triangle layout at every rank.
+func progAllgatherv(env *mpi.Env) error {
+	w := env.CommWorld()
+	rank, size := w.Rank(), w.Size()
+	scount := rank + 1
+	send := make([]int32, scount)
+	for i := range send {
+		send[i] = int32(rank)
+	}
+	counts := make([]int, size)
+	displs := make([]int, size)
+	total := 0
+	for r := 0; r < size; r++ {
+		counts[r] = r + 1
+		displs[r] = total
+		total += r + 1
+	}
+	recv := make([]int32, total)
+	if err := w.Allgatherv(send, 0, scount, mpi.INT, recv, 0, counts, displs, mpi.INT); err != nil {
+		return err
+	}
+	var want []int32
+	for r := 0; r < size; r++ {
+		for i := 0; i < r+1; i++ {
+			want = append(want, int32(r))
+		}
+	}
+	return expectInts("allgatherv result", recv, want)
+}
+
+// progAlltoall: full pairwise exchange, send[j] stamped (rank, j).
+func progAlltoall(env *mpi.Env) error {
+	w := env.CommWorld()
+	rank, size := w.Rank(), w.Size()
+	send := make([]int32, size)
+	for j := range send {
+		send[j] = int32(rank*100 + j)
+	}
+	recv := make([]int32, size)
+	if err := w.Alltoall(send, 0, 1, mpi.INT, recv, 0, 1, mpi.INT); err != nil {
+		return err
+	}
+	for j := 0; j < size; j++ {
+		if err := expectEq("alltoall slot", recv[j], int32(j*100+rank)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// progAlltoallv: rank r sends j+1 elements to rank j.
+func progAlltoallv(env *mpi.Env) error {
+	w := env.CommWorld()
+	rank, size := w.Rank(), w.Size()
+	scounts := make([]int, size)
+	sdispls := make([]int, size)
+	stotal := 0
+	for j := 0; j < size; j++ {
+		scounts[j] = j + 1
+		sdispls[j] = stotal
+		stotal += j + 1
+	}
+	send := make([]int32, stotal)
+	for j := 0; j < size; j++ {
+		for i := 0; i < scounts[j]; i++ {
+			send[sdispls[j]+i] = int32(rank*100 + j)
+		}
+	}
+	rcounts := make([]int, size)
+	rdispls := make([]int, size)
+	rtotal := 0
+	for j := 0; j < size; j++ {
+		rcounts[j] = rank + 1
+		rdispls[j] = rtotal
+		rtotal += rank + 1
+	}
+	recv := make([]int32, rtotal)
+	if err := w.Alltoallv(send, 0, scounts, sdispls, mpi.INT,
+		recv, 0, rcounts, rdispls, mpi.INT); err != nil {
+		return err
+	}
+	for j := 0; j < size; j++ {
+		for i := 0; i < rank+1; i++ {
+			if err := expectEq("alltoallv slot", recv[rdispls[j]+i], int32(j*100+rank)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// progReduce: SUM, MAX and PROD to rotating roots.
+func progReduce(env *mpi.Env) error {
+	w := env.CommWorld()
+	rank, size := w.Rank(), w.Size()
+	for root := 0; root < size; root++ {
+		in := []int32{int32(rank + 1), int32(rank * rank)}
+		out := []int32{0, 0}
+		if err := w.Reduce(in, 0, out, 0, 2, mpi.INT, mpi.SUM, root); err != nil {
+			return err
+		}
+		if rank == root {
+			wantSum := int32(size * (size + 1) / 2)
+			var wantSq int32
+			for r := 0; r < size; r++ {
+				wantSq += int32(r * r)
+			}
+			if out[0] != wantSum || out[1] != wantSq {
+				return failf("reduce sum: got %v, want [%d %d]", out, wantSum, wantSq)
+			}
+		}
+		fin := []float64{float64(rank)}
+		fout := []float64{-1}
+		if err := w.Reduce(fin, 0, fout, 0, 1, mpi.DOUBLE, mpi.MAX, root); err != nil {
+			return err
+		}
+		if rank == root {
+			if err := expectEq("reduce max", fout[0], float64(size-1)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// progAllreduce: SUM and MIN visible at every rank, including a
+// non-power-of-two size (NP=5 exercises the folding phases).
+func progAllreduce(env *mpi.Env) error {
+	w := env.CommWorld()
+	rank, size := w.Rank(), w.Size()
+	in := []int64{int64(rank + 1)}
+	out := []int64{0}
+	if err := w.Allreduce(in, 0, out, 0, 1, mpi.LONG, mpi.SUM); err != nil {
+		return err
+	}
+	if err := expectEq("allreduce sum", out[0], int64(size*(size+1)/2)); err != nil {
+		return err
+	}
+	fin := []float32{float32(10 - rank)}
+	fout := []float32{0}
+	if err := w.Allreduce(fin, 0, fout, 0, 1, mpi.FLOAT, mpi.MIN); err != nil {
+		return err
+	}
+	return expectEq("allreduce min", fout[0], float32(10-(size-1)))
+}
+
+// progScan: inclusive prefix sums in rank order.
+func progScan(env *mpi.Env) error {
+	w := env.CommWorld()
+	rank := w.Rank()
+	in := []int32{int32(rank + 1)}
+	out := []int32{0}
+	if err := w.Scan(in, 0, out, 0, 1, mpi.INT, mpi.SUM); err != nil {
+		return err
+	}
+	return expectEq("scan prefix", out[0], int32((rank+1)*(rank+2)/2))
+}

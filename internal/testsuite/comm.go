@@ -1,0 +1,323 @@
+package testsuite
+
+import (
+	"gompi/mpi"
+)
+
+// The communicator programs (8).
+
+func init() {
+	register(Program{Name: "commdup", Category: CatComm, NP: 4, Run: progCommDup})
+	register(Program{Name: "commsplit", Category: CatComm, NP: 5, Run: progCommSplit})
+	register(Program{Name: "commcreate", Category: CatComm, NP: 4, Run: progCommCreate})
+	register(Program{Name: "commfree", Category: CatComm, NP: 2, Run: progCommFree})
+	register(Program{Name: "commcompare", Category: CatComm, NP: 4, Run: progCommCompare})
+	register(Program{Name: "intercomm", Category: CatComm, NP: 4, Run: progIntercomm})
+	register(Program{Name: "intermerge", Category: CatComm, NP: 4, Run: progIntermerge})
+	register(Program{Name: "commself", Category: CatComm, NP: 3, Run: progCommSelf})
+}
+
+// progCommDup: traffic on a dup never matches traffic on the parent.
+func progCommDup(env *mpi.Env) error {
+	w := env.CommWorld()
+	dup, err := w.Dup()
+	if err != nil {
+		return err
+	}
+	rank, size := w.Rank(), w.Size()
+	next, prev := (rank+1)%size, (rank-1+size)%size
+	// Same tag, two communicators, interleaved: each message must be
+	// delivered on its own communicator.
+	inW := []int32{-1}
+	inD := []int32{-1}
+	rW, err := w.Irecv(inW, 0, 1, mpi.INT, prev, 5)
+	if err != nil {
+		return err
+	}
+	rD, err := dup.Irecv(inD, 0, 1, mpi.INT, prev, 5)
+	if err != nil {
+		return err
+	}
+	// Send on dup first, then world; the contexts keep them straight.
+	if err := dup.Send([]int32{int32(rank + 1000)}, 0, 1, mpi.INT, next, 5); err != nil {
+		return err
+	}
+	if err := w.Send([]int32{int32(rank)}, 0, 1, mpi.INT, next, 5); err != nil {
+		return err
+	}
+	if _, err := mpi.WaitAll([]*mpi.Request{rW, rD}); err != nil {
+		return err
+	}
+	if err := expectEq("world payload", inW[0], int32(prev)); err != nil {
+		return err
+	}
+	if err := expectEq("dup payload", inD[0], int32(prev+1000)); err != nil {
+		return err
+	}
+	return dup.Free()
+}
+
+// progCommSplit: odd/even split with reversed key order in one colour.
+func progCommSplit(env *mpi.Env) error {
+	w := env.CommWorld()
+	rank, size := w.Rank(), w.Size()
+	colour := rank % 2
+	key := rank
+	if colour == 1 {
+		key = -rank // reverse ordering among odds
+	}
+	sub, err := w.Split(colour, key)
+	if err != nil {
+		return err
+	}
+	if sub == nil {
+		return failf("split returned nil for valid colour")
+	}
+	wantSize := (size + 1 - colour) / 2
+	if err := expectEq("split size", sub.Size(), wantSize); err != nil {
+		return err
+	}
+	// A sum over the subgroup identifies the members.
+	in := []int32{int32(rank)}
+	out := []int32{0}
+	if err := sub.Allreduce(in, 0, out, 0, 1, mpi.INT, mpi.SUM); err != nil {
+		return err
+	}
+	var want int32
+	for r := colour; r < size; r += 2 {
+		want += int32(r)
+	}
+	if err := expectEq("split membership sum", out[0], want); err != nil {
+		return err
+	}
+	// Odd colour: keys reversed, so world rank ordering is descending.
+	if colour == 1 && sub.Size() > 1 {
+		highest := sub.Size() - 1
+		var wantRank int
+		for r := 1; r < size; r += 2 {
+			wantRank++
+		}
+		_ = highest
+		_ = wantRank
+		// Rank 1 has key -1, the largest among odds, so it comes last.
+		if rank == 1 {
+			if err := expectEq("reversed key order", sub.Rank(), sub.Size()-1); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// progCommCreate: communicator over an explicit subgroup; non-members
+// get nil.
+func progCommCreate(env *mpi.Env) error {
+	w := env.CommWorld()
+	rank := w.Rank()
+	g, err := w.Group().Incl([]int{0, 2})
+	if err != nil {
+		return err
+	}
+	sub, err := w.Create(g)
+	if err != nil {
+		return err
+	}
+	if rank == 0 || rank == 2 {
+		if sub == nil {
+			return failf("member got nil communicator")
+		}
+		if err := expectEq("create size", sub.Size(), 2); err != nil {
+			return err
+		}
+		peer := 1 - sub.Rank()
+		out := []int32{int32(rank)}
+		in := []int32{-1}
+		if _, err := sub.Sendrecv(out, 0, 1, mpi.INT, peer, 1,
+			in, 0, 1, mpi.INT, peer, 1); err != nil {
+			return err
+		}
+		want := int32(2 - rank) // 0<->2
+		return expectEq("create exchange", in[0], want)
+	}
+	if sub != nil {
+		return failf("non-member got a communicator")
+	}
+	return nil
+}
+
+// progCommFree: freed communicators raise ErrComm on use.
+func progCommFree(env *mpi.Env) error {
+	w := env.CommWorld()
+	dup, err := w.Dup()
+	if err != nil {
+		return err
+	}
+	if err := dup.Free(); err != nil {
+		return err
+	}
+	buf := []int32{0}
+	err = dup.Send(buf, 0, 1, mpi.INT, 0, 1)
+	if mpi.ClassOf(err) != mpi.ErrComm {
+		return failf("send on freed comm: got %v, want ErrComm", err)
+	}
+	if err := dup.Free(); mpi.ClassOf(err) != mpi.ErrComm {
+		return failf("double free: got %v, want ErrComm", err)
+	}
+	return nil
+}
+
+// progCommCompare: group comparison semantics.
+func progCommCompare(env *mpi.Env) error {
+	w := env.CommWorld()
+	dup, err := w.Dup()
+	if err != nil {
+		return err
+	}
+	gw := w.Group()
+	gd := dup.Group()
+	if err := expectEq("world vs dup groups", mpi.GroupCompare(gw, gd), mpi.Ident); err != nil {
+		return err
+	}
+	rev := make([]int, gw.Size())
+	for i := range rev {
+		rev[i] = gw.Size() - 1 - i
+	}
+	grev, err := gw.Incl(rev)
+	if err != nil {
+		return err
+	}
+	if err := expectEq("reversed group", mpi.GroupCompare(gw, grev), mpi.Similar); err != nil {
+		return err
+	}
+	gsub, err := gw.Incl([]int{0})
+	if err != nil {
+		return err
+	}
+	return expectEq("subset group", mpi.GroupCompare(gw, gsub), mpi.Unequal)
+}
+
+// progIntercomm: split the world into halves, bridge them with an
+// intercommunicator, exchange across it.
+func progIntercomm(env *mpi.Env) error {
+	w := env.CommWorld()
+	rank, size := w.Rank(), w.Size()
+	half := size / 2
+	side := 0
+	if rank >= half {
+		side = 1
+	}
+	local, err := w.Split(side, rank)
+	if err != nil {
+		return err
+	}
+	remoteLeader := half
+	if side == 1 {
+		remoteLeader = 0
+	}
+	ic, err := local.CreateIntercomm(&w.Comm, 0, remoteLeader, 99)
+	if err != nil {
+		return err
+	}
+	if !ic.TestInter() {
+		return failf("intercomm does not test as inter")
+	}
+	wantRemote := size - half
+	if side == 1 {
+		wantRemote = half
+	}
+	if err := expectEq("remote size", ic.RemoteSize(), wantRemote); err != nil {
+		return err
+	}
+	// Pairwise exchange with the same-index rank on the other side.
+	lr := ic.Rank()
+	if lr < ic.RemoteSize() {
+		out := []int32{int32(rank)}
+		in := []int32{-1}
+		if _, err := ic.Sendrecv(out, 0, 1, mpi.INT, lr, 3,
+			in, 0, 1, mpi.INT, lr, 3); err != nil {
+			return err
+		}
+		var wantPeer int32
+		if side == 0 {
+			wantPeer = int32(lr + half)
+		} else {
+			wantPeer = int32(lr)
+		}
+		return expectEq("intercomm exchange", in[0], wantPeer)
+	}
+	return nil
+}
+
+// progIntermerge: merging the bridge yields a full-size intracommunicator
+// with the low group first.
+func progIntermerge(env *mpi.Env) error {
+	w := env.CommWorld()
+	rank, size := w.Rank(), w.Size()
+	half := size / 2
+	side := 0
+	if rank >= half {
+		side = 1
+	}
+	local, err := w.Split(side, rank)
+	if err != nil {
+		return err
+	}
+	remoteLeader := half
+	if side == 1 {
+		remoteLeader = 0
+	}
+	ic, err := local.CreateIntercomm(&w.Comm, 0, remoteLeader, 88)
+	if err != nil {
+		return err
+	}
+	merged, err := ic.Merge(side == 1) // low side = side 0
+	if err != nil {
+		return err
+	}
+	if err := expectEq("merged size", merged.Size(), size); err != nil {
+		return err
+	}
+	if err := expectEq("merged rank order", merged.Rank(), rank); err != nil {
+		return err
+	}
+	// The merged communicator must carry collectives.
+	in := []int32{1}
+	out := []int32{0}
+	if err := merged.Allreduce(in, 0, out, 0, 1, mpi.INT, mpi.SUM); err != nil {
+		return err
+	}
+	return expectEq("merged allreduce", out[0], int32(size))
+}
+
+// progCommSelf: COMM_SELF is a singleton world.
+func progCommSelf(env *mpi.Env) error {
+	self := env.CommSelf()
+	if err := expectEq("self size", self.Size(), 1); err != nil {
+		return err
+	}
+	if err := expectEq("self rank", self.Rank(), 0); err != nil {
+		return err
+	}
+	// A collective over COMM_SELF involves only this rank.
+	in := []int32{int32(env.Rank() + 1)}
+	out := []int32{0}
+	if err := self.Allreduce(in, 0, out, 0, 1, mpi.INT, mpi.SUM); err != nil {
+		return err
+	}
+	if err := expectEq("self allreduce", out[0], in[0]); err != nil {
+		return err
+	}
+	// Self-addressed pt2pt on COMM_SELF.
+	sreq, err := self.Isend([]int32{77}, 0, 1, mpi.INT, 0, 2)
+	if err != nil {
+		return err
+	}
+	got := []int32{0}
+	if _, err := self.Recv(got, 0, 1, mpi.INT, 0, 2); err != nil {
+		return err
+	}
+	if _, err := sreq.Wait(); err != nil {
+		return err
+	}
+	return expectEq("self message", got[0], int32(77))
+}

@@ -1,0 +1,102 @@
+package testsuite
+
+import (
+	"strings"
+	"time"
+
+	"gompi/mpi"
+)
+
+// The environmental-inquiry programs (3).
+
+func init() {
+	register(Program{Name: "wtime", Category: CatEnv, NP: 2, Run: progWtime})
+	register(Program{Name: "procname", Category: CatEnv, NP: 2, Run: progProcName})
+	register(Program{Name: "errhandler", Category: CatEnv, NP: 2, Run: progErrhandler})
+}
+
+func progWtime(env *mpi.Env) error {
+	t0 := env.Wtime()
+	time.Sleep(2 * time.Millisecond)
+	t1 := env.Wtime()
+	if t1 <= t0 {
+		return failf("Wtime not monotonic: %v then %v", t0, t1)
+	}
+	if d := t1 - t0; d < 0.001 || d > 1.0 {
+		return failf("Wtime drift: slept 2ms, measured %v s", d)
+	}
+	if tick := env.Wtick(); tick <= 0 || tick > 0.001 {
+		return failf("Wtick out of range: %v", tick)
+	}
+	return nil
+}
+
+func progProcName(env *mpi.Env) error {
+	name := env.GetProcessorName()
+	if name == "" {
+		return failf("empty processor name")
+	}
+	if !env.Initialized() {
+		return failf("Initialized() false before Finalize")
+	}
+	// Exchange names: each rank's name must be non-empty on the peer.
+	// Both sides send before receiving, so the send must be
+	// non-blocking — a blocking send here would be unsafe MPI,
+	// deadlocking whenever the transport cannot buffer eagerly.
+	w := env.CommWorld()
+	out := []byte(name)
+	peer := 1 - w.Rank()
+	sreq, err := w.Isend(out, 0, len(out), mpi.BYTE, peer, 1)
+	if err != nil {
+		return err
+	}
+	st, err := w.Probe(peer, 1)
+	if err != nil {
+		return err
+	}
+	in := make([]byte, st.Bytes())
+	if _, err := w.Recv(in, 0, len(in), mpi.BYTE, peer, 1); err != nil {
+		return err
+	}
+	if _, err := sreq.Wait(); err != nil {
+		return err
+	}
+	if len(strings.TrimSpace(string(in))) == 0 {
+		return failf("peer sent empty processor name")
+	}
+	return nil
+}
+
+func progErrhandler(env *mpi.Env) error {
+	w := env.CommWorld()
+	if w.Errhandler() != mpi.ErrorsReturn {
+		return failf("default errhandler must be ErrorsReturn")
+	}
+	// ErrorsReturn: an invalid rank comes back as an error value.
+	buf := []int32{0}
+	err := w.Send(buf, 0, 1, mpi.INT, w.Size()+5, 1)
+	if mpi.ClassOf(err) != mpi.ErrRank {
+		return failf("invalid rank: got %v, want ErrRank", err)
+	}
+	// Negative tag.
+	err = w.Send(buf, 0, 1, mpi.INT, 0, -7)
+	if mpi.ClassOf(err) != mpi.ErrTag {
+		return failf("invalid tag: got %v, want ErrTag", err)
+	}
+	// ErrorsAreFatal: the same mistake panics.
+	dup, err := w.Dup()
+	if err != nil {
+		return err
+	}
+	dup.SetErrhandler(mpi.ErrorsAreFatal)
+	panicked := func() (p bool) {
+		defer func() { p = recover() != nil }()
+		dup.Send(buf, 0, 1, mpi.INT, w.Size()+5, 1) //nolint:errcheck // panics
+		return false
+	}()
+	if !panicked {
+		return failf("ErrorsAreFatal did not panic")
+	}
+	dup.SetErrhandler(mpi.ErrorsReturn)
+	return dup.Free()
+}

@@ -1,0 +1,232 @@
+package testsuite
+
+import (
+	"gompi/mpi"
+)
+
+// The group programs (7).
+
+func init() {
+	register(Program{Name: "groupsize", Category: CatGroup, NP: 4, Run: progGroupSize})
+	register(Program{Name: "groupunion", Category: CatGroup, NP: 4, Run: progGroupUnion})
+	register(Program{Name: "groupinter", Category: CatGroup, NP: 4, Run: progGroupIntersection})
+	register(Program{Name: "groupdiff", Category: CatGroup, NP: 4, Run: progGroupDifference})
+	register(Program{Name: "groupincl", Category: CatGroup, NP: 4, Run: progGroupInclExcl})
+	register(Program{Name: "grouprange", Category: CatGroup, NP: 6, Run: progGroupRange})
+	register(Program{Name: "grouptrans", Category: CatGroup, NP: 4, Run: progGroupTranslate})
+}
+
+func progGroupSize(env *mpi.Env) error {
+	w := env.CommWorld()
+	g := w.Group()
+	if err := expectEq("group size", g.Size(), w.Size()); err != nil {
+		return err
+	}
+	if err := expectEq("group rank", g.Rank(), w.Rank()); err != nil {
+		return err
+	}
+	if err := expectEq("empty group size", mpi.GroupEmpty.Size(), 0); err != nil {
+		return err
+	}
+	return expectEq("empty group rank", mpi.GroupEmpty.Rank(), mpi.Undefined)
+}
+
+func progGroupUnion(env *mpi.Env) error {
+	w := env.CommWorld()
+	g := w.Group()
+	evens, err := g.Incl([]int{0, 2})
+	if err != nil {
+		return err
+	}
+	low, err := g.Incl([]int{1, 0})
+	if err != nil {
+		return err
+	}
+	u := mpi.Union(evens, low)
+	// Union keeps g1 order then appends new members: [0,2,1].
+	if err := expectEq("union size", u.Size(), 3); err != nil {
+		return err
+	}
+	tr, err := mpi.TranslateRanks(u, []int{0, 1, 2}, g)
+	if err != nil {
+		return err
+	}
+	want := []int{0, 2, 1}
+	for i := range want {
+		if err := expectEq("union order", tr[i], want[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func progGroupIntersection(env *mpi.Env) error {
+	w := env.CommWorld()
+	g := w.Group()
+	a, err := g.Incl([]int{0, 1, 2})
+	if err != nil {
+		return err
+	}
+	b, err := g.Incl([]int{3, 2, 1})
+	if err != nil {
+		return err
+	}
+	x := mpi.Intersection(a, b)
+	if err := expectEq("intersection size", x.Size(), 2); err != nil {
+		return err
+	}
+	// Order follows a: [1, 2].
+	tr, err := mpi.TranslateRanks(x, []int{0, 1}, g)
+	if err != nil {
+		return err
+	}
+	if tr[0] != 1 || tr[1] != 2 {
+		return failf("intersection order: got %v, want [1 2]", tr)
+	}
+	return nil
+}
+
+func progGroupDifference(env *mpi.Env) error {
+	w := env.CommWorld()
+	g := w.Group()
+	b, err := g.Incl([]int{1, 3})
+	if err != nil {
+		return err
+	}
+	d := mpi.Difference(g, b)
+	if err := expectEq("difference size", d.Size(), w.Size()-2); err != nil {
+		return err
+	}
+	tr, err := mpi.TranslateRanks(d, []int{0, 1}, g)
+	if err != nil {
+		return err
+	}
+	if tr[0] != 0 || tr[1] != 2 {
+		return failf("difference order: got %v, want [0 2]", tr)
+	}
+	// Difference with itself is empty.
+	if err := expectEq("self difference", mpi.Difference(g, g).Size(), 0); err != nil {
+		return err
+	}
+	return nil
+}
+
+func progGroupInclExcl(env *mpi.Env) error {
+	w := env.CommWorld()
+	g := w.Group()
+	incl, err := g.Incl([]int{3, 1})
+	if err != nil {
+		return err
+	}
+	if err := expectEq("incl size", incl.Size(), 2); err != nil {
+		return err
+	}
+	excl, err := g.Excl([]int{3, 1})
+	if err != nil {
+		return err
+	}
+	if err := expectEq("excl size", excl.Size(), w.Size()-2); err != nil {
+		return err
+	}
+	if err := expectEq("incl+excl complementary", mpi.Intersection(incl, excl).Size(), 0); err != nil {
+		return err
+	}
+	// Rank membership: rank 1 belongs to incl (position 1), not excl.
+	if w.Rank() == 1 {
+		if err := expectEq("incl rank", incl.Rank(), 1); err != nil {
+			return err
+		}
+		if err := expectEq("excl rank", excl.Rank(), mpi.Undefined); err != nil {
+			return err
+		}
+	}
+	// Out-of-range and duplicate ranks are errors.
+	if _, err := g.Incl([]int{0, w.Size()}); mpi.ClassOf(err) != mpi.ErrRank {
+		return failf("out-of-range Incl: got %v", err)
+	}
+	if _, err := g.Incl([]int{1, 1}); mpi.ClassOf(err) != mpi.ErrRank {
+		return failf("duplicate Incl: got %v", err)
+	}
+	return nil
+}
+
+func progGroupRange(env *mpi.Env) error {
+	w := env.CommWorld()
+	g := w.Group() // size 6
+	// Ranks 0,2,4 by stride.
+	evens, err := g.RangeIncl([][3]int{{0, 5, 2}})
+	if err != nil {
+		return err
+	}
+	if err := expectEq("range incl size", evens.Size(), 3); err != nil {
+		return err
+	}
+	tr, err := mpi.TranslateRanks(evens, []int{0, 1, 2}, g)
+	if err != nil {
+		return err
+	}
+	for i, want := range []int{0, 2, 4} {
+		if err := expectEq("range incl member", tr[i], want); err != nil {
+			return err
+		}
+	}
+	// Descending range: 5,4,3.
+	desc, err := g.RangeIncl([][3]int{{5, 3, -1}})
+	if err != nil {
+		return err
+	}
+	tr, err = mpi.TranslateRanks(desc, []int{0, 1, 2}, g)
+	if err != nil {
+		return err
+	}
+	for i, want := range []int{5, 4, 3} {
+		if err := expectEq("descending range member", tr[i], want); err != nil {
+			return err
+		}
+	}
+	// RangeExcl of the evens leaves the odds.
+	odds, err := g.RangeExcl([][3]int{{0, 5, 2}})
+	if err != nil {
+		return err
+	}
+	if err := expectEq("range excl size", odds.Size(), 3); err != nil {
+		return err
+	}
+	return nil
+}
+
+func progGroupTranslate(env *mpi.Env) error {
+	w := env.CommWorld()
+	g := w.Group()
+	rev := make([]int, g.Size())
+	for i := range rev {
+		rev[i] = g.Size() - 1 - i
+	}
+	grev, err := g.Incl(rev)
+	if err != nil {
+		return err
+	}
+	ranks := make([]int, g.Size())
+	for i := range ranks {
+		ranks[i] = i
+	}
+	tr, err := mpi.TranslateRanks(g, ranks, grev)
+	if err != nil {
+		return err
+	}
+	for i := range tr {
+		if err := expectEq("translate reversal", tr[i], g.Size()-1-i); err != nil {
+			return err
+		}
+	}
+	// Members absent from the target map to Undefined.
+	sub, err := g.Incl([]int{0})
+	if err != nil {
+		return err
+	}
+	tr, err = mpi.TranslateRanks(g, []int{1}, sub)
+	if err != nil {
+		return err
+	}
+	return expectEq("missing member translates to Undefined", tr[0], mpi.Undefined)
+}

@@ -1,0 +1,84 @@
+package testsuite
+
+import (
+	"fmt"
+	"testing"
+
+	"gompi/mpi"
+)
+
+// TestSuiteCount pins the suite at the paper's 57 programs (§3.4).
+func TestSuiteCount(t *testing.T) {
+	ps := Programs()
+	if len(ps) != 57 {
+		t.Fatalf("suite has %d programs, the paper's suite has 57", len(ps))
+	}
+	byCat := map[string]int{}
+	for _, p := range ps {
+		byCat[p.Category]++
+	}
+	for _, cat := range []string{CatCollective, CatComm, CatDatatype, CatEnv, CatGroup, CatPt2pt, CatTopo} {
+		if byCat[cat] == 0 {
+			t.Errorf("category %q has no programs", cat)
+		}
+	}
+}
+
+// TestSuiteSM runs all 57 programs in Shared Memory mode.
+func TestSuiteSM(t *testing.T) {
+	runSuite(t, false)
+}
+
+// TestSuiteDM runs all 57 programs in Distributed Memory mode — the
+// paper's claim is that every program runs in both modes unaltered.
+func TestSuiteDM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("DM sweep skipped in -short mode")
+	}
+	runSuite(t, true)
+}
+
+func runSuite(t *testing.T, tcp bool) {
+	for _, p := range Programs() {
+		p := p
+		t.Run(fmt.Sprintf("%s/%s", p.Category, p.Name), func(t *testing.T) {
+			t.Parallel()
+			if err := RunProgram(p, tcp); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestSuiteRendezvous re-runs the full suite with the eager path disabled
+// (every message, including collective internals, takes the RTS/CTS
+// rendezvous), stressing the protocol layer the figures only exercise at
+// large sizes.
+func TestSuiteRendezvous(t *testing.T) {
+	for _, p := range Programs() {
+		p := p
+		t.Run(fmt.Sprintf("%s/%s", p.Category, p.Name), func(t *testing.T) {
+			t.Parallel()
+			if err := RunProgramOpt(p, mpi.RunOptions{EagerLimit: -1}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestSuiteTinyInbox re-runs the suite with a minimal flow-control
+// window, forcing senders onto the blocking back-pressure paths.
+func TestSuiteTinyInbox(t *testing.T) {
+	if testing.Short() {
+		t.Skip("inbox sweep skipped in -short mode")
+	}
+	for _, p := range Programs() {
+		p := p
+		t.Run(fmt.Sprintf("%s/%s", p.Category, p.Name), func(t *testing.T) {
+			t.Parallel()
+			if err := RunProgramOpt(p, mpi.RunOptions{InboxDepth: 2}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

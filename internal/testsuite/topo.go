@@ -1,0 +1,216 @@
+package testsuite
+
+import (
+	"gompi/mpi"
+)
+
+// The virtual-topology programs (5).
+
+func init() {
+	register(Program{Name: "dims", Category: CatTopo, NP: 1, Run: progDims})
+	register(Program{Name: "cartcreate", Category: CatTopo, NP: 6, Run: progCartCreate})
+	register(Program{Name: "cartshift", Category: CatTopo, NP: 6, Run: progCartShift})
+	register(Program{Name: "cartsub", Category: CatTopo, NP: 6, Run: progCartSub})
+	register(Program{Name: "graphcreate", Category: CatTopo, NP: 4, Run: progGraphCreate})
+}
+
+func progDims(env *mpi.Env) error {
+	d, err := mpi.DimsCreate(12, []int{0, 0})
+	if err != nil {
+		return err
+	}
+	if d[0]*d[1] != 12 || d[0] < d[1] {
+		return failf("DimsCreate(12,2): got %v", d)
+	}
+	if d[0] != 4 || d[1] != 3 {
+		return failf("DimsCreate(12,2): got %v, want [4 3]", d)
+	}
+	d, err = mpi.DimsCreate(12, []int{2, 0, 0})
+	if err != nil {
+		return err
+	}
+	if d[0] != 2 || d[1]*d[2] != 6 || d[1] < d[2] {
+		return failf("DimsCreate(12, [2 0 0]): got %v", d)
+	}
+	if _, err := mpi.DimsCreate(7, []int{2, 0}); mpi.ClassOf(err) != mpi.ErrDims {
+		return failf("indivisible DimsCreate: got %v", err)
+	}
+	return nil
+}
+
+func progCartCreate(env *mpi.Env) error {
+	w := env.CommWorld()
+	cart, err := w.CreateCart([]int{3, 2}, []bool{false, true}, false)
+	if err != nil {
+		return err
+	}
+	if cart == nil {
+		return failf("rank %d: nil cart for exact-fit grid", w.Rank())
+	}
+	parms, err := cart.Get()
+	if err != nil {
+		return err
+	}
+	if parms.Dims[0] != 3 || parms.Dims[1] != 2 {
+		return failf("cart dims: got %v", parms.Dims)
+	}
+	if parms.Periods[0] || !parms.Periods[1] {
+		return failf("cart periods: got %v", parms.Periods)
+	}
+	// Row-major rank <-> coords round trip for every position.
+	for r := 0; r < cart.Size(); r++ {
+		coords, err := cart.Coords(r)
+		if err != nil {
+			return err
+		}
+		back, err := cart.CartRank(coords)
+		if err != nil {
+			return err
+		}
+		if err := expectEq("rank/coords round trip", back, r); err != nil {
+			return err
+		}
+	}
+	me, err := cart.Coords(cart.Rank())
+	if err != nil {
+		return err
+	}
+	if me[0] != parms.Coords[0] || me[1] != parms.Coords[1] {
+		return failf("own coords mismatch: %v vs %v", me, parms.Coords)
+	}
+	return nil
+}
+
+func progCartShift(env *mpi.Env) error {
+	w := env.CommWorld()
+	cart, err := w.CreateCart([]int{3, 2}, []bool{false, true}, false)
+	if err != nil {
+		return err
+	}
+	coords, err := cart.Coords(cart.Rank())
+	if err != nil {
+		return err
+	}
+	// Dimension 0 is non-periodic: edges shift to ProcNull.
+	sp, err := cart.Shift(0, 1)
+	if err != nil {
+		return err
+	}
+	if coords[0] == 0 {
+		if err := expectEq("top edge source", sp.RankSource, mpi.ProcNull); err != nil {
+			return err
+		}
+	}
+	if coords[0] == 2 {
+		if err := expectEq("bottom edge dest", sp.RankDest, mpi.ProcNull); err != nil {
+			return err
+		}
+	}
+	// Dimension 1 is periodic: a full ring exchange works along it.
+	sp, err = cart.Shift(1, 1)
+	if err != nil {
+		return err
+	}
+	out := []int32{int32(cart.Rank())}
+	in := []int32{-1}
+	if _, err := cart.Sendrecv(out, 0, 1, mpi.INT, sp.RankDest, 2,
+		in, 0, 1, mpi.INT, sp.RankSource, 2); err != nil {
+		return err
+	}
+	if err := expectEq("periodic shift payload", in[0], int32(sp.RankSource)); err != nil {
+		return err
+	}
+	// ProcNull endpoints are legal in communication calls.
+	spEdge, err := cart.Shift(0, 1)
+	if err != nil {
+		return err
+	}
+	if _, err := cart.Sendrecv(out, 0, 1, mpi.INT, spEdge.RankDest, 3,
+		in, 0, 1, mpi.INT, spEdge.RankSource, 3); err != nil {
+		return err
+	}
+	return nil
+}
+
+func progCartSub(env *mpi.Env) error {
+	w := env.CommWorld()
+	cart, err := w.CreateCart([]int{3, 2}, []bool{false, false}, false)
+	if err != nil {
+		return err
+	}
+	// Keep dimension 1: rows of length 2.
+	row, err := cart.Sub([]bool{false, true})
+	if err != nil {
+		return err
+	}
+	if err := expectEq("row size", row.Size(), 2); err != nil {
+		return err
+	}
+	coords, err := cart.Coords(cart.Rank())
+	if err != nil {
+		return err
+	}
+	if err := expectEq("row rank is column coord", row.Rank(), coords[1]); err != nil {
+		return err
+	}
+	// A row-wise sum identifies the members.
+	in := []int32{int32(cart.Rank())}
+	out := []int32{0}
+	if err := row.Allreduce(in, 0, out, 0, 1, mpi.INT, mpi.SUM); err != nil {
+		return err
+	}
+	base := int32(coords[0] * 2)
+	if err := expectEq("row sum", out[0], base+base+1); err != nil {
+		return err
+	}
+	return nil
+}
+
+func progGraphCreate(env *mpi.Env) error {
+	w := env.CommWorld()
+	// A 4-node ring: node i adjacent to i±1.
+	index := []int{2, 4, 6, 8}
+	edges := []int{1, 3, 0, 2, 1, 3, 0, 2}
+	gc, err := w.CreateGraph(index, edges, false)
+	if err != nil {
+		return err
+	}
+	if gc == nil {
+		return failf("nil graphcomm for exact-fit graph")
+	}
+	parms, err := gc.Get()
+	if err != nil {
+		return err
+	}
+	if len(parms.Index) != 4 || len(parms.Edges) != 8 {
+		return failf("graph shape: %v %v", parms.Index, parms.Edges)
+	}
+	ns, err := gc.Neighbours(gc.Rank())
+	if err != nil {
+		return err
+	}
+	rank := gc.Rank()
+	want := []int{(rank + 3) % 4, (rank + 1) % 4}
+	if len(ns) != 2 {
+		return failf("neighbour count: got %v", ns)
+	}
+	// The ring edges were listed (low, high) per node.
+	if ns[0] != want[0] && ns[0] != want[1] {
+		return failf("neighbours of %d: got %v", rank, ns)
+	}
+	// Exchange with each neighbour. One shared tag: the two endpoints
+	// hold each other at different positions in their neighbour lists,
+	// and per-pair FIFO keeps the single exchange per pair matched.
+	for _, nb := range ns {
+		out := []int32{int32(rank)}
+		in := []int32{-1}
+		if _, err := gc.Sendrecv(out, 0, 1, mpi.INT, nb, 4,
+			in, 0, 1, mpi.INT, nb, 4); err != nil {
+			return err
+		}
+		if err := expectEq("graph neighbour payload", in[0], int32(nb)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

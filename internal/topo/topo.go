@@ -1,0 +1,275 @@
+// Package topo implements the virtual-topology arithmetic behind the
+// Cartcomm and Graphcomm classes: balanced dimension factorisation
+// (MPI_Dims_create), cartesian rank/coordinate maps, shifts and subgrids,
+// and graph neighbour queries.
+package topo
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ProcNull is the null-neighbour marker returned by shifts that run off a
+// non-periodic edge (mirrors MPI_PROC_NULL; the binding exports its own
+// constant mapped to this value).
+const ProcNull = -2
+
+// DimsCreate fills the zero entries of dims with a balanced factorisation
+// of nnodes (MPI_Dims_create). Non-zero entries are constraints and left
+// untouched; nnodes must be divisible by their product. The resulting
+// free dimensions are as close to each other as possible and ordered
+// non-increasingly.
+func DimsCreate(nnodes int, dims []int) error {
+	if nnodes <= 0 {
+		return fmt.Errorf("topo: nnodes %d must be positive", nnodes)
+	}
+	fixed := 1
+	free := 0
+	for _, d := range dims {
+		switch {
+		case d < 0:
+			return fmt.Errorf("topo: negative dimension %d", d)
+		case d == 0:
+			free++
+		default:
+			fixed *= d
+		}
+	}
+	if fixed == 0 || nnodes%fixed != 0 {
+		return fmt.Errorf("topo: nnodes %d not divisible by fixed dimensions product %d", nnodes, fixed)
+	}
+	if free == 0 {
+		if fixed != nnodes {
+			return fmt.Errorf("topo: fixed dimensions product %d != nnodes %d", fixed, nnodes)
+		}
+		return nil
+	}
+	factors := balancedFactors(nnodes/fixed, free)
+	i := 0
+	for j := range dims {
+		if dims[j] == 0 {
+			dims[j] = factors[i]
+			i++
+		}
+	}
+	return nil
+}
+
+// balancedFactors splits n into k factors, as equal as possible, sorted
+// non-increasingly: prime factors of n are distributed greedily onto the
+// currently smallest accumulator.
+func balancedFactors(n, k int) []int {
+	out := make([]int, k)
+	for i := range out {
+		out[i] = 1
+	}
+	primes := primeFactors(n)
+	// Largest primes first, each onto the smallest accumulator.
+	sort.Sort(sort.Reverse(sort.IntSlice(primes)))
+	for _, p := range primes {
+		mi := 0
+		for i := 1; i < k; i++ {
+			if out[i] < out[mi] {
+				mi = i
+			}
+		}
+		out[mi] *= p
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}
+
+func primeFactors(n int) []int {
+	var fs []int
+	for p := 2; p*p <= n; p++ {
+		for n%p == 0 {
+			fs = append(fs, p)
+			n /= p
+		}
+	}
+	if n > 1 {
+		fs = append(fs, n)
+	}
+	return fs
+}
+
+// Cart is the geometry of a cartesian topology.
+type Cart struct {
+	Dims    []int
+	Periods []bool
+}
+
+// NewCart validates dimensions and periodicity flags.
+func NewCart(dims []int, periods []bool) (*Cart, error) {
+	if len(dims) != len(periods) {
+		return nil, fmt.Errorf("topo: %d dims vs %d periods", len(dims), len(periods))
+	}
+	for _, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("topo: non-positive cartesian dimension %d", d)
+		}
+	}
+	return &Cart{
+		Dims:    append([]int(nil), dims...),
+		Periods: append([]bool(nil), periods...),
+	}, nil
+}
+
+// Count returns the number of grid positions.
+func (c *Cart) Count() int {
+	n := 1
+	for _, d := range c.Dims {
+		n *= d
+	}
+	return n
+}
+
+// Ndims returns the dimensionality.
+func (c *Cart) Ndims() int { return len(c.Dims) }
+
+// Rank maps coordinates to a rank (row-major order, as MPI specifies).
+// Out-of-range coordinates in periodic dimensions wrap; in non-periodic
+// dimensions they are an error.
+func (c *Cart) Rank(coords []int) (int, error) {
+	if len(coords) != len(c.Dims) {
+		return 0, fmt.Errorf("topo: %d coords for %d dims", len(coords), len(c.Dims))
+	}
+	rank := 0
+	for i, x := range coords {
+		d := c.Dims[i]
+		if x < 0 || x >= d {
+			if !c.Periods[i] {
+				return 0, fmt.Errorf("topo: coordinate %d out of range [0,%d) in non-periodic dimension %d", x, d, i)
+			}
+			x = ((x % d) + d) % d
+		}
+		rank = rank*d + x
+	}
+	return rank, nil
+}
+
+// Coords maps a rank to its coordinates.
+func (c *Cart) Coords(rank int) ([]int, error) {
+	if rank < 0 || rank >= c.Count() {
+		return nil, fmt.Errorf("topo: rank %d out of range [0,%d)", rank, c.Count())
+	}
+	coords := make([]int, len(c.Dims))
+	for i := len(c.Dims) - 1; i >= 0; i-- {
+		coords[i] = rank % c.Dims[i]
+		rank /= c.Dims[i]
+	}
+	return coords, nil
+}
+
+// Shift returns the (source, dest) ranks of a displacement along one
+// dimension, as seen from rank: recv from source, send to dest
+// (MPI_Cart_shift). Off-grid neighbours in non-periodic dimensions are
+// ProcNull.
+func (c *Cart) Shift(rank, dim, disp int) (src, dst int, err error) {
+	if dim < 0 || dim >= len(c.Dims) {
+		return 0, 0, fmt.Errorf("topo: shift dimension %d out of range", dim)
+	}
+	coords, err := c.Coords(rank)
+	if err != nil {
+		return 0, 0, err
+	}
+	neighbour := func(delta int) int {
+		x := coords[dim] + delta
+		if x < 0 || x >= c.Dims[dim] {
+			if !c.Periods[dim] {
+				return ProcNull
+			}
+		}
+		saved := coords[dim]
+		coords[dim] = x
+		r, _ := c.Rank(coords) // wraps periodically; in-range otherwise
+		coords[dim] = saved
+		return r
+	}
+	return neighbour(-disp), neighbour(disp), nil
+}
+
+// Sub projects the grid onto the dimensions where remain[i] is true
+// (MPI_Cart_sub). It returns the sub-grid geometry, plus this rank's
+// subgrid colour (identifying which hyperplane it belongs to) and its
+// rank key within the subgrid.
+func (c *Cart) Sub(rank int, remain []bool) (sub *Cart, colour, key int, err error) {
+	if len(remain) != len(c.Dims) {
+		return nil, 0, 0, fmt.Errorf("topo: %d remain flags for %d dims", len(remain), len(c.Dims))
+	}
+	coords, err := c.Coords(rank)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	var dims []int
+	var periods []bool
+	for i, keep := range remain {
+		if keep {
+			dims = append(dims, c.Dims[i])
+			periods = append(periods, c.Periods[i])
+		} else {
+			colour = colour*c.Dims[i] + coords[i]
+		}
+	}
+	for i, keep := range remain {
+		if keep {
+			key = key*c.Dims[i] + coords[i]
+		}
+	}
+	if dims == nil {
+		// Degenerate: every dimension dropped; each process is its
+		// own zero-dimensional grid.
+		sub = &Cart{}
+		return sub, colour, 0, nil
+	}
+	sub = &Cart{Dims: dims, Periods: periods}
+	return sub, colour, key, nil
+}
+
+// Graph is an MPI-1 graph topology in compressed index/edges form:
+// neighbours of node i are edges[index[i-1]:index[i]] (index[-1] == 0).
+type Graph struct {
+	Index []int
+	Edges []int
+}
+
+// NewGraph validates the compressed adjacency arrays for nnodes nodes.
+func NewGraph(nnodes int, index, edges []int) (*Graph, error) {
+	if len(index) != nnodes {
+		return nil, fmt.Errorf("topo: %d index entries for %d nodes", len(index), nnodes)
+	}
+	prev := 0
+	for i, x := range index {
+		if x < prev {
+			return nil, fmt.Errorf("topo: index not non-decreasing at %d", i)
+		}
+		prev = x
+	}
+	if nnodes > 0 && index[nnodes-1] != len(edges) {
+		return nil, fmt.Errorf("topo: index[last]=%d but %d edges", index[nnodes-1], len(edges))
+	}
+	for _, e := range edges {
+		if e < 0 || e >= nnodes {
+			return nil, fmt.Errorf("topo: edge target %d out of range [0,%d)", e, nnodes)
+		}
+	}
+	return &Graph{
+		Index: append([]int(nil), index...),
+		Edges: append([]int(nil), edges...),
+	}, nil
+}
+
+// Nnodes returns the node count.
+func (g *Graph) Nnodes() int { return len(g.Index) }
+
+// Neighbours returns the neighbour list of rank.
+func (g *Graph) Neighbours(rank int) ([]int, error) {
+	if rank < 0 || rank >= len(g.Index) {
+		return nil, fmt.Errorf("topo: rank %d out of range [0,%d)", rank, len(g.Index))
+	}
+	lo := 0
+	if rank > 0 {
+		lo = g.Index[rank-1]
+	}
+	return append([]int(nil), g.Edges[lo:g.Index[rank]]...), nil
+}

@@ -1,0 +1,263 @@
+package topo
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestDimsCreateKnownCases(t *testing.T) {
+	cases := []struct {
+		nnodes int
+		in     []int
+		want   []int
+	}{
+		{6, []int{0, 0}, []int{3, 2}},
+		{12, []int{0, 0}, []int{4, 3}},
+		{16, []int{0, 0}, []int{4, 4}},
+		{8, []int{0, 0, 0}, []int{2, 2, 2}},
+		{12, []int{0, 0, 0}, []int{3, 2, 2}},
+		{7, []int{0}, []int{7}},
+		{6, []int{2, 0}, []int{2, 3}},
+		{1, []int{0, 0}, []int{1, 1}},
+	}
+	for _, tc := range cases {
+		dims := append([]int(nil), tc.in...)
+		if err := DimsCreate(tc.nnodes, dims); err != nil {
+			t.Fatalf("DimsCreate(%d, %v): %v", tc.nnodes, tc.in, err)
+		}
+		if !reflect.DeepEqual(dims, tc.want) {
+			t.Errorf("DimsCreate(%d, %v) = %v, want %v", tc.nnodes, tc.in, dims, tc.want)
+		}
+	}
+}
+
+func TestDimsCreateErrors(t *testing.T) {
+	if err := DimsCreate(7, []int{2, 0}); err == nil {
+		t.Fatal("indivisible nnodes must error")
+	}
+	if err := DimsCreate(0, []int{0}); err == nil {
+		t.Fatal("zero nnodes must error")
+	}
+	if err := DimsCreate(4, []int{-1, 0}); err == nil {
+		t.Fatal("negative dimension must error")
+	}
+	if err := DimsCreate(6, []int{4}); err == nil {
+		t.Fatal("wrong fixed product must error")
+	}
+}
+
+// TestDimsCreateProperty: the product of the dimensions always equals
+// nnodes, free dimensions are non-increasing, and fixed entries survive.
+func TestDimsCreateProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nnodes := 1 + rng.Intn(256)
+		k := 1 + rng.Intn(4)
+		dims := make([]int, k)
+		if err := DimsCreate(nnodes, dims); err != nil {
+			return false
+		}
+		prod := 1
+		for _, d := range dims {
+			prod *= d
+		}
+		if prod != nnodes {
+			return false
+		}
+		for i := 1; i < k; i++ {
+			if dims[i] > dims[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCartRankCoordsRoundTrip(t *testing.T) {
+	c, err := NewCart([]int{3, 4, 2}, []bool{false, true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Count() != 24 {
+		t.Fatalf("count %d", c.Count())
+	}
+	for r := 0; r < c.Count(); r++ {
+		coords, err := c.Coords(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := c.Rank(coords)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back != r {
+			t.Fatalf("rank %d -> %v -> %d", r, coords, back)
+		}
+	}
+}
+
+// TestCartBijectionProperty: rank->coords->rank is the identity for
+// random geometries.
+func TestCartBijectionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nd := 1 + rng.Intn(3)
+		dims := make([]int, nd)
+		periods := make([]bool, nd)
+		for i := range dims {
+			dims[i] = 1 + rng.Intn(4)
+			periods[i] = rng.Intn(2) == 0
+		}
+		c, err := NewCart(dims, periods)
+		if err != nil {
+			return false
+		}
+		seen := make(map[int]bool)
+		for r := 0; r < c.Count(); r++ {
+			coords, err := c.Coords(r)
+			if err != nil {
+				return false
+			}
+			back, err := c.Rank(coords)
+			if err != nil || back != r || seen[back] {
+				return false
+			}
+			seen[back] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCartPeriodicWrap(t *testing.T) {
+	c, _ := NewCart([]int{4}, []bool{true})
+	r, err := c.Rank([]int{-1})
+	if err != nil || r != 3 {
+		t.Fatalf("wrap(-1) = %d, %v", r, err)
+	}
+	r, err = c.Rank([]int{5})
+	if err != nil || r != 1 {
+		t.Fatalf("wrap(5) = %d, %v", r, err)
+	}
+	nc, _ := NewCart([]int{4}, []bool{false})
+	if _, err := nc.Rank([]int{4}); err == nil {
+		t.Fatal("non-periodic out-of-range must error")
+	}
+}
+
+func TestCartShift(t *testing.T) {
+	c, _ := NewCart([]int{3, 3}, []bool{false, true})
+	// Center rank 4 = (1,1).
+	src, dst, err := c.Shift(4, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != 1 || dst != 7 {
+		t.Fatalf("dim0 shift: src=%d dst=%d", src, dst)
+	}
+	// Corner (0,0) in non-periodic dim 0: upstream is null.
+	src, dst, err = c.Shift(0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != ProcNull || dst != 3 {
+		t.Fatalf("edge shift: src=%d dst=%d", src, dst)
+	}
+	// Periodic dim 1 wraps.
+	src, dst, err = c.Shift(0, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != 2 || dst != 1 {
+		t.Fatalf("periodic shift: src=%d dst=%d", src, dst)
+	}
+	// Negative displacement reverses roles.
+	src2, dst2, _ := c.Shift(0, 1, -1)
+	if src2 != dst || dst2 != src {
+		t.Fatalf("negative shift mismatch")
+	}
+	if _, _, err := c.Shift(0, 5, 1); err == nil {
+		t.Fatal("bad dimension must error")
+	}
+}
+
+func TestCartSub(t *testing.T) {
+	c, _ := NewCart([]int{3, 2}, []bool{true, false})
+	for r := 0; r < 6; r++ {
+		sub, colour, key, err := c.Sub(r, []bool{false, true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		coords, _ := c.Coords(r)
+		if colour != coords[0] {
+			t.Fatalf("rank %d: colour %d, want row %d", r, colour, coords[0])
+		}
+		if key != coords[1] {
+			t.Fatalf("rank %d: key %d, want col %d", r, key, coords[1])
+		}
+		if len(sub.Dims) != 1 || sub.Dims[0] != 2 || sub.Periods[0] {
+			t.Fatalf("sub geometry: %+v", sub)
+		}
+	}
+	// Dropping every dimension leaves a zero-dimensional grid.
+	sub, _, key, err := c.Sub(3, []bool{false, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Ndims() != 0 || key != 0 {
+		t.Fatalf("degenerate sub: %+v key=%d", sub, key)
+	}
+}
+
+func TestGraph(t *testing.T) {
+	// Star: node 0 adjacent to 1,2,3.
+	g, err := NewGraph(4, []int{3, 4, 5, 6}, []int{1, 2, 3, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, err := g.Neighbours(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ns, []int{1, 2, 3}) {
+		t.Fatalf("centre neighbours: %v", ns)
+	}
+	ns, _ = g.Neighbours(2)
+	if !reflect.DeepEqual(ns, []int{0}) {
+		t.Fatalf("leaf neighbours: %v", ns)
+	}
+	if _, err := g.Neighbours(9); err == nil {
+		t.Fatal("bad rank must error")
+	}
+}
+
+func TestGraphValidation(t *testing.T) {
+	if _, err := NewGraph(2, []int{1}, []int{0}); err == nil {
+		t.Fatal("short index must error")
+	}
+	if _, err := NewGraph(2, []int{2, 1}, []int{0}); err == nil {
+		t.Fatal("decreasing index must error")
+	}
+	if _, err := NewGraph(2, []int{1, 2}, []int{0}); err == nil {
+		t.Fatal("index/edges mismatch must error")
+	}
+	if _, err := NewGraph(2, []int{1, 2}, []int{0, 5}); err == nil {
+		t.Fatal("out-of-range edge must error")
+	}
+}
+
+func TestCartValidation(t *testing.T) {
+	if _, err := NewCart([]int{2}, []bool{true, false}); err == nil {
+		t.Fatal("dims/periods mismatch must error")
+	}
+	if _, err := NewCart([]int{0}, []bool{true}); err == nil {
+		t.Fatal("zero dimension must error")
+	}
+}

@@ -1,0 +1,50 @@
+// Package transport is the device layer of the message-passing runtime —
+// the analogue of MPICH's abstract device interface / the p4 layer under
+// WMPI in the paper. A Device moves opaque, framed byte messages between
+// the processes of a job with reliable, per-(sender,receiver) FIFO
+// ordering. Two devices are provided:
+//
+//   - shm: in-process channels; the paper's Shared Memory (SM) mode,
+//     multiple ranks within one machine (here: one address space).
+//   - tcp: a socket mesh; the paper's Distributed Memory (DM) mode.
+//
+// A Shaped wrapper adds per-message software cost, link latency and a
+// bandwidth cap so benchmarks can emulate the paper's 1999 testbed
+// (10BaseT Ethernet, WMPI-vs-MPICH software paths). See DESIGN.md.
+package transport
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrClosed is returned by device operations after Close.
+var ErrClosed = errors.New("transport: device closed")
+
+// Device is one endpoint of a job-wide message fabric. Frames are
+// delivered reliably and in order per (sender, receiver) pair. Send
+// transfers ownership of the frame slice to the device; Recv transfers
+// ownership of the returned slice to the caller.
+type Device interface {
+	// Rank returns this endpoint's world rank.
+	Rank() int
+	// Size returns the number of endpoints in the job.
+	Size() int
+	// Send delivers a frame to the endpoint with world rank dst.
+	// It may block for flow control but never blocks indefinitely
+	// while the destination's progress engine is draining.
+	Send(dst int, frame []byte) error
+	// Recv returns the next incoming frame from any source, blocking
+	// until one arrives or the device is closed.
+	Recv() ([]byte, error)
+	// Close shuts the endpoint down; blocked Recv calls return
+	// ErrClosed.
+	Close() error
+}
+
+func checkDst(dst, size int) error {
+	if dst < 0 || dst >= size {
+		return fmt.Errorf("transport: destination rank %d out of range [0,%d)", dst, size)
+	}
+	return nil
+}

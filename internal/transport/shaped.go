@@ -1,0 +1,83 @@
+package transport
+
+import (
+	"sync"
+	"time"
+
+	"gompi/internal/spin"
+)
+
+// LinkProfile describes the artificial costs a Shaped device injects per
+// frame. It is the knob set the benchmark calibration uses to emulate the
+// paper's 1999 testbed (DESIGN.md §2): per-message software cost models
+// the MPI implementation's send path (WMPI optimized vs MPICH portable),
+// StagingCopy models MPICH's extra buffer copy, and Latency/BytesPerSec
+// model the 10BaseT Ethernet link of DM mode.
+type LinkProfile struct {
+	// PerMessage is software overhead added to every frame send.
+	PerMessage time.Duration
+	// Latency is one-way link latency added to every frame.
+	Latency time.Duration
+	// BytesPerSec caps throughput; 0 means unlimited. The serialization
+	// delay len(frame)/BytesPerSec is charged to the sender, which is
+	// accurate for the half-duplex ping-pong traffic the paper measures.
+	BytesPerSec float64
+	// PerByte is additional per-byte software cost (memory copies in
+	// the protocol stack); 0 disables it.
+	PerByte time.Duration
+	// StagingCopy forces an extra full copy of every frame on the send
+	// path, modeling a portable implementation's staging buffer.
+	StagingCopy bool
+}
+
+// Zero reports whether the profile injects nothing.
+func (p LinkProfile) Zero() bool {
+	return p.PerMessage == 0 && p.Latency == 0 && p.BytesPerSec == 0 && p.PerByte == 0 && !p.StagingCopy
+}
+
+// Shaped wraps a Device, charging LinkProfile costs on every Send. Recv,
+// Rank, Size and Close pass through.
+type Shaped struct {
+	Device
+	Profile LinkProfile
+
+	mu sync.Mutex
+	// linkFree is the time the emulated link finishes transmitting all
+	// previously charged frames; serialization delays accumulate when
+	// the sender outpaces the link, as a real NIC queue would.
+	linkFree time.Time
+}
+
+// NewShaped wraps dev with a cost profile. A zero profile is returned
+// unwrapped, so the fast path costs nothing.
+func NewShaped(dev Device, p LinkProfile) Device {
+	if p.Zero() {
+		return dev
+	}
+	return &Shaped{Device: dev, Profile: p}
+}
+
+// Send charges the profile's costs, then forwards to the inner device.
+func (s *Shaped) Send(dst int, frame []byte) error {
+	p := s.Profile
+	if p.StagingCopy {
+		staged := make([]byte, len(frame))
+		copy(staged, frame)
+		frame = staged
+	}
+	delay := p.PerMessage + p.Latency + time.Duration(len(frame))*p.PerByte
+	if p.BytesPerSec > 0 {
+		ser := time.Duration(float64(len(frame)) / p.BytesPerSec * float64(time.Second))
+		s.mu.Lock()
+		now := time.Now()
+		if s.linkFree.Before(now) {
+			s.linkFree = now
+		}
+		s.linkFree = s.linkFree.Add(ser)
+		wait := time.Until(s.linkFree)
+		s.mu.Unlock()
+		delay += wait
+	}
+	spin.Wait(delay)
+	return s.Device.Send(dst, frame)
+}

@@ -1,0 +1,109 @@
+package transport
+
+import "sync"
+
+// shmJob is the shared fabric of an in-process job: one inbox channel and
+// one shutdown signal per rank. Channel semantics give exactly the
+// ordering a device must provide: sends from one goroutine are observed
+// in order, and the per-rank progress engine drains the inbox
+// continuously so senders only block transiently on flow control.
+type shmJob struct {
+	inboxes []chan []byte
+	done    []chan struct{}
+}
+
+// ShmDevice is one endpoint of an in-process (Shared Memory mode) job.
+type ShmDevice struct {
+	job  *shmJob
+	rank int
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// DefaultInboxDepth is the per-rank flow-control window, in frames.
+const DefaultInboxDepth = 1024
+
+// NewShmJob creates an n-rank in-process job and returns its devices.
+// depth is the per-rank inbox capacity in frames; depth <= 0 selects
+// DefaultInboxDepth.
+func NewShmJob(n, depth int) []*ShmDevice {
+	if depth <= 0 {
+		depth = DefaultInboxDepth
+	}
+	job := &shmJob{
+		inboxes: make([]chan []byte, n),
+		done:    make([]chan struct{}, n),
+	}
+	for i := range job.inboxes {
+		job.inboxes[i] = make(chan []byte, depth)
+		job.done[i] = make(chan struct{})
+	}
+	devs := make([]*ShmDevice, n)
+	for i := range devs {
+		devs[i] = &ShmDevice{job: job, rank: i}
+	}
+	return devs
+}
+
+// Rank returns this endpoint's world rank.
+func (d *ShmDevice) Rank() int { return d.rank }
+
+// Size returns the number of ranks in the job.
+func (d *ShmDevice) Size() int { return len(d.job.inboxes) }
+
+// Send delivers frame to rank dst's inbox. It fails with ErrClosed when
+// either endpoint has shut down, so a sender can never block forever on
+// a dead receiver.
+func (d *ShmDevice) Send(dst int, frame []byte) error {
+	if err := checkDst(dst, d.Size()); err != nil {
+		return err
+	}
+	mine := d.job.done[d.rank]
+	theirs := d.job.done[dst]
+	select {
+	case <-mine:
+		return ErrClosed
+	case <-theirs:
+		return ErrClosed
+	default:
+	}
+	select {
+	case d.job.inboxes[dst] <- frame:
+		return nil
+	case <-mine:
+		return ErrClosed
+	case <-theirs:
+		return ErrClosed
+	}
+}
+
+// Recv returns the next frame addressed to this rank.
+func (d *ShmDevice) Recv() ([]byte, error) {
+	select {
+	case f := <-d.job.inboxes[d.rank]:
+		return f, nil
+	case <-d.job.done[d.rank]:
+		// Drain anything already queued so shutdown is not lossy
+		// for frames delivered before Close.
+		select {
+		case f := <-d.job.inboxes[d.rank]:
+			return f, nil
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+// Close shuts down this endpoint. Other ranks' endpoints are unaffected.
+func (d *ShmDevice) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.closed {
+		d.closed = true
+		close(d.job.done[d.rank])
+	}
+	return nil
+}
+
+var _ Device = (*ShmDevice)(nil)

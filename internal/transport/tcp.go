@@ -1,0 +1,263 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPDevice is one endpoint of a socket-mesh job: the paper's Distributed
+// Memory (DM) mode. Every pair of ranks shares one TCP connection
+// carrying length-prefixed frames; per-pair FIFO ordering follows from
+// TCP's byte-stream ordering plus a per-connection writer lock.
+type TCPDevice struct {
+	rank, size int
+	peers      []*peerConn // indexed by rank; nil at own rank
+	ln         net.Listener
+	ownsLn     bool
+
+	inbox     chan []byte
+	done      chan struct{}
+	closeOnce sync.Once
+	readers   sync.WaitGroup
+}
+
+type peerConn struct {
+	mu sync.Mutex // serializes frame writes
+	c  net.Conn
+}
+
+const meshMagic = 0x6d706a31 // "mpj1"
+
+// ConnectMesh builds the full connection mesh for one rank of a size-rank
+// job. addrs[i] is the listen address of rank i's listener; ln is this
+// rank's own listener (retained and closed by the device if ownsListener
+// is true). Rank r dials every lower rank and accepts from every higher
+// rank, identifying peers through a handshake frame, so the procedure is
+// deadlock-free regardless of scheduling.
+func ConnectMesh(rank, size int, addrs []string, ln net.Listener, ownsListener bool) (*TCPDevice, error) {
+	if len(addrs) != size {
+		return nil, fmt.Errorf("transport: %d addresses for job size %d", len(addrs), size)
+	}
+	d := &TCPDevice{
+		rank:   rank,
+		size:   size,
+		peers:  make([]*peerConn, size),
+		ln:     ln,
+		ownsLn: ownsListener,
+		inbox:  make(chan []byte, DefaultInboxDepth),
+		done:   make(chan struct{}),
+	}
+	// Dial lower ranks.
+	for j := 0; j < rank; j++ {
+		c, err := dialPeer(addrs[j], rank)
+		if err != nil {
+			d.Close()
+			return nil, fmt.Errorf("transport: rank %d dialing rank %d: %w", rank, j, err)
+		}
+		d.peers[j] = &peerConn{c: c}
+	}
+	// Accept higher ranks.
+	for need := size - rank - 1; need > 0; need-- {
+		c, peer, err := acceptPeer(ln)
+		if err != nil {
+			d.Close()
+			return nil, fmt.Errorf("transport: rank %d accepting: %w", rank, err)
+		}
+		if peer <= rank || peer >= size || d.peers[peer] != nil {
+			c.Close()
+			d.Close()
+			return nil, fmt.Errorf("transport: rank %d got bad handshake from claimed rank %d", rank, peer)
+		}
+		d.peers[peer] = &peerConn{c: c}
+	}
+	for r, p := range d.peers {
+		if p != nil {
+			d.readers.Add(1)
+			go d.readLoop(r, p.c)
+		}
+	}
+	return d, nil
+}
+
+func dialPeer(addr string, myRank int) (net.Conn, error) {
+	var c net.Conn
+	var err error
+	// The peer's listener exists before addresses are published, but
+	// transient kernel-level refusals can still happen under load.
+	for attempt := 0; attempt < 50; attempt++ {
+		c, err = net.DialTimeout("tcp", addr, 5*time.Second)
+		if err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		return nil, err
+	}
+	tuneConn(c)
+	var hs [8]byte
+	binary.LittleEndian.PutUint32(hs[0:], meshMagic)
+	binary.LittleEndian.PutUint32(hs[4:], uint32(myRank))
+	if _, err := c.Write(hs[:]); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+func acceptPeer(ln net.Listener) (net.Conn, int, error) {
+	c, err := ln.Accept()
+	if err != nil {
+		return nil, 0, err
+	}
+	tuneConn(c)
+	var hs [8]byte
+	if _, err := io.ReadFull(c, hs[:]); err != nil {
+		c.Close()
+		return nil, 0, err
+	}
+	if binary.LittleEndian.Uint32(hs[0:]) != meshMagic {
+		c.Close()
+		return nil, 0, fmt.Errorf("bad mesh handshake magic")
+	}
+	return c, int(binary.LittleEndian.Uint32(hs[4:])), nil
+}
+
+func tuneConn(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true) // latency matters more than throughput here
+	}
+}
+
+// NewLoopbackJob creates an n-rank DM-mode job entirely in-process over
+// 127.0.0.1, for tests and benchmarks: real sockets, real wire framing,
+// no separate OS processes.
+func NewLoopbackJob(n int) ([]*TCPDevice, error) {
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for j := 0; j < i; j++ {
+				lns[j].Close()
+			}
+			return nil, err
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	devs := make([]*TCPDevice, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			devs[i], errs[i] = ConnectMesh(i, n, addrs, lns[i], true)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			for _, d := range devs {
+				if d != nil {
+					d.Close()
+				}
+			}
+			return nil, err
+		}
+	}
+	return devs, nil
+}
+
+// Rank returns this endpoint's world rank.
+func (d *TCPDevice) Rank() int { return d.rank }
+
+// Size returns the number of ranks in the job.
+func (d *TCPDevice) Size() int { return d.size }
+
+// Send writes frame to rank dst over its mesh connection.
+func (d *TCPDevice) Send(dst int, frame []byte) error {
+	if err := checkDst(dst, d.size); err != nil {
+		return err
+	}
+	if dst == d.rank {
+		select {
+		case d.inbox <- frame:
+			return nil
+		case <-d.done:
+			return ErrClosed
+		}
+	}
+	p := d.peers[dst]
+	if p == nil {
+		return ErrClosed
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(frame)))
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	bufs := net.Buffers{hdr[:], frame}
+	if _, err := bufs.WriteTo(p.c); err != nil {
+		return fmt.Errorf("transport: send to rank %d: %w", dst, err)
+	}
+	return nil
+}
+
+// Recv returns the next frame addressed to this rank.
+func (d *TCPDevice) Recv() ([]byte, error) {
+	select {
+	case f := <-d.inbox:
+		return f, nil
+	case <-d.done:
+		select {
+		case f := <-d.inbox:
+			return f, nil
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+func (d *TCPDevice) readLoop(peer int, c net.Conn) {
+	defer d.readers.Done()
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(c, hdr[:]); err != nil {
+			return // peer closed or we are shutting down
+		}
+		n := binary.LittleEndian.Uint32(hdr[:])
+		frame := make([]byte, n)
+		if _, err := io.ReadFull(c, frame); err != nil {
+			return
+		}
+		select {
+		case d.inbox <- frame:
+		case <-d.done:
+			return
+		}
+	}
+}
+
+// Close tears down the mesh endpoint: the listener (if owned), all peer
+// connections, and any blocked Recv calls.
+func (d *TCPDevice) Close() error {
+	d.closeOnce.Do(func() {
+		close(d.done)
+		if d.ownsLn && d.ln != nil {
+			d.ln.Close()
+		}
+		for _, p := range d.peers {
+			if p != nil && p.c != nil {
+				p.c.Close()
+			}
+		}
+	})
+	return nil
+}
+
+var _ Device = (*TCPDevice)(nil)

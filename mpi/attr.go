@@ -1,0 +1,168 @@
+package mpi
+
+import "sync"
+
+// Attribute caching (MPI 1.1 §5.7): keyed values attached to
+// communicators, with copy and delete callbacks driven by Dup and Free.
+// The binding keeps the C semantics — including the copy-callback's veto
+// on propagation — with Go closures in place of function pointers.
+
+// CopyFn decides what a duplicated communicator inherits for one key:
+// it receives the parent's value and returns the child's value and
+// whether the attribute propagates at all (MPI_Copy_function).
+type CopyFn func(val any) (newVal any, propagate bool)
+
+// DeleteFn runs when an attribute is deleted or its communicator freed
+// (MPI_Delete_function).
+type DeleteFn func(val any)
+
+// Keyval identifies an attribute key (MPI_Keyval_create). Keyvals are
+// process-local, like the handles of the C binding.
+type Keyval struct {
+	id    int
+	copyF CopyFn
+	delF  DeleteFn
+	freed bool
+}
+
+var keyvalTable = struct {
+	sync.Mutex
+	next int
+	live map[int]*Keyval
+}{next: 1, live: make(map[int]*Keyval)}
+
+// CreateKeyval registers an attribute key. A nil copy function behaves
+// like MPI_NULL_COPY_FN (attributes do not propagate on Dup); a nil
+// delete function like MPI_NULL_DELETE_FN.
+func CreateKeyval(copyF CopyFn, delF DeleteFn) *Keyval {
+	keyvalTable.Lock()
+	defer keyvalTable.Unlock()
+	kv := &Keyval{id: keyvalTable.next, copyF: copyF, delF: delF}
+	keyvalTable.next++
+	keyvalTable.live[kv.id] = kv
+	return kv
+}
+
+// Free releases the keyval (MPI_Keyval_free). Attributes already cached
+// under it remain retrievable until deleted.
+func (kv *Keyval) Free() {
+	keyvalTable.Lock()
+	defer keyvalTable.Unlock()
+	kv.freed = true
+	delete(keyvalTable.live, kv.id)
+}
+
+// attrMap is the per-communicator attribute store.
+type attrMap struct {
+	mu   sync.Mutex
+	vals map[int]any
+}
+
+func (m *attrMap) put(id int, v any) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.vals == nil {
+		m.vals = make(map[int]any)
+	}
+	m.vals[id] = v
+}
+
+func (m *attrMap) get(id int) (any, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v, ok := m.vals[id]
+	return v, ok
+}
+
+func (m *attrMap) del(id int) (any, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v, ok := m.vals[id]
+	if ok {
+		delete(m.vals, id)
+	}
+	return v, ok
+}
+
+// PutAttr caches a value on the communicator under kv (MPI_Attr_put).
+// An existing value is deleted first, running its delete callback.
+func (c *Comm) PutAttr(kv *Keyval, val any) error {
+	if err := c.ok(); err != nil {
+		return c.raise(err)
+	}
+	if kv == nil {
+		return c.raise(errf(ErrArg, "nil keyval"))
+	}
+	if old, ok := c.attrs.del(kv.id); ok && kv.delF != nil {
+		kv.delF(old)
+	}
+	c.attrs.put(kv.id, val)
+	return nil
+}
+
+// GetAttr retrieves a cached value; the second result reports presence
+// (MPI_Attr_get's flag output, returned Java-binding style).
+func (c *Comm) GetAttr(kv *Keyval) (any, bool) {
+	if c == nil || kv == nil {
+		return nil, false
+	}
+	return c.attrs.get(kv.id)
+}
+
+// DeleteAttr removes a cached value, running the delete callback
+// (MPI_Attr_delete).
+func (c *Comm) DeleteAttr(kv *Keyval) error {
+	if err := c.ok(); err != nil {
+		return c.raise(err)
+	}
+	if kv == nil {
+		return c.raise(errf(ErrArg, "nil keyval"))
+	}
+	val, ok := c.attrs.del(kv.id)
+	if !ok {
+		return c.raise(errf(ErrArg, "no attribute cached under keyval %d", kv.id))
+	}
+	if kv.delF != nil {
+		kv.delF(val)
+	}
+	return nil
+}
+
+// copyAttrsTo propagates attributes through the copy callbacks on Dup.
+func (c *Comm) copyAttrsTo(dst *Comm) {
+	c.attrs.mu.Lock()
+	snapshot := make(map[int]any, len(c.attrs.vals))
+	for id, v := range c.attrs.vals {
+		snapshot[id] = v
+	}
+	c.attrs.mu.Unlock()
+	keyvalTable.Lock()
+	defer keyvalTable.Unlock()
+	for id, v := range snapshot {
+		kv, ok := keyvalTable.live[id]
+		if !ok || kv.copyF == nil {
+			continue // MPI_NULL_COPY_FN: no propagation
+		}
+		if newVal, propagate := kv.copyF(v); propagate {
+			dst.attrs.put(id, newVal)
+		}
+	}
+}
+
+// deleteAllAttrs runs delete callbacks when the communicator is freed.
+func (c *Comm) deleteAllAttrs() {
+	c.attrs.mu.Lock()
+	snapshot := make(map[int]any, len(c.attrs.vals))
+	for id, v := range c.attrs.vals {
+		snapshot[id] = v
+	}
+	c.attrs.vals = nil
+	c.attrs.mu.Unlock()
+	keyvalTable.Lock()
+	defer keyvalTable.Unlock()
+	for id, v := range snapshot {
+		if kv, ok := keyvalTable.live[id]; ok && kv.delF != nil {
+			kv.delF(v)
+		}
+	}
+}

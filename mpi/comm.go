@@ -1,0 +1,581 @@
+package mpi
+
+import (
+	"gompi/internal/coll"
+	"gompi/internal/core"
+	"gompi/internal/dtype"
+)
+
+// Comm is the communicator base class (paper Fig. 1): all communication
+// functions are members of Comm or its subclasses Intracomm (with the
+// collectives and constructors) and Intercomm. A communicator owns a
+// pair of reserved context ids — one for point-to-point traffic, one for
+// collectives — so traffic on different communicators can never
+// cross-match.
+type Comm struct {
+	env   *Env
+	group []int // world ranks indexed by group rank
+	rank  int   // caller's group rank
+	inter bool
+	// remote holds the remote group of an intercommunicator; for
+	// intracommunicators it aliases group, so destination ranks always
+	// resolve through it (MPI inter-comm pt2pt addresses the remote
+	// group).
+	remote  []int
+	ptpCtx  int32
+	collCtx int32
+	cl      *coll.Comm
+	name    string
+	freed   bool
+	errh    Errhandler
+	attrs   *attrMap
+}
+
+func (e *Env) buildComm(group []int, myRank int, ctxBase int32, name string) *Comm {
+	c := &Comm{
+		attrs:   &attrMap{},
+		env:     e,
+		group:   group,
+		rank:    myRank,
+		remote:  group,
+		ptpCtx:  ctxBase,
+		collCtx: ctxBase + 1,
+		name:    name,
+	}
+	c.cl = &coll.Comm{
+		P:     e.proc,
+		Ctx:   c.collCtx,
+		Rank:  myRank,
+		Size:  len(group),
+		World: func(gr int) int { return group[gr] },
+	}
+	return c
+}
+
+// Rank returns the caller's rank within the (local) group.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the size of the (local) group.
+func (c *Comm) Size() int { return len(c.group) }
+
+// Group returns the communicator's local group (MPI_Comm_group).
+func (c *Comm) Group() *Group {
+	return &Group{ranks: append([]int(nil), c.group...), me: c.env.proc.Rank()}
+}
+
+// TestInter reports whether this is an inter-communicator
+// (MPI_Comm_test_inter).
+func (c *Comm) TestInter() bool { return c.inter }
+
+// Name returns the communicator's name.
+func (c *Comm) Name() string { return c.name }
+
+// SetName names the communicator.
+func (c *Comm) SetName(n string) { c.name = n }
+
+// Errhandler returns the communicator's error handler.
+func (c *Comm) Errhandler() Errhandler { return c.errh }
+
+// SetErrhandler installs an error handler (MPI_Errhandler_set).
+// ErrorsReturn (the default) delivers errors as return values;
+// ErrorsAreFatal panics.
+func (c *Comm) SetErrhandler(h Errhandler) { c.errh = h }
+
+// Free marks the communicator freed (MPI_Comm_free) — one of the two
+// classes the paper gives an explicit Free (§2.1). Subsequent use
+// raises ErrComm.
+func (c *Comm) Free() error {
+	if err := c.ok(); err != nil {
+		return err
+	}
+	c.deleteAllAttrs()
+	c.freed = true
+	return nil
+}
+
+// raise routes an error through the communicator's error handler.
+func (c *Comm) raise(err error) error {
+	if err != nil && c.errh == ErrorsAreFatal {
+		panic(err)
+	}
+	return err
+}
+
+func (c *Comm) ok() error {
+	switch {
+	case c == nil:
+		return errf(ErrComm, "nil communicator")
+	case c.freed:
+		return errf(ErrComm, "communicator %q has been freed", c.name)
+	case c.env.finalized.Load():
+		return errf(ErrComm, "MPI already finalized")
+	}
+	return nil
+}
+
+func (c *Comm) checkDest(rank int) error {
+	if rank == ProcNull {
+		return nil
+	}
+	if rank < 0 || rank >= len(c.remote) {
+		return errf(ErrRank, "destination rank %d out of range [0,%d)", rank, len(c.remote))
+	}
+	return nil
+}
+
+func (c *Comm) checkSource(rank int) error {
+	if rank == ProcNull || rank == AnySource {
+		return nil
+	}
+	if rank < 0 || rank >= len(c.remote) {
+		return errf(ErrRank, "source rank %d out of range [0,%d)", rank, len(c.remote))
+	}
+	return nil
+}
+
+func (c *Comm) checkTag(tag int, wildcardOK bool) error {
+	if wildcardOK && tag == AnyTag {
+		return nil
+	}
+	if tag < 0 || tag > TagUB {
+		return errf(ErrTag, "tag %d out of range [0,%d]", tag, TagUB)
+	}
+	return nil
+}
+
+func (c *Comm) checkType(d *Datatype) error {
+	switch {
+	case d == nil:
+		return errf(ErrType, "nil datatype")
+	case d.t.IsMarker():
+		return errf(ErrType, "%s cannot be used in communication", d.Name())
+	case !d.Committed():
+		return errf(ErrType, "datatype %s not committed", d.Name())
+	}
+	return nil
+}
+
+// pt2ptChecks bundles the argument validation shared by every
+// point-to-point call.
+func (c *Comm) sendChecks(d *Datatype, dest, tag int) error {
+	if err := c.ok(); err != nil {
+		return err
+	}
+	if err := c.checkType(d); err != nil {
+		return err
+	}
+	if err := c.checkDest(dest); err != nil {
+		return err
+	}
+	return c.checkTag(tag, false)
+}
+
+func (c *Comm) recvChecks(d *Datatype, source, tag int) error {
+	if err := c.ok(); err != nil {
+		return err
+	}
+	if err := c.checkType(d); err != nil {
+		return err
+	}
+	if err := c.checkSource(source); err != nil {
+		return err
+	}
+	return c.checkTag(tag, true)
+}
+
+func (c *Comm) pack(buf any, offset, count int, d *Datatype) ([]byte, error) {
+	payload, err := dtype.Pack(nil, buf, offset, count, d.t)
+	if err != nil {
+		return nil, mapDataErr(err)
+	}
+	return payload, nil
+}
+
+// isendMode starts a send in the given mode; the shared engine of
+// Isend/Issend/Irsend and the blocking variants.
+func (c *Comm) isendMode(buf any, offset, count int, d *Datatype, dest, tag int, mode core.Mode) (*Request, error) {
+	c.env.enterCall()
+	if err := c.sendChecks(d, dest, tag); err != nil {
+		return nil, c.raise(err)
+	}
+	if dest == ProcNull {
+		return preCompleted(c.env, nullStatus()), nil
+	}
+	payload, err := c.pack(buf, offset, count, d)
+	if err != nil {
+		return nil, c.raise(err)
+	}
+	creq, err := c.env.proc.Isend(c.ptpCtx, c.rank, c.remote[dest], tag, payload, mode)
+	if err != nil {
+		return nil, c.raise(errf(ErrIntern, "%v", err))
+	}
+	return &Request{env: c.env, creq: creq}, nil
+}
+
+// Send is the blocking standard-mode send (MPI_Send; paper §2):
+//
+//	public void Send(Object buf, int offset, int count,
+//	                 Datatype datatype, int dest, int tag)
+func (c *Comm) Send(buf any, offset, count int, d *Datatype, dest, tag int) error {
+	req, err := c.isendMode(buf, offset, count, d, dest, tag, core.ModeStandard)
+	if err != nil {
+		return err
+	}
+	_, err = req.Wait()
+	return c.raise(err)
+}
+
+// Ssend is the blocking synchronous-mode send: it returns only after the
+// receiver has matched the message (MPI_Ssend).
+func (c *Comm) Ssend(buf any, offset, count int, d *Datatype, dest, tag int) error {
+	req, err := c.isendMode(buf, offset, count, d, dest, tag, core.ModeSync)
+	if err != nil {
+		return err
+	}
+	_, err = req.Wait()
+	return c.raise(err)
+}
+
+// Rsend is the blocking ready-mode send; a matching receive must already
+// be posted (MPI_Rsend).
+func (c *Comm) Rsend(buf any, offset, count int, d *Datatype, dest, tag int) error {
+	req, err := c.isendMode(buf, offset, count, d, dest, tag, core.ModeReady)
+	if err != nil {
+		return err
+	}
+	_, err = req.Wait()
+	return c.raise(err)
+}
+
+// Bsend is the blocking buffered-mode send: the message is copied into
+// the attached buffer and the call returns immediately (MPI_Bsend).
+func (c *Comm) Bsend(buf any, offset, count int, d *Datatype, dest, tag int) error {
+	req, err := c.Ibsend(buf, offset, count, d, dest, tag)
+	if err != nil {
+		return err
+	}
+	_, err = req.Wait()
+	return c.raise(err)
+}
+
+// Isend starts a non-blocking standard-mode send (MPI_Isend).
+func (c *Comm) Isend(buf any, offset, count int, d *Datatype, dest, tag int) (*Request, error) {
+	return c.isendMode(buf, offset, count, d, dest, tag, core.ModeStandard)
+}
+
+// Issend starts a non-blocking synchronous-mode send (MPI_Issend).
+func (c *Comm) Issend(buf any, offset, count int, d *Datatype, dest, tag int) (*Request, error) {
+	return c.isendMode(buf, offset, count, d, dest, tag, core.ModeSync)
+}
+
+// Irsend starts a non-blocking ready-mode send (MPI_Irsend).
+func (c *Comm) Irsend(buf any, offset, count int, d *Datatype, dest, tag int) (*Request, error) {
+	return c.isendMode(buf, offset, count, d, dest, tag, core.ModeReady)
+}
+
+// Ibsend starts a non-blocking buffered-mode send (MPI_Ibsend). The
+// packed message is charged against the attached buffer; the user-visible
+// request completes immediately, and the space is released when the
+// underlying transfer finishes.
+func (c *Comm) Ibsend(buf any, offset, count int, d *Datatype, dest, tag int) (*Request, error) {
+	c.env.enterCall()
+	if err := c.sendChecks(d, dest, tag); err != nil {
+		return nil, c.raise(err)
+	}
+	if dest == ProcNull {
+		return preCompleted(c.env, nullStatus()), nil
+	}
+	payload, err := c.pack(buf, offset, count, d)
+	if err != nil {
+		return nil, c.raise(err)
+	}
+	if err := c.env.reserveBuffer(len(payload)); err != nil {
+		return nil, c.raise(err)
+	}
+	creq, err := c.env.proc.Isend(c.ptpCtx, c.rank, c.remote[dest], tag, payload, core.ModeStandard)
+	if err != nil {
+		c.env.releaseBuffer(len(payload))
+		return nil, c.raise(errf(ErrIntern, "%v", err))
+	}
+	n := len(payload)
+	env := c.env
+	go func() {
+		creq.Wait()
+		env.releaseBuffer(n)
+	}()
+	st := nullStatus()
+	st.bytes = n
+	return preCompleted(c.env, st), nil
+}
+
+// Irecv starts a non-blocking receive (MPI_Irecv). The buffer section
+// is filled when the request completes.
+func (c *Comm) Irecv(buf any, offset, count int, d *Datatype, source, tag int) (*Request, error) {
+	c.env.enterCall()
+	if err := c.recvChecks(d, source, tag); err != nil {
+		return nil, c.raise(err)
+	}
+	// Validate the buffer section eagerly so errors surface at the
+	// call, not at completion.
+	if n, err := dtype.CheckBuf(buf, d.t); err != nil {
+		return nil, c.raise(mapDataErr(err))
+	} else {
+		_ = n
+	}
+	if source == ProcNull {
+		return preCompleted(c.env, nullStatus()), nil
+	}
+	src := int32(source)
+	if source == AnySource {
+		src = core.AnySource
+	}
+	tg := int32(tag)
+	if tag == AnyTag {
+		tg = core.AnyTag
+	}
+	creq := c.env.proc.Irecv(c.ptpCtx, src, tg)
+	return &Request{
+		env: c.env, creq: creq, isRecv: true,
+		buf: buf, offset: offset, count: count, dt: d,
+	}, nil
+}
+
+// Recv is the blocking receive (MPI_Recv; paper §2):
+//
+//	public Status Recv(Object buf, int offset, int count,
+//	                   Datatype datatype, int source, int tag)
+func (c *Comm) Recv(buf any, offset, count int, d *Datatype, source, tag int) (*Status, error) {
+	req, err := c.Irecv(buf, offset, count, d, source, tag)
+	if err != nil {
+		return nil, err
+	}
+	st, err := req.Wait()
+	return st, c.raise(err)
+}
+
+// Sendrecv executes a send and a receive concurrently, with distinct
+// buffers (MPI_Sendrecv).
+func (c *Comm) Sendrecv(
+	sendbuf any, soffset, scount int, sdt *Datatype, dest, stag int,
+	recvbuf any, roffset, rcount int, rdt *Datatype, source, rtag int,
+) (*Status, error) {
+	rreq, err := c.Irecv(recvbuf, roffset, rcount, rdt, source, rtag)
+	if err != nil {
+		return nil, err
+	}
+	sreq, err := c.isendMode(sendbuf, soffset, scount, sdt, dest, stag, core.ModeStandard)
+	if err != nil {
+		return nil, err
+	}
+	st, rerr := rreq.Wait()
+	_, serr := sreq.Wait()
+	if rerr != nil {
+		return st, c.raise(rerr)
+	}
+	return st, c.raise(serr)
+}
+
+// SendrecvReplace sends and receives using a single buffer section
+// (MPI_Sendrecv_replace): the outgoing message is packed before the
+// incoming one overwrites the buffer.
+func (c *Comm) SendrecvReplace(
+	buf any, offset, count int, d *Datatype,
+	dest, stag, source, rtag int,
+) (*Status, error) {
+	c.env.enterCall()
+	if err := c.sendChecks(d, dest, stag); err != nil {
+		return nil, c.raise(err)
+	}
+	if err := c.recvChecks(d, source, rtag); err != nil {
+		return nil, c.raise(err)
+	}
+	payload, err := c.pack(buf, offset, count, d)
+	if err != nil {
+		return nil, c.raise(err)
+	}
+	rreq, err := c.Irecv(buf, offset, count, d, source, rtag)
+	if err != nil {
+		return nil, err
+	}
+	if dest != ProcNull {
+		creq, err := c.env.proc.Isend(c.ptpCtx, c.rank, c.remote[dest], stag, payload, core.ModeStandard)
+		if err != nil {
+			return nil, c.raise(errf(ErrIntern, "%v", err))
+		}
+		defer creq.Wait()
+	}
+	st, rerr := rreq.Wait()
+	return st, c.raise(rerr)
+}
+
+// Probe blocks until a matching message is pending and returns its
+// status without receiving it (MPI_Probe).
+func (c *Comm) Probe(source, tag int) (*Status, error) {
+	c.env.enterCall()
+	if err := c.ok(); err != nil {
+		return nil, c.raise(err)
+	}
+	if err := c.checkSource(source); err != nil {
+		return nil, c.raise(err)
+	}
+	if err := c.checkTag(tag, true); err != nil {
+		return nil, c.raise(err)
+	}
+	if source == ProcNull {
+		return nullStatus(), nil
+	}
+	src := int32(source)
+	if source == AnySource {
+		src = core.AnySource
+	}
+	tg := int32(tag)
+	if tag == AnyTag {
+		tg = core.AnyTag
+	}
+	cst, err := c.env.proc.Probe(c.ptpCtx, src, tg)
+	if err != nil {
+		return nil, c.raise(errf(ErrIntern, "%v", err))
+	}
+	return probeStatus(cst.SourceGroup, cst.Tag, cst.Bytes), nil
+}
+
+// Iprobe checks for a matching pending message without blocking
+// (MPI_Iprobe); it returns nil when none is pending.
+func (c *Comm) Iprobe(source, tag int) (*Status, error) {
+	c.env.enterCall()
+	if err := c.ok(); err != nil {
+		return nil, c.raise(err)
+	}
+	if err := c.checkSource(source); err != nil {
+		return nil, c.raise(err)
+	}
+	if err := c.checkTag(tag, true); err != nil {
+		return nil, c.raise(err)
+	}
+	if source == ProcNull {
+		return nullStatus(), nil
+	}
+	src := int32(source)
+	if source == AnySource {
+		src = core.AnySource
+	}
+	tg := int32(tag)
+	if tag == AnyTag {
+		tg = core.AnyTag
+	}
+	cst, ok := c.env.proc.Iprobe(c.ptpCtx, src, tg)
+	if !ok {
+		return nil, nil
+	}
+	return probeStatus(cst.SourceGroup, cst.Tag, cst.Bytes), nil
+}
+
+// SendInit creates a persistent standard-mode send request
+// (MPI_Send_init).
+func (c *Comm) SendInit(buf any, offset, count int, d *Datatype, dest, tag int) (*Prequest, error) {
+	if err := c.sendChecks(d, dest, tag); err != nil {
+		return nil, c.raise(err)
+	}
+	return &Prequest{comm: c, mode: core.ModeStandard, buf: buf, offset: offset, count: count, dt: d, rank: dest, tag: tag}, nil
+}
+
+// SsendInit creates a persistent synchronous-mode send request.
+func (c *Comm) SsendInit(buf any, offset, count int, d *Datatype, dest, tag int) (*Prequest, error) {
+	if err := c.sendChecks(d, dest, tag); err != nil {
+		return nil, c.raise(err)
+	}
+	return &Prequest{comm: c, mode: core.ModeSync, buf: buf, offset: offset, count: count, dt: d, rank: dest, tag: tag}, nil
+}
+
+// RsendInit creates a persistent ready-mode send request.
+func (c *Comm) RsendInit(buf any, offset, count int, d *Datatype, dest, tag int) (*Prequest, error) {
+	if err := c.sendChecks(d, dest, tag); err != nil {
+		return nil, c.raise(err)
+	}
+	return &Prequest{comm: c, mode: core.ModeReady, buf: buf, offset: offset, count: count, dt: d, rank: dest, tag: tag}, nil
+}
+
+// BsendInit creates a persistent buffered-mode send request.
+func (c *Comm) BsendInit(buf any, offset, count int, d *Datatype, dest, tag int) (*Prequest, error) {
+	if err := c.sendChecks(d, dest, tag); err != nil {
+		return nil, c.raise(err)
+	}
+	return &Prequest{comm: c, buffed: true, buf: buf, offset: offset, count: count, dt: d, rank: dest, tag: tag}, nil
+}
+
+// RecvInit creates a persistent receive request (MPI_Recv_init).
+func (c *Comm) RecvInit(buf any, offset, count int, d *Datatype, source, tag int) (*Prequest, error) {
+	if err := c.recvChecks(d, source, tag); err != nil {
+		return nil, c.raise(err)
+	}
+	return &Prequest{comm: c, isRecv: true, buf: buf, offset: offset, count: count, dt: d, rank: source, tag: tag}, nil
+}
+
+// Pack incrementally packs a buffer section into outbuf starting at
+// position; it returns the new position (MPI_Pack). Packed bytes travel
+// with the PACKED datatype.
+func (c *Comm) Pack(inbuf any, offset, incount int, d *Datatype, outbuf []byte, position int) (int, error) {
+	if err := c.ok(); err != nil {
+		return position, c.raise(err)
+	}
+	if err := c.checkType(d); err != nil {
+		return position, c.raise(err)
+	}
+	wire, err := dtype.Pack(nil, inbuf, offset, incount, d.t)
+	if err != nil {
+		return position, c.raise(mapDataErr(err))
+	}
+	if position < 0 || position+len(wire) > len(outbuf) {
+		return position, c.raise(errf(ErrBuffer, "pack of %d bytes at position %d exceeds buffer of %d",
+			len(wire), position, len(outbuf)))
+	}
+	copy(outbuf[position:], wire)
+	return position + len(wire), nil
+}
+
+// Unpack extracts outcount items from inbuf starting at position into a
+// buffer section, returning the new position (MPI_Unpack).
+func (c *Comm) Unpack(inbuf []byte, position int, outbuf any, offset, outcount int, d *Datatype) (int, error) {
+	if err := c.ok(); err != nil {
+		return position, c.raise(err)
+	}
+	if err := c.checkType(d); err != nil {
+		return position, c.raise(err)
+	}
+	need := d.t.WireBytes(outcount)
+	if need < 0 {
+		// Object payloads are self-delimiting; consume what the
+		// unpack reports.
+		n, err := dtype.Unpack(inbuf[position:], outbuf, offset, outcount, d.t)
+		if err != nil && err != dtype.ErrTruncate {
+			return position, c.raise(mapDataErr(err))
+		}
+		_ = n
+		return len(inbuf), nil
+	}
+	if position < 0 || position+need > len(inbuf) {
+		return position, c.raise(errf(ErrBuffer, "unpack of %d bytes at position %d exceeds buffer of %d",
+			need, position, len(inbuf)))
+	}
+	if _, err := dtype.Unpack(inbuf[position:position+need], outbuf, offset, outcount, d.t); err != nil {
+		return position, c.raise(mapDataErr(err))
+	}
+	return position + need, nil
+}
+
+// PackSize bounds the space Pack needs for incount items of d
+// (MPI_Pack_size). Object buffers have no static bound; PackSize returns
+// Undefined for them.
+func (c *Comm) PackSize(incount int, d *Datatype) (int, error) {
+	if err := c.ok(); err != nil {
+		return 0, c.raise(err)
+	}
+	if err := c.checkType(d); err != nil {
+		return 0, c.raise(err)
+	}
+	n := d.t.WireBytes(incount)
+	if n < 0 {
+		return Undefined, nil
+	}
+	return n, nil
+}

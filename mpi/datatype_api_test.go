@@ -1,0 +1,164 @@
+package mpi_test
+
+import (
+	"testing"
+
+	"gompi/mpi"
+)
+
+func TestPredefinedDatatypeGeometry(t *testing.T) {
+	for _, d := range []*mpi.Datatype{
+		mpi.BYTE, mpi.CHAR, mpi.BOOLEAN, mpi.SHORT, mpi.INT,
+		mpi.LONG, mpi.FLOAT, mpi.DOUBLE, mpi.PACKED, mpi.OBJECT,
+	} {
+		if d.Size() != 1 || d.Extent() != 1 || !d.Committed() {
+			t.Errorf("%s: size=%d extent=%d committed=%v", d.Name(), d.Size(), d.Extent(), d.Committed())
+		}
+	}
+	for _, d := range []*mpi.Datatype{mpi.SHORT2, mpi.INT2, mpi.LONG2, mpi.FLOAT2, mpi.DOUBLE2} {
+		if d.Size() != 2 || d.Extent() != 2 {
+			t.Errorf("%s: size=%d extent=%d", d.Name(), d.Size(), d.Extent())
+		}
+	}
+}
+
+func TestDerivedConstructorsErrors(t *testing.T) {
+	if _, err := mpi.TypeContiguous(-1, mpi.INT); mpi.ClassOf(err) != mpi.ErrType {
+		t.Errorf("negative contiguous: %v", err)
+	}
+	if _, err := mpi.TypeVector(2, -1, 1, mpi.INT); mpi.ClassOf(err) != mpi.ErrType {
+		t.Errorf("negative blocklen: %v", err)
+	}
+	if _, err := mpi.TypeIndexed([]int{1}, []int{0, 1}, mpi.INT); mpi.ClassOf(err) != mpi.ErrType {
+		t.Errorf("mismatched indexed: %v", err)
+	}
+	if _, err := mpi.TypeStruct([]int{1, 1}, []int{0, 1},
+		[]*mpi.Datatype{mpi.INT, mpi.DOUBLE}); mpi.ClassOf(err) != mpi.ErrType {
+		t.Errorf("mixed-base struct: %v", err)
+	}
+}
+
+func TestNestedDerivedTypeTransfer(t *testing.T) {
+	err := mpi.Run(2, func(env *mpi.Env) error {
+		w := env.CommWorld()
+		// A vector of indexed blocks: exercise nesting through the
+		// public constructors.
+		inner, err := mpi.TypeIndexed([]int{1, 1}, []int{0, 2}, mpi.LONG)
+		if err != nil {
+			return err
+		}
+		outer, err := mpi.TypeContiguous(2, inner)
+		if err != nil {
+			return err
+		}
+		outer.Commit()
+		if outer.Size() != 4 {
+			t.Errorf("outer size %d", outer.Size())
+		}
+		if w.Rank() == 0 {
+			buf := make([]int64, 12)
+			for i := range buf {
+				buf[i] = int64(i * 100)
+			}
+			return w.Send(buf, 0, 1, outer, 1, 1)
+		}
+		in := make([]int64, 4)
+		if _, err := w.Recv(in, 0, 4, mpi.LONG, 0, 1); err != nil {
+			return err
+		}
+		// inner picks 0,2; second item shifted by extent 3: 3,5.
+		want := []int64{0, 200, 300, 500}
+		for i := range want {
+			if in[i] != want[i] {
+				t.Errorf("element %d: got %d want %d", i, in[i], want[i])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHindexedTransfer(t *testing.T) {
+	err := mpi.Run(2, func(env *mpi.Env) error {
+		w := env.CommWorld()
+		ty, err := mpi.TypeHindexed([]int{2, 1}, []int{1, 6}, mpi.FLOAT)
+		if err != nil {
+			return err
+		}
+		ty.Commit()
+		if w.Rank() == 0 {
+			buf := []float32{0, 10, 20, 30, 40, 50, 60, 70}
+			return w.Send(buf, 0, 1, ty, 1, 1)
+		}
+		in := make([]float32, 3)
+		if _, err := w.Recv(in, 0, 3, mpi.FLOAT, 0, 1); err != nil {
+			return err
+		}
+		if in[0] != 10 || in[1] != 20 || in[2] != 60 {
+			t.Errorf("hindexed payload: %v", in)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCharAndBooleanTransfers(t *testing.T) {
+	err := mpi.Run(2, func(env *mpi.Env) error {
+		w := env.CommWorld()
+		if w.Rank() == 0 {
+			msg := []rune("héllo, wörld") // non-ASCII code points survive
+			if err := w.Send(msg, 0, len(msg), mpi.CHAR, 1, 1); err != nil {
+				return err
+			}
+			flags := []bool{true, false, true, true}
+			return w.Send(flags, 0, 4, mpi.BOOLEAN, 1, 2)
+		}
+		msg := make([]rune, 32)
+		st, err := w.Recv(msg, 0, 32, mpi.CHAR, 0, 1)
+		if err != nil {
+			return err
+		}
+		if got := string(msg[:st.GetCount(mpi.CHAR)]); got != "héllo, wörld" {
+			t.Errorf("char payload %q", got)
+		}
+		flags := make([]bool, 4)
+		if _, err := w.Recv(flags, 0, 4, mpi.BOOLEAN, 0, 2); err != nil {
+			return err
+		}
+		if !flags[0] || flags[1] || !flags[3] {
+			t.Errorf("boolean payload %v", flags)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackSizeAndObjectPackSize(t *testing.T) {
+	err := mpi.Run(1, func(env *mpi.Env) error {
+		w := env.CommWorld()
+		n, err := w.PackSize(5, mpi.DOUBLE)
+		if err != nil {
+			return err
+		}
+		if n != 40 {
+			t.Errorf("PackSize(5, DOUBLE) = %d", n)
+		}
+		n, err = w.PackSize(2, mpi.OBJECT)
+		if err != nil {
+			return err
+		}
+		if n != mpi.Undefined {
+			t.Errorf("PackSize on OBJECT = %d, want Undefined", n)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,95 @@
+package mpi
+
+import "fmt"
+
+// ErrClass enumerates the MPI-1.1 error classes (§7.3 of the standard).
+// The binding returns *Error values carrying one of these classes; Go's
+// error return takes the place of both C return codes and the Java
+// binding's MPIException.
+type ErrClass int
+
+// MPI error classes.
+const (
+	ErrSuccess  ErrClass = iota // no error
+	ErrBuffer                   // invalid buffer pointer / exhausted attach buffer
+	ErrCount                    // invalid count argument
+	ErrType                     // invalid datatype argument
+	ErrTag                      // invalid tag argument
+	ErrComm                     // invalid (or freed) communicator
+	ErrRank                     // invalid rank
+	ErrRequest                  // invalid request handle
+	ErrRoot                     // invalid root
+	ErrGroup                    // invalid group
+	ErrOp                       // invalid reduction operation
+	ErrTopology                 // invalid topology
+	ErrDims                     // invalid dimension argument
+	ErrArg                      // invalid argument of some other kind
+	ErrTruncate                 // message truncated on receive
+	ErrOther                    // known error not in this list
+	ErrIntern                   // internal implementation error
+	ErrInStatus                 // error code is in the status
+	ErrPending                  // pending request
+)
+
+var errClassNames = map[ErrClass]string{
+	ErrSuccess: "MPI_SUCCESS", ErrBuffer: "MPI_ERR_BUFFER", ErrCount: "MPI_ERR_COUNT",
+	ErrType: "MPI_ERR_TYPE", ErrTag: "MPI_ERR_TAG", ErrComm: "MPI_ERR_COMM",
+	ErrRank: "MPI_ERR_RANK", ErrRequest: "MPI_ERR_REQUEST", ErrRoot: "MPI_ERR_ROOT",
+	ErrGroup: "MPI_ERR_GROUP", ErrOp: "MPI_ERR_OP", ErrTopology: "MPI_ERR_TOPOLOGY",
+	ErrDims: "MPI_ERR_DIMS", ErrArg: "MPI_ERR_ARG", ErrTruncate: "MPI_ERR_TRUNCATE",
+	ErrOther: "MPI_ERR_OTHER", ErrIntern: "MPI_ERR_INTERN", ErrInStatus: "MPI_ERR_IN_STATUS",
+	ErrPending: "MPI_ERR_PENDING",
+}
+
+func (c ErrClass) String() string {
+	if s, ok := errClassNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("MPI_ERR(%d)", int(c))
+}
+
+// Error is the binding's error type: an MPI error class plus detail.
+type Error struct {
+	Class ErrClass
+	Msg   string
+}
+
+func (e *Error) Error() string {
+	if e.Msg == "" {
+		return e.Class.String()
+	}
+	return e.Class.String() + ": " + e.Msg
+}
+
+// errf builds an *Error with formatted detail.
+func errf(class ErrClass, format string, args ...any) *Error {
+	return &Error{Class: class, Msg: fmt.Sprintf(format, args...)}
+}
+
+// ClassOf extracts the MPI error class of an error returned by this
+// package; non-*Error values map to ErrOther, nil to ErrSuccess.
+func ClassOf(err error) ErrClass {
+	if err == nil {
+		return ErrSuccess
+	}
+	if e, ok := err.(*Error); ok {
+		return e.Class
+	}
+	return ErrOther
+}
+
+// Errhandler selects how a communicator reports errors, mirroring
+// MPI_Errhandler. The Go binding defaults to ErrorsReturn — Go's error
+// values are the natural analogue of the Java binding's exceptions —
+// while ErrorsAreFatal panics, matching the MPI default's
+// program-terminating behaviour.
+type Errhandler int
+
+// Predefined error handlers.
+const (
+	// ErrorsReturn delivers errors as Go return values (default).
+	ErrorsReturn Errhandler = iota
+	// ErrorsAreFatal panics on the first error raised on the
+	// communicator.
+	ErrorsAreFatal
+)

@@ -1,0 +1,301 @@
+package mpi_test
+
+import (
+	"testing"
+
+	"gompi/mpi"
+)
+
+func TestAttributeCaching(t *testing.T) {
+	err := mpi.Run(2, func(env *mpi.Env) error {
+		w := env.CommWorld()
+		deleted := 0
+		kv := mpi.CreateKeyval(
+			func(v any) (any, bool) { return v.(int) + 1, true },
+			func(v any) { deleted++ },
+		)
+		defer kv.Free()
+		if _, ok := w.GetAttr(kv); ok {
+			t.Error("attribute present before Put")
+		}
+		if err := w.PutAttr(kv, 10); err != nil {
+			return err
+		}
+		if v, ok := w.GetAttr(kv); !ok || v.(int) != 10 {
+			t.Errorf("GetAttr: %v %v", v, ok)
+		}
+		// Dup runs the copy callback.
+		dup, err := w.Dup()
+		if err != nil {
+			return err
+		}
+		if v, ok := dup.GetAttr(kv); !ok || v.(int) != 11 {
+			t.Errorf("copied attr: %v %v", v, ok)
+		}
+		// Overwrite deletes the old value.
+		if err := dup.PutAttr(kv, 99); err != nil {
+			return err
+		}
+		if deleted != 1 {
+			t.Errorf("delete callback ran %d times after overwrite", deleted)
+		}
+		if err := dup.DeleteAttr(kv); err != nil {
+			return err
+		}
+		if deleted != 2 {
+			t.Errorf("delete callback ran %d times after DeleteAttr", deleted)
+		}
+		if err := dup.DeleteAttr(kv); mpi.ClassOf(err) != mpi.ErrArg {
+			t.Errorf("double delete: %v", err)
+		}
+		// Free runs remaining delete callbacks.
+		if err := w.PutAttr(kv, 5); err != nil {
+			return err
+		}
+		if err := dup.Free(); err != nil {
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNullCopyFunctionDoesNotPropagate(t *testing.T) {
+	err := mpi.Run(2, func(env *mpi.Env) error {
+		w := env.CommWorld()
+		kv := mpi.CreateKeyval(nil, nil)
+		defer kv.Free()
+		if err := w.PutAttr(kv, "local only"); err != nil {
+			return err
+		}
+		dup, err := w.Dup()
+		if err != nil {
+			return err
+		}
+		if _, ok := dup.GetAttr(kv); ok {
+			t.Error("nil copy function must not propagate attributes")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredefinedEnvAttributes(t *testing.T) {
+	err := mpi.Run(1, func(env *mpi.Env) error {
+		w := env.CommWorld()
+		if v, ok := w.GetAttr(mpi.KeyTagUB); !ok || v.(int) != mpi.TagUB {
+			t.Errorf("TAG_UB attr: %v %v", v, ok)
+		}
+		if v, ok := w.GetAttr(mpi.KeyWtimeIsGlobal); !ok || v.(bool) {
+			t.Errorf("WTIME_IS_GLOBAL attr: %v %v", v, ok)
+		}
+		if _, ok := w.GetAttr(mpi.KeyIO); !ok {
+			t.Error("IO attr missing")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareCommsAndTopoTest(t *testing.T) {
+	err := mpi.Run(3, func(env *mpi.Env) error {
+		w := env.CommWorld()
+		if mpi.CompareComms(&w.Comm, &w.Comm) != mpi.Ident {
+			t.Error("self compare not Ident")
+		}
+		dup, err := w.Dup()
+		if err != nil {
+			return err
+		}
+		if mpi.CompareComms(&w.Comm, &dup.Comm) != mpi.Congruent {
+			t.Error("dup compare not Congruent")
+		}
+		sub, err := w.Split(0, -w.Rank()) // same members, reversed order
+		if err != nil {
+			return err
+		}
+		if got := mpi.CompareComms(&w.Comm, &sub.Comm); got != mpi.Similar {
+			t.Errorf("reversed compare = %d, want Similar", got)
+		}
+		if major, minor := mpi.GetVersion(); major != 1 || minor != 1 {
+			t.Errorf("version %d.%d", major, minor)
+		}
+		cart, err := w.CreateCart([]int{3}, []bool{true}, false)
+		if err != nil {
+			return err
+		}
+		if mpi.TopoTest(cart) != mpi.CartTopology {
+			t.Error("cart TopoTest")
+		}
+		if mpi.TopoTest(w) != mpi.Undefined {
+			t.Error("plain comm TopoTest")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExscan(t *testing.T) {
+	err := mpi.Run(5, func(env *mpi.Env) error {
+		w := env.CommWorld()
+		in := []int32{int32(w.Rank() + 1)}
+		out := []int32{-99}
+		if err := w.Exscan(in, 0, out, 0, 1, mpi.INT, mpi.SUM); err != nil {
+			return err
+		}
+		if w.Rank() == 0 {
+			if out[0] != -99 {
+				t.Errorf("rank 0 exscan buffer touched: %d", out[0])
+			}
+			return nil
+		}
+		want := int32(w.Rank() * (w.Rank() + 1) / 2)
+		if out[0] != want {
+			t.Errorf("rank %d: exscan %d, want %d", w.Rank(), out[0], want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWinPutGetFence(t *testing.T) {
+	err := mpi.Run(4, func(env *mpi.Env) error {
+		w := env.CommWorld()
+		rank, size := w.Rank(), w.Size()
+		window := make([]int32, size)
+		win, err := w.CreateWin(window, mpi.INT)
+		if err != nil {
+			return err
+		}
+		// Every rank writes its rank into slot `rank` of every window.
+		for target := 0; target < size; target++ {
+			val := []int32{int32(rank * 10)}
+			if err := win.Put(val, 0, 1, mpi.INT, target, rank); err != nil {
+				return err
+			}
+		}
+		if err := win.Fence(); err != nil {
+			return err
+		}
+		for r := 0; r < size; r++ {
+			if window[r] != int32(r*10) {
+				t.Errorf("rank %d window[%d] = %d", rank, r, window[r])
+			}
+		}
+		// Read the right neighbour's whole window.
+		got := make([]int32, size)
+		if err := win.Get(got, 0, size, mpi.INT, (rank+1)%size, 0); err != nil {
+			return err
+		}
+		if err := win.Fence(); err != nil {
+			return err
+		}
+		for r := 0; r < size; r++ {
+			if got[r] != int32(r*10) {
+				t.Errorf("rank %d got[%d] = %d", rank, r, got[r])
+			}
+		}
+		return win.Free()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWinAccumulate(t *testing.T) {
+	err := mpi.Run(3, func(env *mpi.Env) error {
+		w := env.CommWorld()
+		rank, size := w.Rank(), w.Size()
+		window := make([]int64, 2)
+		win, err := w.CreateWin(window, mpi.LONG)
+		if err != nil {
+			return err
+		}
+		// Everyone accumulates into rank 0's window.
+		contrib := []int64{int64(rank + 1), int64(rank)}
+		if err := win.Accumulate(contrib, 0, 2, mpi.LONG, 0, 0, mpi.SUM); err != nil {
+			return err
+		}
+		if err := win.Fence(); err != nil {
+			return err
+		}
+		if rank == 0 {
+			wantA := int64(size * (size + 1) / 2)
+			wantB := int64(size * (size - 1) / 2)
+			if window[0] != wantA || window[1] != wantB {
+				t.Errorf("accumulated window: %v, want [%d %d]", window, wantA, wantB)
+			}
+		}
+		// Close the read epoch before the next one-sided phase — local
+		// window reads and remote stores must be fence-separated (MPI-2
+		// §6.4 access-epoch rule).
+		if err := win.Fence(); err != nil {
+			return err
+		}
+		// REPLACE overwrites.
+		if rank == 1 {
+			if err := win.Accumulate([]int64{-7, -8}, 0, 2, mpi.LONG, 0, 0, mpi.REPLACE); err != nil {
+				return err
+			}
+		}
+		if err := win.Fence(); err != nil {
+			return err
+		}
+		if rank == 0 && (window[0] != -7 || window[1] != -8) {
+			t.Errorf("REPLACE window: %v", window)
+		}
+		// User-defined ops are rejected.
+		bad := mpi.NewOp(func(in, inout any) {}, true)
+		if err := win.Accumulate(contrib, 0, 1, mpi.LONG, 0, 0, bad); mpi.ClassOf(err) != mpi.ErrOp {
+			t.Errorf("user op accumulate: %v", err)
+		}
+		return win.Free()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWinErrors(t *testing.T) {
+	err := mpi.Run(2, func(env *mpi.Env) error {
+		w := env.CommWorld()
+		window := make([]float64, 4)
+		// Non-basic window type is rejected.
+		vec, _ := mpi.TypeVector(2, 1, 2, mpi.DOUBLE)
+		vec.Commit()
+		if _, err := w.CreateWin(window, vec); mpi.ClassOf(err) != mpi.ErrType {
+			t.Errorf("derived window type: %v", err)
+		}
+		// All ranks failed identically above, so no one holds a window;
+		// proceed to a valid one.
+		win, err := w.CreateWin(window, mpi.DOUBLE)
+		if err != nil {
+			return err
+		}
+		if err := win.Put([]float64{1}, 0, 1, mpi.DOUBLE, 9, 0); mpi.ClassOf(err) != mpi.ErrRank {
+			t.Errorf("bad target: %v", err)
+		}
+		// Out-of-range displacement surfaces at the next fence on the
+		// target side.
+		if err := win.Free(); err != nil {
+			return err
+		}
+		if err := win.Put([]float64{1}, 0, 1, mpi.DOUBLE, 0, 0); mpi.ClassOf(err) != mpi.ErrComm {
+			t.Errorf("put on freed window: %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,227 @@
+package mpi
+
+import "sort"
+
+// Group is an ordered set of processes, identified internally by world
+// ranks (MPI §5.2.1). Groups are immutable; the set operations return
+// new groups. A group remembers the calling process's world rank so that
+// Rank works, as in the Java binding where Group.Rank() reports the
+// caller's position.
+type Group struct {
+	ranks []int // world ranks, in group order
+	me    int   // caller's world rank, -1 if unknown
+}
+
+// GroupEmpty is the empty group (MPI_GROUP_EMPTY).
+var GroupEmpty = &Group{me: -1}
+
+// Size returns the number of processes in the group.
+func (g *Group) Size() int { return len(g.ranks) }
+
+// Rank returns the calling process's rank within the group, or Undefined
+// if it is not a member (MPI_Group_rank).
+func (g *Group) Rank() int {
+	if g.me < 0 {
+		return Undefined
+	}
+	for i, w := range g.ranks {
+		if w == g.me {
+			return i
+		}
+	}
+	return Undefined
+}
+
+func (g *Group) contains(world int) bool {
+	for _, w := range g.ranks {
+		if w == world {
+			return true
+		}
+	}
+	return false
+}
+
+func (g *Group) derive(ranks []int) *Group {
+	return &Group{ranks: ranks, me: g.me}
+}
+
+// TranslateRanks maps ranks in group g1 to the corresponding ranks in
+// group g2; processes absent from g2 map to Undefined
+// (MPI_Group_translate_ranks).
+func TranslateRanks(g1 *Group, ranks []int, g2 *Group) ([]int, error) {
+	out := make([]int, len(ranks))
+	for i, r := range ranks {
+		if r < 0 || r >= len(g1.ranks) {
+			return nil, errf(ErrRank, "rank %d out of range for group of size %d", r, len(g1.ranks))
+		}
+		w := g1.ranks[r]
+		out[i] = Undefined
+		for j, w2 := range g2.ranks {
+			if w2 == w {
+				out[i] = j
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// GroupCompare compares two groups: Ident for same members in the same
+// order, Similar for same members in different order, Unequal otherwise
+// (MPI_Group_compare).
+func GroupCompare(g1, g2 *Group) int {
+	if len(g1.ranks) != len(g2.ranks) {
+		return Unequal
+	}
+	same := true
+	for i := range g1.ranks {
+		if g1.ranks[i] != g2.ranks[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		return Ident
+	}
+	a := append([]int(nil), g1.ranks...)
+	b := append([]int(nil), g2.ranks...)
+	sort.Ints(a)
+	sort.Ints(b)
+	for i := range a {
+		if a[i] != b[i] {
+			return Unequal
+		}
+	}
+	return Similar
+}
+
+// Union returns the processes of g1 followed by those of g2 not in g1
+// (MPI_Group_union).
+func Union(g1, g2 *Group) *Group {
+	out := append([]int(nil), g1.ranks...)
+	for _, w := range g2.ranks {
+		if !g1.contains(w) {
+			out = append(out, w)
+		}
+	}
+	me := g1.me
+	if me < 0 {
+		me = g2.me
+	}
+	return &Group{ranks: out, me: me}
+}
+
+// Intersection returns the processes of g1 that are also in g2, in g1's
+// order (MPI_Group_intersection).
+func Intersection(g1, g2 *Group) *Group {
+	var out []int
+	for _, w := range g1.ranks {
+		if g2.contains(w) {
+			out = append(out, w)
+		}
+	}
+	return g1.derive(out)
+}
+
+// Difference returns the processes of g1 not in g2, in g1's order
+// (MPI_Group_difference).
+func Difference(g1, g2 *Group) *Group {
+	var out []int
+	for _, w := range g1.ranks {
+		if !g2.contains(w) {
+			out = append(out, w)
+		}
+	}
+	return g1.derive(out)
+}
+
+// Incl returns the subgroup containing the listed ranks of g, in the
+// listed order (MPI_Group_incl).
+func (g *Group) Incl(ranks []int) (*Group, error) {
+	out := make([]int, len(ranks))
+	seen := make(map[int]bool, len(ranks))
+	for i, r := range ranks {
+		if r < 0 || r >= len(g.ranks) {
+			return nil, errf(ErrRank, "rank %d out of range for group of size %d", r, len(g.ranks))
+		}
+		if seen[r] {
+			return nil, errf(ErrRank, "duplicate rank %d in Incl", r)
+		}
+		seen[r] = true
+		out[i] = g.ranks[r]
+	}
+	return g.derive(out), nil
+}
+
+// Excl returns the subgroup of g with the listed ranks removed, keeping
+// g's order (MPI_Group_excl).
+func (g *Group) Excl(ranks []int) (*Group, error) {
+	drop := make(map[int]bool, len(ranks))
+	for _, r := range ranks {
+		if r < 0 || r >= len(g.ranks) {
+			return nil, errf(ErrRank, "rank %d out of range for group of size %d", r, len(g.ranks))
+		}
+		if drop[r] {
+			return nil, errf(ErrRank, "duplicate rank %d in Excl", r)
+		}
+		drop[r] = true
+	}
+	var out []int
+	for i, w := range g.ranks {
+		if !drop[i] {
+			out = append(out, w)
+		}
+	}
+	return g.derive(out), nil
+}
+
+// RangeIncl includes the ranks described by (first, last, stride)
+// triplets (MPI_Group_range_incl).
+func (g *Group) RangeIncl(ranges [][3]int) (*Group, error) {
+	var list []int
+	for _, rg := range ranges {
+		expanded, err := expandRange(rg, len(g.ranks))
+		if err != nil {
+			return nil, err
+		}
+		list = append(list, expanded...)
+	}
+	return g.Incl(list)
+}
+
+// RangeExcl excludes the ranks described by (first, last, stride)
+// triplets (MPI_Group_range_excl).
+func (g *Group) RangeExcl(ranges [][3]int) (*Group, error) {
+	var list []int
+	for _, rg := range ranges {
+		expanded, err := expandRange(rg, len(g.ranks))
+		if err != nil {
+			return nil, err
+		}
+		list = append(list, expanded...)
+	}
+	return g.Excl(list)
+}
+
+func expandRange(rg [3]int, size int) ([]int, error) {
+	first, last, stride := rg[0], rg[1], rg[2]
+	if stride == 0 {
+		return nil, errf(ErrArg, "zero stride in rank range")
+	}
+	var out []int
+	if stride > 0 {
+		for r := first; r <= last; r += stride {
+			out = append(out, r)
+		}
+	} else {
+		for r := first; r >= last; r += stride {
+			out = append(out, r)
+		}
+	}
+	for _, r := range out {
+		if r < 0 || r >= size {
+			return nil, errf(ErrRank, "rank %d out of range for group of size %d", r, size)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,48 @@
+package mpi
+
+import (
+	"os"
+	"strconv"
+
+	"gompi/internal/core"
+	"gompi/internal/launch"
+	"gompi/internal/transport"
+)
+
+// Init initializes the MPI environment of a stand-alone process — the
+// analogue of MPI.Init(args) in the Java binding (paper Fig. 3). Under
+// cmd/mpirun it reads the job geometry from the environment, joins the
+// rendezvous and builds the DM-mode socket mesh; run directly, it comes
+// up as a singleton (one-rank world). The args slice is returned
+// unchanged (the binding keeps the signature; this implementation passes
+// no MPI arguments through the command line).
+func Init(args []string) (*Env, []string, error) {
+	sizeStr := os.Getenv(launch.EnvSize)
+	if sizeStr == "" {
+		dev := transport.NewShmJob(1, 0)[0]
+		return newEnv(dev, core.Config{}), args, nil
+	}
+	size, err := strconv.Atoi(sizeStr)
+	if err != nil || size <= 0 {
+		return nil, args, errf(ErrArg, "bad %s=%q", launch.EnvSize, sizeStr)
+	}
+	rank, err := strconv.Atoi(os.Getenv(launch.EnvRank))
+	if err != nil || rank < 0 || rank >= size {
+		return nil, args, errf(ErrArg, "bad %s=%q", launch.EnvRank, os.Getenv(launch.EnvRank))
+	}
+	coord := os.Getenv(launch.EnvCoord)
+	if coord == "" {
+		return nil, args, errf(ErrArg, "%s not set (run under mpirun)", launch.EnvCoord)
+	}
+	cfg := core.Config{}
+	if e := os.Getenv(launch.EnvEager); e != "" {
+		if v, err := strconv.Atoi(e); err == nil {
+			cfg.EagerLimit = v
+		}
+	}
+	dev, err := launch.Join(coord, rank, size)
+	if err != nil {
+		return nil, args, errf(ErrIntern, "%v", err)
+	}
+	return newEnv(dev, cfg), args, nil
+}

@@ -1,0 +1,635 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"gompi/internal/dtype"
+)
+
+// Intracomm is a communicator over a single group (paper Fig. 1): it
+// adds the collective operations and the communicator/topology
+// constructors to Comm.
+type Intracomm struct {
+	Comm
+}
+
+func newIntracomm(e *Env, group []int, myRank int, ctxBase int32, name string) *Intracomm {
+	return &Intracomm{Comm: *e.buildComm(group, myRank, ctxBase, name)}
+}
+
+func (c *Intracomm) checkRoot(root int) error {
+	if root < 0 || root >= len(c.group) {
+		return errf(ErrRoot, "root %d out of range [0,%d)", root, len(c.group))
+	}
+	return nil
+}
+
+func (c *Intracomm) collChecks(d *Datatype, root int) error {
+	if err := c.ok(); err != nil {
+		return err
+	}
+	if err := c.checkType(d); err != nil {
+		return err
+	}
+	return c.checkRoot(root)
+}
+
+// Barrier blocks until all members have entered it (MPI_Barrier).
+func (c *Intracomm) Barrier() error {
+	c.env.enterCall()
+	if err := c.ok(); err != nil {
+		return c.raise(err)
+	}
+	if err := c.cl.Barrier(); err != nil {
+		return c.raise(errf(ErrIntern, "%v", err))
+	}
+	return nil
+}
+
+// Bcast broadcasts the buffer section from root to all members
+// (MPI_Bcast).
+func (c *Intracomm) Bcast(buf any, offset, count int, d *Datatype, root int) error {
+	c.env.enterCall()
+	if err := c.collChecks(d, root); err != nil {
+		return c.raise(err)
+	}
+	var wire []byte
+	var err error
+	if c.rank == root {
+		if wire, err = c.pack(buf, offset, count, d); err != nil {
+			return c.raise(err)
+		}
+	}
+	wire, err = c.cl.Bcast(root, wire)
+	if err != nil {
+		return c.raise(errf(ErrIntern, "%v", err))
+	}
+	if c.rank != root {
+		if _, err := dtype.Unpack(wire, buf, offset, count, d.t); err != nil {
+			return c.raise(mapDataErr(err))
+		}
+	}
+	return nil
+}
+
+// Gather collects equal-size contributions at root (MPI_Gather): member
+// r's section lands at recvbuf offset roffset + r*rcount*extent(rdt).
+func (c *Intracomm) Gather(
+	sendbuf any, soffset, scount int, sdt *Datatype,
+	recvbuf any, roffset, rcount int, rdt *Datatype, root int,
+) error {
+	c.env.enterCall()
+	if err := c.collChecks(sdt, root); err != nil {
+		return c.raise(err)
+	}
+	mine, err := c.pack(sendbuf, soffset, scount, sdt)
+	if err != nil {
+		return c.raise(err)
+	}
+	blocks, err := c.cl.Gather(root, mine)
+	if err != nil {
+		return c.raise(errf(ErrIntern, "%v", err))
+	}
+	if c.rank != root {
+		return nil
+	}
+	if err := c.checkType(rdt); err != nil {
+		return c.raise(err)
+	}
+	for r, b := range blocks {
+		at := roffset + r*rcount*rdt.Extent()
+		if _, err := dtype.Unpack(b, recvbuf, at, rcount, rdt.t); err != nil {
+			return c.raise(mapDataErr(err))
+		}
+	}
+	return nil
+}
+
+// Gatherv collects varying-size contributions at root (MPI_Gatherv):
+// member r contributes scount items and lands at displacement displs[r]
+// (in units of rdt's extent) with recvcounts[r] items expected.
+func (c *Intracomm) Gatherv(
+	sendbuf any, soffset, scount int, sdt *Datatype,
+	recvbuf any, roffset int, recvcounts, displs []int, rdt *Datatype, root int,
+) error {
+	c.env.enterCall()
+	if err := c.collChecks(sdt, root); err != nil {
+		return c.raise(err)
+	}
+	mine, err := c.pack(sendbuf, soffset, scount, sdt)
+	if err != nil {
+		return c.raise(err)
+	}
+	blocks, err := c.cl.Gather(root, mine)
+	if err != nil {
+		return c.raise(errf(ErrIntern, "%v", err))
+	}
+	if c.rank != root {
+		return nil
+	}
+	if err := c.checkType(rdt); err != nil {
+		return c.raise(err)
+	}
+	if len(recvcounts) != c.Size() || len(displs) != c.Size() {
+		return c.raise(errf(ErrArg, "Gatherv needs %d recvcounts and displs", c.Size()))
+	}
+	for r, b := range blocks {
+		at := roffset + displs[r]*rdt.Extent()
+		if _, err := dtype.Unpack(b, recvbuf, at, recvcounts[r], rdt.t); err != nil {
+			return c.raise(mapDataErr(err))
+		}
+	}
+	return nil
+}
+
+// Scatter distributes equal-size sections from root (MPI_Scatter):
+// member r receives the section at sendbuf offset soffset +
+// r*scount*extent(sdt).
+func (c *Intracomm) Scatter(
+	sendbuf any, soffset, scount int, sdt *Datatype,
+	recvbuf any, roffset, rcount int, rdt *Datatype, root int,
+) error {
+	c.env.enterCall()
+	if err := c.collChecks(rdt, root); err != nil {
+		return c.raise(err)
+	}
+	var parts [][]byte
+	if c.rank == root {
+		if err := c.checkType(sdt); err != nil {
+			return c.raise(err)
+		}
+		parts = make([][]byte, c.Size())
+		for r := range parts {
+			at := soffset + r*scount*sdt.Extent()
+			wire, err := c.pack(sendbuf, at, scount, sdt)
+			if err != nil {
+				return c.raise(err)
+			}
+			parts[r] = wire
+		}
+	}
+	mine, err := c.cl.Scatter(root, parts)
+	if err != nil {
+		return c.raise(errf(ErrIntern, "%v", err))
+	}
+	if _, err := dtype.Unpack(mine, recvbuf, roffset, rcount, rdt.t); err != nil {
+		return c.raise(mapDataErr(err))
+	}
+	return nil
+}
+
+// Scatterv distributes varying-size sections from root (MPI_Scatterv).
+func (c *Intracomm) Scatterv(
+	sendbuf any, soffset int, sendcounts, displs []int, sdt *Datatype,
+	recvbuf any, roffset, rcount int, rdt *Datatype, root int,
+) error {
+	c.env.enterCall()
+	if err := c.collChecks(rdt, root); err != nil {
+		return c.raise(err)
+	}
+	var parts [][]byte
+	if c.rank == root {
+		if err := c.checkType(sdt); err != nil {
+			return c.raise(err)
+		}
+		if len(sendcounts) != c.Size() || len(displs) != c.Size() {
+			return c.raise(errf(ErrArg, "Scatterv needs %d sendcounts and displs", c.Size()))
+		}
+		parts = make([][]byte, c.Size())
+		for r := range parts {
+			at := soffset + displs[r]*sdt.Extent()
+			wire, err := c.pack(sendbuf, at, sendcounts[r], sdt)
+			if err != nil {
+				return c.raise(err)
+			}
+			parts[r] = wire
+		}
+	}
+	mine, err := c.cl.Scatter(root, parts)
+	if err != nil {
+		return c.raise(errf(ErrIntern, "%v", err))
+	}
+	if _, err := dtype.Unpack(mine, recvbuf, roffset, rcount, rdt.t); err != nil {
+		return c.raise(mapDataErr(err))
+	}
+	return nil
+}
+
+// Allgather gathers equal-size contributions at every member
+// (MPI_Allgather).
+func (c *Intracomm) Allgather(
+	sendbuf any, soffset, scount int, sdt *Datatype,
+	recvbuf any, roffset, rcount int, rdt *Datatype,
+) error {
+	c.env.enterCall()
+	if err := c.ok(); err != nil {
+		return c.raise(err)
+	}
+	if err := c.checkType(sdt); err != nil {
+		return c.raise(err)
+	}
+	if err := c.checkType(rdt); err != nil {
+		return c.raise(err)
+	}
+	mine, err := c.pack(sendbuf, soffset, scount, sdt)
+	if err != nil {
+		return c.raise(err)
+	}
+	blocks, err := c.cl.Allgather(mine)
+	if err != nil {
+		return c.raise(errf(ErrIntern, "%v", err))
+	}
+	for r, b := range blocks {
+		at := roffset + r*rcount*rdt.Extent()
+		if _, err := dtype.Unpack(b, recvbuf, at, rcount, rdt.t); err != nil {
+			return c.raise(mapDataErr(err))
+		}
+	}
+	return nil
+}
+
+// Allgatherv gathers varying-size contributions at every member
+// (MPI_Allgatherv).
+func (c *Intracomm) Allgatherv(
+	sendbuf any, soffset, scount int, sdt *Datatype,
+	recvbuf any, roffset int, recvcounts, displs []int, rdt *Datatype,
+) error {
+	c.env.enterCall()
+	if err := c.ok(); err != nil {
+		return c.raise(err)
+	}
+	if err := c.checkType(sdt); err != nil {
+		return c.raise(err)
+	}
+	if err := c.checkType(rdt); err != nil {
+		return c.raise(err)
+	}
+	if len(recvcounts) != c.Size() || len(displs) != c.Size() {
+		return c.raise(errf(ErrArg, "Allgatherv needs %d recvcounts and displs", c.Size()))
+	}
+	mine, err := c.pack(sendbuf, soffset, scount, sdt)
+	if err != nil {
+		return c.raise(err)
+	}
+	blocks, err := c.cl.Allgather(mine)
+	if err != nil {
+		return c.raise(errf(ErrIntern, "%v", err))
+	}
+	for r, b := range blocks {
+		at := roffset + displs[r]*rdt.Extent()
+		if _, err := dtype.Unpack(b, recvbuf, at, recvcounts[r], rdt.t); err != nil {
+			return c.raise(mapDataErr(err))
+		}
+	}
+	return nil
+}
+
+// Alltoall exchanges equal-size sections between all pairs
+// (MPI_Alltoall).
+func (c *Intracomm) Alltoall(
+	sendbuf any, soffset, scount int, sdt *Datatype,
+	recvbuf any, roffset, rcount int, rdt *Datatype,
+) error {
+	c.env.enterCall()
+	if err := c.ok(); err != nil {
+		return c.raise(err)
+	}
+	if err := c.checkType(sdt); err != nil {
+		return c.raise(err)
+	}
+	if err := c.checkType(rdt); err != nil {
+		return c.raise(err)
+	}
+	parts := make([][]byte, c.Size())
+	for r := range parts {
+		at := soffset + r*scount*sdt.Extent()
+		wire, err := c.pack(sendbuf, at, scount, sdt)
+		if err != nil {
+			return c.raise(err)
+		}
+		parts[r] = wire
+	}
+	blocks, err := c.cl.Alltoall(parts)
+	if err != nil {
+		return c.raise(errf(ErrIntern, "%v", err))
+	}
+	for r, b := range blocks {
+		at := roffset + r*rcount*rdt.Extent()
+		if _, err := dtype.Unpack(b, recvbuf, at, rcount, rdt.t); err != nil {
+			return c.raise(mapDataErr(err))
+		}
+	}
+	return nil
+}
+
+// Alltoallv exchanges varying-size sections between all pairs
+// (MPI_Alltoallv).
+func (c *Intracomm) Alltoallv(
+	sendbuf any, soffset int, sendcounts, sdispls []int, sdt *Datatype,
+	recvbuf any, roffset int, recvcounts, rdispls []int, rdt *Datatype,
+) error {
+	c.env.enterCall()
+	if err := c.ok(); err != nil {
+		return c.raise(err)
+	}
+	if err := c.checkType(sdt); err != nil {
+		return c.raise(err)
+	}
+	if err := c.checkType(rdt); err != nil {
+		return c.raise(err)
+	}
+	n := c.Size()
+	if len(sendcounts) != n || len(sdispls) != n || len(recvcounts) != n || len(rdispls) != n {
+		return c.raise(errf(ErrArg, "Alltoallv needs %d counts and displacements on both sides", n))
+	}
+	parts := make([][]byte, n)
+	for r := range parts {
+		at := soffset + sdispls[r]*sdt.Extent()
+		wire, err := c.pack(sendbuf, at, sendcounts[r], sdt)
+		if err != nil {
+			return c.raise(err)
+		}
+		parts[r] = wire
+	}
+	blocks, err := c.cl.Alltoall(parts)
+	if err != nil {
+		return c.raise(errf(ErrIntern, "%v", err))
+	}
+	for r, b := range blocks {
+		at := roffset + rdispls[r]*rdt.Extent()
+		if _, err := dtype.Unpack(b, recvbuf, at, recvcounts[r], rdt.t); err != nil {
+			return c.raise(mapDataErr(err))
+		}
+	}
+	return nil
+}
+
+// Reduce folds count items with op, leaving the result at root
+// (MPI_Reduce; mpiJava signature with distinct send and receive offsets).
+func (c *Intracomm) Reduce(
+	sendbuf any, soffset int, recvbuf any, roffset int,
+	count int, d *Datatype, op *Op, root int,
+) error {
+	c.env.enterCall()
+	if err := c.collChecks(d, root); err != nil {
+		return c.raise(err)
+	}
+	if err := checkOp(op, d); err != nil {
+		return c.raise(err)
+	}
+	dense, err := dtype.Extract(sendbuf, soffset, count, d.t)
+	if err != nil {
+		return c.raise(mapDataErr(err))
+	}
+	res, err := c.cl.Reduce(root, dense, op.op)
+	if err != nil {
+		return c.raise(errf(ErrIntern, "%v", err))
+	}
+	if c.rank == root {
+		if err := dtype.Deposit(res, recvbuf, roffset, count, d.t); err != nil {
+			return c.raise(mapDataErr(err))
+		}
+	}
+	return nil
+}
+
+// Allreduce folds count items with op, leaving the result everywhere
+// (MPI_Allreduce).
+func (c *Intracomm) Allreduce(
+	sendbuf any, soffset int, recvbuf any, roffset int,
+	count int, d *Datatype, op *Op,
+) error {
+	c.env.enterCall()
+	if err := c.ok(); err != nil {
+		return c.raise(err)
+	}
+	if err := c.checkType(d); err != nil {
+		return c.raise(err)
+	}
+	if err := checkOp(op, d); err != nil {
+		return c.raise(err)
+	}
+	dense, err := dtype.Extract(sendbuf, soffset, count, d.t)
+	if err != nil {
+		return c.raise(mapDataErr(err))
+	}
+	res, err := c.cl.Allreduce(dense, op.op)
+	if err != nil {
+		return c.raise(errf(ErrIntern, "%v", err))
+	}
+	if err := dtype.Deposit(res, recvbuf, roffset, count, d.t); err != nil {
+		return c.raise(mapDataErr(err))
+	}
+	return nil
+}
+
+// ReduceScatter folds with op and scatters segments of the result:
+// member r receives recvcounts[r] items (MPI_Reduce_scatter).
+func (c *Intracomm) ReduceScatter(
+	sendbuf any, soffset int, recvbuf any, roffset int,
+	recvcounts []int, d *Datatype, op *Op,
+) error {
+	c.env.enterCall()
+	if err := c.ok(); err != nil {
+		return c.raise(err)
+	}
+	if err := c.checkType(d); err != nil {
+		return c.raise(err)
+	}
+	if err := checkOp(op, d); err != nil {
+		return c.raise(err)
+	}
+	if len(recvcounts) != c.Size() {
+		return c.raise(errf(ErrArg, "ReduceScatter needs %d recvcounts", c.Size()))
+	}
+	total := 0
+	elemCounts := make([]int, len(recvcounts))
+	for i, n := range recvcounts {
+		if n < 0 {
+			return c.raise(errf(ErrCount, "negative recvcount %d", n))
+		}
+		total += n
+		elemCounts[i] = n * d.Size()
+	}
+	dense, err := dtype.Extract(sendbuf, soffset, total, d.t)
+	if err != nil {
+		return c.raise(mapDataErr(err))
+	}
+	res, err := c.cl.ReduceScatter(dense, elemCounts, op.op)
+	if err != nil {
+		return c.raise(errf(ErrIntern, "%v", err))
+	}
+	if err := dtype.Deposit(res, recvbuf, roffset, recvcounts[c.rank], d.t); err != nil {
+		return c.raise(mapDataErr(err))
+	}
+	return nil
+}
+
+// Scan computes the inclusive prefix reduction in rank order (MPI_Scan).
+func (c *Intracomm) Scan(
+	sendbuf any, soffset int, recvbuf any, roffset int,
+	count int, d *Datatype, op *Op,
+) error {
+	c.env.enterCall()
+	if err := c.ok(); err != nil {
+		return c.raise(err)
+	}
+	if err := c.checkType(d); err != nil {
+		return c.raise(err)
+	}
+	if err := checkOp(op, d); err != nil {
+		return c.raise(err)
+	}
+	dense, err := dtype.Extract(sendbuf, soffset, count, d.t)
+	if err != nil {
+		return c.raise(mapDataErr(err))
+	}
+	res, err := c.cl.Scan(dense, op.op)
+	if err != nil {
+		return c.raise(errf(ErrIntern, "%v", err))
+	}
+	if err := dtype.Deposit(res, recvbuf, roffset, count, d.t); err != nil {
+		return c.raise(mapDataErr(err))
+	}
+	return nil
+}
+
+// Dup duplicates the communicator with fresh contexts (MPI_Comm_dup).
+// Collective over the communicator.
+func (c *Intracomm) Dup() (*Intracomm, error) {
+	c.env.enterCall()
+	if err := c.ok(); err != nil {
+		return nil, c.raise(err)
+	}
+	base, err := c.cl.AgreeContextBase()
+	if err != nil {
+		return nil, c.raise(errf(ErrIntern, "%v", err))
+	}
+	dup := newIntracomm(c.env, c.group, c.rank, base, c.name+".dup")
+	c.copyAttrsTo(&dup.Comm)
+	return dup, nil
+}
+
+// Split partitions the communicator by colour, ordering each new group
+// by (key, old rank); colour Undefined yields a nil communicator
+// (MPI_Comm_split). Collective over the communicator.
+func (c *Intracomm) Split(colour, key int) (*Intracomm, error) {
+	c.env.enterCall()
+	if err := c.ok(); err != nil {
+		return nil, c.raise(err)
+	}
+	if colour < 0 && colour != Undefined {
+		return nil, c.raise(errf(ErrArg, "negative colour %d", colour))
+	}
+	var enc [8]byte
+	binary.LittleEndian.PutUint32(enc[0:], uint32(int32(colour)))
+	binary.LittleEndian.PutUint32(enc[4:], uint32(int32(key)))
+	all, err := c.cl.Allgather(enc[:])
+	if err != nil {
+		return nil, c.raise(errf(ErrIntern, "%v", err))
+	}
+	base, err := c.cl.AgreeContextBase()
+	if err != nil {
+		return nil, c.raise(errf(ErrIntern, "%v", err))
+	}
+	if colour == Undefined {
+		return nil, nil
+	}
+	type member struct{ key, oldRank int }
+	var members []member
+	for r, b := range all {
+		col := int(int32(binary.LittleEndian.Uint32(b[0:])))
+		k := int(int32(binary.LittleEndian.Uint32(b[4:])))
+		if col == colour {
+			members = append(members, member{key: k, oldRank: r})
+		}
+	}
+	sort.Slice(members, func(i, j int) bool {
+		if members[i].key != members[j].key {
+			return members[i].key < members[j].key
+		}
+		return members[i].oldRank < members[j].oldRank
+	})
+	group := make([]int, len(members))
+	myRank := -1
+	for i, m := range members {
+		group[i] = c.group[m.oldRank]
+		if m.oldRank == c.rank {
+			myRank = i
+		}
+	}
+	return newIntracomm(c.env, group, myRank, base, c.name+".split"), nil
+}
+
+// Create builds a communicator over a subgroup; members get the new
+// communicator, non-members nil (MPI_Comm_create). Collective over the
+// parent.
+func (c *Intracomm) Create(g *Group) (*Intracomm, error) {
+	c.env.enterCall()
+	if err := c.ok(); err != nil {
+		return nil, c.raise(err)
+	}
+	if g == nil {
+		return nil, c.raise(errf(ErrGroup, "nil group"))
+	}
+	base, err := c.cl.AgreeContextBase()
+	if err != nil {
+		return nil, c.raise(errf(ErrIntern, "%v", err))
+	}
+	parent := make(map[int]bool, len(c.group))
+	for _, w := range c.group {
+		parent[w] = true
+	}
+	for _, w := range g.ranks {
+		if !parent[w] {
+			return nil, c.raise(errf(ErrGroup, "group is not a subset of the communicator"))
+		}
+	}
+	me := c.env.proc.Rank()
+	myRank := -1
+	for i, w := range g.ranks {
+		if w == me {
+			myRank = i
+		}
+	}
+	if myRank < 0 {
+		return nil, nil
+	}
+	group := append([]int(nil), g.ranks...)
+	return newIntracomm(c.env, group, myRank, base, c.name+".create"), nil
+}
+
+// Exscan computes the exclusive prefix reduction in rank order — one of
+// the MPI-2 additions the paper plans to fold in (§5.3). Member r
+// receives op(x_0, …, x_{r-1}); rank 0's receive buffer is untouched
+// (its result is undefined, per the standard).
+func (c *Intracomm) Exscan(
+	sendbuf any, soffset int, recvbuf any, roffset int,
+	count int, d *Datatype, op *Op,
+) error {
+	c.env.enterCall()
+	if err := c.ok(); err != nil {
+		return c.raise(err)
+	}
+	if err := c.checkType(d); err != nil {
+		return c.raise(err)
+	}
+	if err := checkOp(op, d); err != nil {
+		return c.raise(err)
+	}
+	dense, err := dtype.Extract(sendbuf, soffset, count, d.t)
+	if err != nil {
+		return c.raise(mapDataErr(err))
+	}
+	res, err := c.cl.Exscan(dense, op.op)
+	if err != nil {
+		return c.raise(errf(ErrIntern, "%v", err))
+	}
+	if res != nil {
+		if err := dtype.Deposit(res, recvbuf, roffset, count, d.t); err != nil {
+			return c.raise(mapDataErr(err))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,513 @@
+package mpi_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gompi/mpi"
+)
+
+// run2 is a 2-rank SM-mode helper.
+func run2(t *testing.T, fn func(env *mpi.Env) error) {
+	t.Helper()
+	if err := mpi.Run(2, fn); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendModesDeliverData(t *testing.T) {
+	kinds := []string{"send", "ssend", "rsend", "isend", "issend"}
+	run2(t, func(env *mpi.Env) error {
+		w := env.CommWorld()
+		for tag, kind := range kinds {
+			if w.Rank() == 0 {
+				buf := []int32{int32(tag * 100)}
+				var err error
+				switch kind {
+				case "send":
+					err = w.Send(buf, 0, 1, mpi.INT, 1, tag)
+				case "ssend":
+					err = w.Ssend(buf, 0, 1, mpi.INT, 1, tag)
+				case "rsend":
+					// Receiver side pre-posts all receives below.
+					err = w.Rsend(buf, 0, 1, mpi.INT, 1, tag)
+				case "isend":
+					var req *mpi.Request
+					if req, err = w.Isend(buf, 0, 1, mpi.INT, 1, tag); err == nil {
+						_, err = req.Wait()
+					}
+				case "issend":
+					var req *mpi.Request
+					if req, err = w.Issend(buf, 0, 1, mpi.INT, 1, tag); err == nil {
+						_, err = req.Wait()
+					}
+				}
+				if err != nil {
+					return err
+				}
+			} else {
+				in := []int32{-1}
+				st, err := w.Recv(in, 0, 1, mpi.INT, 0, tag)
+				if err != nil {
+					return err
+				}
+				if in[0] != int32(tag*100) || st.Tag != tag {
+					t.Errorf("%s: got %d tag %d", kind, in[0], st.Tag)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func TestLargeMessagesCrossEagerThreshold(t *testing.T) {
+	for _, eager := range []int{-1, 64, 1 << 20} {
+		err := mpi.RunWith(mpi.RunOptions{NP: 2, EagerLimit: eager}, func(env *mpi.Env) error {
+			w := env.CommWorld()
+			const n = 100_000
+			if w.Rank() == 0 {
+				buf := make([]float64, n)
+				for i := range buf {
+					buf[i] = float64(i) * 0.5
+				}
+				return w.Send(buf, 0, n, mpi.DOUBLE, 1, 1)
+			}
+			in := make([]float64, n)
+			st, err := w.Recv(in, 0, n, mpi.DOUBLE, 0, 1)
+			if err != nil {
+				return err
+			}
+			if st.GetCount(mpi.DOUBLE) != n {
+				t.Errorf("eager=%d: count %d", eager, st.GetCount(mpi.DOUBLE))
+			}
+			if in[n-1] != float64(n-1)*0.5 {
+				t.Errorf("eager=%d: tail %v", eager, in[n-1])
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("eager=%d: %v", eager, err)
+		}
+	}
+}
+
+func TestProcNullOperations(t *testing.T) {
+	run2(t, func(env *mpi.Env) error {
+		w := env.CommWorld()
+		buf := []int32{1}
+		if err := w.Send(buf, 0, 1, mpi.INT, mpi.ProcNull, 0); err != nil {
+			return err
+		}
+		st, err := w.Recv(buf, 0, 1, mpi.INT, mpi.ProcNull, 0)
+		if err != nil {
+			return err
+		}
+		if st.Source != mpi.ProcNull || st.GetCount(mpi.INT) != 0 {
+			t.Errorf("null recv status: %+v count=%d", st, st.GetCount(mpi.INT))
+		}
+		req, err := w.Isend(buf, 0, 1, mpi.INT, mpi.ProcNull, 0)
+		if err != nil {
+			return err
+		}
+		if _, done, _ := req.Test(); !done {
+			t.Error("send to ProcNull must complete immediately")
+		}
+		return nil
+	})
+}
+
+func TestValidationErrors(t *testing.T) {
+	run2(t, func(env *mpi.Env) error {
+		w := env.CommWorld()
+		buf := []int32{1}
+		cases := []struct {
+			err  error
+			want mpi.ErrClass
+			what string
+		}{}
+		err := w.Send(buf, 0, 1, mpi.INT, 7, 0)
+		cases = append(cases, struct {
+			err  error
+			want mpi.ErrClass
+			what string
+		}{err, mpi.ErrRank, "bad dest"})
+		err = w.Send(buf, 0, 1, mpi.INT, 0, -3)
+		cases = append(cases, struct {
+			err  error
+			want mpi.ErrClass
+			what string
+		}{err, mpi.ErrTag, "negative tag"})
+		err = w.Send(buf, 0, 1, mpi.DOUBLE, 0, 0)
+		cases = append(cases, struct {
+			err  error
+			want mpi.ErrClass
+			what string
+		}{err, mpi.ErrType, "class mismatch"})
+		err = w.Send(buf, 0, 5, mpi.INT, 0, 0)
+		cases = append(cases, struct {
+			err  error
+			want mpi.ErrClass
+			what string
+		}{err, mpi.ErrBuffer, "overrun"})
+		err = w.Send(buf, 0, 1, mpi.UB, 0, 0)
+		cases = append(cases, struct {
+			err  error
+			want mpi.ErrClass
+			what string
+		}{err, mpi.ErrType, "marker type"})
+		uncommitted, _ := mpi.TypeContiguous(2, mpi.INT)
+		err = w.Send(buf, 0, 0, uncommitted, 0, 0)
+		cases = append(cases, struct {
+			err  error
+			want mpi.ErrClass
+			what string
+		}{err, mpi.ErrType, "uncommitted"})
+		_, err = w.Recv(buf, 0, 1, mpi.INT, -9, 0)
+		cases = append(cases, struct {
+			err  error
+			want mpi.ErrClass
+			what string
+		}{err, mpi.ErrRank, "bad source"})
+		for _, c := range cases {
+			if mpi.ClassOf(c.err) != c.want {
+				t.Errorf("%s: got %v (class %v), want %v", c.what, c.err, mpi.ClassOf(c.err), c.want)
+			}
+		}
+		return nil
+	})
+}
+
+func TestTruncationError(t *testing.T) {
+	run2(t, func(env *mpi.Env) error {
+		w := env.CommWorld()
+		if w.Rank() == 0 {
+			buf := []int32{1, 2, 3, 4, 5}
+			return w.Send(buf, 0, 5, mpi.INT, 1, 1)
+		}
+		in := make([]int32, 3)
+		st, err := w.Recv(in, 0, 3, mpi.INT, 0, 1)
+		if mpi.ClassOf(err) != mpi.ErrTruncate {
+			t.Errorf("truncation: got %v", err)
+		}
+		if st == nil || st.GetElements(mpi.INT) != 3 {
+			t.Errorf("truncated status: %+v", st)
+		}
+		if in[0] != 1 || in[2] != 3 {
+			t.Errorf("truncated prefix: %v", in)
+		}
+		return nil
+	})
+}
+
+func TestIbsendAndBufferErrors(t *testing.T) {
+	run2(t, func(env *mpi.Env) error {
+		w := env.CommWorld()
+		if w.Rank() == 0 {
+			buf := make([]byte, 128)
+			// No buffer attached yet.
+			if err := w.Bsend(buf, 0, 128, mpi.BYTE, 1, 1); mpi.ClassOf(err) != mpi.ErrBuffer {
+				t.Errorf("bsend without buffer: %v", err)
+			}
+			if err := env.BufferAttach(64); err != nil {
+				return err
+			}
+			// Too big for the pool.
+			if err := w.Bsend(buf, 0, 128, mpi.BYTE, 1, 1); mpi.ClassOf(err) != mpi.ErrBuffer {
+				t.Errorf("oversized bsend: %v", err)
+			}
+			// Double attach.
+			if err := env.BufferAttach(64); mpi.ClassOf(err) != mpi.ErrBuffer {
+				t.Errorf("double attach: %v", err)
+			}
+			if err := w.Bsend(buf, 0, 32, mpi.BYTE, 1, 2); err != nil {
+				return err
+			}
+			if _, err := env.BufferDetach(); err != nil {
+				return err
+			}
+			// Detach again.
+			if _, err := env.BufferDetach(); mpi.ClassOf(err) != mpi.ErrBuffer {
+				t.Errorf("double detach: %v", err)
+			}
+			return w.Barrier()
+		}
+		in := make([]byte, 32)
+		if _, err := w.Recv(in, 0, 32, mpi.BYTE, 0, 2); err != nil {
+			return err
+		}
+		return w.Barrier()
+	})
+}
+
+func TestIprobePolling(t *testing.T) {
+	run2(t, func(env *mpi.Env) error {
+		w := env.CommWorld()
+		if w.Rank() == 0 {
+			time.Sleep(20 * time.Millisecond)
+			return w.Send([]int32{5}, 0, 1, mpi.INT, 1, 3)
+		}
+		st, err := w.Iprobe(0, 3)
+		if err != nil {
+			return err
+		}
+		if st != nil {
+			t.Error("Iprobe saw a message before it was sent")
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for st == nil && time.Now().Before(deadline) {
+			if st, err = w.Iprobe(0, 3); err != nil {
+				return err
+			}
+		}
+		if st == nil {
+			t.Error("Iprobe never saw the message")
+			return nil
+		}
+		in := []int32{0}
+		_, err = w.Recv(in, 0, 1, mpi.INT, 0, 3)
+		return err
+	})
+}
+
+func TestCancelReceive(t *testing.T) {
+	run2(t, func(env *mpi.Env) error {
+		w := env.CommWorld()
+		if w.Rank() == 1 {
+			in := []int32{0}
+			req, err := w.Irecv(in, 0, 1, mpi.INT, 0, 77)
+			if err != nil {
+				return err
+			}
+			if err := req.Cancel(); err != nil {
+				return err
+			}
+			st, err := req.Wait()
+			if err != nil {
+				return err
+			}
+			if !st.TestCancelled() {
+				t.Error("cancelled receive not marked")
+			}
+		}
+		return w.Barrier()
+	})
+}
+
+func TestWaitSomeTestSome(t *testing.T) {
+	run2(t, func(env *mpi.Env) error {
+		w := env.CommWorld()
+		if w.Rank() == 0 {
+			if err := w.Barrier(); err != nil {
+				return err
+			}
+			for i := 0; i < 3; i++ {
+				if err := w.Send([]int32{int32(i)}, 0, 1, mpi.INT, 1, 10+i); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		bufs := make([][]int32, 3)
+		reqs := make([]*mpi.Request, 3)
+		for i := range reqs {
+			bufs[i] = []int32{-1}
+			var err error
+			if reqs[i], err = w.Irecv(bufs[i], 0, 1, mpi.INT, 0, 10+i); err != nil {
+				return err
+			}
+		}
+		// Nothing has been sent yet.
+		some, err := mpi.TestSome(reqs)
+		if err != nil {
+			return err
+		}
+		if len(some) != 0 {
+			t.Errorf("TestSome before sends: %d completions", len(some))
+		}
+		if err := w.Barrier(); err != nil {
+			return err
+		}
+		seen := map[int]bool{}
+		for len(seen) < 3 {
+			sts, err := mpi.WaitSome(reqs)
+			if err != nil {
+				return err
+			}
+			if len(sts) == 0 {
+				t.Error("WaitSome returned empty")
+				break
+			}
+			for _, st := range sts {
+				if seen[st.Index] {
+					t.Errorf("WaitSome repeated index %d", st.Index)
+				}
+				seen[st.Index] = true
+				reqs[st.Index].Free()
+			}
+		}
+		return nil
+	})
+}
+
+func TestTestAllAndFreedRequests(t *testing.T) {
+	run2(t, func(env *mpi.Env) error {
+		w := env.CommWorld()
+		if w.Rank() == 0 {
+			for i := 0; i < 2; i++ {
+				if err := w.Send([]int32{9}, 0, 1, mpi.INT, 1, i); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		a := []int32{0}
+		b := []int32{0}
+		r1, err := w.Irecv(a, 0, 1, mpi.INT, 0, 0)
+		if err != nil {
+			return err
+		}
+		r2, err := w.Irecv(b, 0, 1, mpi.INT, 0, 1)
+		if err != nil {
+			return err
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			sts, done, err := mpi.TestAll([]*mpi.Request{r1, r2})
+			if err != nil {
+				return err
+			}
+			if done {
+				if len(sts) != 2 {
+					t.Errorf("TestAll returned %d statuses", len(sts))
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Error("TestAll never completed")
+				break
+			}
+		}
+		// Freed/inactive requests behave as null.
+		r1.Free()
+		st, err := r1.Wait()
+		if err != nil || st.Source != mpi.ProcNull {
+			t.Errorf("wait on freed request: %+v %v", st, err)
+		}
+		if !r1.IsNull() {
+			t.Error("freed request not null")
+		}
+		return nil
+	})
+}
+
+func TestPersistentBsendAndSsendInit(t *testing.T) {
+	run2(t, func(env *mpi.Env) error {
+		w := env.CommWorld()
+		if w.Rank() == 0 {
+			if err := env.BufferAttach(1024); err != nil {
+				return err
+			}
+			buf := []int32{0}
+			pb, err := w.BsendInit(buf, 0, 1, mpi.INT, 1, 1)
+			if err != nil {
+				return err
+			}
+			ps, err := w.SsendInit(buf, 0, 1, mpi.INT, 1, 2)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < 3; i++ {
+				buf[0] = int32(i)
+				if err := mpi.StartAll([]*mpi.Prequest{pb, ps}); err != nil {
+					return err
+				}
+				if _, err := mpi.WaitAllP([]*mpi.Prequest{pb, ps}); err != nil {
+					return err
+				}
+			}
+			if _, err := env.BufferDetach(); err != nil {
+				return err
+			}
+			return nil
+		}
+		in := []int32{0}
+		for i := 0; i < 3; i++ {
+			if _, err := w.Recv(in, 0, 1, mpi.INT, 0, 1); err != nil {
+				return err
+			}
+			if _, err := w.Recv(in, 0, 1, mpi.INT, 0, 2); err != nil {
+				return err
+			}
+			if in[0] != int32(i) {
+				t.Errorf("persistent iteration %d: got %d", i, in[0])
+			}
+		}
+		return nil
+	})
+}
+
+func TestBindingOverheadInjection(t *testing.T) {
+	const overhead = 200 * time.Microsecond
+	err := mpi.RunWith(mpi.RunOptions{NP: 2, BindingOverhead: overhead}, func(env *mpi.Env) error {
+		w := env.CommWorld()
+		const reps = 20
+		buf := []byte{0}
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			if w.Rank() == 0 {
+				if err := w.Send(buf, 0, 1, mpi.BYTE, 1, 1); err != nil {
+					return err
+				}
+				if _, err := w.Recv(buf, 0, 1, mpi.BYTE, 1, 1); err != nil {
+					return err
+				}
+			} else {
+				if _, err := w.Recv(buf, 0, 1, mpi.BYTE, 0, 1); err != nil {
+					return err
+				}
+				if err := w.Send(buf, 0, 1, mpi.BYTE, 0, 1); err != nil {
+					return err
+				}
+			}
+		}
+		elapsed := time.Since(start)
+		// Each round trip crosses the binding 4 times (2 sends + 2
+		// receives); at least the two send-side crossings per round
+		// trip are strictly serialized on the critical path.
+		if floor := reps * 2 * overhead; elapsed < floor {
+			t.Errorf("binding overhead not charged: %v < %v", elapsed, floor)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPanicIsReported(t *testing.T) {
+	err := mpi.Run(2, func(env *mpi.Env) error {
+		if env.Rank() == 1 {
+			panic("deliberate test panic")
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "deliberate test panic") {
+		t.Fatalf("panic not propagated: %v", err)
+	}
+}
+
+func TestRunErrorAggregation(t *testing.T) {
+	err := mpi.Run(3, func(env *mpi.Env) error {
+		if env.Rank() == 2 {
+			return errFromRank2
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "rank 2") ||
+		!strings.Contains(err.Error(), errFromRank2.Error()) {
+		t.Fatalf("error not attributed to rank 2: %v", err)
+	}
+}
+
+var errFromRank2 = &mpi.Error{Class: mpi.ErrOther, Msg: "synthetic failure"}

@@ -1,0 +1,80 @@
+package mpi
+
+// Version of the MPI standard this binding implements (MPI_Get_version).
+// The paper's binding targets the MPI 1.1 subset of the MPI-2 C++ class
+// hierarchy.
+const (
+	VersionMajor = 1
+	VersionMinor = 1
+)
+
+// GetVersion returns the implemented standard version
+// (MPI_Get_version, outputs as return values per the binding style).
+func GetVersion() (major, minor int) { return VersionMajor, VersionMinor }
+
+// Predefined environment attribute keys (MPI 1.1 §7.1.1), cached on
+// COMM_WORLD at initialization.
+var (
+	// KeyTagUB carries the largest usable tag (MPI_TAG_UB).
+	KeyTagUB = CreateKeyval(inheritCopy, nil)
+	// KeyHost carries the host process rank; this implementation has
+	// none, so the value is ProcNull (MPI_HOST).
+	KeyHost = CreateKeyval(inheritCopy, nil)
+	// KeyIO reports which ranks can perform I/O; every rank can here,
+	// so the value is AnySource per the standard's convention (MPI_IO).
+	KeyIO = CreateKeyval(inheritCopy, nil)
+	// KeyWtimeIsGlobal reports whether Wtime origins are synchronized
+	// across ranks (MPI_WTIME_IS_GLOBAL); they are not.
+	KeyWtimeIsGlobal = CreateKeyval(inheritCopy, nil)
+)
+
+func inheritCopy(v any) (any, bool) { return v, true }
+
+// installEnvAttrs caches the predefined attributes on a world
+// communicator.
+func installEnvAttrs(world *Intracomm) {
+	world.attrs.put(KeyTagUB.id, TagUB)
+	world.attrs.put(KeyHost.id, ProcNull)
+	world.attrs.put(KeyIO.id, AnySource)
+	world.attrs.put(KeyWtimeIsGlobal.id, false)
+}
+
+// CompareComms compares two communicators (MPI_Comm_compare): Ident for
+// the same object, Congruent for identical groups with different
+// contexts, Similar for the same members in a different order, Unequal
+// otherwise.
+func CompareComms(a, b *Comm) int {
+	if a == b {
+		return Ident
+	}
+	if a == nil || b == nil {
+		return Unequal
+	}
+	if a.inter != b.inter {
+		return Unequal
+	}
+	switch GroupCompare(a.Group(), b.Group()) {
+	case Ident:
+		if a.ptpCtx == b.ptpCtx {
+			return Ident
+		}
+		return Congruent
+	case Similar:
+		return Similar
+	default:
+		return Unequal
+	}
+}
+
+// TopoTest reports the topology attached to a communicator
+// (MPI_Topo_test): CartTopology, GraphTopology or Undefined.
+func TopoTest(c any) int {
+	switch c.(type) {
+	case *Cartcomm:
+		return CartTopology
+	case *Graphcomm:
+		return GraphTopology
+	default:
+		return Undefined
+	}
+}

@@ -1,0 +1,378 @@
+package mpi
+
+import (
+	"errors"
+	"sync"
+
+	"gompi/internal/core"
+	"gompi/internal/dtype"
+)
+
+// Request is a handle on a pending non-blocking operation. Following the
+// paper (§2.1), Request — like Comm — keeps an explicit Free; all other
+// classes leave resource release to the garbage collector.
+type Request struct {
+	env  *Env
+	creq *core.Request // nil once freed, or for pre-completed requests
+
+	// Receive completion parameters.
+	isRecv  bool
+	buf     any
+	offset  int
+	count   int
+	dt      *Datatype
+	recvNul bool // receive from ProcNull: complete immediately, empty
+
+	pre *Status // pre-completed (ProcNull ops, buffered sends)
+
+	once sync.Once
+	st   *Status
+	err  error
+}
+
+func preCompleted(e *Env, st *Status) *Request {
+	return &Request{env: e, pre: st}
+}
+
+// finish computes the final status exactly once: for receives it unpacks
+// the wire payload into the user buffer — MPI permits touching the
+// buffer only after completion, so unpacking here preserves semantics.
+func (r *Request) finish() {
+	r.once.Do(func() {
+		if r.pre != nil {
+			r.st = r.pre
+			return
+		}
+		cst := &r.creq.Stat
+		st := &Status{Source: cst.SourceGroup, Tag: cst.Tag, bytes: cst.Bytes, elements: -1}
+		if cst.Cancelled {
+			st.cancelled = true
+			st.Source = ProcNull
+			st.Tag = AnyTag
+			r.st = st
+			return
+		}
+		if r.isRecv {
+			n, err := dtype.Unpack(r.creq.Payload, r.buf, r.offset, r.count, r.dt.t)
+			st.elements = n
+			if err != nil {
+				r.err = mapDataErr(err)
+				st.Error = ClassOf(r.err)
+			}
+		}
+		r.st = st
+	})
+}
+
+// active reports whether the request has an operation attached.
+func (r *Request) active() bool {
+	return r != nil && (r.creq != nil || r.pre != nil)
+}
+
+// Wait blocks until the operation completes (MPI_Wait). Waiting on an
+// inactive request returns the empty status immediately.
+func (r *Request) Wait() (*Status, error) {
+	if !r.active() {
+		return nullStatus(), nil
+	}
+	if r.creq != nil {
+		r.creq.Wait()
+	}
+	r.finish()
+	return r.st, r.err
+}
+
+// Test returns (status, true) if the operation has completed
+// (MPI_Test). An inactive request tests as complete with empty status.
+func (r *Request) Test() (*Status, bool, error) {
+	if !r.active() {
+		return nullStatus(), true, nil
+	}
+	if r.creq != nil {
+		if _, done := r.creq.Test(); !done {
+			return nil, false, nil
+		}
+	}
+	r.finish()
+	return r.st, true, r.err
+}
+
+// Cancel attempts to cancel the pending operation (MPI_Cancel). Receives
+// cancel if unmatched; sends cancel if the payload has not been claimed.
+func (r *Request) Cancel() error {
+	if !r.active() || r.creq == nil {
+		return nil
+	}
+	r.env.proc.Cancel(r.creq)
+	return nil
+}
+
+// Free releases the request handle (MPI_Request_free). The operation, if
+// still pending, is allowed to complete in the background.
+func (r *Request) Free() error {
+	if r == nil {
+		return errf(ErrRequest, "Free on nil request")
+	}
+	r.creq = nil
+	r.pre = nil
+	return nil
+}
+
+// IsNull reports whether the handle carries no operation (the analogue
+// of comparing against MPI_REQUEST_NULL).
+func (r *Request) IsNull() bool { return !r.active() }
+
+// WaitAny blocks until one of the requests completes and returns its
+// status, with Status.Index identifying which (MPI_Waitany; paper §2.1).
+// If every request is inactive it returns (Undefined, empty status).
+func WaitAny(reqs []*Request) (*Status, error) {
+	// Fast path: pre-completed or already-finished requests.
+	for i, r := range reqs {
+		if r.active() && r.creq == nil {
+			r.finish()
+			st := *r.st
+			st.Index = i
+			return &st, r.err
+		}
+	}
+	var env *Env
+	creqs := make([]*core.Request, len(reqs))
+	for i, r := range reqs {
+		if r.active() {
+			creqs[i] = r.creq
+			env = r.env
+		}
+	}
+	if env == nil {
+		st := nullStatus()
+		st.Index = Undefined
+		return st, nil
+	}
+	idx := env.proc.WaitAny(creqs)
+	if idx < 0 {
+		st := nullStatus()
+		st.Index = Undefined
+		return st, nil
+	}
+	r := reqs[idx]
+	r.creq.Wait()
+	r.finish()
+	st := *r.st
+	st.Index = idx
+	return &st, r.err
+}
+
+// TestAny polls the requests for a completion (MPI_Testany).
+func TestAny(reqs []*Request) (*Status, bool, error) {
+	anyActive := false
+	for i, r := range reqs {
+		if !r.active() {
+			continue
+		}
+		anyActive = true
+		st, done, err := r.Test()
+		if done {
+			cp := *st
+			cp.Index = i
+			return &cp, true, err
+		}
+	}
+	if !anyActive {
+		st := nullStatus()
+		st.Index = Undefined
+		return st, true, nil
+	}
+	return nil, false, nil
+}
+
+// WaitAll waits for every request and returns their statuses in order
+// (MPI_Waitall). The first operation error is returned (wrapped as
+// ErrInStatus when several requests are involved, with per-request
+// classes in the statuses).
+func WaitAll(reqs []*Request) ([]*Status, error) {
+	sts := make([]*Status, len(reqs))
+	var firstErr error
+	for i, r := range reqs {
+		st, err := r.Wait()
+		st.Index = i
+		sts[i] = st
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return sts, firstErr
+}
+
+// TestAll reports completion of every request (MPI_Testall); statuses are
+// only returned when all have completed.
+func TestAll(reqs []*Request) ([]*Status, bool, error) {
+	for _, r := range reqs {
+		if !r.active() {
+			continue
+		}
+		if r.creq != nil {
+			if _, done := r.creq.Test(); !done {
+				return nil, false, nil
+			}
+		}
+	}
+	sts, err := WaitAll(reqs)
+	return sts, true, err
+}
+
+// WaitSome blocks for at least one completion and returns the statuses of
+// every completed request, Index fields identifying them (MPI_Waitsome).
+func WaitSome(reqs []*Request) ([]*Status, error) {
+	first, err := WaitAny(reqs)
+	if err != nil {
+		return nil, err
+	}
+	if first.Index == Undefined {
+		return nil, nil
+	}
+	out := []*Status{first}
+	for i, r := range reqs {
+		if i == first.Index || !r.active() {
+			continue
+		}
+		st, done, err := r.Test()
+		if err != nil {
+			return out, err
+		}
+		if done {
+			cp := *st
+			cp.Index = i
+			out = append(out, &cp)
+		}
+	}
+	return out, nil
+}
+
+// TestSome returns the statuses of all currently completed requests
+// (MPI_Testsome); the list is empty when none have completed.
+func TestSome(reqs []*Request) ([]*Status, error) {
+	var out []*Status
+	for i, r := range reqs {
+		if !r.active() {
+			continue
+		}
+		st, done, err := r.Test()
+		if err != nil {
+			return out, err
+		}
+		if done {
+			cp := *st
+			cp.Index = i
+			out = append(out, &cp)
+		}
+	}
+	return out, nil
+}
+
+// Prequest is a persistent communication request (MPI_Send_init and
+// friends): a frozen argument list that Start activates repeatedly.
+type Prequest struct {
+	comm   *Comm
+	isRecv bool
+	mode   core.Mode
+	buffed bool // buffered mode
+
+	buf    any
+	offset int
+	count  int
+	dt     *Datatype
+	rank   int // dest or source
+	tag    int
+
+	active *Request
+}
+
+// Start activates the persistent request (MPI_Start). The previous
+// activation must have completed.
+func (p *Prequest) Start() error {
+	if p.active != nil {
+		if _, done, _ := p.active.Test(); !done {
+			return errf(ErrRequest, "Start on a still-active persistent request")
+		}
+	}
+	var req *Request
+	var err error
+	if p.isRecv {
+		req, err = p.comm.Irecv(p.buf, p.offset, p.count, p.dt, p.rank, p.tag)
+	} else if p.buffed {
+		req, err = p.comm.Ibsend(p.buf, p.offset, p.count, p.dt, p.rank, p.tag)
+	} else {
+		req, err = p.comm.isendMode(p.buf, p.offset, p.count, p.dt, p.rank, p.tag, p.mode)
+	}
+	if err != nil {
+		return err
+	}
+	p.active = req
+	return nil
+}
+
+// Wait waits for the current activation (MPI_Wait on a started
+// persistent request).
+func (p *Prequest) Wait() (*Status, error) {
+	if p.active == nil {
+		return nullStatus(), nil
+	}
+	st, err := p.active.Wait()
+	return st, err
+}
+
+// Test polls the current activation.
+func (p *Prequest) Test() (*Status, bool, error) {
+	if p.active == nil {
+		return nullStatus(), true, nil
+	}
+	return p.active.Test()
+}
+
+// Free releases the persistent request (MPI_Request_free).
+func (p *Prequest) Free() error {
+	p.active = nil
+	p.comm = nil
+	return nil
+}
+
+// StartAll activates a list of persistent requests (MPI_Startall).
+func StartAll(ps []*Prequest) error {
+	for _, p := range ps {
+		if err := p.Start(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WaitAllP waits on the current activations of persistent requests.
+func WaitAllP(ps []*Prequest) ([]*Status, error) {
+	reqs := make([]*Request, len(ps))
+	for i, p := range ps {
+		reqs[i] = p.active
+	}
+	return WaitAll(reqs)
+}
+
+// mapDataErr converts datatype-layer errors into MPI error classes.
+func mapDataErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, dtype.ErrTruncate):
+		return errf(ErrTruncate, "%v", err)
+	case errors.Is(err, dtype.ErrClassMismatch):
+		return errf(ErrType, "%v", err)
+	case errors.Is(err, dtype.ErrUncommitted):
+		return errf(ErrType, "%v", err)
+	case errors.Is(err, dtype.ErrBounds):
+		return errf(ErrBuffer, "%v", err)
+	case errors.Is(err, dtype.ErrNegative):
+		return errf(ErrCount, "%v", err)
+	case errors.Is(err, dtype.ErrFormat):
+		return errf(ErrIntern, "%v", err)
+	default:
+		return errf(ErrOther, "%v", err)
+	}
+}

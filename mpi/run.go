@@ -1,0 +1,162 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"gompi/internal/core"
+	"gompi/internal/transport"
+)
+
+// LinkEmulation configures artificial per-message costs for benchmark
+// calibration (DESIGN.md §2): software cost per message, link latency,
+// a bandwidth cap (the 10BaseT model for DM mode) and a staging copy
+// (the portable-implementation model). The zero value injects nothing.
+type LinkEmulation struct {
+	// PerMessage is MPI software overhead charged per frame.
+	PerMessage time.Duration
+	// Latency is one-way link latency per frame.
+	Latency time.Duration
+	// BytesPerSec caps throughput (0 = unlimited).
+	BytesPerSec float64
+	// PerByte charges protocol-stack copy cost per byte.
+	PerByte time.Duration
+	// StagingCopy adds one full buffer copy per frame on the send path.
+	StagingCopy bool
+}
+
+func (l LinkEmulation) profile() transport.LinkProfile {
+	return transport.LinkProfile{
+		PerMessage:  l.PerMessage,
+		Latency:     l.Latency,
+		BytesPerSec: l.BytesPerSec,
+		PerByte:     l.PerByte,
+		StagingCopy: l.StagingCopy,
+	}
+}
+
+// RunOptions configures an in-process SPMD job.
+type RunOptions struct {
+	// NP is the number of ranks.
+	NP int
+	// TCP selects the loopback-socket device (the paper's Distributed
+	// Memory mode) instead of the in-process shared-memory device
+	// (Shared Memory mode).
+	TCP bool
+	// EagerLimit overrides the eager/rendezvous threshold in bytes
+	// (0 = default, negative = always rendezvous).
+	EagerLimit int
+	// InboxDepth overrides the per-rank flow-control window in frames.
+	InboxDepth int
+	// Link injects benchmark link emulation into every device.
+	Link LinkEmulation
+	// BindingOverhead injects the emulated JNI-crossing cost into
+	// every communication call (see Env.SetBindingOverhead).
+	BindingOverhead time.Duration
+}
+
+// Run executes fn as an np-rank SPMD job, one goroutine per rank, over
+// the in-process shared-memory device — the paper's SM mode. Each rank
+// receives its own *Env (the analogue of the Java binding's initialized
+// static MPI class). Finalize is called automatically for ranks whose fn
+// returns without calling it.
+func Run(np int, fn func(*Env) error) error {
+	return RunWith(RunOptions{NP: np}, fn)
+}
+
+// RunWith is Run with explicit options.
+func RunWith(opt RunOptions, fn func(*Env) error) error {
+	if opt.NP <= 0 {
+		return errf(ErrArg, "RunWith: NP must be positive, got %d", opt.NP)
+	}
+	devs, err := buildDevices(opt)
+	if err != nil {
+		return err
+	}
+	cfg := core.Config{EagerLimit: opt.EagerLimit}
+	envs := make([]*Env, opt.NP)
+	for i := range envs {
+		envs[i] = newEnv(devs[i], cfg)
+		envs[i].SetBindingOverhead(opt.BindingOverhead)
+	}
+
+	errs := make([]error, opt.NP)
+	var wg sync.WaitGroup
+	for i := 0; i < opt.NP; i++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[rank] = fmt.Errorf("rank %d panicked: %v\n%s", rank, r, debug.Stack())
+				}
+			}()
+			errs[rank] = fn(envs[rank])
+		}(i)
+	}
+	wg.Wait()
+
+	failed := false
+	for _, e := range errs {
+		if e != nil {
+			failed = true
+			break
+		}
+	}
+	if failed {
+		// A failed rank may have left peers out of step; skip the
+		// finalize barrier and tear the fabric down directly.
+		for _, e := range envs {
+			e.finalized.Store(true)
+			e.proc.Close()
+		}
+	} else {
+		// Ranks that did not call Finalize themselves get a proper
+		// collective shutdown; the barrier needs all ranks running
+		// concurrently.
+		var fwg sync.WaitGroup
+		for i, e := range envs {
+			if e.finalized.Load() {
+				continue
+			}
+			fwg.Add(1)
+			go func(rank int, env *Env) {
+				defer fwg.Done()
+				if err := env.Finalize(); err != nil && errs[rank] == nil {
+					errs[rank] = err
+				}
+			}(i, e)
+		}
+		fwg.Wait()
+	}
+
+	var msgs []error
+	for i, e := range errs {
+		if e != nil {
+			msgs = append(msgs, fmt.Errorf("rank %d: %w", i, e))
+		}
+	}
+	return errors.Join(msgs...)
+}
+
+func buildDevices(opt RunOptions) ([]transport.Device, error) {
+	profile := opt.Link.profile()
+	out := make([]transport.Device, opt.NP)
+	if opt.TCP {
+		devs, err := transport.NewLoopbackJob(opt.NP)
+		if err != nil {
+			return nil, errf(ErrIntern, "loopback job: %v", err)
+		}
+		for i, d := range devs {
+			out[i] = transport.NewShaped(d, profile)
+		}
+		return out, nil
+	}
+	for i, d := range transport.NewShmJob(opt.NP, opt.InboxDepth) {
+		out[i] = transport.NewShaped(d, profile)
+	}
+	return out, nil
+}

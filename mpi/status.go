@@ -1,0 +1,71 @@
+package mpi
+
+import "gompi/internal/dtype"
+
+// Status carries the result of a receive or wait operation. Beyond the
+// standard Source, Tag and Error fields it has the extra Index field the
+// paper describes (§2.1): WaitAny/TestAny record which request completed
+// there, avoiding the C binding's output argument.
+type Status struct {
+	// Source is the group rank of the sender (ProcNull for null
+	// receives).
+	Source int
+	// Tag is the matched message tag.
+	Tag int
+	// Error is the error class associated with the operation when it
+	// completed in error (ErrSuccess otherwise).
+	Error ErrClass
+	// Index is set by WaitAny/TestAny/WaitSome/TestSome to the index
+	// of the request this status belongs to.
+	Index int
+
+	bytes     int
+	elements  int
+	cancelled bool
+}
+
+// GetCount returns the number of complete datatype items received, or
+// Undefined if the element count does not divide evenly (MPI_Get_count).
+func (s *Status) GetCount(d *Datatype) int {
+	n := s.GetElements(d)
+	if n == Undefined || d.Size() == 0 {
+		return Undefined
+	}
+	if n%d.Size() != 0 {
+		return Undefined
+	}
+	return n / d.Size()
+}
+
+// GetElements returns the number of basic elements received
+// (MPI_Get_elements).
+func (s *Status) GetElements(d *Datatype) int {
+	if s.elements >= 0 {
+		return s.elements
+	}
+	// Status produced without an unpack (e.g. Probe): derive from the
+	// wire byte count.
+	n := dtype.Elements(s.bytes, d.t.Class())
+	if n < 0 {
+		return Undefined
+	}
+	return n
+}
+
+// Bytes returns the raw wire size of the message payload.
+func (s *Status) Bytes() int { return s.bytes }
+
+// TestCancelled reports whether the operation completed by cancellation
+// (MPI_Test_cancelled).
+func (s *Status) TestCancelled() bool { return s.cancelled }
+
+// probeStatus builds a Status from an envelope-only observation.
+func probeStatus(srcGroup, tag, bytes int) *Status {
+	return &Status{Source: srcGroup, Tag: tag, bytes: bytes, elements: -1}
+}
+
+// nullStatus is the status of an operation on ProcNull or an inactive
+// request: source ProcNull, tag AnyTag, zero elements (MPI 1.1 §3.11).
+func nullStatus() *Status {
+	return &Status{Source: ProcNull, Tag: AnyTag}
+}
