@@ -21,6 +21,7 @@ import (
 	"gompi/internal/bench"
 	"gompi/internal/linpack"
 	"gompi/mpi"
+	"gompi/mpi/typed"
 )
 
 func paperProfile() bool { return os.Getenv("GOMPI_BENCH_PAPER") == "1" }
@@ -245,6 +246,75 @@ func BenchmarkAblation_Transport(b *testing.B) {
 			}
 			s := bench.Spec{Impl: bench.JavaOO, Platform: bench.WMPI, Mode: mode}
 			benchPingPong(b, s, 4096)
+		})
+	}
+}
+
+// BenchmarkTypedVsClassic runs the same ping-pong exchange through the
+// classic mpiJava-style API and the typed generics API. The typed layer
+// resolves datatypes through the inference cache on every call; the two
+// curves must coincide (the acceptance bar is 5%), showing inference
+// adds no measurable per-message cost over the classic path.
+func BenchmarkTypedVsClassic(b *testing.B) {
+	for _, elems := range []int{1, 1 << 10, 1 << 16} {
+		elems := elems
+		b.Run(fmt.Sprintf("classic/elems=%d", elems), func(b *testing.B) {
+			err := mpi.Run(2, func(env *mpi.Env) error {
+				w := env.CommWorld()
+				buf := make([]float64, elems)
+				peer := 1 - w.Rank()
+				for i := 0; i < b.N; i++ {
+					if w.Rank() == 0 {
+						if err := w.Send(buf, 0, elems, mpi.DOUBLE, peer, 3); err != nil {
+							return err
+						}
+						if _, err := w.Recv(buf, 0, elems, mpi.DOUBLE, peer, 3); err != nil {
+							return err
+						}
+					} else {
+						if _, err := w.Recv(buf, 0, elems, mpi.DOUBLE, peer, 3); err != nil {
+							return err
+						}
+						if err := w.Send(buf, 0, elems, mpi.DOUBLE, peer, 3); err != nil {
+							return err
+						}
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(elems * 8 * 2))
+		})
+		b.Run(fmt.Sprintf("typed/elems=%d", elems), func(b *testing.B) {
+			err := mpi.Run(2, func(env *mpi.Env) error {
+				w := env.CommWorld()
+				buf := make([]float64, elems)
+				peer := 1 - w.Rank()
+				for i := 0; i < b.N; i++ {
+					if w.Rank() == 0 {
+						if err := typed.Send(w, buf, peer, 3); err != nil {
+							return err
+						}
+						if _, err := typed.Recv(w, buf, peer, 3); err != nil {
+							return err
+						}
+					} else {
+						if _, err := typed.Recv(w, buf, peer, 3); err != nil {
+							return err
+						}
+						if err := typed.Send(w, buf, peer, 3); err != nil {
+							return err
+						}
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(elems * 8 * 2))
 		})
 	}
 }

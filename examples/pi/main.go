@@ -1,7 +1,11 @@
 // Pi: the classic SPMD numerical-integration example — each rank
 // integrates a strided slice of ∫₀¹ 4/(1+x²) dx and a Reduce(SUM)
 // assembles π at rank 0. A second phase estimates π by Monte Carlo with
-// rank-decorrelated streams and an Allreduce, exercising LONG reductions.
+// rank-decorrelated streams and an Allreduce, exercising int64
+// reductions. Written against the typed API: datatypes are inferred,
+// reduction ops are bound to the element type at compile time, and the
+// scalar conveniences (ReduceOne/AllreduceOne) replace the one-element
+// slice dance of the classic binding.
 //
 //	go run ./examples/pi [-n 2000000] [-np 4]
 package main
@@ -14,6 +18,7 @@ import (
 	"math/rand"
 
 	"gompi/mpi"
+	"gompi/mpi/typed"
 )
 
 func main() {
@@ -38,13 +43,12 @@ func pi(env *mpi.Env, n int) error {
 		x := h * (float64(i) + 0.5)
 		sum += 4.0 / (1.0 + x*x)
 	}
-	in := []float64{h * sum}
-	out := []float64{0}
-	if err := world.Reduce(in, 0, out, 0, 1, mpi.DOUBLE, mpi.SUM, 0); err != nil {
+	total, err := typed.ReduceOne(world, h*sum, typed.Sum[float64](), 0)
+	if err != nil {
 		return err
 	}
 	if rank == 0 {
-		fmt.Printf("pi (integration): %.12f  error %.3e\n", out[0], math.Abs(out[0]-math.Pi))
+		fmt.Printf("pi (integration): %.12f  error %.3e\n", total, math.Abs(total-math.Pi))
 	}
 
 	// Phase 2: Monte Carlo with per-rank streams.
@@ -57,14 +61,13 @@ func pi(env *mpi.Env, n int) error {
 			hits++
 		}
 	}
-	hin := []int64{hits, int64(local)}
-	hout := []int64{0, 0}
-	if err := world.Allreduce(hin, 0, hout, 0, 2, mpi.LONG, mpi.SUM); err != nil {
+	global := make([]int64, 2)
+	if err := typed.Allreduce(world, []int64{hits, int64(local)}, global, typed.Sum[int64]()); err != nil {
 		return err
 	}
-	est := 4 * float64(hout[0]) / float64(hout[1])
+	est := 4 * float64(global[0]) / float64(global[1])
 	if rank == 0 {
-		fmt.Printf("pi (monte carlo): %.6f  (%d samples)\n", est, hout[1])
+		fmt.Printf("pi (monte carlo): %.6f  (%d samples)\n", est, global[1])
 	}
 	// Every rank holds the same global estimate after Allreduce.
 	if math.Abs(est-math.Pi) > 0.05 {

@@ -1,5 +1,8 @@
-// Quickstart: the paper's Fig. 3 minimal mpiJava program, translated to
-// the Go binding — rank 0 sends "Hello, there" as a CHAR array to rank 1.
+// Quickstart: the paper's Fig. 3 minimal mpiJava program — rank 0 sends
+// "Hello, there" to rank 1 — written against the typed API: the
+// datatype is inferred from the buffer's element type and slicing
+// replaces the classic (offset, count) pair, so the transfer carries no
+// explicit *Datatype or count arguments at all.
 //
 // Run in-process (SM mode):
 //
@@ -18,6 +21,7 @@ import (
 
 	"gompi/internal/launch"
 	"gompi/mpi"
+	"gompi/mpi/typed"
 )
 
 func main() {
@@ -46,15 +50,14 @@ func hello(env *mpi.Env) error {
 	world := env.CommWorld()
 	switch world.Rank() {
 	case 0:
-		message := []rune("Hello, there")
-		return world.Send(message, 0, len(message), mpi.CHAR, 1, 99)
+		return typed.Send(world, []rune("Hello, there"), 1, 99)
 	case 1:
 		message := make([]rune, 20)
-		st, err := world.Recv(message, 0, 20, mpi.CHAR, 0, 99)
+		st, err := typed.Recv(world, message, 0, 99)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("received:%s:\n", string(message[:st.GetCount(mpi.CHAR)]))
+		fmt.Printf("received:%s:\n", string(message[:typed.Count[rune](st)]))
 	}
 	// Ranks beyond the pair (the paper's program runs in exactly two
 	// processes) have nothing to do.

@@ -1,0 +1,3 @@
+module gompi
+
+go 1.22

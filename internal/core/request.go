@@ -1,5 +1,7 @@
 package core
 
+import "context"
+
 // Mode selects the MPI send mode semantics for a core send operation.
 type Mode uint8
 
@@ -76,6 +78,31 @@ func (r *Request) Done() <-chan struct{} { return r.done }
 func (r *Request) Wait() *Status {
 	<-r.done
 	return &r.Stat
+}
+
+// WaitCtx blocks until the request completes or ctx is done. When ctx
+// fires first the engine attempts to cancel the operation: if the
+// cancellation takes (the receive is still unmatched, or the send's
+// rendezvous has not been granted) the request completes with
+// Stat.Cancelled set and ctx's error is returned. If the operation has
+// already matched, cancellation is impossible — WaitCtx then waits for
+// the imminent ordinary completion and returns nil, like Wait.
+func (r *Request) WaitCtx(ctx context.Context) (*Status, error) {
+	select {
+	case <-r.done:
+		return &r.Stat, nil
+	default:
+	}
+	select {
+	case <-r.done:
+		return &r.Stat, nil
+	case <-ctx.Done():
+		if r.proc.Cancel(r) {
+			return &r.Stat, ctx.Err()
+		}
+		<-r.done
+		return &r.Stat, nil
+	}
 }
 
 // Test reports whether the request has completed, returning the status

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestWaitCtxCompleted(t *testing.T) {
+	p0, p1 := newPair(t, Config{})
+	if _, err := p0.Isend(0, 0, 1, 21, []byte("done"), ModeStandard); err != nil {
+		t.Fatal(err)
+	}
+	rreq := p1.Irecv(0, 0, 21)
+	rreq.Wait()
+	// A completed request returns immediately even under a dead context.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	st, err := rreq.WaitCtx(ctx)
+	if err != nil {
+		t.Fatalf("WaitCtx on completed request: %v", err)
+	}
+	if st.Bytes != 4 || st.Cancelled {
+		t.Fatalf("status %+v", st)
+	}
+}
+
+func TestWaitCtxCancelsUnmatchedRecv(t *testing.T) {
+	_, p1 := newPair(t, Config{})
+	rreq := p1.Irecv(0, 0, 22)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	st, err := rreq.WaitCtx(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v, want context.Canceled", err)
+	}
+	if !st.Cancelled {
+		t.Fatalf("status %+v, want cancelled", st)
+	}
+	if p1.Stats().Cancelled.Load() != 1 {
+		t.Fatal("cancellation not recorded")
+	}
+}
+
+func TestWaitCtxDeadlineOnMatchedRecvDelivers(t *testing.T) {
+	p0, p1 := newPair(t, Config{})
+	rreq := p1.Irecv(0, 0, 23)
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		p0.Isend(0, 0, 1, 23, []byte("racer"), ModeStandard) //nolint:errcheck
+	}()
+	// A generous deadline: the message arrives first, so WaitCtx must
+	// deliver it rather than cancel.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	st, err := rreq.WaitCtx(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cancelled || string(rreq.Payload) != "racer" {
+		t.Fatalf("status %+v payload %q", st, rreq.Payload)
+	}
+}

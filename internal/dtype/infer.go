@@ -1,0 +1,97 @@
+package dtype
+
+import (
+	"reflect"
+	"sync"
+)
+
+// Datatype inference — the registry underneath mpi/typed's TypeOf[T].
+// A Go element type maps onto the engine in one of two ways:
+//
+//   - the seven native buffer element types (byte, bool, int16, int32,
+//     int64, float32, float64 — rune and uint8 being aliases) map to
+//     their storage class directly: a slice of such a type IS one of the
+//     engine's buffer types and travels zero-copy through Pack/Unpack;
+//   - every other type (structs, named primitives, pointers, maps, …)
+//     maps to the Obj class and travels gob-encoded in []any buffers,
+//     exactly like the paper's MPI.OBJECT extension (§2.2).
+//
+// The mapping is computed once per reflect.Type and cached; Obj-class
+// types are gob-registered on first inference so callers never need the
+// explicit Register step the classic API requires.
+
+// Inferred describes how a Go element type maps onto the engine.
+type Inferred struct {
+	// Class is the storage class buffers of the type travel as.
+	Class Class
+	// Direct reports that a slice of the type is a native buffer type
+	// ([]byte, []int32, …) and may be handed to Pack/Unpack as-is.
+	// Non-direct types must be boxed into []any (Obj class).
+	Direct bool
+}
+
+var inferCache sync.Map // reflect.Type -> Inferred
+
+// directClasses keys the native element types by their reflect.Type.
+var directClasses = map[reflect.Type]Class{
+	reflect.TypeOf(byte(0)):    U8,
+	reflect.TypeOf(false):      Bool,
+	reflect.TypeOf(int16(0)):   I16,
+	reflect.TypeOf(int32(0)):   I32,
+	reflect.TypeOf(int64(0)):   I64,
+	reflect.TypeOf(float32(0)): F32,
+	reflect.TypeOf(float64(0)): F64,
+}
+
+// Infer maps a Go element type to its storage class, caching the result.
+// Obj-class concrete types are registered for gob serialization as a
+// side effect, so inferred object buffers round-trip without an explicit
+// Register call.
+func Infer(rt reflect.Type) Inferred {
+	if v, ok := inferCache.Load(rt); ok {
+		return v.(Inferred)
+	}
+	inf := inferOne(rt)
+	if !inf.Direct {
+		if seed, ok := gobSeed(rt); ok {
+			safeRegister(seed)
+		}
+	}
+	inferCache.Store(rt, inf)
+	return inf
+}
+
+// safeRegister absorbs gob's registration panics (two distinct types
+// sharing one pkg.name, e.g. same-named local types): the colliding type
+// stays unregistered and the failure surfaces as an encode error on the
+// first send instead of crashing the process.
+func safeRegister(seed any) {
+	defer func() { _ = recover() }()
+	Register(seed)
+}
+
+func inferOne(rt reflect.Type) Inferred {
+	if rt.Kind() == reflect.Interface && rt.NumMethod() == 0 {
+		// []any is the classic OBJECT buffer type: Obj class, no boxing.
+		return Inferred{Class: Obj, Direct: true}
+	}
+	if c, ok := directClasses[rt]; ok {
+		return Inferred{Class: c, Direct: true}
+	}
+	return Inferred{Class: Obj, Direct: false}
+}
+
+// gobSeed builds the zero value to gob-register for an Obj-routed type.
+// gob flattens pointers to their base type, so registration follows
+// pointers first; types gob cannot register at all (channels, funcs) are
+// skipped and fail cleanly at pack time instead.
+func gobSeed(rt reflect.Type) (any, bool) {
+	for rt.Kind() == reflect.Pointer {
+		rt = rt.Elem()
+	}
+	switch rt.Kind() {
+	case reflect.Chan, reflect.Func, reflect.UnsafePointer, reflect.Interface:
+		return nil, false
+	}
+	return reflect.New(rt).Elem().Interface(), true
+}

@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"context"
 	"errors"
 	"sync"
 
@@ -77,6 +78,29 @@ func (r *Request) Wait() (*Status, error) {
 	}
 	if r.creq != nil {
 		r.creq.Wait()
+	}
+	r.finish()
+	return r.st, r.err
+}
+
+// WaitCtx blocks until the operation completes or ctx is done. When ctx
+// fires while the operation is still cancellable (an unmatched receive,
+// or a send whose rendezvous has not been granted), the operation is
+// cancelled, the returned status reports TestCancelled() == true, and
+// ctx's error is returned so callers can errors.Is it against
+// context.Canceled / context.DeadlineExceeded. Once the operation has
+// matched, it is past the point of no return and WaitCtx behaves like
+// Wait. Context errors bypass the communicator's error handler: a
+// cancelled wait is control flow, not an MPI error.
+func (r *Request) WaitCtx(ctx context.Context) (*Status, error) {
+	if !r.active() {
+		return nullStatus(), nil
+	}
+	if r.creq != nil {
+		if _, ctxErr := r.creq.WaitCtx(ctx); ctxErr != nil {
+			r.finish()
+			return r.st, ctxErr
+		}
 	}
 	r.finish()
 	return r.st, r.err

@@ -1,0 +1,116 @@
+package typed
+
+import "gompi/mpi"
+
+// Typed collectives. Counts are taken from slice lengths, so the
+// classic API's uniform-contribution rule becomes a length rule: every
+// member passes the same send length to Gather/Allgather, the same recv
+// length to Scatter, and the same count to the reductions. Receive
+// buffers that a call does not touch on this rank (recv at a non-root,
+// Gather's recvbuf away from root) may be nil.
+
+// Bcast broadcasts root's buffer to every member (MPI_Bcast). All
+// members pass a buffer of the same length.
+func Bcast[T any](c *mpi.Intracomm, buf []T, root int) error {
+	raw, d, unbox := view(buf)
+	if err := c.Bcast(raw, 0, len(buf), d, root); err != nil {
+		return err
+	}
+	if unbox != nil {
+		return unbox()
+	}
+	return nil
+}
+
+// BcastOne broadcasts a single value from root, returning the value on
+// every member.
+func BcastOne[T any](c *mpi.Intracomm, v T, root int) (T, error) {
+	buf := []T{v}
+	err := Bcast(c, buf, root)
+	return buf[0], err
+}
+
+// Gather collects every member's send slice at root (MPI_Gather):
+// member r's contribution lands at recv[r*len(send):]. recv needs
+// length Size()*len(send) at root and is ignored elsewhere.
+func Gather[T any](c *mpi.Intracomm, send, recv []T, root int) error {
+	sraw, sd, _ := view(send)
+	rraw, rd, unbox := view(recv)
+	if err := c.Gather(sraw, 0, len(send), sd, rraw, 0, len(send), rd, root); err != nil {
+		return err
+	}
+	if unbox != nil && c.Rank() == root {
+		return unbox()
+	}
+	return nil
+}
+
+// Allgather is Gather with the result delivered to every member
+// (MPI_Allgather). recv needs length Size()*len(send) everywhere.
+func Allgather[T any](c *mpi.Intracomm, send, recv []T) error {
+	sraw, sd, _ := view(send)
+	rraw, rd, unbox := view(recv)
+	if err := c.Allgather(sraw, 0, len(send), sd, rraw, 0, len(send), rd); err != nil {
+		return err
+	}
+	if unbox != nil {
+		return unbox()
+	}
+	return nil
+}
+
+// Scatter distributes root's send slice over the members (MPI_Scatter):
+// member r receives send[r*len(recv):]. send needs length
+// Size()*len(recv) at root and is ignored elsewhere.
+func Scatter[T any](c *mpi.Intracomm, send, recv []T, root int) error {
+	sraw, sd, _ := view(send)
+	rraw, rd, unbox := view(recv)
+	if err := c.Scatter(sraw, 0, len(recv), sd, rraw, 0, len(recv), rd, root); err != nil {
+		return err
+	}
+	if unbox != nil {
+		return unbox()
+	}
+	return nil
+}
+
+// Reduce folds every member's send slice elementwise with op, leaving
+// the result in recv at root (MPI_Reduce). recv may be nil elsewhere.
+func Reduce[T Primitive](c *mpi.Intracomm, send, recv []T, op Op[T], root int) error {
+	return c.Reduce(send, 0, recv, 0, len(send), TypeOf[T](), op.op, root)
+}
+
+// ReduceOne folds a single value with op; the reduced value is returned
+// at root (other members receive their own contribution back).
+func ReduceOne[T Primitive](c *mpi.Intracomm, v T, op Op[T], root int) (T, error) {
+	out := []T{v}
+	err := Reduce(c, []T{v}, out, op, root)
+	return out[0], err
+}
+
+// Allreduce folds every member's send slice elementwise with op,
+// leaving the result in recv on every member (MPI_Allreduce).
+func Allreduce[T Primitive](c *mpi.Intracomm, send, recv []T, op Op[T]) error {
+	return c.Allreduce(send, 0, recv, 0, len(send), TypeOf[T](), op.op)
+}
+
+// AllreduceOne folds a single value with op and returns the reduced
+// value on every member.
+func AllreduceOne[T Primitive](c *mpi.Intracomm, v T, op Op[T]) (T, error) {
+	out := []T{v}
+	err := Allreduce(c, []T{v}, out, op)
+	return out[0], err
+}
+
+// Scan computes the inclusive prefix reduction in rank order (MPI_Scan):
+// member r receives op over the contributions of ranks 0..r.
+func Scan[T Primitive](c *mpi.Intracomm, send, recv []T, op Op[T]) error {
+	return c.Scan(send, 0, recv, 0, len(send), TypeOf[T](), op.op)
+}
+
+// Exscan computes the exclusive prefix reduction in rank order
+// (MPI_Exscan): member r receives op over ranks 0..r-1; rank 0's recv
+// is untouched.
+func Exscan[T Primitive](c *mpi.Intracomm, send, recv []T, op Op[T]) error {
+	return c.Exscan(send, 0, recv, 0, len(send), TypeOf[T](), op.op)
+}

@@ -1,0 +1,67 @@
+package typed
+
+import (
+	"context"
+	"sync"
+
+	"gompi/mpi"
+)
+
+// Request is a typed handle on a pending non-blocking operation. It
+// wraps the classic *mpi.Request and, for receives of Obj-routed
+// element types, copies the boxed elements back into the caller's
+// typed buffer at completion.
+type Request[T any] struct {
+	r     *mpi.Request
+	unbox func() error // nil for sends and zero-copy receives
+	once  sync.Once
+	uerr  error
+}
+
+// Raw exposes the underlying classic request, for mixing typed requests
+// into mpi.WaitAll / mpi.WaitAny sets. For Obj-routed receives the
+// typed buffer is only filled by Wait/WaitCtx/Test on this handle, not
+// by completing the raw request directly.
+func (r *Request[T]) Raw() *mpi.Request { return r.r }
+
+// settle runs the unbox step exactly once after completion; like the
+// classic request's finish, it is safe under concurrent Wait/Test.
+func (r *Request[T]) settle() error {
+	r.once.Do(func() {
+		if r.unbox != nil {
+			r.uerr = r.unbox()
+		}
+	})
+	return r.uerr
+}
+
+// Wait blocks until the operation completes (MPI_Wait).
+func (r *Request[T]) Wait() (*mpi.Status, error) {
+	st, err := r.r.Wait()
+	if err != nil {
+		return st, err
+	}
+	return st, r.settle()
+}
+
+// WaitCtx blocks until the operation completes or ctx is done; see
+// mpi.Request.WaitCtx for the cancellation contract.
+func (r *Request[T]) WaitCtx(ctx context.Context) (*mpi.Status, error) {
+	st, err := r.r.WaitCtx(ctx)
+	if err != nil {
+		return st, err
+	}
+	return st, r.settle()
+}
+
+// Test polls the operation for completion (MPI_Test).
+func (r *Request[T]) Test() (*mpi.Status, bool, error) {
+	st, ok, err := r.r.Test()
+	if !ok || err != nil {
+		return st, ok, err
+	}
+	return st, true, r.settle()
+}
+
+// Cancel attempts to cancel the pending operation (MPI_Cancel).
+func (r *Request[T]) Cancel() error { return r.r.Cancel() }

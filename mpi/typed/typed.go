@@ -1,0 +1,237 @@
+// Package typed is the Go-generics face of the mpi binding: compile-time
+// type-safe, slice-first entry points that infer the MPI datatype from
+// the buffer's element type, so callers never thread offset/count/
+// *Datatype triples by hand. Where the classic (mpiJava-style) API says
+//
+//	world.Send(buf, 0, len(buf), mpi.DOUBLE, dest, tag)
+//
+// the typed API says
+//
+//	typed.Send(world, buf, dest, tag)
+//
+// Datatype inference follows the registry in internal/dtype: the seven
+// native element types (byte, bool, int16, int32/rune, int64, float32,
+// float64) map to their predefined basic datatypes and travel zero-copy
+// on the exact same path as the classic API; every other element type —
+// structs, named primitives, pointers — maps to MPI.OBJECT and travels
+// gob-encoded, with registration handled automatically on first use.
+// Sub-slicing replaces offset/count: send buf[lo:hi] instead of
+// (buf, lo, hi-lo).
+//
+// The classic API remains the compatibility layer; both interoperate
+// freely on the same communicators (a typed.Send matches a classic Recv
+// of the same element class, and vice versa).
+//
+// Context-aware variants (RecvCtx, Request.WaitCtx, WaitCtx) plumb
+// cancellation into the runtime's wait paths: cancelling the context
+// cancels the underlying operation when it is still unmatched, in the
+// sense of MPI_Cancel.
+package typed
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+
+	"gompi/internal/dtype"
+	"gompi/mpi"
+)
+
+// Comm is the point-to-point surface of the classic API the typed layer
+// builds on. *mpi.Comm satisfies it, and so do *mpi.Intracomm,
+// *mpi.Intercomm, *mpi.Cartcomm and *mpi.Graphcomm through embedding.
+type Comm interface {
+	Rank() int
+	Size() int
+	Send(buf any, offset, count int, d *mpi.Datatype, dest, tag int) error
+	Recv(buf any, offset, count int, d *mpi.Datatype, source, tag int) (*mpi.Status, error)
+	Isend(buf any, offset, count int, d *mpi.Datatype, dest, tag int) (*mpi.Request, error)
+	Irecv(buf any, offset, count int, d *mpi.Datatype, source, tag int) (*mpi.Request, error)
+}
+
+// datatypeOf maps a storage class to its predefined basic datatype,
+// keyed so the mapping survives reordering of the Class iota.
+var datatypeOf = [...]*mpi.Datatype{
+	dtype.U8:   mpi.BYTE,
+	dtype.Bool: mpi.BOOLEAN,
+	dtype.I16:  mpi.SHORT,
+	dtype.I32:  mpi.INT,
+	dtype.I64:  mpi.LONG,
+	dtype.F32:  mpi.FLOAT,
+	dtype.F64:  mpi.DOUBLE,
+	dtype.Obj:  mpi.OBJECT,
+}
+
+// TypeOf returns the MPI datatype inferred for element type T: the
+// predefined basic datatype for native element types, MPI.OBJECT for
+// everything else. The inference is cached per type, so TypeOf is cheap
+// enough for per-message use.
+func TypeOf[T any]() *mpi.Datatype {
+	return datatypeOf[dtype.Infer(reflect.TypeFor[T]()).Class]
+}
+
+// Count returns the number of T elements a receive described by st
+// delivered — GetCount with the datatype inferred rather than passed.
+func Count[T any](st *mpi.Status) int {
+	return st.GetCount(TypeOf[T]())
+}
+
+// view resolves a buffer for a communication call: native element types
+// pass through as-is (zero-copy); Obj-routed types are boxed into a
+// fresh []any. The returned unbox is non-nil exactly when the call must
+// copy results back into buf afterwards (receives of boxed types).
+//
+// The type switch is the hot path: one runtime type comparison on the
+// instantiated slice type, no registry lookup, so a typed Send costs
+// what the classic Send costs. Only Obj-routed element types fall
+// through to the inference registry (which also gob-registers them).
+func view[T any](buf []T) (raw any, d *mpi.Datatype, unbox func() error) {
+	switch b := any(buf).(type) {
+	case []byte:
+		return b, mpi.BYTE, nil
+	case []bool:
+		return b, mpi.BOOLEAN, nil
+	case []int16:
+		return b, mpi.SHORT, nil
+	case []int32:
+		return b, mpi.INT, nil
+	case []int64:
+		return b, mpi.LONG, nil
+	case []float32:
+		return b, mpi.FLOAT, nil
+	case []float64:
+		return b, mpi.DOUBLE, nil
+	case []any:
+		return b, mpi.OBJECT, nil
+	}
+	dtype.Infer(reflect.TypeFor[T]()) // cache + gob-register the element type
+	tmp := make([]any, len(buf))
+	for i, v := range buf {
+		tmp[i] = v
+	}
+	return tmp, mpi.OBJECT, func() error { return unboxInto(buf, tmp) }
+}
+
+// unboxInto copies received object elements back into the typed buffer.
+// Slots the receive did not fill stay nil in tmp and are skipped. gob
+// flattens pointers on the wire, so when T is a pointer type the
+// arriving base value is re-boxed behind a fresh pointer.
+func unboxInto[T any](dst []T, tmp []any) error {
+	for i, v := range tmp {
+		if v == nil {
+			continue
+		}
+		t, ok := v.(T)
+		if !ok {
+			if p, ok := reboxPointer[T](v); ok {
+				dst[i] = p
+				continue
+			}
+			return fmt.Errorf("typed: element %d arrived as %T, want %T", i, v, dst[i])
+		}
+		dst[i] = t
+	}
+	return nil
+}
+
+// reboxPointer lifts v to *E when T is a pointer type *E and v is an E.
+func reboxPointer[T any](v any) (T, bool) {
+	var zero T
+	rt := reflect.TypeFor[T]()
+	if rt.Kind() != reflect.Pointer || reflect.TypeOf(v) != rt.Elem() {
+		return zero, false
+	}
+	p := reflect.New(rt.Elem())
+	p.Elem().Set(reflect.ValueOf(v))
+	return p.Interface().(T), true
+}
+
+// Send is the blocking standard-mode send of a whole slice: the typed
+// analogue of MPI_Send. Use sub-slicing where the classic API would use
+// offset/count.
+func Send[T any](c Comm, buf []T, dest, tag int) error {
+	raw, d, _ := view(buf)
+	return c.Send(raw, 0, len(buf), d, dest, tag)
+}
+
+// Recv is the blocking receive into a whole slice (MPI_Recv). The
+// source and tag arguments accept the mpi.AnySource and mpi.AnyTag
+// wildcards.
+func Recv[T any](c Comm, buf []T, source, tag int) (*mpi.Status, error) {
+	raw, d, unbox := view(buf)
+	st, err := c.Recv(raw, 0, len(buf), d, source, tag)
+	if err != nil {
+		return st, err
+	}
+	if unbox != nil {
+		if err := unbox(); err != nil {
+			return st, err
+		}
+	}
+	return st, nil
+}
+
+// RecvCtx is Recv with cancellation: it posts the receive and waits
+// under ctx. If ctx fires while the message is still unmatched the
+// receive is cancelled (MPI_Cancel semantics), the status reports
+// TestCancelled() and ctx's error is returned.
+func RecvCtx[T any](ctx context.Context, c Comm, buf []T, source, tag int) (*mpi.Status, error) {
+	req, err := Irecv(c, buf, source, tag)
+	if err != nil {
+		return nil, err
+	}
+	return req.WaitCtx(ctx)
+}
+
+// Isend starts a non-blocking standard-mode send (MPI_Isend). The
+// buffer must not be modified until the request completes.
+func Isend[T any](c Comm, buf []T, dest, tag int) (*Request[T], error) {
+	raw, d, _ := view(buf)
+	r, err := c.Isend(raw, 0, len(buf), d, dest, tag)
+	if err != nil {
+		return nil, err
+	}
+	return &Request[T]{r: r}, nil
+}
+
+// Irecv starts a non-blocking receive (MPI_Irecv). The buffer is filled
+// when the returned request completes.
+func Irecv[T any](c Comm, buf []T, source, tag int) (*Request[T], error) {
+	raw, d, unbox := view(buf)
+	r, err := c.Irecv(raw, 0, len(buf), d, source, tag)
+	if err != nil {
+		return nil, err
+	}
+	return &Request[T]{r: r, unbox: unbox}, nil
+}
+
+// SendOne sends a single value (a one-element message).
+func SendOne[T any](c Comm, v T, dest, tag int) error {
+	return Send(c, []T{v}, dest, tag)
+}
+
+// RecvOne receives a single value.
+func RecvOne[T any](c Comm, source, tag int) (T, *mpi.Status, error) {
+	buf := make([]T, 1)
+	st, err := Recv(c, buf, source, tag)
+	return buf[0], st, err
+}
+
+// RecvOneCtx receives a single value under a context.
+func RecvOneCtx[T any](ctx context.Context, c Comm, source, tag int) (T, *mpi.Status, error) {
+	buf := make([]T, 1)
+	st, err := RecvCtx(ctx, c, buf, source, tag)
+	return buf[0], st, err
+}
+
+// Waiter is anything WaitCtx can wait on: *mpi.Request and the typed
+// *Request[T] both qualify.
+type Waiter interface {
+	WaitCtx(ctx context.Context) (*mpi.Status, error)
+}
+
+// WaitCtx waits for a pending operation under a context; see
+// Request.WaitCtx for the cancellation contract.
+func WaitCtx(ctx context.Context, w Waiter) (*mpi.Status, error) {
+	return w.WaitCtx(ctx)
+}
