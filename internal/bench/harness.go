@@ -44,17 +44,22 @@ func wsockPingPong(s Spec) ([]Point, error) {
 	done := make(chan error, 1)
 	go func() {
 		// Echo side: return every frame until a zero-length stop frame.
+		// Sendv hands the frame's (pool-born) storage back through the
+		// ownership protocol: over shm it travels by reference, over
+		// TCP it returns to the pool after the write, so the echo adds
+		// no garbage.
 		for {
 			f, err := devs[1].Recv()
 			if err != nil {
 				done <- err
 				return
 			}
-			if len(f) == 0 {
+			if len(f.Data) == 0 {
+				f.Release()
 				done <- nil
 				return
 			}
-			if err := devs[1].Send(0, f); err != nil {
+			if err := devs[1].Sendv(0, f.Data, nil, false); err != nil {
 				done <- err
 				return
 			}
@@ -64,15 +69,19 @@ func wsockPingPong(s Spec) ([]Point, error) {
 	points := make([]Point, 0, len(s.Sizes))
 	for _, size := range s.Sizes {
 		reps := repsFor(s.Reps, size, s.Paper1999, s.Mode)
-		buf := make([]byte, size)
+		// The frame ping-pongs: each round trip sends the storage the
+		// echo just returned (over shm literally the same buffer, over
+		// TCP a recirculating pooled one), so the steady state
+		// allocates nothing.
+		cur := transport.GetBuf(size)
 		for w := 0; w < s.warmupFor(reps); w++ {
-			if err := pingOnce(devs[0], buf); err != nil {
+			if cur, err = pingOnce(devs[0], cur); err != nil {
 				return nil, err
 			}
 		}
 		start := time.Now()
 		for r := 0; r < reps; r++ {
-			if err := pingOnce(devs[0], buf); err != nil {
+			if cur, err = pingOnce(devs[0], cur); err != nil {
 				return nil, err
 			}
 		}
@@ -88,14 +97,15 @@ func wsockPingPong(s Spec) ([]Point, error) {
 	return points, nil
 }
 
-func pingOnce(d transport.Device, buf []byte) error {
-	frame := make([]byte, len(buf))
-	copy(frame, buf)
-	if err := d.Send(1, frame); err != nil {
-		return err
+func pingOnce(d transport.Device, buf []byte) ([]byte, error) {
+	if err := d.Sendv(1, buf, nil, false); err != nil {
+		return nil, err
 	}
-	_, err := d.Recv()
-	return err
+	f, err := d.Recv()
+	if err != nil {
+		return nil, err
+	}
+	return f.Data, nil
 }
 
 // nativePingPong measures the core engine called directly — the paper's
@@ -125,36 +135,44 @@ func nativePingPong(s Spec) ([]Point, error) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
+		// The echo forwards the received payload by reference; over shm
+		// the same buffer shuttles between the ranks for the whole run.
 		for _, size := range schedule {
 			for r := 0; r < s.warmupFor(repsOf[size])+repsOf[size]; r++ {
 				rreq := p1.Irecv(ctx, 0, tag)
-				st := rreq.Wait()
-				sreq, err := p1.Isend(ctx, 1, 0, tag, rreq.Payload, core.ModeStandard)
+				rreq.Wait()
+				payload := rreq.TakePayload()
+				rreq.Recycle()
+				sreq, err := p1.Isend(ctx, 1, 0, tag, payload, core.ModeStandard, false)
 				if err != nil {
 					echoErr = err
 					return
 				}
 				sreq.Wait()
-				_ = st
+				sreq.Recycle()
 			}
 		}
 	}()
 
 	points := make([]Point, 0, len(s.Sizes))
 	for _, size := range schedule {
-		buf := make([]byte, size)
+		// cur is the outgoing payload; after each round trip the echoed
+		// payload (over shm, the very same buffer) replaces it, so the
+		// measured loop allocates nothing in steady state.
+		cur := make([]byte, size)
 		reps := repsOf[size]
 		warm := s.warmupFor(reps)
 		roundTrip := func() error {
-			payload := make([]byte, len(buf))
-			copy(payload, buf)
-			sreq, err := p0.Isend(ctx, 0, 1, tag, payload, core.ModeStandard)
+			sreq, err := p0.Isend(ctx, 0, 1, tag, cur, core.ModeStandard, false)
 			if err != nil {
 				return err
 			}
 			rreq := p0.Irecv(ctx, 1, tag)
 			rreq.Wait()
 			sreq.Wait()
+			cur = rreq.TakePayload()
+			rreq.Recycle()
+			sreq.Recycle()
 			return nil
 		}
 		for w := 0; w < warm; w++ {

@@ -38,7 +38,7 @@ const (
 )
 
 func (c *Comm) send(dst, tag int, b []byte) error {
-	req, err := c.P.Isend(c.Ctx, c.Rank, c.World(dst), tag, b, core.ModeStandard)
+	req, err := c.isend(dst, tag, b)
 	if err != nil {
 		return err
 	}
@@ -46,8 +46,11 @@ func (c *Comm) send(dst, tag int, b []byte) error {
 	return nil
 }
 
+// isend never passes recycle: collective algorithms fan one buffer out
+// to several destinations and forward received payloads, so no slice
+// here carries an exclusive-ownership promise.
 func (c *Comm) isend(dst, tag int, b []byte) (*core.Request, error) {
-	return c.P.Isend(c.Ctx, c.Rank, c.World(dst), tag, b, core.ModeStandard)
+	return c.P.Isend(c.Ctx, c.Rank, c.World(dst), tag, b, core.ModeStandard, false)
 }
 
 func (c *Comm) recv(src, tag int) ([]byte, error) {
@@ -56,7 +59,11 @@ func (c *Comm) recv(src, tag int) ([]byte, error) {
 	if st.Cancelled {
 		return nil, fmt.Errorf("coll: receive cancelled")
 	}
-	return req.Payload, nil
+	// Payload lifetime is unbounded here (algorithms forward and stash
+	// blocks), so take it out of the request before recycling.
+	b := req.TakePayload()
+	req.Recycle()
+	return b, nil
 }
 
 // sendrecv runs a concurrent exchange with two (possibly distinct)

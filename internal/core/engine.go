@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -12,6 +13,11 @@ import (
 // RTS/CTS rendezvous protocol. MPICH-era implementations sit in the same
 // range; the ablation bench sweeps this knob.
 const DefaultEagerLimit = 64 << 10
+
+// ErrTruncated reports that a receive-into buffer was smaller than the
+// incoming message (MPI_ERR_TRUNCATE semantics): the buffer is filled to
+// capacity and the remainder of the message is discarded.
+var ErrTruncated = errors.New("core: receive buffer too small, message truncated")
 
 // Config tunes a Proc.
 type Config struct {
@@ -32,21 +38,27 @@ func (c Config) eagerLimit() int {
 }
 
 // inMsg is an arrived, not-yet-matched message (the unexpected queue
-// entry): either a complete eager message or an RTS advertisement.
+// entry): either a complete eager message or an RTS advertisement. The
+// entry owns the transport frame backing payload until a receive matches
+// it and takes the frame over.
 type inMsg struct {
 	kind    byte
 	env     envelope
 	id      uint64
 	size    int // advertised payload size for kRts
 	payload []byte
+	frame   transport.Frame
 }
 
 // outFrame is a frame produced by the matching engine to be sent after
 // the engine lock is released (sending under the lock can deadlock with
-// the peer's flow control; see the ordering argument in DESIGN.md).
+// the peer's flow control; see the ordering argument in DESIGN.md). hdr
+// is pool-born; payload (rendezvous DATA only) is shipped by reference.
 type outFrame struct {
-	dst   int32
-	frame []byte
+	dst     int32
+	hdr     []byte
+	payload []byte
+	recycle bool
 }
 
 // Proc is one rank's progress engine. All methods are safe for
@@ -102,6 +114,8 @@ func (p *Proc) EagerLimit() int { return p.cfg.eagerLimit() }
 // Close shuts the engine down: the device is closed and the progress
 // goroutine joined. Outstanding requests never complete after Close; the
 // binding layer runs a barrier first so correct programs are quiescent.
+// Frames already queued unexpected stay readable — a receive posted
+// after Close still matches and consumes them.
 func (p *Proc) Close() error {
 	p.mu.Lock()
 	if p.closed {
@@ -137,6 +151,7 @@ func (p *Proc) progress() {
 		if err != nil {
 			// A malformed frame indicates a wire-level bug, not a
 			// user error; drop it loudly in debug builds.
+			f.frame.Release()
 			continue
 		}
 		outs, after := p.handle(f)
@@ -150,12 +165,12 @@ func (p *Proc) progress() {
 			p.inflight.Add(1)
 			go func(o outFrame) {
 				defer p.inflight.Done()
-				p.dev.Send(int(o.dst), o.frame) //nolint:errcheck // peer teardown races are benign
+				p.dev.Sendv(int(o.dst), o.hdr, o.payload, o.recycle) //nolint:errcheck // peer teardown races are benign
 			}(o)
 		}
-		// Rendezvous payloads are copied into the frame, so the user
-		// buffer is reusable before the wire send finishes; complete
-		// now.
+		// The rendezvous payload has been handed to the device (and,
+		// over shm, to the receiver) by the Sendv above; the send
+		// request completes now.
 		for _, c := range after {
 			p.complete(c.req, nil, c.st)
 		}
@@ -167,7 +182,9 @@ type lateComplete struct {
 	st  Status
 }
 
-// handle runs the matching engine on one frame. It returns frames to
+// handle runs the matching engine on one frame. It owns f.frame: the
+// frame is either transferred to the matching request or unexpected
+// queue, or released before handle returns. It returns frames to
 // transmit and requests to complete once those frames are sent.
 func (p *Proc) handle(f parsed) (outs []outFrame, after []lateComplete) {
 	p.mu.Lock()
@@ -175,70 +192,107 @@ func (p *Proc) handle(f parsed) (outs []outFrame, after []lateComplete) {
 	switch f.kind {
 	case kEager, kEagerSync:
 		req := p.takeMatchLocked(f.env)
-		if req != nil {
-			p.stats.RecvsMatched.Add(1)
-			p.stats.BytesRecv.Add(uint64(len(f.payload)))
-		}
 		if req == nil {
-			m := &inMsg{kind: f.kind, env: f.env, id: f.id}
-			m.payload = append([]byte(nil), f.payload...)
-			p.arrived = append(p.arrived, m)
+			p.arrived = append(p.arrived, &inMsg{
+				kind: f.kind, env: f.env, id: f.id,
+				payload: f.payload, frame: f.frame,
+			})
 			p.cond.Broadcast()
 			return nil, nil
 		}
-		payload := append([]byte(nil), f.payload...)
-		p.completeLocked(req, payload, Status{
+		p.stats.RecvsMatched.Add(1)
+		p.stats.BytesRecv.Add(uint64(len(f.payload)))
+		p.deliverLocked(req, f.payload, f.frame, Status{
 			SourceGroup: int(f.env.srcGroup),
 			Tag:         int(f.env.tag),
-			Bytes:       len(payload),
 		})
 		if f.kind == kEagerSync {
-			outs = append(outs, outFrame{dst: f.env.srcWorld, frame: buildAck(int32(p.Rank()), f.id)})
+			outs = append(outs, outFrame{dst: f.env.srcWorld, hdr: buildAck(int32(p.Rank()), f.id)})
 		}
 	case kRts:
 		req := p.takeMatchLocked(f.env)
-		if req != nil {
-			p.stats.RecvsMatched.Add(1)
-			p.stats.BytesRecv.Add(uint64(f.size))
-		}
+		f.frame.Release() // RTS carries no payload; nothing to retain
 		if req == nil {
 			p.arrived = append(p.arrived, &inMsg{kind: kRts, env: f.env, id: f.id, size: f.size})
 			p.cond.Broadcast()
 			return nil, nil
 		}
+		p.stats.RecvsMatched.Add(1)
+		p.stats.BytesRecv.Add(uint64(f.size))
 		outs = append(outs, p.grantRtsLocked(req, f.env, f.id))
 	case kCts:
+		defer f.frame.Release()
 		req, ok := p.sent[f.id]
 		if !ok {
 			return nil, nil // cancelled or duplicate
 		}
 		delete(p.sent, f.id)
-		payloadLen := len(req.data)
-		data := buildData(int32(p.Rank()), f.recvID, req.data)
+		outs = append(outs, outFrame{
+			dst:     f.env.srcWorld,
+			hdr:     buildDataHdr(int32(p.Rank()), f.recvID),
+			payload: req.data,
+			recycle: req.recycle,
+		})
 		req.data = nil
-		outs = append(outs, outFrame{dst: f.env.srcWorld, frame: data})
-		after = append(after, lateComplete{req: req, st: Status{Bytes: payloadLen}})
+		after = append(after, lateComplete{req: req, st: Status{Bytes: req.size}})
 	case kData:
 		req, ok := p.recving[f.recvID]
 		if !ok {
+			f.frame.Release()
 			return nil, nil
 		}
 		delete(p.recving, f.recvID)
-		payload := append([]byte(nil), f.payload...)
-		p.completeLocked(req, payload, Status{
+		// The posted request owns the incoming frame outright: the
+		// payload lands in the caller's buffer (receive-into) or is
+		// handed over by reference — never cloned.
+		p.deliverLocked(req, f.payload, f.frame, Status{
 			SourceGroup: int(req.Stat.SourceGroup),
 			Tag:         req.Stat.Tag,
-			Bytes:       len(payload),
 		})
 	case kAck:
+		f.frame.Release()
 		req, ok := p.sent[f.id]
 		if !ok {
 			return nil, nil
 		}
 		delete(p.sent, f.id)
-		after = append(after, lateComplete{req: req, st: Status{Bytes: len(req.data)}})
+		after = append(after, lateComplete{req: req, st: Status{Bytes: req.size}})
 	}
 	return outs, after
+}
+
+// deliverLocked completes a receive request with an arrived payload,
+// following the ownership protocol: a receive-into request gets the
+// bytes copied straight into its caller-owned buffer and the frame is
+// released; an ordinary receive takes ownership of the frame and sees
+// the payload by reference, with release deferred to the request's
+// consumer. st carries SourceGroup/Tag; Bytes and Err are filled here.
+func (p *Proc) deliverLocked(req *Request, payload []byte, frame transport.Frame, st Status) {
+	if req.into != nil {
+		// Deposit whole elements only: a payload that is not an exact
+		// multiple of the element size must not tear the final element
+		// (the binding reports the format error; classic unpack
+		// rejects such payloads before depositing anything).
+		avail := payload
+		if es := req.intoES; es > 1 {
+			if rem := len(avail) % es; rem != 0 {
+				avail = avail[:len(avail)-rem]
+			}
+		}
+		n := copy(req.into, avail)
+		p.stats.BytesCopied.Add(uint64(n))
+		st.Bytes = len(payload) // full incoming size, like an ordinary receive
+		if len(avail) > len(req.into) {
+			st.Err = ErrTruncated
+		}
+		frame.Release()
+		p.completeLocked(req, nil, st)
+		return
+	}
+	p.stats.RecvsZeroCopy.Add(1)
+	req.frame = frame
+	st.Bytes = len(payload)
+	p.completeLocked(req, payload, st)
 }
 
 // grantRtsLocked matches a receive request to an RTS: it registers the
@@ -250,7 +304,7 @@ func (p *Proc) grantRtsLocked(req *Request, env envelope, senderID uint64) outFr
 	req.Stat.SourceGroup = int(env.srcGroup)
 	req.Stat.Tag = int(env.tag)
 	p.recving[recvID] = req
-	return outFrame{dst: env.srcWorld, frame: buildCts(int32(p.Rank()), senderID, recvID)}
+	return outFrame{dst: env.srcWorld, hdr: buildCts(int32(p.Rank()), senderID, recvID)}
 }
 
 // takeMatchLocked removes and returns the oldest posted receive matching
@@ -294,8 +348,12 @@ func matchesMsg(m *inMsg, ctx, src, tag int32) bool {
 // Isend starts a send of payload on context ctx to world rank dstWorld.
 // srcGroup is the caller's rank within the communicator group (carried in
 // the envelope for matching). The payload slice is owned by the engine
-// after the call.
-func (p *Proc) Isend(ctx int32, srcGroup int, dstWorld int, tag int, payload []byte, mode Mode) (*Request, error) {
+// after the call; recycle additionally vouches that no other reference
+// to it exists, licensing the runtime to return it to the frame pool
+// once the receiver has consumed it (payloads packed into pool-born
+// buffers should pass true; shared or caller-retained buffers must pass
+// false).
+func (p *Proc) Isend(ctx int32, srcGroup int, dstWorld int, tag int, payload []byte, mode Mode, recycle bool) (*Request, error) {
 	env := envelope{
 		srcWorld: int32(p.Rank()),
 		ctx:      ctx,
@@ -305,6 +363,7 @@ func (p *Proc) Isend(ctx int32, srcGroup int, dstWorld int, tag int, payload []b
 	req := newRequest(p, reqSend)
 	req.dstWorld = int32(dstWorld)
 	req.ctxS = ctx
+	req.size = len(payload)
 
 	eager := p.cfg.eagerLimit()
 	small := eager >= 0 && len(payload) <= eager
@@ -312,12 +371,12 @@ func (p *Proc) Isend(ctx int32, srcGroup int, dstWorld int, tag int, payload []b
 	p.stats.BytesSent.Add(uint64(len(payload)))
 	switch {
 	case mode != ModeSync && small:
-		// Eager standard/ready: buffer-safe once framed; the request
+		// Eager standard/ready: the payload is with the device once
+		// Sendv returns (and recycled downstream); the request
 		// completes immediately.
 		p.stats.SendsEager.Add(1)
-		frame := buildEager(false, env, 0, payload)
 		p.complete(req, nil, Status{Bytes: len(payload)})
-		if err := p.dev.Send(dstWorld, frame); err != nil {
+		if err := p.dev.Sendv(dstWorld, buildEagerHdr(false, env, 0), payload, recycle); err != nil {
 			return req, fmt.Errorf("core: eager send: %w", err)
 		}
 	case mode == ModeSync && small:
@@ -327,10 +386,9 @@ func (p *Proc) Isend(ctx int32, srcGroup int, dstWorld int, tag int, payload []b
 		p.nextID++
 		id := p.nextID
 		req.id = id
-		req.data = payload
 		p.sent[id] = req
 		p.mu.Unlock()
-		if err := p.dev.Send(dstWorld, buildEager(true, env, id, payload)); err != nil {
+		if err := p.dev.Sendv(dstWorld, buildEagerHdr(true, env, id), payload, recycle); err != nil {
 			return req, fmt.Errorf("core: sync eager send: %w", err)
 		}
 	default:
@@ -341,9 +399,10 @@ func (p *Proc) Isend(ctx int32, srcGroup int, dstWorld int, tag int, payload []b
 		id := p.nextID
 		req.id = id
 		req.data = payload
+		req.recycle = recycle
 		p.sent[id] = req
 		p.mu.Unlock()
-		if err := p.dev.Send(dstWorld, buildRts(env, id, len(payload))); err != nil {
+		if err := p.dev.Sendv(dstWorld, buildRts(env, id, len(payload)), nil, false); err != nil {
 			return req, fmt.Errorf("core: rts send: %w", err)
 		}
 	}
@@ -351,10 +410,40 @@ func (p *Proc) Isend(ctx int32, srcGroup int, dstWorld int, tag int, payload []b
 }
 
 // Irecv posts a receive on context ctx for (src, tag), either of which
-// may be the AnySource/AnyTag wildcard. src is a group rank.
+// may be the AnySource/AnyTag wildcard. src is a group rank. The payload
+// arrives by reference in Request.Payload; release it with
+// Request.ReleaseFrame (or Recycle) once consumed.
 func (p *Proc) Irecv(ctx int32, src, tag int32) *Request {
+	return p.irecvInto(ctx, src, tag, nil, 0)
+}
+
+// IrecvInto posts a receive like Irecv, but the payload is deposited
+// directly into buf — the caller's buffer — with no intermediate
+// allocation or handed-over frame. elemSize is the wire element size
+// (<= 1 means byte granularity): the deposit is floored to whole
+// elements, so a trailing partial element never tears the buffer. If
+// the incoming message holds more whole elements than buf, buf is
+// filled and the completion status carries ErrTruncated; Status.Bytes
+// always reports the full incoming size. buf must stay untouched until
+// the request completes.
+func (p *Proc) IrecvInto(ctx int32, src, tag int32, buf []byte, elemSize int) *Request {
+	if buf == nil {
+		// A receive-into with no buffer is a zero-length receive; keep
+		// the into marker non-nil so delivery stays on the into path.
+		buf = emptyInto
+	}
+	return p.irecvInto(ctx, src, tag, buf, elemSize)
+}
+
+// emptyInto marks a zero-capacity receive-into buffer (into == nil means
+// "ordinary receive", so nil buffers need a distinct sentinel).
+var emptyInto = make([]byte, 0, 1)
+
+func (p *Proc) irecvInto(ctx, src, tag int32, into []byte, elemSize int) *Request {
 	req := newRequest(p, reqRecv)
 	req.ctx, req.src, req.tag = ctx, src, tag
+	req.into = into
+	req.intoES = elemSize
 
 	p.mu.Lock()
 	m, idx := p.findArrivedLocked(ctx, src, tag)
@@ -372,27 +461,22 @@ func (p *Proc) Irecv(ctx int32, src, tag int32) *Request {
 	}
 	var out *outFrame
 	switch m.kind {
-	case kEager:
-		p.completeLocked(req, m.payload, Status{
+	case kEager, kEagerSync:
+		p.deliverLocked(req, m.payload, m.frame, Status{
 			SourceGroup: int(m.env.srcGroup),
 			Tag:         int(m.env.tag),
-			Bytes:       len(m.payload),
 		})
-	case kEagerSync:
-		p.completeLocked(req, m.payload, Status{
-			SourceGroup: int(m.env.srcGroup),
-			Tag:         int(m.env.tag),
-			Bytes:       len(m.payload),
-		})
-		o := outFrame{dst: m.env.srcWorld, frame: buildAck(int32(p.Rank()), m.id)}
-		out = &o
+		if m.kind == kEagerSync {
+			o := outFrame{dst: m.env.srcWorld, hdr: buildAck(int32(p.Rank()), m.id)}
+			out = &o
+		}
 	case kRts:
 		o := p.grantRtsLocked(req, m.env, m.id)
 		out = &o
 	}
 	p.mu.Unlock()
 	if out != nil {
-		p.dev.Send(int(out.dst), out.frame) //nolint:errcheck // teardown race
+		p.dev.Sendv(int(out.dst), out.hdr, out.payload, out.recycle) //nolint:errcheck // teardown race
 	}
 	return req
 }
@@ -466,6 +550,11 @@ func (p *Proc) Cancel(r *Request) bool {
 	if _, ok := p.sent[r.id]; ok {
 		delete(p.sent, r.id)
 		p.stats.Cancelled.Add(1)
+		if r.data != nil && r.recycle {
+			// The rendezvous payload was never shipped; reclaim it.
+			transport.PutBuf(r.data)
+		}
+		r.data = nil
 		p.completeLocked(r, nil, Status{Cancelled: true})
 		return true
 	}

@@ -24,7 +24,7 @@ func newPair(t *testing.T, cfg Config) (*Proc, *Proc) {
 func TestEagerSendRecv(t *testing.T) {
 	p0, p1 := newPair(t, Config{})
 	payload := []byte("hello engine")
-	sreq, err := p0.Isend(0, 0, 1, 42, payload, ModeStandard)
+	sreq, err := p0.Isend(0, 0, 1, 42, payload, ModeStandard, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +45,7 @@ func TestRendezvousLargeMessage(t *testing.T) {
 	for i := range payload {
 		payload[i] = byte(i)
 	}
-	sreq, err := p0.Isend(0, 0, 1, 7, payload, ModeStandard)
+	sreq, err := p0.Isend(0, 0, 1, 7, payload, ModeStandard, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +65,7 @@ func TestRendezvousLargeMessage(t *testing.T) {
 func TestForcedRendezvous(t *testing.T) {
 	// Negative EagerLimit: even 1-byte messages use RTS/CTS.
 	p0, p1 := newPair(t, Config{EagerLimit: -1})
-	sreq, err := p0.Isend(0, 0, 1, 1, []byte{9}, ModeStandard)
+	sreq, err := p0.Isend(0, 0, 1, 1, []byte{9}, ModeStandard, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +82,7 @@ func TestForcedRendezvous(t *testing.T) {
 
 func TestSyncSendWaitsForMatch(t *testing.T) {
 	p0, p1 := newPair(t, Config{})
-	sreq, err := p0.Isend(0, 0, 1, 3, []byte("sync"), ModeSync)
+	sreq, err := p0.Isend(0, 0, 1, 3, []byte("sync"), ModeSync, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +97,7 @@ func TestSyncSendWaitsForMatch(t *testing.T) {
 
 func TestWildcards(t *testing.T) {
 	p0, p1 := newPair(t, Config{})
-	if _, err := p0.Isend(0, 0, 1, 5, []byte("a"), ModeStandard); err != nil {
+	if _, err := p0.Isend(0, 0, 1, 5, []byte("a"), ModeStandard, false); err != nil {
 		t.Fatal(err)
 	}
 	rreq := p1.Irecv(0, AnySource, AnyTag)
@@ -110,7 +110,7 @@ func TestWildcards(t *testing.T) {
 func TestMatchingOrder(t *testing.T) {
 	p0, p1 := newPair(t, Config{})
 	for i := 0; i < 50; i++ {
-		if _, err := p0.Isend(0, 0, 1, 9, []byte{byte(i)}, ModeStandard); err != nil {
+		if _, err := p0.Isend(0, 0, 1, 9, []byte{byte(i)}, ModeStandard, false); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -126,10 +126,10 @@ func TestMatchingOrder(t *testing.T) {
 func TestContextSeparation(t *testing.T) {
 	p0, p1 := newPair(t, Config{})
 	// Same (src, tag), two contexts: each receive pulls from its own.
-	if _, err := p0.Isend(4, 0, 1, 1, []byte("ctx4"), ModeStandard); err != nil {
+	if _, err := p0.Isend(4, 0, 1, 1, []byte("ctx4"), ModeStandard, false); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p0.Isend(6, 0, 1, 1, []byte("ctx6"), ModeStandard); err != nil {
+	if _, err := p0.Isend(6, 0, 1, 1, []byte("ctx6"), ModeStandard, false); err != nil {
 		t.Fatal(err)
 	}
 	r6 := p1.Irecv(6, 0, 1)
@@ -149,7 +149,7 @@ func TestPostedBeforeArrival(t *testing.T) {
 	rreq := p1.Irecv(0, 0, 2)
 	go func() {
 		time.Sleep(5 * time.Millisecond)
-		p0.Isend(0, 0, 1, 2, []byte("late"), ModeStandard) //nolint:errcheck
+		p0.Isend(0, 0, 1, 2, []byte("late"), ModeStandard, false) //nolint:errcheck
 	}()
 	st := rreq.Wait()
 	if st.Bytes != 4 {
@@ -162,7 +162,7 @@ func TestProbeAndIprobe(t *testing.T) {
 	if _, ok := p1.Iprobe(0, AnySource, AnyTag); ok {
 		t.Fatal("Iprobe saw a ghost message")
 	}
-	if _, err := p0.Isend(0, 0, 1, 11, []byte("probe me"), ModeStandard); err != nil {
+	if _, err := p0.Isend(0, 0, 1, 11, []byte("probe me"), ModeStandard, false); err != nil {
 		t.Fatal(err)
 	}
 	st, err := p1.Probe(0, AnySource, 11)
@@ -186,7 +186,7 @@ func TestProbeAndIprobe(t *testing.T) {
 func TestProbeSeesRendezvousSize(t *testing.T) {
 	p0, p1 := newPair(t, Config{EagerLimit: 16})
 	payload := make([]byte, 1000)
-	if _, err := p0.Isend(0, 0, 1, 13, payload, ModeStandard); err != nil {
+	if _, err := p0.Isend(0, 0, 1, 13, payload, ModeStandard, false); err != nil {
 		t.Fatal(err)
 	}
 	st, err := p1.Probe(0, 0, 13)
@@ -218,7 +218,7 @@ func TestCancelRecv(t *testing.T) {
 
 func TestCancelSendRendezvous(t *testing.T) {
 	p0, _ := newPair(t, Config{EagerLimit: -1})
-	sreq, err := p0.Isend(0, 0, 1, 1, []byte("never"), ModeStandard)
+	sreq, err := p0.Isend(0, 0, 1, 1, []byte("never"), ModeStandard, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +236,7 @@ func TestWaitAny(t *testing.T) {
 	r2 := p1.Irecv(0, 0, 22)
 	go func() {
 		time.Sleep(5 * time.Millisecond)
-		p0.Isend(0, 0, 1, 22, []byte("two"), ModeStandard) //nolint:errcheck
+		p0.Isend(0, 0, 1, 22, []byte("two"), ModeStandard, false) //nolint:errcheck
 	}()
 	idx := p1.WaitAny([]*Request{r1, r2})
 	if idx != 1 {
@@ -274,7 +274,7 @@ func TestConcurrentTraffic(t *testing.T) {
 					}
 					size := 1 + (k*37)%300 // straddles the eager limit
 					payload := bytes.Repeat([]byte{byte(me)}, size)
-					sreq, err := p.Isend(0, me, dst, k, payload, ModeStandard)
+					sreq, err := p.Isend(0, me, dst, k, payload, ModeStandard, false)
 					if err != nil {
 						t.Errorf("isend: %v", err)
 						return
@@ -334,19 +334,19 @@ func TestStatsProtocolSelection(t *testing.T) {
 	small := make([]byte, 16)
 	large := make([]byte, 1000)
 	r1 := p1.Irecv(0, 0, 1) // posted before arrival
-	sreq, err := p0.Isend(0, 0, 1, 1, small, ModeStandard)
+	sreq, err := p0.Isend(0, 0, 1, 1, small, ModeStandard, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	r1.Wait()
 	sreq.Wait()
-	if sreq, err = p0.Isend(0, 0, 1, 2, large, ModeStandard); err != nil {
+	if sreq, err = p0.Isend(0, 0, 1, 2, large, ModeStandard, false); err != nil {
 		t.Fatal(err)
 	}
 	r2 := p1.Irecv(0, 0, 2)
 	r2.Wait()
 	sreq.Wait()
-	if sreq, err = p0.Isend(0, 0, 1, 3, small, ModeSync); err != nil {
+	if sreq, err = p0.Isend(0, 0, 1, 3, small, ModeSync, false); err != nil {
 		t.Fatal(err)
 	}
 	r3 := p1.Irecv(0, 0, 3) // arrives unexpected first? ordering: sync sent before post

@@ -9,6 +9,8 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+
+	"gompi/internal/transport"
 )
 
 // Frame kinds.
@@ -37,12 +39,14 @@ type envelope struct {
 	tag      int32
 }
 
-// frame header layout after the kind byte:
+// frame header layout after the kind byte. Headers are built into pooled
+// buffers and shipped with Sendv, so the payload is never copied into a
+// contiguous frame on the send side:
 //
-//	kEager/kEagerSync: env(16) id(8) payload...
+//	kEager/kEagerSync: env(16) id(8) | payload
 //	kRts:              env(16) id(8) size(4)
 //	kCts:              srcWorld(4) id(8) recvID(8)
-//	kData:             srcWorld(4) recvID(8) payload...
+//	kData:             srcWorld(4) recvID(8) | payload
 //	kAck:              srcWorld(4) id(8)
 const envLen = 16
 
@@ -62,20 +66,21 @@ func getEnv(b []byte) envelope {
 	}
 }
 
-func buildEager(sync bool, e envelope, id uint64, payload []byte) []byte {
-	f := make([]byte, 1+envLen+8+len(payload))
+// buildEagerHdr builds the header of an eager frame; the payload travels
+// separately through the device's scatter-gather send.
+func buildEagerHdr(sync bool, e envelope, id uint64) []byte {
+	f := transport.GetBuf(1 + envLen + 8)
 	f[0] = kEager
 	if sync {
 		f[0] = kEagerSync
 	}
 	putEnv(f[1:], e)
 	binary.LittleEndian.PutUint64(f[1+envLen:], id)
-	copy(f[1+envLen+8:], payload)
 	return f
 }
 
 func buildRts(e envelope, id uint64, size int) []byte {
-	f := make([]byte, 1+envLen+8+4)
+	f := transport.GetBuf(1 + envLen + 8 + 4)
 	f[0] = kRts
 	putEnv(f[1:], e)
 	binary.LittleEndian.PutUint64(f[1+envLen:], id)
@@ -84,7 +89,7 @@ func buildRts(e envelope, id uint64, size int) []byte {
 }
 
 func buildCts(srcWorld int32, id, recvID uint64) []byte {
-	f := make([]byte, 1+4+8+8)
+	f := transport.GetBuf(1 + 4 + 8 + 8)
 	f[0] = kCts
 	binary.LittleEndian.PutUint32(f[1:], uint32(srcWorld))
 	binary.LittleEndian.PutUint64(f[5:], id)
@@ -92,24 +97,27 @@ func buildCts(srcWorld int32, id, recvID uint64) []byte {
 	return f
 }
 
-func buildData(srcWorld int32, recvID uint64, payload []byte) []byte {
-	f := make([]byte, 1+4+8+len(payload))
+// buildDataHdr builds the header of a rendezvous DATA frame; the payload
+// travels separately through Sendv.
+func buildDataHdr(srcWorld int32, recvID uint64) []byte {
+	f := transport.GetBuf(1 + 4 + 8)
 	f[0] = kData
 	binary.LittleEndian.PutUint32(f[1:], uint32(srcWorld))
 	binary.LittleEndian.PutUint64(f[5:], recvID)
-	copy(f[13:], payload)
 	return f
 }
 
 func buildAck(srcWorld int32, id uint64) []byte {
-	f := make([]byte, 1+4+8)
+	f := transport.GetBuf(1 + 4 + 8)
 	f[0] = kAck
 	binary.LittleEndian.PutUint32(f[1:], uint32(srcWorld))
 	binary.LittleEndian.PutUint64(f[5:], id)
 	return f
 }
 
-// parsed is a decoded incoming frame.
+// parsed is a decoded incoming frame. payload aliases the transport
+// frame's storage (or, over shm, the sender's payload buffer); frame
+// retains ownership so the engine can release or transfer it.
 type parsed struct {
 	kind    byte
 	env     envelope
@@ -117,46 +125,57 @@ type parsed struct {
 	recvID  uint64
 	size    int
 	payload []byte
+	frame   transport.Frame
 }
 
-func parseFrame(f []byte) (parsed, error) {
-	if len(f) < 1 {
-		return parsed{}, fmt.Errorf("core: empty frame")
+func parseFrame(f transport.Frame) (parsed, error) {
+	hdr := f.Data
+	if len(hdr) < 1 {
+		return parsed{frame: f}, fmt.Errorf("core: empty frame")
 	}
-	p := parsed{kind: f[0]}
-	body := f[1:]
+	p := parsed{kind: hdr[0], frame: f}
+	body := hdr[1:]
+	// inline returns the payload tail: the separately delivered payload
+	// when the frame arrived scatter-gather, else the bytes after the
+	// header.
+	inline := func(hdrLen int) []byte {
+		if f.Payload != nil {
+			return f.Payload
+		}
+		return body[hdrLen:]
+	}
 	switch p.kind {
 	case kEager, kEagerSync:
 		if len(body) < envLen+8 {
-			return p, fmt.Errorf("core: short eager frame (%d bytes)", len(f))
+			return p, fmt.Errorf("core: short eager frame (%d bytes)", len(hdr))
 		}
 		p.env = getEnv(body)
 		p.id = binary.LittleEndian.Uint64(body[envLen:])
-		p.payload = body[envLen+8:]
+		p.payload = inline(envLen + 8)
 	case kRts:
 		if len(body) < envLen+12 {
-			return p, fmt.Errorf("core: short rts frame (%d bytes)", len(f))
+			return p, fmt.Errorf("core: short rts frame (%d bytes)", len(hdr))
 		}
 		p.env = getEnv(body)
 		p.id = binary.LittleEndian.Uint64(body[envLen:])
 		p.size = int(binary.LittleEndian.Uint32(body[envLen+8:]))
 	case kCts:
 		if len(body) < 20 {
-			return p, fmt.Errorf("core: short cts frame (%d bytes)", len(f))
+			return p, fmt.Errorf("core: short cts frame (%d bytes)", len(hdr))
 		}
 		p.env.srcWorld = int32(binary.LittleEndian.Uint32(body))
 		p.id = binary.LittleEndian.Uint64(body[4:])
 		p.recvID = binary.LittleEndian.Uint64(body[12:])
 	case kData:
 		if len(body) < 12 {
-			return p, fmt.Errorf("core: short data frame (%d bytes)", len(f))
+			return p, fmt.Errorf("core: short data frame (%d bytes)", len(hdr))
 		}
 		p.env.srcWorld = int32(binary.LittleEndian.Uint32(body))
 		p.recvID = binary.LittleEndian.Uint64(body[4:])
-		p.payload = body[12:]
+		p.payload = inline(12)
 	case kAck:
 		if len(body) < 12 {
-			return p, fmt.Errorf("core: short ack frame (%d bytes)", len(f))
+			return p, fmt.Errorf("core: short ack frame (%d bytes)", len(hdr))
 		}
 		p.env.srcWorld = int32(binary.LittleEndian.Uint32(body))
 		p.id = binary.LittleEndian.Uint64(body[4:])

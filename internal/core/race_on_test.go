@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that the race detector instruments this build;
+// its bookkeeping allocates, so strict allocs/op assertions are skipped.
+const raceEnabled = true

@@ -1,6 +1,11 @@
 package core
 
-import "context"
+import (
+	"context"
+	"sync"
+
+	"gompi/internal/transport"
+)
 
 // Mode selects the MPI send mode semantics for a core send operation.
 type Mode uint8
@@ -28,11 +33,17 @@ type Status struct {
 	SourceGroup int
 	// Tag is the message tag.
 	Tag int
-	// Bytes is the payload length in wire bytes.
+	// Bytes is the incoming payload length in wire bytes — for a
+	// truncated receive-into operation still the full message size,
+	// like an ordinary receive; the deposited prefix is
+	// min(Bytes, len(buf)).
 	Bytes int
 	// Cancelled reports whether the operation completed by
 	// cancellation.
 	Cancelled bool
+	// Err is a completion-time error: ErrTruncated when a receive-into
+	// buffer was smaller than the incoming message.
+	Err error
 }
 
 type reqKind uint8
@@ -43,40 +54,129 @@ const (
 )
 
 // Request is a pending point-to-point operation. Completion is published
-// by closing done; Stat and Payload are written before the close and may
-// be read freely after Wait/Test observe completion.
+// under the engine lock (and through the lazily created done channel);
+// Stat and Payload are written before completion is observable and may
+// be read freely after Wait/Test observe it.
 type Request struct {
 	proc *Proc
 	kind reqKind
+
+	// done is created lazily by Done/WaitCtx so completions that are
+	// only ever observed through Wait or Test allocate no channel.
+	// Guarded by proc.mu.
 	done chan struct{}
 
 	// Guarded by proc.mu until completion.
 	completed bool
 
 	// Completion results.
-	Stat    Status
-	Payload []byte // receive payload (wire bytes), nil for sends
+	Stat Status
+	// Payload is the receive payload (wire bytes), nil for sends. It
+	// may alias pooled frame storage owned by this request; call
+	// ReleaseFrame once no reference into it remains.
+	Payload []byte
+
+	// frame is the transport frame whose storage Payload aliases; the
+	// request owns it until ReleaseFrame.
+	frame transport.Frame
 
 	// Receive matching parameters.
 	ctx, src, tag int32
 
+	// into, when non-nil, is the caller-owned buffer a receive-into
+	// operation deposits the payload in directly; intoES is the wire
+	// element size the deposit is floored to (whole elements only).
+	into   []byte
+	intoES int
+
 	// Send protocol state.
 	id       uint64
 	data     []byte // retained payload for rendezvous
+	size     int    // payload length at Isend time
+	recycle  bool   // payload is exclusively owned; pool it downstream
 	dstWorld int32
 	ctxS     int32 // send-side context (for diagnostics)
 }
 
+// reqPool recycles Request allocations for the zero-allocation hot path;
+// requests only return here through an explicit Recycle call.
+var reqPool = sync.Pool{New: func() any { return new(Request) }}
+
 func newRequest(p *Proc, k reqKind) *Request {
-	return &Request{proc: p, kind: k, done: make(chan struct{})}
+	r := reqPool.Get().(*Request)
+	*r = Request{proc: p, kind: k}
+	return r
+}
+
+// Recycle returns a completed request to the allocation pool. The caller
+// must hold the only live reference and must not touch r (including its
+// Payload) afterwards; any frame storage the request still owns is
+// released first. Recycling an incomplete request is a no-op.
+func (r *Request) Recycle() {
+	r.proc.mu.Lock()
+	ok := r.completed
+	r.proc.mu.Unlock()
+	if !ok {
+		return
+	}
+	r.frame.Release()
+	*r = Request{}
+	reqPool.Put(r)
+}
+
+// ReleaseFrame returns the pooled frame storage backing Payload (if any)
+// to the frame pool. Payload must not be read afterwards. It is
+// idempotent.
+func (r *Request) ReleaseFrame() {
+	r.frame.Release()
+	r.Payload = nil
+}
+
+// TakePayload transfers ownership of the receive payload — and the
+// frame storage backing it — out of the request: a later ReleaseFrame
+// or Recycle no longer touches it, so the slice stays valid for as long
+// as the caller needs (at the price of that storage not returning to
+// the frame pool). Frame storage that does not back the payload (a
+// separately delivered header) is released to the pool immediately.
+func (r *Request) TakePayload() []byte {
+	b := r.Payload
+	r.frame.DetachPayload()
+	r.Payload = nil
+	return b
 }
 
 // Done returns a channel closed when the request completes.
-func (r *Request) Done() <-chan struct{} { return r.done }
+func (r *Request) Done() <-chan struct{} {
+	p := r.proc
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return r.doneLocked()
+}
 
-// Wait blocks until the request completes and returns its status.
+func (r *Request) doneLocked() chan struct{} {
+	if r.done == nil {
+		r.done = make(chan struct{})
+		if r.completed {
+			close(r.done)
+		}
+	}
+	return r.done
+}
+
+// Wait blocks until the request completes and returns its status. It
+// parks on the engine's shared completion broadcast, which keeps the
+// steady-state hot path allocation-free; the one wakeup per completion
+// is amortized across the handful of waiters a rank typically has.
+// Workloads parking many goroutines on one rank should prefer Done or
+// WaitCtx, whose (lazily allocated) per-request channel wakes exactly
+// the right waiter.
 func (r *Request) Wait() *Status {
-	<-r.done
+	p := r.proc
+	p.mu.Lock()
+	for !r.completed {
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
 	return &r.Stat
 }
 
@@ -88,19 +188,20 @@ func (r *Request) Wait() *Status {
 // already matched, cancellation is impossible — WaitCtx then waits for
 // the imminent ordinary completion and returns nil, like Wait.
 func (r *Request) WaitCtx(ctx context.Context) (*Status, error) {
+	done := r.Done()
 	select {
-	case <-r.done:
+	case <-done:
 		return &r.Stat, nil
 	default:
 	}
 	select {
-	case <-r.done:
+	case <-done:
 		return &r.Stat, nil
 	case <-ctx.Done():
 		if r.proc.Cancel(r) {
 			return &r.Stat, ctx.Err()
 		}
-		<-r.done
+		<-done
 		return &r.Stat, nil
 	}
 }
@@ -108,12 +209,14 @@ func (r *Request) WaitCtx(ctx context.Context) (*Status, error) {
 // Test reports whether the request has completed, returning the status
 // if so.
 func (r *Request) Test() (*Status, bool) {
-	select {
-	case <-r.done:
-		return &r.Stat, true
-	default:
+	p := r.proc
+	p.mu.Lock()
+	ok := r.completed
+	p.mu.Unlock()
+	if !ok {
 		return nil, false
 	}
+	return &r.Stat, true
 }
 
 // IsRecv reports whether this is a receive request.
@@ -127,7 +230,9 @@ func (p *Proc) completeLocked(r *Request, payload []byte, st Status) {
 	r.Payload = payload
 	r.Stat = st
 	r.completed = true
-	close(r.done)
+	if r.done != nil {
+		close(r.done)
+	}
 	p.cond.Broadcast()
 }
 

@@ -9,7 +9,7 @@ import (
 
 func TestWaitCtxCompleted(t *testing.T) {
 	p0, p1 := newPair(t, Config{})
-	if _, err := p0.Isend(0, 0, 1, 21, []byte("done"), ModeStandard); err != nil {
+	if _, err := p0.Isend(0, 0, 1, 21, []byte("done"), ModeStandard, false); err != nil {
 		t.Fatal(err)
 	}
 	rreq := p1.Irecv(0, 0, 21)
@@ -51,7 +51,7 @@ func TestWaitCtxDeadlineOnMatchedRecvDelivers(t *testing.T) {
 	rreq := p1.Irecv(0, 0, 23)
 	go func() {
 		time.Sleep(2 * time.Millisecond)
-		p0.Isend(0, 0, 1, 23, []byte("racer"), ModeStandard) //nolint:errcheck
+		p0.Isend(0, 0, 1, 23, []byte("racer"), ModeStandard, false) //nolint:errcheck
 	}()
 	// A generous deadline: the message arrives first, so WaitCtx must
 	// deliver it rather than cancel.

@@ -1,6 +1,10 @@
 package core
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"gompi/internal/transport"
+)
 
 // Stats are monotonic per-engine counters, exposed for diagnostics and
 // for tests that assert protocol selection (eager vs rendezvous) and
@@ -23,17 +27,34 @@ type Stats struct {
 	RecvsUnexpected atomic.Uint64
 	// BytesRecv totals payload bytes delivered to receives.
 	BytesRecv atomic.Uint64
+	// BytesCopied totals payload bytes the engine copied on the
+	// receive side (receive-into deposits). Ordinary receives hand the
+	// frame over by reference and copy nothing here, so BytesCopied
+	// against BytesRecv measures how much of the traffic still pays an
+	// engine-side copy.
+	BytesCopied atomic.Uint64
+	// RecvsZeroCopy counts receives completed by transferring frame
+	// ownership instead of copying the payload.
+	RecvsZeroCopy atomic.Uint64
 	// Cancelled counts operations completed by cancellation.
 	Cancelled atomic.Uint64
 }
 
-// Snapshot is a plain-value copy of the counters.
+// Snapshot is a plain-value copy of the counters, including the
+// process-wide frame-pool counters at snapshot time.
 type Snapshot struct {
 	SendsEager, SendsSync, SendsRndv uint64
 	BytesSent                        uint64
 	RecvsMatched, RecvsUnexpected    uint64
 	BytesRecv                        uint64
+	BytesCopied                      uint64
+	RecvsZeroCopy                    uint64
 	Cancelled                        uint64
+
+	// Pool is the frame pool's counter snapshot; Pool.HitRate shows
+	// how much of the frame traffic recirculates instead of
+	// allocating. The pool is shared by every in-process rank.
+	Pool transport.PoolSnapshot
 }
 
 // Stats returns the engine's counter set.
@@ -50,6 +71,9 @@ func (p *Proc) StatsSnapshot() Snapshot {
 		RecvsMatched:    s.RecvsMatched.Load(),
 		RecvsUnexpected: s.RecvsUnexpected.Load(),
 		BytesRecv:       s.BytesRecv.Load(),
+		BytesCopied:     s.BytesCopied.Load(),
+		RecvsZeroCopy:   s.RecvsZeroCopy.Load(),
 		Cancelled:       s.Cancelled.Load(),
+		Pool:            transport.PoolStats(),
 	}
 }

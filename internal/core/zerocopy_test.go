@@ -1,0 +1,329 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"gompi/internal/transport"
+)
+
+// TestIrecvIntoEager checks that an eager payload lands directly in the
+// caller's buffer.
+func TestIrecvIntoEager(t *testing.T) {
+	p0, p1 := newPair(t, Config{})
+	payload := []byte("into the buffer")
+	if _, err := p0.Isend(0, 0, 1, 4, payload, ModeStandard, false); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 32)
+	rreq := p1.IrecvInto(0, 0, 4, buf, 1)
+	st := rreq.Wait()
+	if st.Err != nil {
+		t.Fatalf("unexpected error %v", st.Err)
+	}
+	if st.Bytes != len(payload) || !bytes.Equal(buf[:st.Bytes], payload) {
+		t.Fatalf("deposited %q (%d bytes)", buf[:st.Bytes], st.Bytes)
+	}
+	if rreq.Payload != nil {
+		t.Fatal("receive-into must not expose a payload alias")
+	}
+	rreq.Recycle()
+}
+
+// TestIrecvIntoRendezvous checks the rendezvous DATA path deposits into
+// the posted buffer without cloning.
+func TestIrecvIntoRendezvous(t *testing.T) {
+	p0, p1 := newPair(t, Config{EagerLimit: 16})
+	payload := make([]byte, 4096)
+	for i := range payload {
+		payload[i] = byte(i * 13)
+	}
+	buf := make([]byte, 4096)
+	rreq := p1.IrecvInto(0, 0, 9, buf, 1)
+	sreq, err := p0.Isend(0, 0, 1, 9, payload, ModeStandard, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rreq.Wait()
+	sreq.Wait()
+	if st.Err != nil || st.Bytes != len(payload) || !bytes.Equal(buf, payload) {
+		t.Fatalf("rendezvous into: bytes=%d err=%v", st.Bytes, st.Err)
+	}
+}
+
+// TestIrecvIntoTruncate checks MPI_ERR_TRUNCATE semantics: a too-small
+// buffer is filled to capacity, the status carries ErrTruncated, and the
+// frame pool is not corrupted (subsequent traffic still round-trips).
+func TestIrecvIntoTruncate(t *testing.T) {
+	for name, cfg := range map[string]Config{"eager": {}, "rndv": {EagerLimit: 4}} {
+		t.Run(name, func(t *testing.T) {
+			p0, p1 := newPair(t, cfg)
+			payload := []byte("0123456789")
+			small := make([]byte, 4)
+			rreq := p1.IrecvInto(0, 0, 7, small, 1)
+			sreq, err := p0.Isend(0, 0, 1, 7, payload, ModeStandard, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := rreq.Wait()
+			sreq.Wait()
+			if !errors.Is(st.Err, ErrTruncated) {
+				t.Fatalf("status error %v, want ErrTruncated", st.Err)
+			}
+			// Bytes reports the full incoming size; the deposit is the
+			// buffer-sized prefix.
+			if st.Bytes != len(payload) || string(small) != "0123" {
+				t.Fatalf("deposited %q (Bytes=%d)", small, st.Bytes)
+			}
+			// The pool must still hand out sane buffers: run a full
+			// message through the same pair.
+			again := []byte("still works")
+			if _, err := p0.Isend(0, 0, 1, 8, again, ModeStandard, false); err != nil {
+				t.Fatal(err)
+			}
+			buf := make([]byte, 32)
+			r2 := p1.IrecvInto(0, 0, 8, buf, 1)
+			st2 := r2.Wait()
+			if st2.Err != nil || !bytes.Equal(buf[:st2.Bytes], again) {
+				t.Fatalf("post-truncate round trip corrupted: %q err=%v", buf[:st2.Bytes], st2.Err)
+			}
+		})
+	}
+}
+
+// TestIrecvIntoUnexpected covers the unexpected-queue path: the message
+// arrives first, the receive-into matches it later and copies out of the
+// retained frame.
+func TestIrecvIntoUnexpected(t *testing.T) {
+	p0, p1 := newPair(t, Config{})
+	payload := []byte("queued")
+	if _, err := p0.Isend(0, 0, 1, 3, payload, ModeStandard, false); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the unexpected queue holds it.
+	for p1.PendingUnexpected() == 0 {
+	}
+	buf := make([]byte, 16)
+	st := p1.IrecvInto(0, 0, 3, buf, 1).Wait()
+	if st.Err != nil || !bytes.Equal(buf[:st.Bytes], payload) {
+		t.Fatalf("unexpected-path into: %q err=%v", buf[:st.Bytes], st.Err)
+	}
+}
+
+// TestFrameReleasedTwice checks that releasing a request's frame twice
+// (directly and via Recycle) is harmless.
+func TestFrameReleasedTwice(t *testing.T) {
+	p0, p1 := newPair(t, Config{})
+	if _, err := p0.Isend(0, 0, 1, 5, []byte("twice"), ModeStandard, false); err != nil {
+		t.Fatal(err)
+	}
+	rreq := p1.Irecv(0, 0, 5)
+	rreq.Wait()
+	rreq.ReleaseFrame()
+	rreq.ReleaseFrame() // idempotent
+	rreq.Recycle()      // releases again internally; must not double-free
+
+	// Pool integrity: another message still arrives intact.
+	if _, err := p0.Isend(0, 0, 1, 6, []byte("after"), ModeStandard, false); err != nil {
+		t.Fatal(err)
+	}
+	r2 := p1.Irecv(0, 0, 6)
+	r2.Wait()
+	if string(r2.Payload) != "after" {
+		t.Fatalf("payload after double release: %q", r2.Payload)
+	}
+}
+
+// TestRecvAfterCloseWithPooledFrames checks that frames delivered before
+// Close stay readable: a receive posted after the engine shut down still
+// matches and consumes the queued (pooled) frame.
+func TestRecvAfterCloseWithPooledFrames(t *testing.T) {
+	devs := transport.NewShmJob(2, 0)
+	p0 := NewProc(devs[0], Config{})
+	p1 := NewProc(devs[1], Config{})
+	msg := []byte("pre-close delivery")
+	sreq, err := p0.Isend(0, 0, 1, 2, msg, ModeStandard, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sreq.Wait()
+	for p1.PendingUnexpected() == 0 {
+	}
+	p0.Close()
+	p1.Close()
+	// The engine is down but the unexpected queue still owns the frame.
+	rreq := p1.Irecv(0, 0, 2)
+	st := rreq.Wait()
+	if st.Bytes != len(msg) || !bytes.Equal(rreq.Payload, msg) {
+		t.Fatalf("post-close receive got %q (%d bytes)", rreq.Payload, st.Bytes)
+	}
+	if _, err := p0.Isend(0, 0, 1, 2, msg, ModeStandard, false); err == nil {
+		t.Fatal("send on closed engine must fail")
+	}
+}
+
+// TestPooledPingPongZeroAllocs is the allocation-regression guard for
+// the tentpole: a steady-state 1 KiB shm ping-pong with pool-recycled
+// payloads, receive-into buffers and recycled requests must not allocate
+// at all.
+func TestPooledPingPongZeroAllocs(t *testing.T) {
+	devs := transport.NewShmJob(2, 0)
+	p0 := NewProc(devs[0], Config{})
+	p1 := NewProc(devs[1], Config{})
+	defer p0.Close()
+	defer p1.Close()
+
+	const size = 1024
+	const tag = 11
+	stop := make(chan struct{})
+	echoDone := make(chan struct{})
+	go func() {
+		defer close(echoDone)
+		buf := make([]byte, size)
+		for {
+			rreq := p1.IrecvInto(0, 0, tag, buf, 1)
+			rreq.Wait()
+			rreq.Recycle()
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			out := transport.GetBuf(size)
+			copy(out, buf)
+			sreq, err := p1.Isend(0, 1, 0, tag, out, ModeStandard, true)
+			if err != nil {
+				return
+			}
+			sreq.Wait()
+			sreq.Recycle()
+		}
+	}()
+
+	recvBuf := make([]byte, size)
+	roundTrip := func() {
+		out := transport.GetBuf(size)
+		sreq, err := p0.Isend(0, 0, 1, tag, out, ModeStandard, true)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		rreq := p0.IrecvInto(0, 1, tag, recvBuf, 1)
+		rreq.Wait()
+		sreq.Wait()
+		rreq.Recycle()
+		sreq.Recycle()
+	}
+	// Warm the pools (buffers, requests) before measuring.
+	for i := 0; i < 50; i++ {
+		roundTrip()
+	}
+	allocs := testing.AllocsPerRun(200, roundTrip)
+	close(stop)
+	// Release the echo loop from its posted receive; it observes stop
+	// and exits without replying, so only send.
+	if sreq, err := p0.Isend(0, 0, 1, tag, transport.GetBuf(size), ModeStandard, true); err == nil {
+		sreq.Wait()
+		sreq.Recycle()
+	}
+	<-echoDone
+
+	// Hard budget: the steady-state hot path is allocation-free. The
+	// race detector's sync.Pool instrumentation allocates, so the
+	// strict budget only holds on uninstrumented builds.
+	if !raceEnabled && allocs > 0 {
+		t.Fatalf("pooled ping-pong allocates %.1f allocs/op, want 0", allocs)
+	}
+	if raceEnabled && allocs > 4 {
+		t.Fatalf("pooled ping-pong allocates %.1f allocs/op under -race, want <= 4", allocs)
+	}
+}
+
+// TestPoolStatsCounters checks the observability satellite: pooled
+// traffic shows up in hit-rate and bytes-copied counters.
+func TestPoolStatsCounters(t *testing.T) {
+	p0, p1 := newPair(t, Config{})
+	before := p1.StatsSnapshot()
+	payload := transport.GetBuf(512)
+	if _, err := p0.Isend(0, 0, 1, 21, payload, ModeStandard, true); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 512)
+	p1.IrecvInto(0, 0, 21, buf, 1).Wait()
+	after := p1.StatsSnapshot()
+	if got := after.BytesCopied - before.BytesCopied; got != 512 {
+		t.Fatalf("BytesCopied delta %d, want 512", got)
+	}
+	if after.Pool.Gets <= before.Pool.Gets {
+		t.Fatal("pool gets did not advance")
+	}
+	// Zero-copy handover counting: a classic receive transfers the
+	// frame instead of copying.
+	if _, err := p0.Isend(0, 0, 1, 22, transport.GetBuf(64), ModeStandard, true); err != nil {
+		t.Fatal(err)
+	}
+	r := p1.Irecv(0, 0, 22)
+	r.Wait()
+	if p1.StatsSnapshot().RecvsZeroCopy <= before.RecvsZeroCopy {
+		t.Fatal("zero-copy receive not counted")
+	}
+	r.Recycle()
+}
+
+// TestConcurrentPoolTraffic hammers the pool from several ranks at once;
+// run under -race this guards the recycling handoff.
+func TestConcurrentPoolTraffic(t *testing.T) {
+	const n = 4
+	devs := transport.NewShmJob(n, 0)
+	procs := make([]*Proc, n)
+	for i, d := range devs {
+		procs[i] = NewProc(d, Config{EagerLimit: 512})
+	}
+	defer func() {
+		for _, p := range procs {
+			p.Close()
+		}
+	}()
+	const msgs = 200
+	var wg sync.WaitGroup
+	for me := range procs {
+		wg.Add(1)
+		go func(me int) {
+			defer wg.Done()
+			p := procs[me]
+			buf := make([]byte, 1024)
+			for k := 0; k < msgs; k++ {
+				size := 1 + (k*41)%1000 // straddles the eager limit
+				dst := (me + 1) % n
+				src := (me + n - 1) % n
+				out := transport.GetBuf(size)
+				for i := range out {
+					out[i] = byte(me)
+				}
+				sreq, err := p.Isend(0, me, dst, k, out, ModeStandard, true)
+				if err != nil {
+					t.Errorf("isend: %v", err)
+					return
+				}
+				rreq := p.IrecvInto(0, int32(src), int32(k), buf, 1)
+				st := rreq.Wait()
+				sreq.Wait()
+				if st.Err != nil || st.Bytes != size {
+					t.Errorf("rank %d msg %d: bytes=%d err=%v", me, k, st.Bytes, st.Err)
+					return
+				}
+				for i := 0; i < st.Bytes; i++ {
+					if buf[i] != byte(src) {
+						t.Errorf("rank %d msg %d: corrupted at %d", me, k, i)
+						return
+					}
+				}
+				rreq.Recycle()
+				sreq.Recycle()
+			}
+		}(me)
+	}
+	wg.Wait()
+}

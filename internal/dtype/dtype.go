@@ -198,6 +198,11 @@ func (t *Type) IsPair() bool { return t.pair }
 // IsMarker reports whether the type is the LB or UB pseudo-type.
 func (t *Type) IsMarker() bool { return t.marker != markNone }
 
+// IsContiguous reports whether items of the type tile memory densely
+// (no holes, extent == size), the shape the zero-copy fast paths
+// require.
+func (t *Type) IsContiguous() bool { return t.contig }
+
 // Commit finalizes a derived type for use in communication. It is
 // idempotent.
 func (t *Type) Commit() {

@@ -16,8 +16,10 @@ var ErrTruncate = errors.New("dtype: message truncated on receive")
 var ErrFormat = errors.New("dtype: malformed wire payload")
 
 // CheckBuf verifies that buf is a slice whose element type matches the
-// datatype's storage class and returns its length.
+// datatype's storage class and returns its length. Named-primitive
+// slices ([]Celsius) count as their underlying class.
 func CheckBuf(buf any, t *Type) (int, error) {
+	buf, _ = NativeView(buf)
 	n, c, ok := sliceInfo(buf)
 	if !ok {
 		return 0, fmt.Errorf("%w: got %T", ErrClassMismatch, buf)
@@ -50,8 +52,10 @@ func sliceInfo(buf any) (n int, c Class, ok bool) {
 	return 0, 0, false
 }
 
-// ClassOf reports the storage class of a buffer value.
+// ClassOf reports the storage class of a buffer value. Named-primitive
+// slices report their underlying class.
 func ClassOf(buf any) (Class, bool) {
+	buf, _ = NativeView(buf)
 	_, c, ok := sliceInfo(buf)
 	return c, ok
 }
@@ -91,10 +95,13 @@ func (t *Type) checkBounds(bufLen, offset, count int) error {
 
 // Pack appends to dst the wire encoding of count items of type t taken
 // from buf starting at element offset, and returns the extended slice.
+// On little-endian hosts a contiguous section of a fixed-size class
+// packs as a single memcpy.
 func Pack(dst []byte, buf any, offset, count int, t *Type) ([]byte, error) {
 	if !t.committed {
 		return dst, ErrUncommitted
 	}
+	buf, _ = NativeView(buf)
 	n, err := CheckBuf(buf, t)
 	if err != nil {
 		return dst, err
@@ -104,6 +111,11 @@ func Pack(dst []byte, buf any, offset, count int, t *Type) ([]byte, error) {
 	}
 	if t.class == Obj {
 		return packObjects(dst, buf.([]any), offset, count, t)
+	}
+	if hostLE && t.contig {
+		if bv, ok := byteView(buf, offset, count*len(t.disps)); ok {
+			return append(dst, bv...), nil
+		}
 	}
 	items, ext, runs := t.iterShape(count)
 	if es := t.class.WireSize(); cap(dst)-len(dst) < count*len(t.disps)*es {
@@ -189,6 +201,7 @@ func Unpack(data []byte, buf any, offset, count int, t *Type) (int, error) {
 	if !t.committed {
 		return 0, ErrUncommitted
 	}
+	buf, _ = NativeView(buf)
 	n, err := CheckBuf(buf, t)
 	if err != nil {
 		return 0, err
@@ -208,6 +221,16 @@ func Unpack(data []byte, buf any, offset, count int, t *Type) (int, error) {
 	todo := avail
 	if todo > capacity {
 		todo = capacity
+	}
+	if hostLE && t.contig {
+		// Contiguous fixed-size section: deposit as one memcpy.
+		if bv, ok := byteView(buf, offset, todo); ok {
+			copy(bv, data)
+			if avail > capacity {
+				return todo, ErrTruncate
+			}
+			return todo, nil
+		}
 	}
 	items, ext, runs := t.iterShape(count)
 	done := 0

@@ -26,8 +26,13 @@ type Inferred struct {
 	Class Class
 	// Direct reports that a slice of the type is a native buffer type
 	// ([]byte, []int32, …) and may be handed to Pack/Unpack as-is.
-	// Non-direct types must be boxed into []any (Obj class).
 	Direct bool
+	// Reinterp reports a named primitive type (`type Celsius float64`):
+	// a slice of it shares its underlying type's memory layout and is
+	// reinterpreted in place (NativeView) to stay on the class's wire
+	// format instead of OBJECT/gob. Types that are neither Direct nor
+	// Reinterp must be boxed into []any (Obj class).
+	Reinterp bool
 }
 
 var inferCache sync.Map // reflect.Type -> Inferred
@@ -52,7 +57,7 @@ func Infer(rt reflect.Type) Inferred {
 		return v.(Inferred)
 	}
 	inf := inferOne(rt)
-	if !inf.Direct {
+	if !inf.Direct && !inf.Reinterp {
 		if seed, ok := gobSeed(rt); ok {
 			safeRegister(seed)
 		}
@@ -77,6 +82,12 @@ func inferOne(rt reflect.Type) Inferred {
 	}
 	if c, ok := directClasses[rt]; ok {
 		return Inferred{Class: c, Direct: true}
+	}
+	if c, ok := ReinterpClass(rt); ok {
+		// Named primitive: identical memory layout to its underlying
+		// type, so buffers reinterpret in place and stay on the
+		// class's wire format (no gob).
+		return Inferred{Class: c, Reinterp: true}
 	}
 	return Inferred{Class: Obj, Direct: false}
 }

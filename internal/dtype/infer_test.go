@@ -29,11 +29,32 @@ func TestInferDirectClasses(t *testing.T) {
 
 func TestInferObjRouted(t *testing.T) {
 	type point struct{ X, Y float64 }
-	type meters float64
-	for _, v := range []any{point{}, meters(0), "", &point{}, int(0), uint64(0), []int32{}} {
+	for _, v := range []any{point{}, "", &point{}, int(0), uint64(0), []int32{}} {
 		inf := Infer(reflect.TypeOf(v))
-		if inf.Direct || inf.Class != Obj {
+		if inf.Direct || inf.Reinterp || inf.Class != Obj {
 			t.Errorf("Infer(%T) = %+v, want non-direct Obj", v, inf)
+		}
+	}
+}
+
+func TestInferReinterpNamedPrimitives(t *testing.T) {
+	type meters float64
+	type count int32
+	type flag bool
+	type tiny byte
+	cases := []struct {
+		v     any
+		class Class
+	}{
+		{meters(0), F64},
+		{count(0), I32},
+		{flag(false), Bool},
+		{tiny(0), U8},
+	}
+	for _, c := range cases {
+		inf := Infer(reflect.TypeOf(c.v))
+		if inf.Direct || !inf.Reinterp || inf.Class != c.class {
+			t.Errorf("Infer(%T) = %+v, want reinterp %s", c.v, inf, c.class)
 		}
 	}
 }

@@ -1,0 +1,160 @@
+package dtype
+
+import (
+	"reflect"
+	"sync"
+	"unsafe"
+)
+
+// Slice-reinterpretation fast paths. Two independent tricks live here:
+//
+//   - NativeView reinterprets a slice of a *named* primitive type
+//     ([]Celsius where `type Celsius float64`) as its native class slice
+//     ([]float64). The memory layout of a defined type is identical to
+//     its underlying type, so this is a pure header rewrite — valid on
+//     every architecture — and it keeps named primitives on their
+//     class's wire format instead of falling into OBJECT/gob.
+//
+//   - byteView reinterprets a native element slice as raw bytes. The
+//     wire format is little-endian, so on little-endian hosts packing a
+//     contiguous section degenerates to one memcpy (and unpacking to
+//     the inverse). Gated on hostLE; big-endian hosts keep the portable
+//     per-element encode loop.
+
+// hostLE reports whether the host stores integers little-endian, i.e.
+// whether in-memory representation equals the wire encoding.
+var hostLE = func() bool {
+	x := uint16(0x1122)
+	return *(*byte)(unsafe.Pointer(&x)) == 0x22
+}()
+
+// kindClasses maps primitive reflect kinds onto engine storage classes.
+// Only kinds with an exact wire class qualify; int/uint (platform-sized)
+// and the unsigned fixed widths beyond uint8 have no class and stay on
+// the OBJECT path.
+var kindClasses = map[reflect.Kind]Class{
+	reflect.Uint8:   U8,
+	reflect.Bool:    Bool,
+	reflect.Int16:   I16,
+	reflect.Int32:   I32,
+	reflect.Int64:   I64,
+	reflect.Float32: F32,
+	reflect.Float64: F64,
+}
+
+// ReinterpClass reports the storage class a defined (named) primitive
+// element type reinterprets to, and whether it qualifies.
+func ReinterpClass(rt reflect.Type) (Class, bool) {
+	c, ok := kindClasses[rt.Kind()]
+	return c, ok
+}
+
+// viewCache memoizes per concrete slice type whether and how NativeView
+// reinterprets it, so the reflect walk runs once per type.
+var viewCache sync.Map // reflect.Type -> func(any) any (nil entry: no view)
+
+// NativeView returns buf reinterpreted as its native class slice when
+// buf is a slice of a named primitive type ([]Celsius -> []float64,
+// sharing storage), and buf unchanged otherwise. The second result
+// reports whether a reinterpretation happened.
+func NativeView(buf any) (any, bool) {
+	switch buf.(type) {
+	case nil, []byte, []bool, []int16, []int32, []int64, []float32, []float64, []any:
+		return buf, false
+	}
+	rt := reflect.TypeOf(buf)
+	if fn, ok := viewCache.Load(rt); ok {
+		if fn == nil {
+			return buf, false
+		}
+		return fn.(func(any) any)(buf), true
+	}
+	fn := makeView(rt)
+	if fn == nil {
+		viewCache.Store(rt, nil)
+		return buf, false
+	}
+	viewCache.Store(rt, fn)
+	return fn(buf), true
+}
+
+// makeView builds the reinterpreting converter for a named-primitive
+// slice type, or returns nil when rt does not qualify.
+func makeView(rt reflect.Type) func(any) any {
+	if rt.Kind() != reflect.Slice {
+		return nil
+	}
+	c, ok := kindClasses[rt.Elem().Kind()]
+	if !ok {
+		return nil
+	}
+	switch c {
+	case U8:
+		return func(buf any) any { return viewAs[byte](buf) }
+	case Bool:
+		return func(buf any) any { return viewAs[bool](buf) }
+	case I16:
+		return func(buf any) any { return viewAs[int16](buf) }
+	case I32:
+		return func(buf any) any { return viewAs[int32](buf) }
+	case I64:
+		return func(buf any) any { return viewAs[int64](buf) }
+	case F32:
+		return func(buf any) any { return viewAs[float32](buf) }
+	case F64:
+		return func(buf any) any { return viewAs[float64](buf) }
+	}
+	return nil
+}
+
+// viewAs rewrites the slice header of buf (a slice whose element type
+// has E's size and representation) to []E sharing the same storage.
+func viewAs[E any](buf any) any {
+	v := reflect.ValueOf(buf)
+	n := v.Len()
+	if n == 0 {
+		return []E(nil)
+	}
+	return unsafe.Slice((*E)(v.UnsafePointer()), v.Cap())[:n]
+}
+
+// byteView returns the raw bytes of the native slice section
+// s[off:off+n] for a fixed-wire-size element class. ok is false for
+// class Obj, for bool (whose wire encoding is normative 0/1 and must
+// not trust foreign memory), and for buffer types the type switch does
+// not know. Caller guarantees off/n are in bounds and the host is
+// little-endian.
+func byteView(buf any, off, n int) ([]byte, bool) {
+	if n == 0 {
+		return nil, true
+	}
+	switch s := buf.(type) {
+	case []byte:
+		return s[off : off+n], true
+	case []int16:
+		return unsafe.Slice((*byte)(unsafe.Pointer(&s[off])), n*2), true
+	case []int32:
+		return unsafe.Slice((*byte)(unsafe.Pointer(&s[off])), n*4), true
+	case []int64:
+		return unsafe.Slice((*byte)(unsafe.Pointer(&s[off])), n*8), true
+	case []float32:
+		return unsafe.Slice((*byte)(unsafe.Pointer(&s[off])), n*4), true
+	case []float64:
+		return unsafe.Slice((*byte)(unsafe.Pointer(&s[off])), n*8), true
+	}
+	return nil, false
+}
+
+// ByteViewRange exposes the raw little-endian bytes of a contiguous
+// section of a native (or named-primitive) element slice: the window
+// [off, off+n) in elements. It returns ok == false when the fast path
+// does not apply (big-endian host, Obj or bool class, or a non-native
+// buffer type) — callers must then use Pack/Unpack. The returned slice
+// aliases buf's storage.
+func ByteViewRange(buf any, off, n int) ([]byte, bool) {
+	if !hostLE {
+		return nil, false
+	}
+	nv, _ := NativeView(buf)
+	return byteView(nv, off, n)
+}

@@ -1,0 +1,155 @@
+package dtype
+
+import (
+	"bytes"
+	"testing"
+)
+
+type celsius float64
+
+type seq int16
+
+func TestNativeViewNamedPrimitive(t *testing.T) {
+	buf := []celsius{36.6, -40, 0}
+	nv, ok := NativeView(buf)
+	if !ok {
+		t.Fatal("named float64 slice not reinterpreted")
+	}
+	f, ok := nv.([]float64)
+	if !ok || len(f) != 3 || f[0] != 36.6 {
+		t.Fatalf("view %T %v", nv, nv)
+	}
+	// Shared storage: a write through the view lands in the original.
+	f[2] = 100
+	if buf[2] != 100 {
+		t.Fatal("view does not share storage")
+	}
+}
+
+func TestNativeViewPassThrough(t *testing.T) {
+	native := []float64{1, 2}
+	if nv, ok := NativeView(native); ok || len(nv.([]float64)) != 2 {
+		t.Fatal("native slice must pass through unviewed")
+	}
+	if _, ok := NativeView([]string{"x"}); ok {
+		t.Fatal("string slice must not reinterpret")
+	}
+	if _, ok := NativeView(42); ok {
+		t.Fatal("non-slice must not reinterpret")
+	}
+	if nv, ok := NativeView(nil); ok || nv != nil {
+		t.Fatal("nil must pass through")
+	}
+	// Empty named slice: still views (to an empty native slice).
+	if nv, ok := NativeView([]celsius{}); !ok || len(nv.([]float64)) != 0 {
+		t.Fatal("empty named slice must view to empty native slice")
+	}
+}
+
+func TestPackUnpackNamedPrimitive(t *testing.T) {
+	src := []celsius{1.5, -2.25, 3.125}
+	wire, err := Pack(nil, src, 0, 3, BasicType(F64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) != 24 {
+		t.Fatalf("wire length %d, want 24 (F64 format, no gob)", len(wire))
+	}
+	dst := make([]celsius, 3)
+	if _, err := Unpack(wire, dst, 0, 3, BasicType(F64)); err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("round trip %v != %v", dst, src)
+		}
+	}
+	// Cross-type interop: named sender, native receiver.
+	nat := make([]float64, 3)
+	if _, err := Unpack(wire, nat, 0, 3, BasicType(F64)); err != nil {
+		t.Fatal(err)
+	}
+	if nat[1] != -2.25 {
+		t.Fatalf("native decode %v", nat)
+	}
+}
+
+func TestPackFastPathMatchesSlowShape(t *testing.T) {
+	// The memcpy fast path and the per-element loop must produce
+	// identical wire bytes for every fixed-size class.
+	i16 := []int16{1, -2, 3, 0x7fff}
+	wire, err := Pack(nil, i16, 1, 2, BasicType(I16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0xfe, 0xff, 0x03, 0x00} // -2, 3 little-endian
+	if !bytes.Equal(wire, want) {
+		t.Fatalf("wire %x, want %x", wire, want)
+	}
+	back := make([]int16, 4)
+	if _, err := Unpack(wire, back, 2, 2, BasicType(I16)); err != nil {
+		t.Fatal(err)
+	}
+	if back[2] != -2 || back[3] != 3 {
+		t.Fatalf("unpack %v", back)
+	}
+}
+
+func TestUnpackFastPathTruncates(t *testing.T) {
+	wire, err := Pack(nil, []float64{1, 2, 3, 4}, 0, 4, BasicType(F64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := make([]float64, 2)
+	n, err := Unpack(wire, short, 0, 2, BasicType(F64))
+	if err != ErrTruncate {
+		t.Fatalf("error %v, want ErrTruncate", err)
+	}
+	if n != 2 || short[0] != 1 || short[1] != 2 {
+		t.Fatalf("deposited %d: %v", n, short)
+	}
+}
+
+func TestByteViewRange(t *testing.T) {
+	f := []float64{0, 1, 2, 3}
+	bv, ok := ByteViewRange(f, 1, 2)
+	if hostLE {
+		if !ok || len(bv) != 16 {
+			t.Fatalf("byte view ok=%v len=%d", ok, len(bv))
+		}
+		// Aliasing: mutate through the view.
+		for i := range bv {
+			bv[i] = 0
+		}
+		if f[1] != 0 || f[2] != 0 || f[3] != 3 {
+			t.Fatalf("view not aliased: %v", f)
+		}
+	} else if ok {
+		t.Fatal("byte view must be disabled on big-endian hosts")
+	}
+	// bool is excluded (wire 0/1 is normative).
+	if _, ok := ByteViewRange([]bool{true}, 0, 1); ok {
+		t.Fatal("bool must not expose a byte view")
+	}
+	// Zero-length window at the end of the slice must not panic.
+	if bv, ok := ByteViewRange(f, 4, 0); !ok || len(bv) != 0 {
+		t.Fatal("empty window must succeed")
+	}
+	// Named primitives get views too.
+	if bv, ok := ByteViewRange([]seq{256}, 0, 1); hostLE && (!ok || len(bv) != 2 || bv[1] != 1) {
+		t.Fatalf("named int16 view ok=%v bv=%x", ok, bv)
+	}
+}
+
+func TestCheckBufNamedPrimitive(t *testing.T) {
+	n, err := CheckBuf([]celsius{1, 2}, BasicType(F64))
+	if err != nil || n != 2 {
+		t.Fatalf("CheckBuf named: n=%d err=%v", n, err)
+	}
+	if _, err := CheckBuf([]celsius{}, BasicType(I32)); err == nil {
+		t.Fatal("class mismatch must still be caught through the view")
+	}
+	if c, ok := ClassOf([]seq{}); !ok || c != I16 {
+		t.Fatalf("ClassOf named int16 = %v, %v", c, ok)
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"net"
 	"sync"
 	"testing"
+
+	"gompi/internal/transport"
 )
 
 func TestCoordinateAndJoin(t *testing.T) {
@@ -20,13 +22,7 @@ func TestCoordinateAndJoin(t *testing.T) {
 
 	var wg sync.WaitGroup
 	errs := make([]error, n)
-	devs := make([]interface {
-		Rank() int
-		Size() int
-		Send(int, []byte) error
-		Recv() ([]byte, error)
-		Close() error
-	}, n)
+	devs := make([]transport.Device, n)
 	for r := 0; r < n; r++ {
 		wg.Add(1)
 		go func(r int) {

@@ -21,22 +21,82 @@ import (
 // ErrClosed is returned by device operations after Close.
 var ErrClosed = errors.New("transport: device closed")
 
+// Frame is one received message. Data holds the wire header and, when
+// Payload is nil, the inline payload too; a non-nil Payload is the
+// message body delivered separately (the scatter-gather path — by
+// reference over shm, so the receiver reads the sender's buffer with no
+// intermediate copy). The receiver owns the frame and must call Release
+// exactly once when every reference into Data/Payload is dead; Release
+// returns pooled storage to the frame pool and is idempotent on the same
+// Frame value.
+type Frame struct {
+	Data    []byte
+	Payload []byte
+
+	pooledData    bool
+	pooledPayload bool
+}
+
+// Release returns the frame's pooled storage (if any) to the frame pool
+// and clears the frame. Calling Release again on the same Frame value is
+// a no-op; releasing two copies of one Frame is a caller bug, as it
+// would double-free the storage into the pool.
+func (f *Frame) Release() {
+	if f.pooledData {
+		PutBuf(f.Data)
+	}
+	if f.pooledPayload {
+		PutBuf(f.Payload)
+	}
+	*f = Frame{}
+}
+
+// PayloadPooled reports whether Release will return the payload to the
+// frame pool (diagnostics and tests).
+func (f *Frame) PayloadPooled() bool { return f.pooledPayload }
+
+// DetachPayload transfers ownership of the payload out of the frame and
+// releases whatever storage does not back it: for a scatter-gather
+// frame the header buffer returns to the pool immediately, while an
+// inline payload shares the frame's storage, so everything stays with
+// the caller's alias and nothing is pooled. Either way the frame is
+// cleared and a later Release is a no-op.
+func (f *Frame) DetachPayload() {
+	if f.Payload != nil {
+		f.Payload = nil
+		f.pooledPayload = false
+		f.Release()
+		return
+	}
+	*f = Frame{}
+}
+
 // Device is one endpoint of a job-wide message fabric. Frames are
-// delivered reliably and in order per (sender, receiver) pair. Send
-// transfers ownership of the frame slice to the device; Recv transfers
-// ownership of the returned slice to the caller.
+// delivered reliably and in order per (sender, receiver) pair.
 type Device interface {
 	// Rank returns this endpoint's world rank.
 	Rank() int
 	// Size returns the number of endpoints in the job.
 	Size() int
-	// Send delivers a frame to the endpoint with world rank dst.
-	// It may block for flow control but never blocks indefinitely
-	// while the destination's progress engine is draining.
+	// Send delivers a contiguous frame to the endpoint with world rank
+	// dst, transferring ownership of the slice to the device. It may
+	// block for flow control but never blocks indefinitely while the
+	// destination's progress engine is draining.
 	Send(dst int, frame []byte) error
+	// Sendv is the scatter-gather send: hdr and payload together form
+	// one frame, without the caller assembling them contiguously.
+	// Ownership of both slices transfers to the device. hdr must come
+	// from GetBuf; the transport returns it to the pool once the frame
+	// is on the wire (TCP) or hands it to the receiver for release
+	// (shm). recycle declares that payload is exclusively owned and
+	// unaliased, licensing the consuming side to return it to the frame
+	// pool; pass false when the payload is shared (e.g. one buffer
+	// fanned out to several destinations) or must outlive delivery.
+	Sendv(dst int, hdr, payload []byte, recycle bool) error
 	// Recv returns the next incoming frame from any source, blocking
-	// until one arrives or the device is closed.
-	Recv() ([]byte, error)
+	// until one arrives or the device is closed. The caller owns the
+	// returned frame and must Release it.
+	Recv() (Frame, error)
 	// Close shuts the endpoint down; blocked Recv calls return
 	// ErrClosed.
 	Close() error

@@ -1,0 +1,128 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Frame buffer pooling. Every layer of the hot path — the engine's frame
+// headers, the binding's packed payloads, the TCP device's receive
+// staging — allocates from one process-wide, size-classed pool, so a
+// steady-state ping-pong recirculates a fixed working set instead of
+// producing garbage per message. Buffers are recycled across ranks: in
+// SM mode the payload a sender packs is, after the receiver consumes and
+// releases it, handed straight back to the next sender.
+//
+// The pool stores raw array pointers rather than slice headers: an
+// unsafe.Pointer is pointer-shaped and converts to interface{} without
+// allocating, where boxing a []byte would cost one allocation per Put —
+// exactly the garbage the pool exists to avoid. The cost is that only
+// buffers whose capacity exactly matches a size class are accepted back;
+// GetBuf always returns class-capacity slices, so pool-born buffers
+// always recycle, and foreign buffers are silently dropped to the GC
+// rather than corrupting a class.
+
+// bufClasses are the pooled capacity classes. The smallest covers frame
+// headers (≤ 29 bytes); the larger ones carry 64 bytes of slack beyond
+// their nominal power-of-two so a power-of-two payload plus its frame
+// header (the shape every TCP receive stages) still fits its own class
+// instead of quadrupling into the next. The largest covers the biggest
+// rendezvous payloads worth retaining.
+const classSlack = 64
+
+var bufClasses = [...]int{
+	64,
+	512 + classSlack,
+	1<<10 + classSlack,
+	4<<10 + classSlack,
+	16<<10 + classSlack,
+	64<<10 + classSlack,
+	256<<10 + classSlack,
+	1<<20 + classSlack,
+	4<<20 + classSlack,
+}
+
+var bufPools [len(bufClasses)]sync.Pool
+
+// PoolStats are monotonic counters describing pool behaviour; read them
+// with PoolSnapshot.
+var poolGets, poolHits, poolPuts, poolDrops atomic.Uint64
+
+// PoolSnapshot is a point-in-time copy of the frame-pool counters.
+type PoolSnapshot struct {
+	// Gets counts GetBuf calls (including over-size ones).
+	Gets uint64
+	// Hits counts GetBuf calls satisfied by a recycled buffer.
+	Hits uint64
+	// Puts counts buffers accepted back into a class.
+	Puts uint64
+	// Drops counts PutBuf calls whose buffer matched no class and was
+	// left to the garbage collector.
+	Drops uint64
+}
+
+// HitRate returns Hits/Gets, or 0 before the first Get.
+func (s PoolSnapshot) HitRate() float64 {
+	if s.Gets == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Gets)
+}
+
+// PoolStats returns the current frame-pool counters.
+func PoolStats() PoolSnapshot {
+	return PoolSnapshot{
+		Gets:  poolGets.Load(),
+		Hits:  poolHits.Load(),
+		Puts:  poolPuts.Load(),
+		Drops: poolDrops.Load(),
+	}
+}
+
+// classOf returns the index of the smallest class with capacity >= n,
+// or -1 if n exceeds every class.
+func classOf(n int) int {
+	for i, c := range bufClasses {
+		if n <= c {
+			return i
+		}
+	}
+	return -1
+}
+
+// GetBuf returns a length-n byte slice for frame or payload use. The
+// slice's capacity is the containing size class, so a later PutBuf
+// re-pools it. Requests beyond the largest class fall through to the
+// allocator.
+func GetBuf(n int) []byte {
+	poolGets.Add(1)
+	ci := classOf(n)
+	if ci < 0 {
+		return make([]byte, n)
+	}
+	if p := bufPools[ci].Get(); p != nil {
+		poolHits.Add(1)
+		return unsafe.Slice((*byte)(p.(unsafe.Pointer)), bufClasses[ci])[:n]
+	}
+	return make([]byte, n, bufClasses[ci])[:n]
+}
+
+// PutBuf returns a buffer to its size class. Only buffers whose capacity
+// exactly matches a class — i.e. buffers born from GetBuf — are pooled;
+// anything else is dropped to the GC, so a sliced-down or foreign buffer
+// can never poison a class with the wrong capacity.
+func PutBuf(b []byte) {
+	c := cap(b)
+	if c == 0 {
+		return
+	}
+	for i, cl := range bufClasses {
+		if cl == c {
+			poolPuts.Add(1)
+			bufPools[i].Put(unsafe.Pointer(unsafe.SliceData(b[:c])))
+			return
+		}
+	}
+	poolDrops.Add(1)
+}

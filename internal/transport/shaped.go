@@ -59,15 +59,36 @@ func NewShaped(dev Device, p LinkProfile) Device {
 
 // Send charges the profile's costs, then forwards to the inner device.
 func (s *Shaped) Send(dst int, frame []byte) error {
-	p := s.Profile
-	if p.StagingCopy {
+	if s.Profile.StagingCopy {
 		staged := make([]byte, len(frame))
 		copy(staged, frame)
 		frame = staged
 	}
-	delay := p.PerMessage + p.Latency + time.Duration(len(frame))*p.PerByte
+	s.charge(len(frame))
+	return s.Device.Send(dst, frame)
+}
+
+// Sendv charges the profile's costs for the whole gather, then forwards.
+// The staging copy models a portable implementation's bounce buffer: the
+// bytes are copied (and the cost paid) but the original scatter-gather
+// frame travels on, preserving the ownership protocol.
+func (s *Shaped) Sendv(dst int, hdr, payload []byte, recycle bool) error {
+	n := len(hdr) + len(payload)
+	if s.Profile.StagingCopy {
+		staged := make([]byte, n)
+		copy(staged[copy(staged, hdr):], payload)
+	}
+	s.charge(n)
+	return s.Device.Sendv(dst, hdr, payload, recycle)
+}
+
+// charge spins for the profile's software and link costs of an n-byte
+// frame.
+func (s *Shaped) charge(n int) {
+	p := s.Profile
+	delay := p.PerMessage + p.Latency + time.Duration(n)*p.PerByte
 	if p.BytesPerSec > 0 {
-		ser := time.Duration(float64(len(frame)) / p.BytesPerSec * float64(time.Second))
+		ser := time.Duration(float64(n) / p.BytesPerSec * float64(time.Second))
 		s.mu.Lock()
 		now := time.Now()
 		if s.linkFree.Before(now) {
@@ -79,5 +100,4 @@ func (s *Shaped) Send(dst int, frame []byte) error {
 		delay += wait
 	}
 	spin.Wait(delay)
-	return s.Device.Send(dst, frame)
 }

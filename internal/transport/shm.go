@@ -8,7 +8,7 @@ import "sync"
 // in order, and the per-rank progress engine drains the inbox
 // continuously so senders only block transiently on flow control.
 type shmJob struct {
-	inboxes []chan []byte
+	inboxes []chan Frame
 	done    []chan struct{}
 }
 
@@ -32,11 +32,11 @@ func NewShmJob(n, depth int) []*ShmDevice {
 		depth = DefaultInboxDepth
 	}
 	job := &shmJob{
-		inboxes: make([]chan []byte, n),
+		inboxes: make([]chan Frame, n),
 		done:    make([]chan struct{}, n),
 	}
 	for i := range job.inboxes {
-		job.inboxes[i] = make(chan []byte, depth)
+		job.inboxes[i] = make(chan Frame, depth)
 		job.done[i] = make(chan struct{})
 	}
 	devs := make([]*ShmDevice, n)
@@ -56,30 +56,57 @@ func (d *ShmDevice) Size() int { return len(d.job.inboxes) }
 // either endpoint has shut down, so a sender can never block forever on
 // a dead receiver.
 func (d *ShmDevice) Send(dst int, frame []byte) error {
+	return d.deliver(dst, Frame{Data: frame})
+}
+
+// Sendv delivers the (hdr, payload) pair by reference: ranks share one
+// address space, so the receiver reads the sender's buffers directly and
+// no copy or contiguous assembly happens anywhere on the shm path. The
+// header is always pool-born (the Sendv contract), and the payload is
+// marked for pool return when the sender vouched for exclusive
+// ownership.
+func (d *ShmDevice) Sendv(dst int, hdr, payload []byte, recycle bool) error {
+	return d.deliver(dst, Frame{
+		Data:          hdr,
+		Payload:       payload,
+		pooledData:    true,
+		pooledPayload: recycle,
+	})
+}
+
+// deliver enqueues f at rank dst. On failure the frame was not handed
+// to anyone, so its pooled storage is released here — undelivered
+// frames must not leak out of the pool.
+func (d *ShmDevice) deliver(dst int, f Frame) error {
 	if err := checkDst(dst, d.Size()); err != nil {
+		f.Release()
 		return err
 	}
 	mine := d.job.done[d.rank]
 	theirs := d.job.done[dst]
 	select {
 	case <-mine:
+		f.Release()
 		return ErrClosed
 	case <-theirs:
+		f.Release()
 		return ErrClosed
 	default:
 	}
 	select {
-	case d.job.inboxes[dst] <- frame:
+	case d.job.inboxes[dst] <- f:
 		return nil
 	case <-mine:
+		f.Release()
 		return ErrClosed
 	case <-theirs:
+		f.Release()
 		return ErrClosed
 	}
 }
 
 // Recv returns the next frame addressed to this rank.
-func (d *ShmDevice) Recv() ([]byte, error) {
+func (d *ShmDevice) Recv() (Frame, error) {
 	select {
 	case f := <-d.job.inboxes[d.rank]:
 		return f, nil
@@ -90,7 +117,7 @@ func (d *ShmDevice) Recv() ([]byte, error) {
 		case f := <-d.job.inboxes[d.rank]:
 			return f, nil
 		default:
-			return nil, ErrClosed
+			return Frame{}, ErrClosed
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -19,15 +20,48 @@ type TCPDevice struct {
 	ln         net.Listener
 	ownsLn     bool
 
-	inbox     chan []byte
+	inbox     chan Frame
 	done      chan struct{}
 	closeOnce sync.Once
 	readers   sync.WaitGroup
 }
 
+// peerWriterSize is the per-peer staging buffer: a length prefix, header
+// and small payload coalesce into one buffered write and flush as a
+// single syscall, while writes larger than the buffer stream through
+// bufio's large-write bypass without an extra copy.
+const peerWriterSize = 16 << 10
+
 type peerConn struct {
 	mu sync.Mutex // serializes frame writes
 	c  net.Conn
+	w  *bufio.Writer
+}
+
+func newPeerConn(c net.Conn) *peerConn {
+	return &peerConn{c: c, w: bufio.NewWriterSize(c, peerWriterSize)}
+}
+
+// writeFrame writes one length-prefixed frame as the gather of hdr and
+// payload through the peer's buffered writer, flushing before return so
+// no progress logic is needed to push stragglers out.
+func (p *peerConn) writeFrame(hdr, payload []byte) error {
+	var lp [4]byte
+	binary.LittleEndian.PutUint32(lp[:], uint32(len(hdr)+len(payload)))
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, err := p.w.Write(lp[:]); err != nil {
+		return err
+	}
+	if _, err := p.w.Write(hdr); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := p.w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return p.w.Flush()
 }
 
 const meshMagic = 0x6d706a31 // "mpj1"
@@ -48,7 +82,7 @@ func ConnectMesh(rank, size int, addrs []string, ln net.Listener, ownsListener b
 		peers:  make([]*peerConn, size),
 		ln:     ln,
 		ownsLn: ownsListener,
-		inbox:  make(chan []byte, DefaultInboxDepth),
+		inbox:  make(chan Frame, DefaultInboxDepth),
 		done:   make(chan struct{}),
 	}
 	// Dial lower ranks.
@@ -58,7 +92,7 @@ func ConnectMesh(rank, size int, addrs []string, ln net.Listener, ownsListener b
 			d.Close()
 			return nil, fmt.Errorf("transport: rank %d dialing rank %d: %w", rank, j, err)
 		}
-		d.peers[j] = &peerConn{c: c}
+		d.peers[j] = newPeerConn(c)
 	}
 	// Accept higher ranks.
 	for need := size - rank - 1; need > 0; need-- {
@@ -72,7 +106,7 @@ func ConnectMesh(rank, size int, addrs []string, ln net.Listener, ownsListener b
 			d.Close()
 			return nil, fmt.Errorf("transport: rank %d got bad handshake from claimed rank %d", rank, peer)
 		}
-		d.peers[peer] = &peerConn{c: c}
+		d.peers[peer] = newPeerConn(c)
 	}
 	for r, p := range d.peers {
 		if p != nil {
@@ -180,36 +214,74 @@ func (d *TCPDevice) Rank() int { return d.rank }
 // Size returns the number of ranks in the job.
 func (d *TCPDevice) Size() int { return d.size }
 
-// Send writes frame to rank dst over its mesh connection.
+// Send writes frame to rank dst over its mesh connection. The frame is
+// not returned to the frame pool: a legacy contiguous send carries no
+// exclusivity promise.
 func (d *TCPDevice) Send(dst int, frame []byte) error {
 	if err := checkDst(dst, d.size); err != nil {
 		return err
 	}
 	if dst == d.rank {
-		select {
-		case d.inbox <- frame:
-			return nil
-		case <-d.done:
-			return ErrClosed
-		}
+		return d.selfDeliver(Frame{Data: frame})
 	}
 	p := d.peers[dst]
 	if p == nil {
 		return ErrClosed
 	}
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(frame)))
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	bufs := net.Buffers{hdr[:], frame}
-	if _, err := bufs.WriteTo(p.c); err != nil {
+	if err := p.writeFrame(frame, nil); err != nil {
 		return fmt.Errorf("transport: send to rank %d: %w", dst, err)
 	}
 	return nil
 }
 
+// Sendv writes the (hdr, payload) gather to rank dst without assembling
+// a contiguous frame; both slices are recycled into the frame pool once
+// the bytes are on the wire (the payload only when the sender vouched
+// for exclusive ownership).
+func (d *TCPDevice) Sendv(dst int, hdr, payload []byte, recycle bool) error {
+	if err := checkDst(dst, d.size); err != nil {
+		PutBuf(hdr)
+		if recycle {
+			PutBuf(payload)
+		}
+		return err
+	}
+	if dst == d.rank {
+		return d.selfDeliver(Frame{Data: hdr, Payload: payload, pooledData: true, pooledPayload: recycle})
+	}
+	p := d.peers[dst]
+	if p == nil {
+		PutBuf(hdr)
+		if recycle {
+			PutBuf(payload)
+		}
+		return ErrClosed
+	}
+	err := p.writeFrame(hdr, payload)
+	PutBuf(hdr)
+	if recycle {
+		PutBuf(payload)
+	}
+	if err != nil {
+		return fmt.Errorf("transport: send to rank %d: %w", dst, err)
+	}
+	return nil
+}
+
+// selfDeliver enqueues f on the local inbox, releasing its pooled
+// storage if the device is already closed and nobody will consume it.
+func (d *TCPDevice) selfDeliver(f Frame) error {
+	select {
+	case d.inbox <- f:
+		return nil
+	case <-d.done:
+		f.Release()
+		return ErrClosed
+	}
+}
+
 // Recv returns the next frame addressed to this rank.
-func (d *TCPDevice) Recv() ([]byte, error) {
+func (d *TCPDevice) Recv() (Frame, error) {
 	select {
 	case f := <-d.inbox:
 		return f, nil
@@ -218,7 +290,7 @@ func (d *TCPDevice) Recv() ([]byte, error) {
 		case f := <-d.inbox:
 			return f, nil
 		default:
-			return nil, ErrClosed
+			return Frame{}, ErrClosed
 		}
 	}
 }
@@ -231,12 +303,15 @@ func (d *TCPDevice) readLoop(peer int, c net.Conn) {
 			return // peer closed or we are shutting down
 		}
 		n := binary.LittleEndian.Uint32(hdr[:])
-		frame := make([]byte, n)
+		// Stage the whole frame in one pooled buffer; the engine
+		// parses the header in place and hands the payload tail to the
+		// matching receive without another copy.
+		frame := GetBuf(int(n))
 		if _, err := io.ReadFull(c, frame); err != nil {
 			return
 		}
 		select {
-		case d.inbox <- frame:
+		case d.inbox <- Frame{Data: frame, pooledData: true}:
 		case <-d.done:
 			return
 		}

@@ -48,8 +48,9 @@ func testFIFOPerPair(t *testing.T, devs []Device) {
 					t.Errorf("recv: %v", err)
 					return
 				}
-				src := f[0]
-				seq := int(f[1])<<8 | int(f[2])
+				src := f.Data[0]
+				seq := int(f.Data[1])<<8 | int(f.Data[2])
+				f.Release()
 				if prev, ok := last[src]; ok && seq != prev+1 {
 					t.Errorf("rank %d: from %d got seq %d after %d", d.Rank(), src, seq, prev)
 					return
@@ -122,8 +123,8 @@ func TestTCPSelfSend(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(got, want) {
-		t.Fatalf("got %q", got)
+	if !bytes.Equal(got.Data, want) {
+		t.Fatalf("got %q", got.Data)
 	}
 }
 
@@ -143,9 +144,10 @@ func TestTCPLargeFrame(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(got, big) {
+	if !bytes.Equal(got.Data, big) {
 		t.Fatal("large frame corrupted")
 	}
+	got.Release()
 }
 
 func TestBadDestination(t *testing.T) {
@@ -224,8 +226,8 @@ func TestShapedStagingCopyIsolation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got[0] != 1 {
-		t.Fatalf("staging copy missing: got %v", got)
+	if got.Data[0] != 1 {
+		t.Fatalf("staging copy missing: got %v", got.Data)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"gompi/internal/coll"
 	"gompi/internal/core"
 	"gompi/internal/dtype"
+	"gompi/internal/transport"
 )
 
 // Comm is the communicator base class (paper Fig. 1): all communication
@@ -183,7 +184,33 @@ func (c *Comm) recvChecks(d *Datatype, source, tag int) error {
 	return c.checkTag(tag, true)
 }
 
-func (c *Comm) pack(buf any, offset, count int, d *Datatype) ([]byte, error) {
+// pack encodes a buffer section into a wire payload. The payload is
+// drawn from the frame pool whenever the wire size is statically known
+// (every fixed-size class); pooled reports that, which downstream layers
+// translate into the exclusive-ownership recycle promise, letting the
+// consuming rank return the buffer to the pool. Object payloads have no
+// size bound and fall back to the allocator.
+func (c *Comm) pack(buf any, offset, count int, d *Datatype) (payload []byte, pooled bool, err error) {
+	var dst []byte
+	if n := d.t.WireBytes(count); n >= 0 {
+		dst = transport.GetBuf(n)[:0]
+		pooled = true
+	}
+	payload, perr := dtype.Pack(dst, buf, offset, count, d.t)
+	if perr != nil {
+		if pooled {
+			transport.PutBuf(dst)
+		}
+		return nil, false, mapDataErr(perr)
+	}
+	return payload, pooled, nil
+}
+
+// packColl packs for the collective layer, which fans one buffer out to
+// several peers and forwards received payloads: no slice can carry the
+// exclusive-ownership recycle promise, so collective payloads stay on
+// the allocator.
+func (c *Comm) packColl(buf any, offset, count int, d *Datatype) ([]byte, error) {
 	payload, err := dtype.Pack(nil, buf, offset, count, d.t)
 	if err != nil {
 		return nil, mapDataErr(err)
@@ -191,25 +218,53 @@ func (c *Comm) pack(buf any, offset, count int, d *Datatype) ([]byte, error) {
 	return payload, nil
 }
 
-// isendMode starts a send in the given mode; the shared engine of
-// Isend/Issend/Irsend and the blocking variants.
-func (c *Comm) isendMode(buf any, offset, count int, d *Datatype, dest, tag int, mode core.Mode) (*Request, error) {
+// startSend runs validation, packing and the core send; the shared
+// engine under every send-mode entry point. It returns a nil request
+// for ProcNull destinations.
+func (c *Comm) startSend(buf any, offset, count int, d *Datatype, dest, tag int, mode core.Mode) (*core.Request, error) {
 	c.env.enterCall()
 	if err := c.sendChecks(d, dest, tag); err != nil {
-		return nil, c.raise(err)
+		return nil, err
 	}
 	if dest == ProcNull {
-		return preCompleted(c.env, nullStatus()), nil
+		return nil, nil
 	}
-	payload, err := c.pack(buf, offset, count, d)
+	payload, pooled, err := c.pack(buf, offset, count, d)
+	if err != nil {
+		return nil, err
+	}
+	creq, err := c.env.proc.Isend(c.ptpCtx, c.rank, c.remote[dest], tag, payload, mode, pooled)
+	if err != nil {
+		return nil, errf(ErrIntern, "%v", err)
+	}
+	return creq, nil
+}
+
+// isendMode starts a send in the given mode; the shared engine of
+// Isend/Issend/Irsend.
+func (c *Comm) isendMode(buf any, offset, count int, d *Datatype, dest, tag int, mode core.Mode) (*Request, error) {
+	creq, err := c.startSend(buf, offset, count, d, dest, tag, mode)
 	if err != nil {
 		return nil, c.raise(err)
 	}
-	creq, err := c.env.proc.Isend(c.ptpCtx, c.rank, c.remote[dest], tag, payload, mode)
-	if err != nil {
-		return nil, c.raise(errf(ErrIntern, "%v", err))
+	if creq == nil {
+		return preCompleted(c.env, nullStatus()), nil
 	}
 	return &Request{env: c.env, creq: creq}, nil
+}
+
+// sendBlocking is the shared engine of the blocking send modes: the
+// request never escapes, so it is recycled straight back to the engine's
+// request pool — a blocking send allocates nothing on the steady-state
+// hot path.
+func (c *Comm) sendBlocking(buf any, offset, count int, d *Datatype, dest, tag int, mode core.Mode) error {
+	creq, err := c.startSend(buf, offset, count, d, dest, tag, mode)
+	if err != nil || creq == nil {
+		return c.raise(err)
+	}
+	creq.Wait()
+	creq.Recycle()
+	return nil
 }
 
 // Send is the blocking standard-mode send (MPI_Send; paper §2):
@@ -217,34 +272,19 @@ func (c *Comm) isendMode(buf any, offset, count int, d *Datatype, dest, tag int,
 //	public void Send(Object buf, int offset, int count,
 //	                 Datatype datatype, int dest, int tag)
 func (c *Comm) Send(buf any, offset, count int, d *Datatype, dest, tag int) error {
-	req, err := c.isendMode(buf, offset, count, d, dest, tag, core.ModeStandard)
-	if err != nil {
-		return err
-	}
-	_, err = req.Wait()
-	return c.raise(err)
+	return c.sendBlocking(buf, offset, count, d, dest, tag, core.ModeStandard)
 }
 
 // Ssend is the blocking synchronous-mode send: it returns only after the
 // receiver has matched the message (MPI_Ssend).
 func (c *Comm) Ssend(buf any, offset, count int, d *Datatype, dest, tag int) error {
-	req, err := c.isendMode(buf, offset, count, d, dest, tag, core.ModeSync)
-	if err != nil {
-		return err
-	}
-	_, err = req.Wait()
-	return c.raise(err)
+	return c.sendBlocking(buf, offset, count, d, dest, tag, core.ModeSync)
 }
 
 // Rsend is the blocking ready-mode send; a matching receive must already
 // be posted (MPI_Rsend).
 func (c *Comm) Rsend(buf any, offset, count int, d *Datatype, dest, tag int) error {
-	req, err := c.isendMode(buf, offset, count, d, dest, tag, core.ModeReady)
-	if err != nil {
-		return err
-	}
-	_, err = req.Wait()
-	return c.raise(err)
+	return c.sendBlocking(buf, offset, count, d, dest, tag, core.ModeReady)
 }
 
 // Bsend is the blocking buffered-mode send: the message is copied into
@@ -285,14 +325,17 @@ func (c *Comm) Ibsend(buf any, offset, count int, d *Datatype, dest, tag int) (*
 	if dest == ProcNull {
 		return preCompleted(c.env, nullStatus()), nil
 	}
-	payload, err := c.pack(buf, offset, count, d)
+	payload, pooled, err := c.pack(buf, offset, count, d)
 	if err != nil {
 		return nil, c.raise(err)
 	}
 	if err := c.env.reserveBuffer(len(payload)); err != nil {
+		if pooled {
+			transport.PutBuf(payload)
+		}
 		return nil, c.raise(err)
 	}
-	creq, err := c.env.proc.Isend(c.ptpCtx, c.rank, c.remote[dest], tag, payload, core.ModeStandard)
+	creq, err := c.env.proc.Isend(c.ptpCtx, c.rank, c.remote[dest], tag, payload, core.ModeStandard, pooled)
 	if err != nil {
 		c.env.releaseBuffer(len(payload))
 		return nil, c.raise(errf(ErrIntern, "%v", err))
@@ -308,30 +351,43 @@ func (c *Comm) Ibsend(buf any, offset, count int, d *Datatype, dest, tag int) (*
 	return preCompleted(c.env, st), nil
 }
 
-// Irecv starts a non-blocking receive (MPI_Irecv). The buffer section
-// is filled when the request completes.
-func (c *Comm) Irecv(buf any, offset, count int, d *Datatype, source, tag int) (*Request, error) {
+// startRecv runs the shared receive-side validation and translates the
+// source/tag wildcards; procNull reports a null-process receive and n
+// is the validated buffer length in elements.
+func (c *Comm) startRecv(buf any, d *Datatype, source, tag int) (src, tg int32, n int, procNull bool, err error) {
 	c.env.enterCall()
 	if err := c.recvChecks(d, source, tag); err != nil {
-		return nil, c.raise(err)
+		return 0, 0, 0, false, err
 	}
 	// Validate the buffer section eagerly so errors surface at the
 	// call, not at completion.
-	if n, err := dtype.CheckBuf(buf, d.t); err != nil {
-		return nil, c.raise(mapDataErr(err))
-	} else {
-		_ = n
+	n, cerr := dtype.CheckBuf(buf, d.t)
+	if cerr != nil {
+		return 0, 0, 0, false, mapDataErr(cerr)
 	}
 	if source == ProcNull {
-		return preCompleted(c.env, nullStatus()), nil
+		return 0, 0, n, true, nil
 	}
-	src := int32(source)
+	src = int32(source)
 	if source == AnySource {
 		src = core.AnySource
 	}
-	tg := int32(tag)
+	tg = int32(tag)
 	if tag == AnyTag {
 		tg = core.AnyTag
+	}
+	return src, tg, n, false, nil
+}
+
+// Irecv starts a non-blocking receive (MPI_Irecv). The buffer section
+// is filled when the request completes.
+func (c *Comm) Irecv(buf any, offset, count int, d *Datatype, source, tag int) (*Request, error) {
+	src, tg, _, procNull, err := c.startRecv(buf, d, source, tag)
+	if err != nil {
+		return nil, c.raise(err)
+	}
+	if procNull {
+		return preCompleted(c.env, nullStatus()), nil
 	}
 	creq := c.env.proc.Irecv(c.ptpCtx, src, tg)
 	return &Request{
@@ -340,17 +396,97 @@ func (c *Comm) Irecv(buf any, offset, count int, d *Datatype, source, tag int) (
 	}, nil
 }
 
+// intoView returns the raw-byte window of buf's section when the
+// receive-into fast path applies: a contiguous fixed-size datatype over
+// a native (or named-primitive) slice on a little-endian host. n is the
+// buffer length already validated by startRecv. The returned bytes
+// alias buf, so the engine deposits the payload directly in the
+// caller's memory.
+func (c *Comm) intoView(buf any, offset, count, n int, d *Datatype) ([]byte, bool) {
+	t := d.t
+	if !t.IsContiguous() || t.Class() == dtype.Obj {
+		return nil, false
+	}
+	elems := count * t.Size()
+	if offset < 0 || count < 0 || offset+elems > n {
+		return nil, false // out of bounds: let the classic path report it
+	}
+	return dtype.ByteViewRange(buf, offset, elems)
+}
+
+// IrecvInto starts a non-blocking receive that lands the incoming
+// payload directly in the buffer section — no staging buffer, no unpack
+// copy — when the datatype is contiguous and fixed-size on a
+// little-endian host; other shapes fall back to the classic staging
+// path transparently. If the message is longer than the section, the
+// section is filled and the request completes with an ErrTruncate-class
+// error (MPI_ERR_TRUNCATE semantics). The buffer must not be touched
+// until the request completes.
+func (c *Comm) IrecvInto(buf any, offset, count int, d *Datatype, source, tag int) (*Request, error) {
+	src, tg, n, procNull, err := c.startRecv(buf, d, source, tag)
+	if err != nil {
+		return nil, c.raise(err)
+	}
+	if procNull {
+		return preCompleted(c.env, nullStatus()), nil
+	}
+	view, ok := c.intoView(buf, offset, count, n, d)
+	if !ok {
+		creq := c.env.proc.Irecv(c.ptpCtx, src, tg)
+		return &Request{
+			env: c.env, creq: creq, isRecv: true,
+			buf: buf, offset: offset, count: count, dt: d,
+		}, nil
+	}
+	creq := c.env.proc.IrecvInto(c.ptpCtx, src, tg, view, d.t.Class().WireSize())
+	return &Request{
+		env: c.env, creq: creq, isRecv: true, into: true,
+		buf: buf, offset: offset, count: count, dt: d,
+	}, nil
+}
+
+// recvBlocking is the shared engine of the blocking receives: no
+// mpi.Request handle is built and the core request is recycled, so the
+// only steady-state allocation is the returned Status. wantInto selects
+// the receive-into path (payload deposited directly in the caller's
+// memory) where the datatype allows; other shapes stage and unpack.
+func (c *Comm) recvBlocking(buf any, offset, count int, d *Datatype, source, tag int, wantInto bool) (*Status, error) {
+	src, tg, n, procNull, err := c.startRecv(buf, d, source, tag)
+	if err != nil {
+		return nil, c.raise(err)
+	}
+	if procNull {
+		return nullStatus(), nil
+	}
+	var view []byte
+	if wantInto {
+		view, _ = c.intoView(buf, offset, count, n, d)
+	}
+	var creq *core.Request
+	if view != nil {
+		creq = c.env.proc.IrecvInto(c.ptpCtx, src, tg, view, d.t.Class().WireSize())
+	} else {
+		creq = c.env.proc.Irecv(c.ptpCtx, src, tg)
+	}
+	cst := creq.Wait()
+	st, opErr := recvStatus(cst, view != nil, creq.Payload, buf, offset, count, d)
+	creq.Recycle() // releases the frame too
+	return st, c.raise(opErr)
+}
+
 // Recv is the blocking receive (MPI_Recv; paper §2):
 //
 //	public Status Recv(Object buf, int offset, int count,
 //	                   Datatype datatype, int source, int tag)
 func (c *Comm) Recv(buf any, offset, count int, d *Datatype, source, tag int) (*Status, error) {
-	req, err := c.Irecv(buf, offset, count, d, source, tag)
-	if err != nil {
-		return nil, err
-	}
-	st, err := req.Wait()
-	return st, c.raise(err)
+	return c.recvBlocking(buf, offset, count, d, source, tag, false)
+}
+
+// RecvInto is the blocking receive-into (see IrecvInto): the payload is
+// deposited directly in the caller's buffer section where the datatype
+// allows, with MPI_ERR_TRUNCATE semantics on overflow.
+func (c *Comm) RecvInto(buf any, offset, count int, d *Datatype, source, tag int) (*Status, error) {
+	return c.recvBlocking(buf, offset, count, d, source, tag, true)
 }
 
 // Sendrecv executes a send and a receive concurrently, with distinct
@@ -389,20 +525,27 @@ func (c *Comm) SendrecvReplace(
 	if err := c.recvChecks(d, source, rtag); err != nil {
 		return nil, c.raise(err)
 	}
-	payload, err := c.pack(buf, offset, count, d)
+	payload, pooled, err := c.pack(buf, offset, count, d)
 	if err != nil {
 		return nil, c.raise(err)
 	}
 	rreq, err := c.Irecv(buf, offset, count, d, source, rtag)
 	if err != nil {
+		if pooled {
+			transport.PutBuf(payload)
+		}
 		return nil, err
 	}
 	if dest != ProcNull {
-		creq, err := c.env.proc.Isend(c.ptpCtx, c.rank, c.remote[dest], stag, payload, core.ModeStandard)
+		creq, err := c.env.proc.Isend(c.ptpCtx, c.rank, c.remote[dest], stag, payload, core.ModeStandard, pooled)
 		if err != nil {
+			// No PutBuf here: Isend took ownership, and the device's
+			// own error path may already have recycled the payload.
 			return nil, c.raise(errf(ErrIntern, "%v", err))
 		}
 		defer creq.Wait()
+	} else if pooled {
+		transport.PutBuf(payload)
 	}
 	st, rerr := rreq.Wait()
 	return st, c.raise(rerr)

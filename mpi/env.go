@@ -151,6 +151,41 @@ func (e *Env) Finalize() error {
 	return err
 }
 
+// EngineStats is a point-in-time copy of the rank's progress-engine and
+// frame-pool counters: the runtime observability surface for the
+// zero-copy hot path. BytesCopied against BytesRecv measures how much
+// receive traffic still pays an engine-side copy (receive-into
+// deposits); RecvsZeroCopy counts receives completed by frame handover;
+// PoolHitRate is the fraction of frame-buffer requests served by
+// recycling rather than allocation (process-wide).
+type EngineStats struct {
+	SendsEager, SendsSync, SendsRndv uint64
+	BytesSent, BytesRecv             uint64
+	RecvsMatched, RecvsUnexpected    uint64
+	BytesCopied                      uint64
+	RecvsZeroCopy                    uint64
+	Cancelled                        uint64
+	PoolHitRate                      float64
+}
+
+// EngineStats snapshots the rank's hot-path counters.
+func (e *Env) EngineStats() EngineStats {
+	s := e.proc.StatsSnapshot()
+	return EngineStats{
+		SendsEager:      s.SendsEager,
+		SendsSync:       s.SendsSync,
+		SendsRndv:       s.SendsRndv,
+		BytesSent:       s.BytesSent,
+		BytesRecv:       s.BytesRecv,
+		RecvsMatched:    s.RecvsMatched,
+		RecvsUnexpected: s.RecvsUnexpected,
+		BytesCopied:     s.BytesCopied,
+		RecvsZeroCopy:   s.RecvsZeroCopy,
+		Cancelled:       s.Cancelled,
+		PoolHitRate:     s.Pool.HitRate(),
+	}
+}
+
 // SetBindingOverhead injects an artificial cost into every communication
 // call on this environment — the benchmark model of the JNI/JVM crossing
 // the paper identifies as the dominant source of mpiJava's constant

@@ -129,7 +129,7 @@ func (ic *Intercomm) RemoteGroup() *Group {
 func (ic *Intercomm) interExchange(mine []byte) ([]byte, error) {
 	var remote []byte
 	if ic.rank == 0 {
-		sreq, err := ic.env.proc.Isend(ic.collCtx, ic.rank, ic.remote[0], tagInter, mine, core.ModeStandard)
+		sreq, err := ic.env.proc.Isend(ic.collCtx, ic.rank, ic.remote[0], tagInter, mine, core.ModeStandard, false)
 		if err != nil {
 			return nil, err
 		}

@@ -57,7 +57,7 @@ func (c *Intracomm) Bcast(buf any, offset, count int, d *Datatype, root int) err
 	var wire []byte
 	var err error
 	if c.rank == root {
-		if wire, err = c.pack(buf, offset, count, d); err != nil {
+		if wire, err = c.packColl(buf, offset, count, d); err != nil {
 			return c.raise(err)
 		}
 	}
@@ -83,7 +83,7 @@ func (c *Intracomm) Gather(
 	if err := c.collChecks(sdt, root); err != nil {
 		return c.raise(err)
 	}
-	mine, err := c.pack(sendbuf, soffset, scount, sdt)
+	mine, err := c.packColl(sendbuf, soffset, scount, sdt)
 	if err != nil {
 		return c.raise(err)
 	}
@@ -117,7 +117,7 @@ func (c *Intracomm) Gatherv(
 	if err := c.collChecks(sdt, root); err != nil {
 		return c.raise(err)
 	}
-	mine, err := c.pack(sendbuf, soffset, scount, sdt)
+	mine, err := c.packColl(sendbuf, soffset, scount, sdt)
 	if err != nil {
 		return c.raise(err)
 	}
@@ -162,7 +162,7 @@ func (c *Intracomm) Scatter(
 		parts = make([][]byte, c.Size())
 		for r := range parts {
 			at := soffset + r*scount*sdt.Extent()
-			wire, err := c.pack(sendbuf, at, scount, sdt)
+			wire, err := c.packColl(sendbuf, at, scount, sdt)
 			if err != nil {
 				return c.raise(err)
 			}
@@ -199,7 +199,7 @@ func (c *Intracomm) Scatterv(
 		parts = make([][]byte, c.Size())
 		for r := range parts {
 			at := soffset + displs[r]*sdt.Extent()
-			wire, err := c.pack(sendbuf, at, sendcounts[r], sdt)
+			wire, err := c.packColl(sendbuf, at, sendcounts[r], sdt)
 			if err != nil {
 				return c.raise(err)
 			}
@@ -232,7 +232,7 @@ func (c *Intracomm) Allgather(
 	if err := c.checkType(rdt); err != nil {
 		return c.raise(err)
 	}
-	mine, err := c.pack(sendbuf, soffset, scount, sdt)
+	mine, err := c.packColl(sendbuf, soffset, scount, sdt)
 	if err != nil {
 		return c.raise(err)
 	}
@@ -268,7 +268,7 @@ func (c *Intracomm) Allgatherv(
 	if len(recvcounts) != c.Size() || len(displs) != c.Size() {
 		return c.raise(errf(ErrArg, "Allgatherv needs %d recvcounts and displs", c.Size()))
 	}
-	mine, err := c.pack(sendbuf, soffset, scount, sdt)
+	mine, err := c.packColl(sendbuf, soffset, scount, sdt)
 	if err != nil {
 		return c.raise(err)
 	}
@@ -304,7 +304,7 @@ func (c *Intracomm) Alltoall(
 	parts := make([][]byte, c.Size())
 	for r := range parts {
 		at := soffset + r*scount*sdt.Extent()
-		wire, err := c.pack(sendbuf, at, scount, sdt)
+		wire, err := c.packColl(sendbuf, at, scount, sdt)
 		if err != nil {
 			return c.raise(err)
 		}
@@ -346,7 +346,7 @@ func (c *Intracomm) Alltoallv(
 	parts := make([][]byte, n)
 	for r := range parts {
 		at := soffset + sdispls[r]*sdt.Extent()
-		wire, err := c.pack(sendbuf, at, sendcounts[r], sdt)
+		wire, err := c.packColl(sendbuf, at, sendcounts[r], sdt)
 		if err != nil {
 			return c.raise(err)
 		}

@@ -18,6 +18,7 @@ type Request struct {
 
 	// Receive completion parameters.
 	isRecv  bool
+	into    bool // receive-into: payload already in buf, no unpack
 	buf     any
 	offset  int
 	count   int
@@ -35,9 +36,58 @@ func preCompleted(e *Env, st *Status) *Request {
 	return &Request{env: e, pre: st}
 }
 
+// recvStatus builds the user-visible status of a completed core
+// receive: the shared completion trichotomy of the blocking and
+// non-blocking paths. For receive-into completions the elements are
+// derived from the deposited byte count (the engine already placed the
+// bytes); otherwise the wire payload is unpacked into the buffer
+// section here.
+func recvStatus(cst *core.Status, into bool, payload []byte, buf any, offset, count int, d *Datatype) (*Status, error) {
+	st := &Status{Source: cst.SourceGroup, Tag: cst.Tag, bytes: cst.Bytes, elements: -1}
+	var err error
+	switch {
+	case cst.Cancelled:
+		st.cancelled = true
+		st.Source = ProcNull
+		st.Tag = AnyTag
+	case into:
+		// Bytes carries the full incoming message size (matching the
+		// classic path); the deposited element count is capped by the
+		// posted section. A payload that is not a whole number of
+		// elements is the same wire-format error the classic unpack
+		// reports — whole elements stay deposited.
+		if es := d.t.Class().WireSize(); es > 0 {
+			deposited := cst.Bytes / es
+			if m := count * d.t.Size(); deposited > m {
+				deposited = m
+			}
+			st.elements = deposited
+			if cst.Bytes%es != 0 {
+				err = errf(ErrIntern, "%v: %d bytes not a multiple of element size %d", dtype.ErrFormat, cst.Bytes, es)
+				st.Error = ClassOf(err)
+			}
+		}
+		if err == nil && cst.Err != nil {
+			err = mapDataErr(cst.Err)
+			st.Error = ClassOf(err)
+		}
+	default:
+		n, uerr := dtype.Unpack(payload, buf, offset, count, d.t)
+		st.elements = n
+		if uerr != nil {
+			err = mapDataErr(uerr)
+			st.Error = ClassOf(err)
+		}
+	}
+	return st, err
+}
+
 // finish computes the final status exactly once: for receives it unpacks
 // the wire payload into the user buffer — MPI permits touching the
 // buffer only after completion, so unpacking here preserves semantics.
+// Receive-into requests skip the unpack (the engine already deposited
+// the bytes in place). Either way the pooled frame backing the payload
+// is released once the bytes are home.
 func (r *Request) finish() {
 	r.once.Do(func() {
 		if r.pre != nil {
@@ -45,23 +95,18 @@ func (r *Request) finish() {
 			return
 		}
 		cst := &r.creq.Stat
-		st := &Status{Source: cst.SourceGroup, Tag: cst.Tag, bytes: cst.Bytes, elements: -1}
-		if cst.Cancelled {
-			st.cancelled = true
-			st.Source = ProcNull
-			st.Tag = AnyTag
+		if !r.isRecv {
+			st := &Status{Source: cst.SourceGroup, Tag: cst.Tag, bytes: cst.Bytes, elements: -1}
+			if cst.Cancelled {
+				st.cancelled = true
+				st.Source = ProcNull
+				st.Tag = AnyTag
+			}
 			r.st = st
 			return
 		}
-		if r.isRecv {
-			n, err := dtype.Unpack(r.creq.Payload, r.buf, r.offset, r.count, r.dt.t)
-			st.elements = n
-			if err != nil {
-				r.err = mapDataErr(err)
-				st.Error = ClassOf(r.err)
-			}
-		}
-		r.st = st
+		r.st, r.err = recvStatus(cst, r.into, r.creq.Payload, r.buf, r.offset, r.count, r.dt)
+		r.creq.ReleaseFrame()
 	})
 }
 
@@ -379,12 +424,13 @@ func WaitAllP(ps []*Prequest) ([]*Status, error) {
 	return WaitAll(reqs)
 }
 
-// mapDataErr converts datatype-layer errors into MPI error classes.
+// mapDataErr converts datatype- and core-layer errors into MPI error
+// classes.
 func mapDataErr(err error) error {
 	switch {
 	case err == nil:
 		return nil
-	case errors.Is(err, dtype.ErrTruncate):
+	case errors.Is(err, dtype.ErrTruncate), errors.Is(err, core.ErrTruncated):
 		return errf(ErrTruncate, "%v", err)
 	case errors.Is(err, dtype.ErrClassMismatch):
 		return errf(ErrType, "%v", err)

@@ -35,13 +35,16 @@ func (r *Request[T]) settle() error {
 	return r.uerr
 }
 
-// Wait blocks until the operation completes (MPI_Wait).
+// Wait blocks until the operation completes (MPI_Wait). The unbox step
+// runs even when the operation completed in error: a truncated receive
+// has deposited its whole elements and they must still reach the typed
+// buffer. The operation's error takes precedence over an unbox error.
 func (r *Request[T]) Wait() (*mpi.Status, error) {
 	st, err := r.r.Wait()
-	if err != nil {
-		return st, err
+	if uerr := r.settle(); err == nil {
+		err = uerr
 	}
-	return st, r.settle()
+	return st, err
 }
 
 // WaitCtx blocks until the operation completes or ctx is done; see
@@ -57,10 +60,13 @@ func (r *Request[T]) WaitCtx(ctx context.Context) (*mpi.Status, error) {
 // Test polls the operation for completion (MPI_Test).
 func (r *Request[T]) Test() (*mpi.Status, bool, error) {
 	st, ok, err := r.r.Test()
-	if !ok || err != nil {
+	if !ok {
 		return st, ok, err
 	}
-	return st, true, r.settle()
+	if uerr := r.settle(); err == nil {
+		err = uerr
+	}
+	return st, true, err
 }
 
 // Cancel attempts to cancel the pending operation (MPI_Cancel).

@@ -45,8 +45,10 @@ type Comm interface {
 	Size() int
 	Send(buf any, offset, count int, d *mpi.Datatype, dest, tag int) error
 	Recv(buf any, offset, count int, d *mpi.Datatype, source, tag int) (*mpi.Status, error)
+	RecvInto(buf any, offset, count int, d *mpi.Datatype, source, tag int) (*mpi.Status, error)
 	Isend(buf any, offset, count int, d *mpi.Datatype, dest, tag int) (*mpi.Request, error)
 	Irecv(buf any, offset, count int, d *mpi.Datatype, source, tag int) (*mpi.Request, error)
+	IrecvInto(buf any, offset, count int, d *mpi.Datatype, source, tag int) (*mpi.Request, error)
 }
 
 // datatypeOf maps a storage class to its predefined basic datatype,
@@ -77,14 +79,19 @@ func Count[T any](st *mpi.Status) int {
 }
 
 // view resolves a buffer for a communication call: native element types
-// pass through as-is (zero-copy); Obj-routed types are boxed into a
-// fresh []any. The returned unbox is non-nil exactly when the call must
-// copy results back into buf afterwards (receives of boxed types).
+// pass through as-is (zero-copy); named primitives (`type Celsius
+// float64`) are reinterpreted in place to their underlying native slice
+// and stay on their class's wire format; everything else is Obj-routed
+// and boxed into a fresh []any. The returned unbox is non-nil exactly
+// when the call must copy results back into buf afterwards (receives of
+// boxed types) — reinterpreted receives write straight through the
+// shared storage and need no unbox.
 //
 // The type switch is the hot path: one runtime type comparison on the
 // instantiated slice type, no registry lookup, so a typed Send costs
-// what the classic Send costs. Only Obj-routed element types fall
-// through to the inference registry (which also gob-registers them).
+// what the classic Send costs. Only non-native element types fall
+// through to the inference registry (which gob-registers the Obj-routed
+// ones).
 func view[T any](buf []T) (raw any, d *mpi.Datatype, unbox func() error) {
 	switch b := any(buf).(type) {
 	case []byte:
@@ -104,7 +111,10 @@ func view[T any](buf []T) (raw any, d *mpi.Datatype, unbox func() error) {
 	case []any:
 		return b, mpi.OBJECT, nil
 	}
-	dtype.Infer(reflect.TypeFor[T]()) // cache + gob-register the element type
+	if inf := dtype.Infer(reflect.TypeFor[T]()); inf.Reinterp {
+		nv, _ := dtype.NativeView(any(buf))
+		return nv, datatypeOf[inf.Class], nil
+	}
 	tmp := make([]any, len(buf))
 	for i, v := range buf {
 		tmp[i] = v
@@ -160,15 +170,47 @@ func Send[T any](c Comm, buf []T, dest, tag int) error {
 func Recv[T any](c Comm, buf []T, source, tag int) (*mpi.Status, error) {
 	raw, d, unbox := view(buf)
 	st, err := c.Recv(raw, 0, len(buf), d, source, tag)
-	if err != nil {
-		return st, err
-	}
+	// Unbox even on error: a truncated receive has deposited whole
+	// elements that must still reach the typed buffer. The operation's
+	// error takes precedence.
 	if unbox != nil {
-		if err := unbox(); err != nil {
-			return st, err
+		if uerr := unbox(); err == nil {
+			err = uerr
 		}
 	}
-	return st, nil
+	return st, err
+}
+
+// RecvInto is the blocking zero-copy receive: the incoming payload
+// lands directly in buf — no staging buffer, no unpack copy — whenever
+// the element type is a native or named primitive on a little-endian
+// host (other types fall back to Recv semantics transparently). If the
+// message holds more elements than buf, buf is filled and an
+// ErrTruncate-class error is returned (MPI_ERR_TRUNCATE semantics). Use
+// it with preallocated buffers on hot paths: a steady-state RecvInto
+// allocates nothing.
+func RecvInto[T any](c Comm, buf []T, source, tag int) (*mpi.Status, error) {
+	raw, d, unbox := view(buf)
+	st, err := c.RecvInto(raw, 0, len(buf), d, source, tag)
+	// Unbox even on error (see Recv): truncated receives deposit whole
+	// elements.
+	if unbox != nil {
+		if uerr := unbox(); err == nil {
+			err = uerr
+		}
+	}
+	return st, err
+}
+
+// IrecvInto starts a non-blocking zero-copy receive (see RecvInto). The
+// buffer must not be touched until the returned request completes.
+func IrecvInto[T any](c Comm, buf []T, source, tag int) (*Request[T], error) {
+	raw, d, unbox := view(buf)
+	r, err := c.IrecvInto(raw, 0, len(buf), d, source, tag)
+	if err != nil {
+		return nil, err
+	}
+	return &Request[T]{r: r, unbox: unbox}, nil
 }
 
 // RecvCtx is Recv with cancellation: it posts the receive and waits

@@ -41,10 +41,11 @@ func TestTypeOfInference(t *testing.T) {
 			t.Errorf("case %d: inferred %s, want %s", i, c.got.Name(), c.want.Name())
 		}
 	}
-	// Named primitives are distinct types, not aliases: they must route
-	// through OBJECT, not alias the underlying class's buffer type.
-	if typed.TypeOf[celsius]() != mpi.OBJECT {
-		t.Errorf("named float64 inferred as %s, want OBJECT", typed.TypeOf[celsius]().Name())
+	// Named primitives share their underlying type's memory layout and
+	// stay on its wire format: the slice is reinterpreted in place, so
+	// `type celsius float64` travels as DOUBLE, not OBJECT/gob.
+	if typed.TypeOf[celsius]() != mpi.DOUBLE {
+		t.Errorf("named float64 inferred as %s, want DOUBLE", typed.TypeOf[celsius]().Name())
 	}
 	// The registry caches: repeated inference returns the same handle.
 	if typed.TypeOf[float64]() != typed.TypeOf[float64]() {

@@ -140,10 +140,12 @@ func (w *Win) serve() {
 		req := p.Irecv(ctx, core.AnySource, tagRMAReq)
 		st := req.Wait()
 		if st.Cancelled {
+			req.Recycle()
 			return
 		}
 		f := req.Payload
 		if len(f) < 14 {
+			req.Recycle()
 			continue
 		}
 		kind := f[0]
@@ -157,6 +159,7 @@ func (w *Win) serve() {
 		switch kind {
 		case rmaStop:
 			w.ack(st.SourceGroup, id, nil)
+			req.Recycle()
 			return
 		case rmaPut:
 			w.winMu.Lock()
@@ -174,7 +177,10 @@ func (w *Win) serve() {
 			// origin still gets its ack so fences cannot hang.
 			w.setErr(opErr)
 		}
+		// Every arm has copied what it needs out of the payload; the
+		// frame (and request) can recirculate.
 		w.ack(st.SourceGroup, id, reply)
+		req.Recycle()
 	}
 }
 
@@ -206,9 +212,10 @@ func (w *Win) applyAcc(code byte, payload []byte, disp, count int) error {
 func (w *Win) ack(targetGroupRank int, id uint32, payload []byte) {
 	p := w.comm.env.proc
 	req, err := p.Isend(w.comm.ptpCtx, w.comm.rank, w.comm.group[targetGroupRank],
-		tagRMAAckBase+int(id), payload, core.ModeStandard)
+		tagRMAAckBase+int(id), payload, core.ModeStandard, false)
 	if err == nil {
 		req.Wait()
+		req.Recycle()
 	}
 }
 
@@ -224,7 +231,7 @@ func (w *Win) issue(kind byte, target, disp, count int, accOp byte, payload []by
 	id := w.nextID.Add(1) & 0xffff
 	p := w.comm.env.proc
 	req, err := p.Isend(w.comm.ptpCtx, w.comm.rank, w.comm.group[target],
-		tagRMAReq, buildRMAReq(kind, id, disp, count, accOp, payload), core.ModeStandard)
+		tagRMAReq, buildRMAReq(kind, id, disp, count, accOp, payload), core.ModeStandard, false)
 	if err != nil {
 		return errf(ErrIntern, "%v", err)
 	}
@@ -239,6 +246,8 @@ func (w *Win) issue(kind byte, target, disp, count int, accOp byte, payload []by
 				w.setErr(err)
 			}
 		}
+		ackReq.Recycle()
+		req.Recycle()
 	}()
 	return nil
 }
