@@ -3,6 +3,7 @@ package coll
 import (
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 
 	"gompi/internal/core"
 	"gompi/internal/dtype"
@@ -11,20 +12,29 @@ import (
 // Comm is the collective layer's view of a communicator: the rank's
 // progress engine, the communicator's reserved collective context, the
 // caller's group rank and size, and the group-rank→world-rank map.
-// Collectives on one communicator must be called by all members in the
-// same order (the MPI rule); the layer relies on per-pair FIFO matching
-// for correctness across back-to-back collectives.
+// Collectives on one communicator must be started by all members in the
+// same order (the MPI rule); the per-instance tags minted from seq rely
+// on it, and in return let any number of collectives overlap in flight
+// without cross-matching.
 type Comm struct {
 	P     *core.Proc
 	Ctx   int32
 	Rank  int
 	Size  int
 	World func(groupRank int) int
+
+	// seq numbers the collective instances started on this
+	// communicator: exactly one per collective call, minted at
+	// schedule-creation time, synchronously inside the call and before
+	// any validation. Every member starts collectives in the same
+	// order, so the sequence-derived tags agree across ranks.
+	seq atomic.Uint32
 }
 
-// Internal tags, one per collective family. Distinct tags keep different
-// collectives' traffic from cross-matching when consecutive calls
-// overlap in flight.
+// Internal tag families, one per collective family, in the low
+// tagFamBits bits of the matching tag; the instance sequence number
+// occupies the bits above. Distinct families keep unrelated collectives
+// apart even across the (enormous) sequence wrap-around.
 const (
 	tagBarrier = iota + 1
 	tagBcast
@@ -34,52 +44,23 @@ const (
 	tagAlltoall
 	tagReduce
 	tagScan
-	tagCtxAlloc
+	// tagExscan is Exscan's own family: Scan and Exscan traffic must
+	// never cross-match, even back to back on one communicator.
+	tagExscan
 )
 
-func (c *Comm) send(dst, tag int, b []byte) error {
-	req, err := c.isend(dst, tag, b)
-	if err != nil {
-		return err
-	}
-	req.Wait()
-	return nil
-}
+const (
+	tagFamBits = 4
+	// seqPeriod keeps tags inside the engine's positive 30-bit tag
+	// range; 2^26 in-flight collectives would be needed to collide.
+	seqPeriod = 1 << 26
+)
 
-// isend never passes recycle: collective algorithms fan one buffer out
-// to several destinations and forward received payloads, so no slice
-// here carries an exclusive-ownership promise.
-func (c *Comm) isend(dst, tag int, b []byte) (*core.Request, error) {
-	return c.P.Isend(c.Ctx, c.Rank, c.World(dst), tag, b, core.ModeStandard, false)
-}
-
-func (c *Comm) recv(src, tag int) ([]byte, error) {
-	req := c.P.Irecv(c.Ctx, int32(src), int32(tag))
-	st := req.Wait()
-	if st.Cancelled {
-		return nil, fmt.Errorf("coll: receive cancelled")
-	}
-	// Payload lifetime is unbounded here (algorithms forward and stash
-	// blocks), so take it out of the request before recycling.
-	b := req.TakePayload()
-	req.Recycle()
-	return b, nil
-}
-
-// sendrecv runs a concurrent exchange with two (possibly distinct)
-// partners, the building block of the symmetric algorithms.
-func (c *Comm) sendrecv(dst, src, tag int, out []byte) ([]byte, error) {
-	sreq, err := c.isend(dst, tag, out)
-	if err != nil {
-		return nil, err
-	}
-	in, err := c.recv(src, tag)
-	if err != nil {
-		return nil, err
-	}
-	sreq.Wait()
-	return in, nil
-}
+// SkipInstance advances the collective sequence without running a
+// collective. Callers that abort a collective before building its
+// schedule (local argument errors in the binding layer) use it to stay
+// tag-aligned with members whose matching call proceeded.
+func (c *Comm) SkipInstance() { c.seq.Add(1) }
 
 // rel maps a group rank to its rank relative to root; unrel inverts it.
 func rel(rank, root, size int) int { return (rank - root + size) % size }
@@ -93,48 +74,65 @@ func (c *Comm) check(root int) error {
 	return nil
 }
 
-// Barrier blocks until every member has entered it (dissemination
-// algorithm: ⌈log2 p⌉ rounds of shifted exchanges).
-func (c *Comm) Barrier() error {
-	for k := 1; k < c.Size; k <<= 1 {
-		dst := (c.Rank + k) % c.Size
-		src := (c.Rank - k + c.Size) % c.Size
-		if _, err := c.sendrecv(dst, src, tagBarrier, nil); err != nil {
-			return err
-		}
+// topMask returns the power of two at or above size (the binomial
+// trees' starting mask before the first halving).
+func topMask(size int) int {
+	top := 1
+	for top < size {
+		top <<= 1
 	}
-	return nil
+	return top
 }
 
-// Bcast distributes root's payload to every member along a binomial tree
-// and returns it (the root gets its own slice back).
-func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
-	if err := c.check(root); err != nil {
-		return nil, err
+// ---------------------------------------------------------------------
+// Schedule builders. Each appends one algorithm's steps to a schedule,
+// allocating its instance tags as it goes; composed collectives
+// (allreduce over reduce+bcast, reduce-scatter over reduce+scatter)
+// chain builders, threading mid-schedule values through pointers.
+// ---------------------------------------------------------------------
+
+// addBarrierSteps schedules the dissemination barrier: ⌈log2 p⌉ rounds
+// of shifted token exchanges.
+func (c *Comm) addBarrierSteps(s *sched) {
+	tag := s.tag(tagBarrier)
+	for k := 1; k < c.Size; k <<= 1 {
+		k := k
+		s.step(func() error {
+			dst := (c.Rank + k) % c.Size
+			src := (c.Rank - k + c.Size) % c.Size
+			_, err := s.sendrecv(dst, src, tag, nil)
+			return err
+		})
 	}
+}
+
+// addBcastSteps schedules a binomial-tree broadcast: at completion
+// *data holds root's payload on every member.
+func (c *Comm) addBcastSteps(s *sched, root int, data *[]byte) {
+	tag := s.tag(tagBcast)
 	vr := rel(c.Rank, root, c.Size)
-	mask := 1
-	for mask < c.Size {
-		if vr&mask != 0 {
-			got, err := c.recv(unrel(vr-mask, root, c.Size), tagBcast)
+	start := topMask(c.Size) >> 1
+	if vr != 0 {
+		low := vr & -vr // subtree parent sits at the lowest set bit
+		s.step(func() error {
+			got, err := s.recv(unrel(vr-low, root, c.Size), tag)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			data = got
-			break
-		}
-		mask <<= 1
+			*data = got
+			return nil
+		})
+		start = low >> 1
 	}
-	mask >>= 1
-	for mask > 0 {
-		if vr+mask < c.Size {
-			if err := c.send(unrel(vr+mask, root, c.Size), tagBcast, data); err != nil {
-				return nil, err
-			}
+	for mask := start; mask > 0; mask >>= 1 {
+		if vr+mask >= c.Size {
+			continue
 		}
-		mask >>= 1
+		mask := mask
+		s.step(func() error {
+			return s.isend(unrel(vr+mask, root, c.Size), tag, *data)
+		})
 	}
-	return data, nil
 }
 
 // bundle encoding: u32 count, then per block u32 vrank, u32 len, bytes.
@@ -175,79 +173,82 @@ func decodeBundle(data []byte, into map[int][]byte) error {
 	return nil
 }
 
-// Gather collects every member's block at root along a binomial tree.
-// At root the result is indexed by group rank; other ranks get nil.
-func (c *Comm) Gather(root int, mine []byte) ([][]byte, error) {
-	if err := c.check(root); err != nil {
-		return nil, err
-	}
-	vr := rel(c.Rank, root, c.Size)
-	have := map[int][]byte{vr: mine}
-	mask := 1
-	for mask < c.Size {
-		if vr&mask != 0 {
-			if err := c.send(unrel(vr-mask, root, c.Size), tagGather, encodeBundle(have)); err != nil {
-				return nil, err
-			}
-			return nil, nil
-		}
-		if vr+mask < c.Size {
-			got, err := c.recv(unrel(vr+mask, root, c.Size), tagGather)
-			if err != nil {
-				return nil, err
-			}
-			if err := decodeBundle(got, have); err != nil {
-				return nil, err
-			}
-		}
-		mask <<= 1
-	}
-	out := make([][]byte, c.Size)
-	for v, b := range have {
-		out[unrel(v, root, c.Size)] = b
-	}
-	return out, nil
-}
-
-// Scatter distributes parts (indexed by group rank, significant at root
-// only) along a binomial tree; every member returns its own block.
-// Blocks may have different sizes, so Scatter doubles as Scatterv.
-func (c *Comm) Scatter(root int, parts [][]byte) ([]byte, error) {
-	if err := c.check(root); err != nil {
-		return nil, err
-	}
+// addGatherSteps schedules a binomial-tree gather of every member's
+// block (*mine) toward root; at completion *out (root only) holds the
+// blocks indexed by group rank.
+func (c *Comm) addGatherSteps(s *sched, root int, mine *[]byte, out *[][]byte) {
+	tag := s.tag(tagGather)
 	vr := rel(c.Rank, root, c.Size)
 	have := make(map[int][]byte)
-	mask := 1
-	if vr == 0 {
-		if len(parts) != c.Size {
-			return nil, fmt.Errorf("coll: scatter with %d parts for %d ranks", len(parts), c.Size)
+	s.step(func() error { have[vr] = *mine; return nil })
+	for mask := 1; mask < c.Size; mask <<= 1 {
+		mask := mask
+		if vr&mask != 0 {
+			s.step(func() error {
+				return s.isend(unrel(vr-mask, root, c.Size), tag, encodeBundle(have))
+			})
+			return // subtree forwarded; this member is done
 		}
-		for r, b := range parts {
-			have[rel(r, root, c.Size)] = b
-		}
-		for mask < c.Size {
-			mask <<= 1
-		}
-		mask >>= 1
-	} else {
-		for mask < c.Size {
-			if vr&mask != 0 {
-				got, err := c.recv(unrel(vr-mask, root, c.Size), tagScatter)
-				if err != nil {
-					return nil, err
-				}
-				if err := decodeBundle(got, have); err != nil {
-					return nil, err
-				}
-				break
-			}
-			mask <<= 1
-		}
-		mask >>= 1
-	}
-	for mask > 0 {
 		if vr+mask < c.Size {
+			s.step(func() error {
+				got, err := s.recv(unrel(vr+mask, root, c.Size), tag)
+				if err != nil {
+					return err
+				}
+				return decodeBundle(got, have)
+			})
+		}
+	}
+	// vr == 0: assemble at root.
+	s.step(func() error {
+		res := make([][]byte, c.Size)
+		for v, b := range have {
+			res[unrel(v, root, c.Size)] = b
+		}
+		*out = res
+		return nil
+	})
+}
+
+// addScatterSteps schedules the binomial-tree scatter of *parts
+// (indexed by group rank, significant at root); at completion *out
+// holds this member's block. Blocks may have different sizes, so the
+// same schedule serves Scatterv. The public entry points validate the
+// root's parts length at build time; composed schedules construct
+// *parts mid-run, so the root step re-checks.
+func (c *Comm) addScatterSteps(s *sched, root int, parts *[][]byte, out *[]byte) {
+	tag := s.tag(tagScatter)
+	vr := rel(c.Rank, root, c.Size)
+	have := make(map[int][]byte)
+	var start int
+	if vr == 0 {
+		s.step(func() error {
+			if len(*parts) != c.Size {
+				return fmt.Errorf("coll: scatter with %d parts for %d ranks", len(*parts), c.Size)
+			}
+			for r, b := range *parts {
+				have[rel(r, root, c.Size)] = b
+			}
+			return nil
+		})
+		start = topMask(c.Size) >> 1
+	} else {
+		low := vr & -vr
+		s.step(func() error {
+			got, err := s.recv(unrel(vr-low, root, c.Size), tag)
+			if err != nil {
+				return err
+			}
+			return decodeBundle(got, have)
+		})
+		start = low >> 1
+	}
+	for mask := start; mask > 0; mask >>= 1 {
+		if vr+mask >= c.Size {
+			continue
+		}
+		mask := mask
+		s.step(func() error {
 			sub := make(map[int][]byte)
 			hi := vr + 2*mask
 			if hi > c.Size {
@@ -259,160 +260,175 @@ func (c *Comm) Scatter(root int, parts [][]byte) ([]byte, error) {
 					delete(have, v)
 				}
 			}
-			if err := c.send(unrel(vr+mask, root, c.Size), tagScatter, encodeBundle(sub)); err != nil {
-				return nil, err
-			}
-		}
-		mask >>= 1
+			return s.isend(unrel(vr+mask, root, c.Size), tag, encodeBundle(sub))
+		})
 	}
-	return have[vr], nil
+	s.step(func() error { *out = have[vr]; return nil })
 }
 
-// Allgather collects every member's block at every member (ring
-// algorithm, p-1 shifted steps). Blocks may differ in size, so this also
-// serves Allgatherv.
-func (c *Comm) Allgather(mine []byte) ([][]byte, error) {
-	blocks := make([][]byte, c.Size)
-	blocks[c.Rank] = mine
+// addAllgatherSteps schedules the ring allgather (p-1 shifted steps);
+// at completion *out holds every member's block. Blocks may differ in
+// size, so this also serves Allgatherv.
+func (c *Comm) addAllgatherSteps(s *sched, mine []byte, out *[][]byte) {
+	tag := s.tag(tagAllgather)
 	right := (c.Rank + 1) % c.Size
 	left := (c.Rank - 1 + c.Size) % c.Size
+	blocks := make([][]byte, c.Size)
+	blocks[c.Rank] = mine
 	cur := mine
-	for step := 0; step < c.Size-1; step++ {
-		in, err := c.sendrecv(right, left, tagAllgather, cur)
-		if err != nil {
-			return nil, err
-		}
-		origin := (c.Rank - step - 1 + c.Size) % c.Size
-		blocks[origin] = in
-		cur = in
-	}
-	return blocks, nil
-}
-
-// Alltoall delivers parts[j] to member j and returns the blocks received
-// from every member (pairwise-exchange algorithm). Variable block sizes
-// make it also serve Alltoallv.
-func (c *Comm) Alltoall(parts [][]byte) ([][]byte, error) {
-	if len(parts) != c.Size {
-		return nil, fmt.Errorf("coll: alltoall with %d parts for %d ranks", len(parts), c.Size)
-	}
-	out := make([][]byte, c.Size)
-	out[c.Rank] = parts[c.Rank]
-	for step := 1; step < c.Size; step++ {
-		dst := (c.Rank + step) % c.Size
-		src := (c.Rank - step + c.Size) % c.Size
-		in, err := c.sendrecv(dst, src, tagAlltoall, parts[dst])
-		if err != nil {
-			return nil, err
-		}
-		out[src] = in
-	}
-	return out, nil
-}
-
-// Reduce folds every member's dense slice with op, leaving the result at
-// root (returned there; nil elsewhere). Commutative ops use a binomial
-// tree; non-commutative ops gather and fold in rank order.
-func (c *Comm) Reduce(root int, mine any, op *Op) (any, error) {
-	if err := c.check(root); err != nil {
-		return nil, err
-	}
-	if !op.Commutative {
-		return c.reduceOrdered(root, mine, op)
-	}
-	vr := rel(c.Rank, root, c.Size)
-	acc := dtype.CloneDense(mine)
-	mask := 1
-	for mask < c.Size {
-		if vr&mask != 0 {
-			wire, err := dtype.EncodeDense(acc)
+	for st := 0; st < c.Size-1; st++ {
+		st := st
+		s.step(func() error {
+			in, err := s.sendrecv(right, left, tag, cur)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			if err := c.send(unrel(vr-mask, root, c.Size), tagReduce, wire); err != nil {
-				return nil, err
+			origin := (c.Rank - st - 1 + c.Size) % c.Size
+			blocks[origin] = in
+			cur = in
+			return nil
+		})
+	}
+	s.step(func() error { *out = blocks; return nil })
+}
+
+// addAlltoallSteps schedules the pairwise-exchange alltoall: parts[j]
+// reaches member j; at completion *out holds the blocks received from
+// every member. Variable block sizes make it also serve Alltoallv.
+func (c *Comm) addAlltoallSteps(s *sched, parts [][]byte, out *[][]byte) {
+	tag := s.tag(tagAlltoall)
+	res := make([][]byte, c.Size)
+	for st := 1; st < c.Size; st++ {
+		st := st
+		s.step(func() error {
+			dst := (c.Rank + st) % c.Size
+			src := (c.Rank - st + c.Size) % c.Size
+			in, err := s.sendrecv(dst, src, tag, parts[dst])
+			if err != nil {
+				return err
 			}
-			return nil, nil
+			res[src] = in
+			return nil
+		})
+	}
+	s.step(func() error { res[c.Rank] = parts[c.Rank]; *out = res; return nil })
+}
+
+// addReduceSteps schedules the reduction of mine toward root; at
+// completion *out (root only) holds the folded dense slice. Commutative
+// ops fold up a binomial tree; non-commutative ops gather at root and
+// fold in strict rank order.
+func (c *Comm) addReduceSteps(s *sched, root int, mine any, op *Op, out *any) {
+	if !op.Commutative {
+		c.addOrderedReduceSteps(s, root, mine, op, out)
+		return
+	}
+	tag := s.tag(tagReduce)
+	vr := rel(c.Rank, root, c.Size)
+	cls, _ := dtype.ClassOf(mine)
+	acc := dtype.CloneDense(mine)
+	for mask := 1; mask < c.Size; mask <<= 1 {
+		mask := mask
+		if vr&mask != 0 {
+			s.step(func() error {
+				wire, err := dtype.EncodeDense(acc)
+				if err != nil {
+					return err
+				}
+				return s.isend(unrel(vr-mask, root, c.Size), tag, wire)
+			})
+			return // contribution forwarded; this member is done
 		}
 		if vr+mask < c.Size {
-			got, err := c.recv(unrel(vr+mask, root, c.Size), tagReduce)
-			if err != nil {
-				return nil, err
-			}
-			cls, _ := dtype.ClassOf(acc)
-			partial, err := dtype.DecodeDense(got, cls)
-			if err != nil {
-				return nil, err
-			}
-			// acc holds lower-rank contributions: fold acc into
-			// partial, then adopt partial as the accumulator.
-			if err := op.Apply(acc, partial); err != nil {
-				return nil, err
-			}
-			acc = partial
+			s.step(func() error {
+				got, err := s.recv(unrel(vr+mask, root, c.Size), tag)
+				if err != nil {
+					return err
+				}
+				partial, err := dtype.DecodeDense(got, cls)
+				if err != nil {
+					return err
+				}
+				// acc holds lower-rank contributions: fold acc into
+				// partial, then adopt partial as the accumulator.
+				if err := op.Apply(acc, partial); err != nil {
+					return err
+				}
+				acc = partial
+				return nil
+			})
 		}
-		mask <<= 1
 	}
-	return acc, nil
+	s.step(func() error { *out = acc; return nil })
 }
 
-// reduceOrdered gathers all contributions at root and folds them in
-// strict rank order, as required for non-commutative operations.
-func (c *Comm) reduceOrdered(root int, mine any, op *Op) (any, error) {
-	wire, err := dtype.EncodeDense(mine)
-	if err != nil {
-		return nil, err
+// addOrderedReduceSteps gathers all contributions at root and folds
+// them in strict rank order, as required for non-commutative
+// operations.
+func (c *Comm) addOrderedReduceSteps(s *sched, root int, mine any, op *Op, out *any) {
+	var wire []byte
+	var blocks [][]byte
+	s.step(func() error {
+		w, err := dtype.EncodeDense(mine)
+		wire = w
+		return err
+	})
+	c.addGatherSteps(s, root, &wire, &blocks)
+	if rel(c.Rank, root, c.Size) != 0 {
+		return
 	}
-	blocks, err := c.Gather(root, wire)
-	if err != nil {
-		return nil, err
-	}
-	if c.Rank != root {
-		return nil, nil
-	}
-	cls, _ := dtype.ClassOf(mine)
-	acc, err := dtype.DecodeDense(blocks[0], cls)
-	if err != nil {
-		return nil, err
-	}
-	for r := 1; r < c.Size; r++ {
-		next, err := dtype.DecodeDense(blocks[r], cls)
-		if err != nil {
-			return nil, err
-		}
-		if err := op.Apply(acc, next); err != nil {
-			return nil, err
-		}
-		acc = next
-	}
-	return acc, nil
-}
-
-// Allreduce folds every member's dense slice with op and returns the
-// result at every member. Commutative ops use recursive doubling with
-// the standard non-power-of-two pre/post folding; non-commutative ops
-// reduce to rank 0 and broadcast.
-func (c *Comm) Allreduce(mine any, op *Op) (any, error) {
-	if !op.Commutative {
-		res, err := c.Reduce(0, mine, op)
-		if err != nil {
-			return nil, err
-		}
-		var wire []byte
-		if c.Rank == 0 {
-			if wire, err = dtype.EncodeDense(res); err != nil {
-				return nil, err
-			}
-		}
-		wire, err = c.Bcast(0, wire)
-		if err != nil {
-			return nil, err
-		}
+	s.step(func() error {
 		cls, _ := dtype.ClassOf(mine)
-		return dtype.DecodeDense(wire, cls)
+		acc, err := dtype.DecodeDense(blocks[0], cls)
+		if err != nil {
+			return err
+		}
+		for r := 1; r < c.Size; r++ {
+			next, err := dtype.DecodeDense(blocks[r], cls)
+			if err != nil {
+				return err
+			}
+			if err := op.Apply(acc, next); err != nil {
+				return err
+			}
+			acc = next
+		}
+		*out = acc
+		return nil
+	})
+}
+
+// addAllreduceSteps schedules the all-reduction of mine; at completion
+// *out holds the folded dense slice on every member. Commutative ops
+// use recursive doubling with the standard non-power-of-two pre/post
+// folding; non-commutative ops reduce to rank 0 and broadcast.
+func (c *Comm) addAllreduceSteps(s *sched, mine any, op *Op, out *any) {
+	cls, _ := dtype.ClassOf(mine)
+	if !op.Commutative {
+		var res any
+		c.addReduceSteps(s, 0, mine, op, &res)
+		var wire []byte
+		s.step(func() error {
+			if c.Rank != 0 {
+				return nil
+			}
+			w, err := dtype.EncodeDense(res)
+			wire = w
+			return err
+		})
+		c.addBcastSteps(s, 0, &wire)
+		s.step(func() error {
+			v, err := dtype.DecodeDense(wire, cls)
+			if err != nil {
+				return err
+			}
+			*out = v
+			return nil
+		})
+		return
 	}
 
-	cls, _ := dtype.ClassOf(mine)
+	tag := s.tag(tagReduce)
 	acc := dtype.CloneDense(mine)
 	p2 := 1
 	for p2*2 <= c.Size {
@@ -423,26 +439,26 @@ func (c *Comm) Allreduce(mine any, op *Op) (any, error) {
 	newRank := -1
 	switch {
 	case c.Rank < 2*remainder && c.Rank%2 == 0:
-		// Fold into the odd neighbour, then idle.
-		wire, err := dtype.EncodeDense(acc)
-		if err != nil {
-			return nil, err
-		}
-		if err := c.send(c.Rank+1, tagReduce, wire); err != nil {
-			return nil, err
-		}
+		// Fold into the odd neighbour, then idle until the post-fold.
+		s.step(func() error {
+			wire, err := dtype.EncodeDense(acc)
+			if err != nil {
+				return err
+			}
+			return s.isend(c.Rank+1, tag, wire)
+		})
 	case c.Rank < 2*remainder:
-		got, err := c.recv(c.Rank-1, tagReduce)
-		if err != nil {
-			return nil, err
-		}
-		lower, err := dtype.DecodeDense(got, cls)
-		if err != nil {
-			return nil, err
-		}
-		if err := op.Apply(lower, acc); err != nil {
-			return nil, err
-		}
+		s.step(func() error {
+			got, err := s.recv(c.Rank-1, tag)
+			if err != nil {
+				return err
+			}
+			lower, err := dtype.DecodeDense(got, cls)
+			if err != nil {
+				return err
+			}
+			return op.Apply(lower, acc)
+		})
 		newRank = c.Rank / 2
 	default:
 		newRank = c.Rank - remainder
@@ -458,28 +474,28 @@ func (c *Comm) Allreduce(mine any, op *Op) (any, error) {
 	if newRank >= 0 {
 		for mask := 1; mask < p2; mask <<= 1 {
 			partner := newRank ^ mask
-			wire, err := dtype.EncodeDense(acc)
-			if err != nil {
-				return nil, err
-			}
-			got, err := c.sendrecv(realOf(partner), realOf(partner), tagReduce, wire)
-			if err != nil {
-				return nil, err
-			}
-			theirs, err := dtype.DecodeDense(got, cls)
-			if err != nil {
-				return nil, err
-			}
-			if partner < newRank {
-				if err := op.Apply(theirs, acc); err != nil {
-					return nil, err
+			s.step(func() error {
+				wire, err := dtype.EncodeDense(acc)
+				if err != nil {
+					return err
 				}
-			} else {
+				got, err := s.sendrecv(realOf(partner), realOf(partner), tag, wire)
+				if err != nil {
+					return err
+				}
+				theirs, err := dtype.DecodeDense(got, cls)
+				if err != nil {
+					return err
+				}
+				if partner < newRank {
+					return op.Apply(theirs, acc)
+				}
 				if err := op.Apply(acc, theirs); err != nil {
-					return nil, err
+					return err
 				}
 				acc = theirs
-			}
+				return nil
+			})
 		}
 	}
 
@@ -487,83 +503,421 @@ func (c *Comm) Allreduce(mine any, op *Op) (any, error) {
 	// idled even members.
 	if c.Rank < 2*remainder {
 		if c.Rank%2 == 0 {
-			got, err := c.recv(c.Rank+1, tagReduce)
-			if err != nil {
-				return nil, err
-			}
-			return dtype.DecodeDense(got, cls)
-		}
-		wire, err := dtype.EncodeDense(acc)
-		if err != nil {
-			return nil, err
-		}
-		if err := c.send(c.Rank-1, tagReduce, wire); err != nil {
-			return nil, err
+			s.step(func() error {
+				got, err := s.recv(c.Rank+1, tag)
+				if err != nil {
+					return err
+				}
+				v, err := dtype.DecodeDense(got, cls)
+				if err != nil {
+					return err
+				}
+				acc = v
+				return nil
+			})
+		} else {
+			s.step(func() error {
+				wire, err := dtype.EncodeDense(acc)
+				if err != nil {
+					return err
+				}
+				return s.isend(c.Rank-1, tag, wire)
+			})
 		}
 	}
-	return acc, nil
+	s.step(func() error { *out = acc; return nil })
 }
 
-// Scan computes the inclusive prefix reduction in rank order along a
-// chain, which preserves non-commutative operation order by
+// addScanSteps schedules the rank-order prefix chain shared by Scan and
+// Exscan (family selects the tag family, exclusive the variant): at
+// completion *out holds the inclusive prefix (Scan) or the prefix of
+// ranks 0..r-1 (Exscan; nil at rank 0, whose result is undefined per
+// the standard). The chain preserves non-commutative operation order by
 // construction.
-func (c *Comm) Scan(mine any, op *Op) (any, error) {
-	acc := dtype.CloneDense(mine)
+func (c *Comm) addScanSteps(s *sched, family int, exclusive bool, mine any, op *Op, out *any) {
+	tag := s.tag(family)
+	cls, _ := dtype.ClassOf(mine)
+	var prefix, incl any
 	if c.Rank > 0 {
-		got, err := c.recv(c.Rank-1, tagScan)
-		if err != nil {
-			return nil, err
-		}
-		cls, _ := dtype.ClassOf(mine)
-		prefix, err := dtype.DecodeDense(got, cls)
-		if err != nil {
-			return nil, err
-		}
-		if err := op.Apply(prefix, acc); err != nil {
-			return nil, err
-		}
+		s.step(func() error {
+			got, err := s.recv(c.Rank-1, tag)
+			if err != nil {
+				return err
+			}
+			prefix, err = dtype.DecodeDense(got, cls)
+			return err
+		})
+	}
+	// The last rank's inclusive prefix is neither forwarded nor, in
+	// exclusive mode, published — skip the clone-and-fold there.
+	if !exclusive || c.Rank < c.Size-1 {
+		s.step(func() error {
+			incl = dtype.CloneDense(mine)
+			if c.Rank == 0 {
+				return nil
+			}
+			return op.Apply(prefix, incl)
+		})
 	}
 	if c.Rank < c.Size-1 {
-		wire, err := dtype.EncodeDense(acc)
-		if err != nil {
-			return nil, err
-		}
-		if err := c.send(c.Rank+1, tagScan, wire); err != nil {
-			return nil, err
-		}
+		s.step(func() error {
+			wire, err := dtype.EncodeDense(incl)
+			if err != nil {
+				return err
+			}
+			return s.isend(c.Rank+1, tag, wire)
+		})
 	}
-	return acc, nil
+	s.step(func() error {
+		if exclusive {
+			*out = prefix
+		} else {
+			*out = incl
+		}
+		return nil
+	})
 }
 
-// ReduceScatter folds with op, then scatters consecutive segments of the
-// result: member r receives counts[r] elements. Implemented as an
-// ordered reduce to rank 0 followed by a scatter of the segments.
-func (c *Comm) ReduceScatter(mine any, counts []int, op *Op) (any, error) {
-	if len(counts) != c.Size {
-		return nil, fmt.Errorf("coll: reduce_scatter with %d counts for %d ranks", len(counts), c.Size)
-	}
-	res, err := c.Reduce(0, mine, op)
-	if err != nil {
-		return nil, err
-	}
+// addReduceScatterSteps schedules the fold-then-scatter: member r ends
+// up with counts[r] elements of the result in *out.
+func (c *Comm) addReduceScatterSteps(s *sched, mine any, counts []int, op *Op, out *any) {
+	var res any
+	c.addReduceSteps(s, 0, mine, op, &res)
 	var parts [][]byte
-	if c.Rank == 0 {
+	s.step(func() error {
+		if c.Rank != 0 {
+			return nil
+		}
 		parts = make([][]byte, c.Size)
 		lo := 0
 		for r, n := range counts {
 			seg := dtype.SliceDense(res, lo, lo+n)
-			if parts[r], err = dtype.EncodeDense(seg); err != nil {
-				return nil, err
+			w, err := dtype.EncodeDense(seg)
+			if err != nil {
+				return err
 			}
+			parts[r] = w
 			lo += n
 		}
+		return nil
+	})
+	var wire []byte
+	c.addScatterSteps(s, 0, &parts, &wire)
+	s.step(func() error {
+		cls, _ := dtype.ClassOf(mine)
+		v, err := dtype.DecodeDense(wire, cls)
+		if err != nil {
+			return err
+		}
+		*out = v
+		return nil
+	})
+}
+
+// ---------------------------------------------------------------------
+// Entry points. Every collective has a nonblocking I* form returning a
+// *Request and a blocking form that runs the identical schedule inline.
+// ---------------------------------------------------------------------
+
+// Ibarrier starts a nonblocking barrier: the returned request completes
+// once every member has entered the matching Ibarrier/Barrier call.
+func (c *Comm) Ibarrier() *Request {
+	s := c.newSched()
+	c.addBarrierSteps(s)
+	return s.start()
+}
+
+// Barrier blocks until every member has entered it.
+func (c *Comm) Barrier() error {
+	s := c.newSched()
+	c.addBarrierSteps(s)
+	_, err := s.runInline()
+	return err
+}
+
+func (c *Comm) bcastSched(root int, data []byte) (*sched, error) {
+	s := c.newSched() // mint the instance before validation
+	if err := c.check(root); err != nil {
+		return nil, err
 	}
-	wire, err := c.Scatter(0, parts)
+	buf := data
+	c.addBcastSteps(s, root, &buf)
+	s.publish(func() any { return buf })
+	return s, nil
+}
+
+// Ibcast starts a nonblocking broadcast of root's payload; the
+// completed request's result is the payload ([]byte) on every member.
+func (c *Comm) Ibcast(root int, data []byte) (*Request, error) {
+	s, err := c.bcastSched(root, data)
 	if err != nil {
 		return nil, err
 	}
-	cls, _ := dtype.ClassOf(mine)
-	return dtype.DecodeDense(wire, cls)
+	return s.start(), nil
+}
+
+// Bcast distributes root's payload to every member along a binomial
+// tree and returns it (the root gets its own slice back).
+func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
+	s, err := c.bcastSched(root, data)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.runInline()
+	if err != nil {
+		return nil, err
+	}
+	return res.([]byte), nil
+}
+
+func (c *Comm) gatherSched(root int, mine []byte) (*sched, error) {
+	s := c.newSched() // mint the instance before validation
+	if err := c.check(root); err != nil {
+		return nil, err
+	}
+	in := mine
+	var blocks [][]byte
+	c.addGatherSteps(s, root, &in, &blocks)
+	s.publish(func() any { return blocks })
+	return s, nil
+}
+
+// Igather starts a nonblocking gather; the completed request's result
+// is the per-rank blocks ([][]byte) at root, nil elsewhere.
+func (c *Comm) Igather(root int, mine []byte) (*Request, error) {
+	s, err := c.gatherSched(root, mine)
+	if err != nil {
+		return nil, err
+	}
+	return s.start(), nil
+}
+
+// Gather collects every member's block at root along a binomial tree.
+// At root the result is indexed by group rank; other ranks get nil.
+func (c *Comm) Gather(root int, mine []byte) ([][]byte, error) {
+	s, err := c.gatherSched(root, mine)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.runInline()
+	if err != nil {
+		return nil, err
+	}
+	return res.([][]byte), nil
+}
+
+func (c *Comm) scatterSched(root int, parts [][]byte) (*sched, error) {
+	s := c.newSched() // mint the instance before validation
+	if err := c.check(root); err != nil {
+		return nil, err
+	}
+	if c.Rank == root && len(parts) != c.Size {
+		return nil, fmt.Errorf("coll: scatter with %d parts for %d ranks", len(parts), c.Size)
+	}
+	p := parts
+	var out []byte
+	c.addScatterSteps(s, root, &p, &out)
+	s.publish(func() any { return out })
+	return s, nil
+}
+
+// Iscatter starts a nonblocking scatter of parts (indexed by group
+// rank, significant at root only); the completed request's result is
+// this member's block ([]byte).
+func (c *Comm) Iscatter(root int, parts [][]byte) (*Request, error) {
+	s, err := c.scatterSched(root, parts)
+	if err != nil {
+		return nil, err
+	}
+	return s.start(), nil
+}
+
+// Scatter distributes parts along a binomial tree; every member returns
+// its own block. Blocks may have different sizes, so Scatter doubles as
+// Scatterv.
+func (c *Comm) Scatter(root int, parts [][]byte) ([]byte, error) {
+	s, err := c.scatterSched(root, parts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.runInline()
+	if err != nil {
+		return nil, err
+	}
+	return res.([]byte), nil
+}
+
+func (c *Comm) allgatherSched(mine []byte) *sched {
+	s := c.newSched()
+	var blocks [][]byte
+	c.addAllgatherSteps(s, mine, &blocks)
+	s.publish(func() any { return blocks })
+	return s
+}
+
+// Iallgather starts a nonblocking allgather; the completed request's
+// result is every member's block ([][]byte).
+func (c *Comm) Iallgather(mine []byte) *Request {
+	return c.allgatherSched(mine).start()
+}
+
+// Allgather collects every member's block at every member.
+func (c *Comm) Allgather(mine []byte) ([][]byte, error) {
+	res, err := c.allgatherSched(mine).runInline()
+	if err != nil {
+		return nil, err
+	}
+	return res.([][]byte), nil
+}
+
+func (c *Comm) alltoallSched(parts [][]byte) (*sched, error) {
+	s := c.newSched() // mint the instance before validation
+	if len(parts) != c.Size {
+		return nil, fmt.Errorf("coll: alltoall with %d parts for %d ranks", len(parts), c.Size)
+	}
+	var out [][]byte
+	c.addAlltoallSteps(s, parts, &out)
+	s.publish(func() any { return out })
+	return s, nil
+}
+
+// Ialltoall starts a nonblocking alltoall; the completed request's
+// result is the blocks received from every member ([][]byte).
+func (c *Comm) Ialltoall(parts [][]byte) (*Request, error) {
+	s, err := c.alltoallSched(parts)
+	if err != nil {
+		return nil, err
+	}
+	return s.start(), nil
+}
+
+// Alltoall delivers parts[j] to member j and returns the blocks
+// received from every member.
+func (c *Comm) Alltoall(parts [][]byte) ([][]byte, error) {
+	s, err := c.alltoallSched(parts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.runInline()
+	if err != nil {
+		return nil, err
+	}
+	return res.([][]byte), nil
+}
+
+func (c *Comm) reduceSched(root int, mine any, op *Op) (*sched, error) {
+	s := c.newSched() // mint the instance before validation
+	if err := c.check(root); err != nil {
+		return nil, err
+	}
+	var res any
+	c.addReduceSteps(s, root, mine, op, &res)
+	s.publish(func() any { return res })
+	return s, nil
+}
+
+// Ireduce starts a nonblocking reduction toward root; the completed
+// request's result is the folded dense slice at root, nil elsewhere.
+func (c *Comm) Ireduce(root int, mine any, op *Op) (*Request, error) {
+	s, err := c.reduceSched(root, mine, op)
+	if err != nil {
+		return nil, err
+	}
+	return s.start(), nil
+}
+
+// Reduce folds every member's dense slice with op, leaving the result
+// at root (returned there; nil elsewhere).
+func (c *Comm) Reduce(root int, mine any, op *Op) (any, error) {
+	s, err := c.reduceSched(root, mine, op)
+	if err != nil {
+		return nil, err
+	}
+	return s.runInline()
+}
+
+func (c *Comm) allreduceSched(mine any, op *Op) *sched {
+	s := c.newSched()
+	var res any
+	c.addAllreduceSteps(s, mine, op, &res)
+	s.publish(func() any { return res })
+	return s
+}
+
+// Iallreduce starts a nonblocking all-reduction; the completed
+// request's result is the folded dense slice on every member.
+func (c *Comm) Iallreduce(mine any, op *Op) *Request {
+	return c.allreduceSched(mine, op).start()
+}
+
+// Allreduce folds every member's dense slice with op and returns the
+// result at every member.
+func (c *Comm) Allreduce(mine any, op *Op) (any, error) {
+	return c.allreduceSched(mine, op).runInline()
+}
+
+func (c *Comm) scanSched(family int, exclusive bool, mine any, op *Op) *sched {
+	s := c.newSched()
+	var res any
+	c.addScanSteps(s, family, exclusive, mine, op, &res)
+	s.publish(func() any { return res })
+	return s
+}
+
+// Iscan starts a nonblocking inclusive prefix reduction in rank order;
+// the completed request's result is member r's fold over ranks 0..r.
+func (c *Comm) Iscan(mine any, op *Op) *Request {
+	return c.scanSched(tagScan, false, mine, op).start()
+}
+
+// Scan computes the inclusive prefix reduction in rank order along a
+// chain.
+func (c *Comm) Scan(mine any, op *Op) (any, error) {
+	return c.scanSched(tagScan, false, mine, op).runInline()
+}
+
+// Iexscan starts a nonblocking exclusive prefix reduction in rank
+// order; member r's result is the fold over ranks 0..r-1 (nil at rank
+// 0, whose result is undefined).
+func (c *Comm) Iexscan(mine any, op *Op) *Request {
+	return c.scanSched(tagExscan, true, mine, op).start()
+}
+
+// Exscan computes the exclusive prefix reduction in rank order (the
+// MPI-2 extension the paper's §5.3 targets).
+func (c *Comm) Exscan(mine any, op *Op) (any, error) {
+	return c.scanSched(tagExscan, true, mine, op).runInline()
+}
+
+func (c *Comm) reduceScatterSched(mine any, counts []int, op *Op) (*sched, error) {
+	s := c.newSched() // mint the instance before validation
+	if len(counts) != c.Size {
+		return nil, fmt.Errorf("coll: reduce_scatter with %d counts for %d ranks", len(counts), c.Size)
+	}
+	var res any
+	c.addReduceScatterSteps(s, mine, counts, op, &res)
+	s.publish(func() any { return res })
+	return s, nil
+}
+
+// IreduceScatter starts a nonblocking fold-and-scatter; the completed
+// request's result is member r's counts[r]-element segment.
+func (c *Comm) IreduceScatter(mine any, counts []int, op *Op) (*Request, error) {
+	s, err := c.reduceScatterSched(mine, counts, op)
+	if err != nil {
+		return nil, err
+	}
+	return s.start(), nil
+}
+
+// ReduceScatter folds with op, then scatters consecutive segments of
+// the result: member r receives counts[r] elements.
+func (c *Comm) ReduceScatter(mine any, counts []int, op *Op) (any, error) {
+	s, err := c.reduceScatterSched(mine, counts, op)
+	if err != nil {
+		return nil, err
+	}
+	return s.runInline()
 }
 
 // AgreeContextBase agrees on a context-id base for a new communicator:
@@ -578,41 +932,4 @@ func (c *Comm) AgreeContextBase() (int32, error) {
 	base := res.([]int32)[0]
 	c.P.CommitContexts(base)
 	return base, nil
-}
-
-// Exscan computes the exclusive prefix reduction in rank order (the
-// MPI-2 extension the paper's §5.3 targets): member r receives the fold
-// of members 0..r-1. Rank 0's result is undefined and returned nil.
-func (c *Comm) Exscan(mine any, op *Op) (any, error) {
-	var prefix any
-	if c.Rank > 0 {
-		got, err := c.recv(c.Rank-1, tagScan)
-		if err != nil {
-			return nil, err
-		}
-		cls, _ := dtype.ClassOf(mine)
-		if prefix, err = dtype.DecodeDense(got, cls); err != nil {
-			return nil, err
-		}
-	}
-	if c.Rank < c.Size-1 {
-		// Forward the inclusive prefix including my contribution.
-		var combined any
-		if c.Rank == 0 {
-			combined = mine
-		} else {
-			combined = dtype.CloneDense(mine)
-			if err := op.Apply(prefix, combined); err != nil {
-				return nil, err
-			}
-		}
-		wire, err := dtype.EncodeDense(combined)
-		if err != nil {
-			return nil, err
-		}
-		if err := c.send(c.Rank+1, tagScan, wire); err != nil {
-			return nil, err
-		}
-	}
-	return prefix, nil
 }

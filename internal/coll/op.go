@@ -3,6 +3,15 @@
 // binomial broadcast/gather/scatter/reduce, ring allgather, pairwise
 // alltoall, recursive-doubling allreduce, linear-chain scan, and the
 // reduction operation kernels they share.
+//
+// Every algorithm is expressed as a schedule of isend/irecv/compute
+// steps (sched.go) executed by a per-operation progress runner, so each
+// collective has both a blocking entry point and a nonblocking I* form
+// returning a *Request with Wait/Test/WaitCtx — cancellation points
+// live inside the algorithm rounds, not just the point-to-point wait
+// path. Tags carry a per-instance sequence number, letting any number
+// of collectives on one communicator overlap in flight without
+// cross-matching.
 package coll
 
 import (

@@ -1,0 +1,291 @@
+package coll
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"gompi/internal/core"
+)
+
+// ErrCancelled is the completion error of a collective schedule that was
+// torn down by context cancellation before it finished.
+var ErrCancelled = errors.New("coll: collective cancelled")
+
+// Request is a handle on an in-flight collective schedule. It completes
+// exactly once, with the algorithm's result (shape depends on the
+// collective) or an error; Wait, Test and WaitCtx may be called from any
+// goroutine, concurrently. Requests handed out by the nonblocking entry
+// points always carry their channels; schedules run inline keep them
+// nil and never escape.
+type Request struct {
+	done     chan struct{}
+	cancelCh chan struct{}
+	cancel   sync.Once
+
+	// Written by the schedule runner before done is closed.
+	res any
+	err error
+}
+
+// Wait blocks until the collective completes on this member and returns
+// its result.
+func (r *Request) Wait() (any, error) {
+	<-r.done
+	return r.res, r.err
+}
+
+// Test reports whether the collective has completed, returning the
+// result if so.
+func (r *Request) Test() (any, bool, error) {
+	select {
+	case <-r.done:
+		return r.res, true, r.err
+	default:
+		return nil, false, nil
+	}
+}
+
+// WaitCtx blocks until the collective completes or ctx is done. When ctx
+// fires first the schedule is cancelled at its next cancellation point —
+// every send/receive wait inside the algorithm is one — and WaitCtx
+// returns ctx's error promptly, even when a peer never shows up.
+//
+// Cancellation abandons this member's participation in the collective
+// instance: sends already posted stay with the engine (peers that
+// progressed past them are unaffected), unposted rounds never run. Later
+// collectives on the same communicator are isolated from the abandoned
+// instance by its per-instance tag, but the MPI ordering rule still
+// stands: every member must eventually make the same collective call,
+// cancelled or not, or the members' schedules stop lining up.
+//
+// One caveat bounds the recovery guarantee: the abandoned member posts
+// no further receives for the instance, so a payload above the eager
+// limit still owed to it leaves the late sender's rendezvous — and with
+// it that rank's matching (blocking) call — stalled forever. Ranks that
+// mix cancellation into a communicator should use the cancellable *Ctx
+// forms on every member, or keep cancellable collectives' payloads
+// within the eager limit.
+func (r *Request) WaitCtx(ctx context.Context) (any, error) {
+	select {
+	case <-r.done:
+		return r.res, r.err
+	default:
+	}
+	select {
+	case <-r.done:
+		return r.res, r.err
+	case <-ctx.Done():
+		r.cancel.Do(func() { close(r.cancelCh) })
+		<-r.done
+		switch {
+		case r.err == nil:
+			// The schedule won the race and completed normally.
+			return r.res, nil
+		case errors.Is(r.err, ErrCancelled):
+			return nil, ctx.Err()
+		default:
+			// A genuine schedule failure raced the deadline; do not
+			// mask it as a clean timeout.
+			return nil, r.err
+		}
+	}
+}
+
+// step is one unit of a collective schedule: it posts nonblocking
+// operations, waits (cancellably) on them, and folds received data into
+// the algorithm's state.
+type step func() error
+
+// sched is one collective operation's schedule: the ordered steps the
+// algorithm compiled into, the progress state they share, and the sends
+// still in flight. A schedule is built synchronously inside the
+// collective call (so tag allocation happens in program order on every
+// member) and then executed either inline (blocking entry points) or on
+// its own runner goroutine (nonblocking entry points).
+type sched struct {
+	c     *Comm
+	inst  uint32 // this collective instance's sequence number
+	req   *Request
+	steps []step
+	pend  []*core.Request // outstanding isends, drained at the end
+	res   any             // published to req on successful completion
+}
+
+// newSched builds an empty schedule and mints its instance number —
+// unconditionally, before any validation, so the sequence advances by
+// exactly one per collective call on every member regardless of local
+// outcomes. The request's channels stay nil until start(): the blocking
+// entry points run inline, never select on them, and a nil cancelCh
+// behaves like "never cancelled" in both cancellation points — so a
+// blocking collective pays no channel allocations.
+func (c *Comm) newSched() *sched {
+	return &sched{c: c, inst: c.seq.Add(1) - 1, req: &Request{}}
+}
+
+// tag mints the matching tag for one family within this instance.
+// Composed schedules (reduce-scatter, ordered allreduce) use several
+// families under one instance number; no composition uses a family
+// twice, so tags stay unique within the instance.
+func (s *sched) tag(family int) int {
+	return int(s.inst%seqPeriod)<<tagFamBits | family
+}
+
+func (s *sched) step(fn step) { s.steps = append(s.steps, fn) }
+
+// publish appends the final step that snapshots the algorithm's result.
+func (s *sched) publish(get func() any) {
+	s.step(func() error { s.res = get(); return nil })
+}
+
+// start launches the schedule on its own progress goroutine and returns
+// the request (the nonblocking entry points). The completion and
+// cancellation channels are created here, before the runner exists, so
+// every escaping request has them.
+func (s *sched) start() *Request {
+	s.req.done = make(chan struct{})
+	s.req.cancelCh = make(chan struct{})
+	go s.run()
+	return s.req
+}
+
+// runInline executes the schedule to completion on the calling goroutine
+// (the blocking entry points: same schedule, no runner handoff).
+func (s *sched) runInline() (any, error) {
+	s.run()
+	return s.req.res, s.req.err
+}
+
+func (s *sched) run() {
+	err := s.exec()
+	if err == nil {
+		s.req.res = s.res
+	}
+	s.req.err = err
+	if s.req.done != nil {
+		close(s.req.done)
+	}
+}
+
+func (s *sched) exec() error {
+	for _, fn := range s.steps {
+		if s.cancelled() {
+			s.abort()
+			return ErrCancelled
+		}
+		if err := fn(); err != nil {
+			s.abort()
+			return err
+		}
+	}
+	return s.drain()
+}
+
+func (s *sched) cancelled() bool {
+	select {
+	case <-s.req.cancelCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// await blocks until r completes or the schedule is cancelled — the
+// per-round cancellation point the context variants rely on. On
+// cancellation it revokes r when the engine still can (an unmatched
+// receive, an ungranted rendezvous send); an operation past that point
+// is consumed so the engine's bookkeeping stays balanced, but the step
+// still reports cancellation: the schedule is being torn down.
+func (s *sched) await(r *core.Request) (*core.Status, error) {
+	if st, done := r.Test(); done {
+		return st, nil
+	}
+	done := r.Done()
+	select {
+	case <-done:
+		return &r.Stat, nil
+	case <-s.req.cancelCh:
+	}
+	if !s.c.P.Cancel(r) {
+		<-done
+	}
+	return &r.Stat, ErrCancelled
+}
+
+// isend posts a standard-mode send on the schedule's context and tracks
+// it for the completion drain. Collective payloads never carry the
+// exclusive-ownership recycle promise: algorithms fan one buffer out to
+// several destinations and forward received payloads.
+func (s *sched) isend(dst, tag int, b []byte) error {
+	req, err := s.c.P.Isend(s.c.Ctx, s.c.Rank, s.c.World(dst), tag, b, core.ModeStandard, false)
+	if err != nil {
+		return err
+	}
+	s.pend = append(s.pend, req)
+	return nil
+}
+
+// recv posts a receive and waits for it cancellably, returning the
+// payload with ownership transferred out of the engine.
+func (s *sched) recv(src, tag int) ([]byte, error) {
+	req := s.c.P.Irecv(s.c.Ctx, int32(src), int32(tag))
+	st, err := s.await(req)
+	if err != nil {
+		req.Recycle()
+		return nil, err
+	}
+	if st.Cancelled {
+		req.Recycle()
+		return nil, errors.New("coll: receive cancelled")
+	}
+	// Payload lifetime is unbounded here (algorithms forward and stash
+	// blocks), so take it out of the request before recycling.
+	b := req.TakePayload()
+	req.Recycle()
+	return b, nil
+}
+
+// sendrecv runs a concurrent exchange with two (possibly distinct)
+// partners, the building block of the symmetric algorithms. The send's
+// completion is left to the drain.
+func (s *sched) sendrecv(dst, src, tag int, out []byte) ([]byte, error) {
+	if err := s.isend(dst, tag, out); err != nil {
+		return nil, err
+	}
+	return s.recv(src, tag)
+}
+
+// drain waits (cancellably) for the schedule's outstanding sends and
+// recycles their requests.
+func (s *sched) drain() error {
+	for i, r := range s.pend {
+		if _, err := s.await(r); err != nil {
+			r.Recycle()
+			s.pend = s.pend[i+1:]
+			s.abort()
+			return err
+		}
+		r.Recycle()
+	}
+	s.pend = nil
+	return nil
+}
+
+// abort tears down the outstanding sends after an error or
+// cancellation: still-revocable sends (ungranted rendezvous) are
+// cancelled and recycled; sends already with the engine are left to
+// complete in the background (eager sends already have).
+func (s *sched) abort() {
+	for _, r := range s.pend {
+		if s.c.P.Cancel(r) {
+			r.Recycle()
+			continue
+		}
+		if _, done := r.Test(); done {
+			r.Recycle()
+		}
+		// Else: in flight; the engine completes it later and the
+		// request is reclaimed by the garbage collector.
+	}
+	s.pend = nil
+}

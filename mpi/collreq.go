@@ -1,0 +1,97 @@
+package mpi
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"gompi/internal/coll"
+)
+
+// ErrCollectiveCancelled reports a collective whose schedule was torn
+// down by a WaitCtx cancellation: a later Wait/Test on the same request
+// returns it (it is control flow, not an MPI error, and never routes
+// through the communicator's error handler).
+var ErrCollectiveCancelled = coll.ErrCancelled
+
+// CollRequest is a handle on a pending nonblocking collective operation
+// (MPI_Ibarrier, MPI_Ibcast, … — the MPI-3 nonblocking collectives).
+// Completion side effects — unpacking wire payloads into the caller's
+// receive buffers — run exactly once, inside the first Wait/WaitCtx/Test
+// that observes completion: MPI permits touching a collective's buffers
+// only after the operation completes, and that is when the binding
+// fills them.
+type CollRequest struct {
+	comm *Comm
+	creq *coll.Request
+	fin  func(res any) error // deferred completion: deposit into user buffers
+
+	once sync.Once
+	err  error
+}
+
+func newCollRequest(c *Comm, creq *coll.Request, fin func(res any) error) *CollRequest {
+	return &CollRequest{comm: c, creq: creq, fin: fin}
+}
+
+// settle runs the completion side effects exactly once and routes any
+// error through the communicator's error handler.
+func (r *CollRequest) settle(res any, schedErr error) error {
+	r.once.Do(func() {
+		var err error
+		switch {
+		case errors.Is(schedErr, coll.ErrCancelled):
+			// Reaping a request whose WaitCtx already cancelled it:
+			// control flow, not an MPI error — bypass the handler.
+			r.err = ErrCollectiveCancelled
+			return
+		case schedErr != nil:
+			err = errf(ErrIntern, "%v", schedErr)
+		case r.fin != nil:
+			err = r.fin(res)
+		}
+		r.err = r.comm.raise(err)
+	})
+	return r.err
+}
+
+// Wait blocks until the collective completes on this member (MPI_Wait)
+// and fills the receive buffers.
+func (r *CollRequest) Wait() error {
+	res, err := r.creq.Wait()
+	return r.settle(res, err)
+}
+
+// WaitCtx blocks until the collective completes or ctx is done. When
+// ctx fires first, the underlying schedule is cancelled at its next
+// internal send/receive boundary — so a collective stalled on an absent
+// peer unblocks promptly — and ctx's error is returned. Context errors
+// bypass the communicator's error handler: a cancelled wait is control
+// flow, not an MPI error, and the receive buffers are left untouched.
+//
+// Cancellation abandons this member's participation in that collective
+// instance only; per-instance tags keep later collectives on the same
+// communicator from ever matching its traffic. The MPI ordering rule
+// still applies: the communicator stays usable provided every member
+// eventually makes the same sequence of collective calls, cancelled or
+// not — with one caveat: a payload above the eager limit still owed to
+// the cancelled member stalls the late sender's rendezvous, so ranks
+// mixing cancellation into a communicator should use the *Ctx forms on
+// every member (see coll.Request.WaitCtx).
+func (r *CollRequest) WaitCtx(ctx context.Context) error {
+	res, err := r.creq.WaitCtx(ctx)
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		return err
+	}
+	return r.settle(res, err)
+}
+
+// Test reports whether the collective has completed (MPI_Test), filling
+// the receive buffers on the observation of completion.
+func (r *CollRequest) Test() (bool, error) {
+	res, done, err := r.creq.Test()
+	if !done {
+		return false, nil
+	}
+	return true, r.settle(res, err)
+}

@@ -1,15 +1,25 @@
 package mpi
 
 import (
+	"context"
 	"encoding/binary"
 	"sort"
 
+	"gompi/internal/coll"
 	"gompi/internal/dtype"
 )
 
 // Intracomm is a communicator over a single group (paper Fig. 1): it
 // adds the collective operations and the communicator/topology
 // constructors to Comm.
+//
+// Every collective comes in three forms backed by one schedule in
+// internal/coll: the nonblocking I* variant returning a *CollRequest
+// (MPI-3 nonblocking collectives), the *Ctx variant that waits under a
+// context.Context with cancellation points inside the algorithm, and
+// the classic blocking form — semantically the *Ctx form under
+// context.Background(), executed inline on the caller's goroutine so a
+// blocking collective pays no runner-goroutine or channel overhead.
 type Intracomm struct {
 	Comm
 }
@@ -35,40 +45,185 @@ func (c *Intracomm) collChecks(d *Datatype, root int) error {
 	return c.checkRoot(root)
 }
 
-// Barrier blocks until all members have entered it (MPI_Barrier).
-func (c *Intracomm) Barrier() error {
-	c.env.enterCall()
-	if err := c.ok(); err != nil {
+// collPlan is one collective call, prepared (validated and packed) but
+// not yet run: the shared substance behind the blocking, *Ctx and I*
+// entry points. run executes the schedule inline on the caller's
+// goroutine; irun starts it on its own runner; fin deposits the result
+// into the caller's receive buffers at completion (nil when this rank
+// receives nothing).
+type collPlan struct {
+	run  func() (any, error)
+	irun func() (*coll.Request, error)
+	fin  func(res any) error
+}
+
+// runColl drives a prepared plan to completion inline: the blocking
+// entry points. A plan that failed local validation never reaches the
+// schedule layer, so the collective's instance number is skipped to
+// stay tag-aligned with members whose matching call proceeded.
+func (c *Intracomm) runColl(p collPlan, err error) error {
+	if err != nil {
+		c.cl.SkipInstance()
 		return c.raise(err)
 	}
-	if err := c.cl.Barrier(); err != nil {
-		return c.raise(errf(ErrIntern, "%v", err))
+	res, rerr := p.run()
+	if rerr != nil {
+		return c.raise(errf(ErrIntern, "%v", rerr))
+	}
+	if p.fin != nil {
+		return c.raise(p.fin(res))
 	}
 	return nil
+}
+
+// startColl launches a prepared plan on its own schedule runner: the
+// nonblocking entry points. Like runColl, a plan-level failure skips
+// the collective's instance number.
+func (c *Intracomm) startColl(p collPlan, err error) (*CollRequest, error) {
+	if err != nil {
+		c.cl.SkipInstance()
+		return nil, c.raise(err)
+	}
+	creq, rerr := p.irun()
+	if rerr != nil {
+		return nil, c.raise(errf(ErrIntern, "%v", rerr))
+	}
+	return newCollRequest(&c.Comm, creq, p.fin), nil
+}
+
+// SkipColl consumes one collective instance number without
+// communicating. Layers that reject a collective call before it reaches
+// the runtime (the typed layer's argument validation, custom wrappers)
+// call it on the failing member so its instance-derived matching tags
+// stay aligned with peers whose matching call proceeded — the same
+// bookkeeping the binding itself performs when a call fails local
+// validation.
+func (c *Intracomm) SkipColl() { c.cl.SkipInstance() }
+
+// Barrier blocks until all members have entered it (MPI_Barrier).
+func (c *Intracomm) Barrier() error {
+	return c.runColl(c.planBarrier())
+}
+
+// BarrierCtx is Barrier with cancellation: if ctx fires while peers are
+// still missing, the wait unblocks promptly with ctx's error.
+func (c *Intracomm) BarrierCtx(ctx context.Context) error {
+	req, err := c.Ibarrier()
+	if err != nil {
+		return err
+	}
+	return req.WaitCtx(ctx)
+}
+
+// Ibarrier starts a nonblocking barrier (MPI_Ibarrier): the request
+// completes once every member has entered its matching barrier call.
+func (c *Intracomm) Ibarrier() (*CollRequest, error) {
+	return c.startColl(c.planBarrier())
+}
+
+func (c *Intracomm) planBarrier() (collPlan, error) {
+	c.env.enterCall()
+	if err := c.ok(); err != nil {
+		return collPlan{}, err
+	}
+	return collPlan{
+		run:  func() (any, error) { return nil, c.cl.Barrier() },
+		irun: func() (*coll.Request, error) { return c.cl.Ibarrier(), nil },
+	}, nil
 }
 
 // Bcast broadcasts the buffer section from root to all members
 // (MPI_Bcast).
 func (c *Intracomm) Bcast(buf any, offset, count int, d *Datatype, root int) error {
+	return c.runColl(c.planBcast(buf, offset, count, d, root))
+}
+
+// BcastCtx is Bcast under a context.
+func (c *Intracomm) BcastCtx(ctx context.Context, buf any, offset, count int, d *Datatype, root int) error {
+	req, err := c.Ibcast(buf, offset, count, d, root)
+	if err != nil {
+		return err
+	}
+	return req.WaitCtx(ctx)
+}
+
+// Ibcast starts a nonblocking broadcast (MPI_Ibcast). Non-root buffers
+// are filled when the request completes; no buffer may be touched
+// before then.
+func (c *Intracomm) Ibcast(buf any, offset, count int, d *Datatype, root int) (*CollRequest, error) {
+	return c.startColl(c.planBcast(buf, offset, count, d, root))
+}
+
+func (c *Intracomm) planBcast(buf any, offset, count int, d *Datatype, root int) (collPlan, error) {
 	c.env.enterCall()
 	if err := c.collChecks(d, root); err != nil {
-		return c.raise(err)
+		return collPlan{}, err
 	}
 	var wire []byte
-	var err error
 	if c.rank == root {
+		var err error
 		if wire, err = c.packColl(buf, offset, count, d); err != nil {
-			return c.raise(err)
+			return collPlan{}, err
 		}
 	}
-	wire, err = c.cl.Bcast(root, wire)
-	if err != nil {
-		return c.raise(errf(ErrIntern, "%v", err))
+	p := collPlan{
+		run: func() (any, error) {
+			res, err := c.cl.Bcast(root, wire)
+			return res, err
+		},
+		irun: func() (*coll.Request, error) { return c.cl.Ibcast(root, wire) },
 	}
 	if c.rank != root {
-		if _, err := dtype.Unpack(wire, buf, offset, count, d.t); err != nil {
-			return c.raise(mapDataErr(err))
+		p.fin = func(res any) error {
+			if _, err := dtype.Unpack(res.([]byte), buf, offset, count, d.t); err != nil {
+				return mapDataErr(err)
+			}
+			return nil
 		}
+	}
+	return p, nil
+}
+
+// blocksFin builds the completion deposit for collectives returning one
+// block per rank in a uniform layout: rank r's block lands at
+// roffset + r*rcount*extent(rdt).
+func blocksFin(recvbuf any, roffset, rcount int, rdt *Datatype) func(res any) error {
+	return func(res any) error {
+		for r, b := range res.([][]byte) {
+			at := roffset + r*rcount*rdt.Extent()
+			if _, err := dtype.Unpack(b, recvbuf, at, rcount, rdt.t); err != nil {
+				return mapDataErr(err)
+			}
+		}
+		return nil
+	}
+}
+
+// blocksvFin is blocksFin for the v-variants: rank r's block lands at
+// displacement displs[r] with recvcounts[r] items expected.
+func blocksvFin(recvbuf any, roffset int, recvcounts, displs []int, rdt *Datatype) func(res any) error {
+	return func(res any) error {
+		for r, b := range res.([][]byte) {
+			at := roffset + displs[r]*rdt.Extent()
+			if _, err := dtype.Unpack(b, recvbuf, at, recvcounts[r], rdt.t); err != nil {
+				return mapDataErr(err)
+			}
+		}
+		return nil
+	}
+}
+
+// vLayout marks a call that came through a v-variant entry point and
+// carries its per-rank receive or send layout. A non-nil vLayout is
+// validated unconditionally where it is significant — nil slices inside
+// it are caught as wrong-length, exactly like the classic checks.
+type vLayout struct {
+	counts, displs []int
+}
+
+func (v *vLayout) check(name string, size int) error {
+	if len(v.counts) != size || len(v.displs) != size {
+		return errf(ErrArg, "%s needs %d counts and displs", name, size)
 	}
 	return nil
 }
@@ -79,31 +234,31 @@ func (c *Intracomm) Gather(
 	sendbuf any, soffset, scount int, sdt *Datatype,
 	recvbuf any, roffset, rcount int, rdt *Datatype, root int,
 ) error {
-	c.env.enterCall()
-	if err := c.collChecks(sdt, root); err != nil {
-		return c.raise(err)
-	}
-	mine, err := c.packColl(sendbuf, soffset, scount, sdt)
+	return c.runColl(c.planGather(sendbuf, soffset, scount, sdt, rdt, root, nil,
+		blocksFin(recvbuf, roffset, rcount, rdt)))
+}
+
+// GatherCtx is Gather under a context.
+func (c *Intracomm) GatherCtx(
+	ctx context.Context,
+	sendbuf any, soffset, scount int, sdt *Datatype,
+	recvbuf any, roffset, rcount int, rdt *Datatype, root int,
+) error {
+	req, err := c.Igather(sendbuf, soffset, scount, sdt, recvbuf, roffset, rcount, rdt, root)
 	if err != nil {
-		return c.raise(err)
+		return err
 	}
-	blocks, err := c.cl.Gather(root, mine)
-	if err != nil {
-		return c.raise(errf(ErrIntern, "%v", err))
-	}
-	if c.rank != root {
-		return nil
-	}
-	if err := c.checkType(rdt); err != nil {
-		return c.raise(err)
-	}
-	for r, b := range blocks {
-		at := roffset + r*rcount*rdt.Extent()
-		if _, err := dtype.Unpack(b, recvbuf, at, rcount, rdt.t); err != nil {
-			return c.raise(mapDataErr(err))
-		}
-	}
-	return nil
+	return req.WaitCtx(ctx)
+}
+
+// Igather starts a nonblocking gather (MPI_Igather); root's recvbuf is
+// filled when the request completes.
+func (c *Intracomm) Igather(
+	sendbuf any, soffset, scount int, sdt *Datatype,
+	recvbuf any, roffset, rcount int, rdt *Datatype, root int,
+) (*CollRequest, error) {
+	return c.startColl(c.planGather(sendbuf, soffset, scount, sdt, rdt, root, nil,
+		blocksFin(recvbuf, roffset, rcount, rdt)))
 }
 
 // Gatherv collects varying-size contributions at root (MPI_Gatherv):
@@ -113,34 +268,68 @@ func (c *Intracomm) Gatherv(
 	sendbuf any, soffset, scount int, sdt *Datatype,
 	recvbuf any, roffset int, recvcounts, displs []int, rdt *Datatype, root int,
 ) error {
+	return c.runColl(c.planGather(sendbuf, soffset, scount, sdt, rdt, root,
+		&vLayout{recvcounts, displs}, blocksvFin(recvbuf, roffset, recvcounts, displs, rdt)))
+}
+
+// GathervCtx is Gatherv under a context.
+func (c *Intracomm) GathervCtx(
+	ctx context.Context,
+	sendbuf any, soffset, scount int, sdt *Datatype,
+	recvbuf any, roffset int, recvcounts, displs []int, rdt *Datatype, root int,
+) error {
+	req, err := c.Igatherv(sendbuf, soffset, scount, sdt, recvbuf, roffset, recvcounts, displs, rdt, root)
+	if err != nil {
+		return err
+	}
+	return req.WaitCtx(ctx)
+}
+
+// Igatherv starts a nonblocking varying-size gather (MPI_Igatherv).
+func (c *Intracomm) Igatherv(
+	sendbuf any, soffset, scount int, sdt *Datatype,
+	recvbuf any, roffset int, recvcounts, displs []int, rdt *Datatype, root int,
+) (*CollRequest, error) {
+	return c.startColl(c.planGather(sendbuf, soffset, scount, sdt, rdt, root,
+		&vLayout{recvcounts, displs}, blocksvFin(recvbuf, roffset, recvcounts, displs, rdt)))
+}
+
+// planGather is the shared plan of Gather and Gatherv: deposit is the
+// root-side unpack; v is the v-variant's receive layout, validated at
+// root.
+func (c *Intracomm) planGather(
+	sendbuf any, soffset, scount int, sdt *Datatype,
+	rdt *Datatype, root int, v *vLayout, deposit func(res any) error,
+) (collPlan, error) {
 	c.env.enterCall()
 	if err := c.collChecks(sdt, root); err != nil {
-		return c.raise(err)
+		return collPlan{}, err
+	}
+	if c.rank == root {
+		if err := c.checkType(rdt); err != nil {
+			return collPlan{}, err
+		}
+		if v != nil {
+			if err := v.check("Gatherv", c.Size()); err != nil {
+				return collPlan{}, err
+			}
+		}
 	}
 	mine, err := c.packColl(sendbuf, soffset, scount, sdt)
 	if err != nil {
-		return c.raise(err)
+		return collPlan{}, err
 	}
-	blocks, err := c.cl.Gather(root, mine)
-	if err != nil {
-		return c.raise(errf(ErrIntern, "%v", err))
+	p := collPlan{
+		run: func() (any, error) {
+			res, err := c.cl.Gather(root, mine)
+			return res, err
+		},
+		irun: func() (*coll.Request, error) { return c.cl.Igather(root, mine) },
 	}
-	if c.rank != root {
-		return nil
+	if c.rank == root {
+		p.fin = deposit
 	}
-	if err := c.checkType(rdt); err != nil {
-		return c.raise(err)
-	}
-	if len(recvcounts) != c.Size() || len(displs) != c.Size() {
-		return c.raise(errf(ErrArg, "Gatherv needs %d recvcounts and displs", c.Size()))
-	}
-	for r, b := range blocks {
-		at := roffset + displs[r]*rdt.Extent()
-		if _, err := dtype.Unpack(b, recvbuf, at, recvcounts[r], rdt.t); err != nil {
-			return c.raise(mapDataErr(err))
-		}
-	}
-	return nil
+	return p, nil
 }
 
 // Scatter distributes equal-size sections from root (MPI_Scatter):
@@ -150,33 +339,28 @@ func (c *Intracomm) Scatter(
 	sendbuf any, soffset, scount int, sdt *Datatype,
 	recvbuf any, roffset, rcount int, rdt *Datatype, root int,
 ) error {
-	c.env.enterCall()
-	if err := c.collChecks(rdt, root); err != nil {
-		return c.raise(err)
-	}
-	var parts [][]byte
-	if c.rank == root {
-		if err := c.checkType(sdt); err != nil {
-			return c.raise(err)
-		}
-		parts = make([][]byte, c.Size())
-		for r := range parts {
-			at := soffset + r*scount*sdt.Extent()
-			wire, err := c.packColl(sendbuf, at, scount, sdt)
-			if err != nil {
-				return c.raise(err)
-			}
-			parts[r] = wire
-		}
-	}
-	mine, err := c.cl.Scatter(root, parts)
+	return c.runColl(c.planScatter(sendbuf, soffset, scount, sdt, nil, recvbuf, roffset, rcount, rdt, root))
+}
+
+// ScatterCtx is Scatter under a context.
+func (c *Intracomm) ScatterCtx(
+	ctx context.Context,
+	sendbuf any, soffset, scount int, sdt *Datatype,
+	recvbuf any, roffset, rcount int, rdt *Datatype, root int,
+) error {
+	req, err := c.Iscatter(sendbuf, soffset, scount, sdt, recvbuf, roffset, rcount, rdt, root)
 	if err != nil {
-		return c.raise(errf(ErrIntern, "%v", err))
+		return err
 	}
-	if _, err := dtype.Unpack(mine, recvbuf, roffset, rcount, rdt.t); err != nil {
-		return c.raise(mapDataErr(err))
-	}
-	return nil
+	return req.WaitCtx(ctx)
+}
+
+// Iscatter starts a nonblocking scatter (MPI_Iscatter).
+func (c *Intracomm) Iscatter(
+	sendbuf any, soffset, scount int, sdt *Datatype,
+	recvbuf any, roffset, rcount int, rdt *Datatype, root int,
+) (*CollRequest, error) {
+	return c.startColl(c.planScatter(sendbuf, soffset, scount, sdt, nil, recvbuf, roffset, rcount, rdt, root))
 }
 
 // Scatterv distributes varying-size sections from root (MPI_Scatterv).
@@ -184,36 +368,79 @@ func (c *Intracomm) Scatterv(
 	sendbuf any, soffset int, sendcounts, displs []int, sdt *Datatype,
 	recvbuf any, roffset, rcount int, rdt *Datatype, root int,
 ) error {
+	return c.runColl(c.planScatter(sendbuf, soffset, 0, sdt,
+		&vLayout{sendcounts, displs}, recvbuf, roffset, rcount, rdt, root))
+}
+
+// ScattervCtx is Scatterv under a context.
+func (c *Intracomm) ScattervCtx(
+	ctx context.Context,
+	sendbuf any, soffset int, sendcounts, displs []int, sdt *Datatype,
+	recvbuf any, roffset, rcount int, rdt *Datatype, root int,
+) error {
+	req, err := c.Iscatterv(sendbuf, soffset, sendcounts, displs, sdt, recvbuf, roffset, rcount, rdt, root)
+	if err != nil {
+		return err
+	}
+	return req.WaitCtx(ctx)
+}
+
+// Iscatterv starts a nonblocking varying-size scatter (MPI_Iscatterv).
+func (c *Intracomm) Iscatterv(
+	sendbuf any, soffset int, sendcounts, displs []int, sdt *Datatype,
+	recvbuf any, roffset, rcount int, rdt *Datatype, root int,
+) (*CollRequest, error) {
+	return c.startColl(c.planScatter(sendbuf, soffset, 0, sdt,
+		&vLayout{sendcounts, displs}, recvbuf, roffset, rcount, rdt, root))
+}
+
+// planScatter is the shared plan of Scatter (v nil, uniform scount
+// sections) and Scatterv (v carries the per-rank send layout,
+// significant and validated at root).
+func (c *Intracomm) planScatter(
+	sendbuf any, soffset, scount int, sdt *Datatype, v *vLayout,
+	recvbuf any, roffset, rcount int, rdt *Datatype, root int,
+) (collPlan, error) {
 	c.env.enterCall()
 	if err := c.collChecks(rdt, root); err != nil {
-		return c.raise(err)
+		return collPlan{}, err
 	}
 	var parts [][]byte
 	if c.rank == root {
 		if err := c.checkType(sdt); err != nil {
-			return c.raise(err)
+			return collPlan{}, err
 		}
-		if len(sendcounts) != c.Size() || len(displs) != c.Size() {
-			return c.raise(errf(ErrArg, "Scatterv needs %d sendcounts and displs", c.Size()))
+		if v != nil {
+			if err := v.check("Scatterv", c.Size()); err != nil {
+				return collPlan{}, err
+			}
 		}
 		parts = make([][]byte, c.Size())
 		for r := range parts {
-			at := soffset + displs[r]*sdt.Extent()
-			wire, err := c.packColl(sendbuf, at, sendcounts[r], sdt)
+			at, n := soffset+r*scount*sdt.Extent(), scount
+			if v != nil {
+				at, n = soffset+v.displs[r]*sdt.Extent(), v.counts[r]
+			}
+			wire, err := c.packColl(sendbuf, at, n, sdt)
 			if err != nil {
-				return c.raise(err)
+				return collPlan{}, err
 			}
 			parts[r] = wire
 		}
 	}
-	mine, err := c.cl.Scatter(root, parts)
-	if err != nil {
-		return c.raise(errf(ErrIntern, "%v", err))
-	}
-	if _, err := dtype.Unpack(mine, recvbuf, roffset, rcount, rdt.t); err != nil {
-		return c.raise(mapDataErr(err))
-	}
-	return nil
+	return collPlan{
+		run: func() (any, error) {
+			res, err := c.cl.Scatter(root, parts)
+			return res, err
+		},
+		irun: func() (*coll.Request, error) { return c.cl.Iscatter(root, parts) },
+		fin: func(res any) error {
+			if _, err := dtype.Unpack(res.([]byte), recvbuf, roffset, rcount, rdt.t); err != nil {
+				return mapDataErr(err)
+			}
+			return nil
+		},
+	}, nil
 }
 
 // Allgather gathers equal-size contributions at every member
@@ -222,31 +449,30 @@ func (c *Intracomm) Allgather(
 	sendbuf any, soffset, scount int, sdt *Datatype,
 	recvbuf any, roffset, rcount int, rdt *Datatype,
 ) error {
-	c.env.enterCall()
-	if err := c.ok(); err != nil {
-		return c.raise(err)
-	}
-	if err := c.checkType(sdt); err != nil {
-		return c.raise(err)
-	}
-	if err := c.checkType(rdt); err != nil {
-		return c.raise(err)
-	}
-	mine, err := c.packColl(sendbuf, soffset, scount, sdt)
+	return c.runColl(c.planAllgather(sendbuf, soffset, scount, sdt, rdt, nil,
+		blocksFin(recvbuf, roffset, rcount, rdt)))
+}
+
+// AllgatherCtx is Allgather under a context.
+func (c *Intracomm) AllgatherCtx(
+	ctx context.Context,
+	sendbuf any, soffset, scount int, sdt *Datatype,
+	recvbuf any, roffset, rcount int, rdt *Datatype,
+) error {
+	req, err := c.Iallgather(sendbuf, soffset, scount, sdt, recvbuf, roffset, rcount, rdt)
 	if err != nil {
-		return c.raise(err)
+		return err
 	}
-	blocks, err := c.cl.Allgather(mine)
-	if err != nil {
-		return c.raise(errf(ErrIntern, "%v", err))
-	}
-	for r, b := range blocks {
-		at := roffset + r*rcount*rdt.Extent()
-		if _, err := dtype.Unpack(b, recvbuf, at, rcount, rdt.t); err != nil {
-			return c.raise(mapDataErr(err))
-		}
-	}
-	return nil
+	return req.WaitCtx(ctx)
+}
+
+// Iallgather starts a nonblocking allgather (MPI_Iallgather).
+func (c *Intracomm) Iallgather(
+	sendbuf any, soffset, scount int, sdt *Datatype,
+	recvbuf any, roffset, rcount int, rdt *Datatype,
+) (*CollRequest, error) {
+	return c.startColl(c.planAllgather(sendbuf, soffset, scount, sdt, rdt, nil,
+		blocksFin(recvbuf, roffset, rcount, rdt)))
 }
 
 // Allgatherv gathers varying-size contributions at every member
@@ -255,34 +481,67 @@ func (c *Intracomm) Allgatherv(
 	sendbuf any, soffset, scount int, sdt *Datatype,
 	recvbuf any, roffset int, recvcounts, displs []int, rdt *Datatype,
 ) error {
+	return c.runColl(c.planAllgather(sendbuf, soffset, scount, sdt, rdt,
+		&vLayout{recvcounts, displs}, blocksvFin(recvbuf, roffset, recvcounts, displs, rdt)))
+}
+
+// AllgathervCtx is Allgatherv under a context.
+func (c *Intracomm) AllgathervCtx(
+	ctx context.Context,
+	sendbuf any, soffset, scount int, sdt *Datatype,
+	recvbuf any, roffset int, recvcounts, displs []int, rdt *Datatype,
+) error {
+	req, err := c.Iallgatherv(sendbuf, soffset, scount, sdt, recvbuf, roffset, recvcounts, displs, rdt)
+	if err != nil {
+		return err
+	}
+	return req.WaitCtx(ctx)
+}
+
+// Iallgatherv starts a nonblocking varying-size allgather
+// (MPI_Iallgatherv).
+func (c *Intracomm) Iallgatherv(
+	sendbuf any, soffset, scount int, sdt *Datatype,
+	recvbuf any, roffset int, recvcounts, displs []int, rdt *Datatype,
+) (*CollRequest, error) {
+	return c.startColl(c.planAllgather(sendbuf, soffset, scount, sdt, rdt,
+		&vLayout{recvcounts, displs}, blocksvFin(recvbuf, roffset, recvcounts, displs, rdt)))
+}
+
+// planAllgather is the shared plan of Allgather and Allgatherv; the
+// v-variant's receive layout is significant (and validated) on every
+// member.
+func (c *Intracomm) planAllgather(
+	sendbuf any, soffset, scount int, sdt *Datatype,
+	rdt *Datatype, v *vLayout, deposit func(res any) error,
+) (collPlan, error) {
 	c.env.enterCall()
 	if err := c.ok(); err != nil {
-		return c.raise(err)
+		return collPlan{}, err
 	}
 	if err := c.checkType(sdt); err != nil {
-		return c.raise(err)
+		return collPlan{}, err
 	}
 	if err := c.checkType(rdt); err != nil {
-		return c.raise(err)
+		return collPlan{}, err
 	}
-	if len(recvcounts) != c.Size() || len(displs) != c.Size() {
-		return c.raise(errf(ErrArg, "Allgatherv needs %d recvcounts and displs", c.Size()))
+	if v != nil {
+		if err := v.check("Allgatherv", c.Size()); err != nil {
+			return collPlan{}, err
+		}
 	}
 	mine, err := c.packColl(sendbuf, soffset, scount, sdt)
 	if err != nil {
-		return c.raise(err)
+		return collPlan{}, err
 	}
-	blocks, err := c.cl.Allgather(mine)
-	if err != nil {
-		return c.raise(errf(ErrIntern, "%v", err))
-	}
-	for r, b := range blocks {
-		at := roffset + displs[r]*rdt.Extent()
-		if _, err := dtype.Unpack(b, recvbuf, at, recvcounts[r], rdt.t); err != nil {
-			return c.raise(mapDataErr(err))
-		}
-	}
-	return nil
+	return collPlan{
+		run: func() (any, error) {
+			res, err := c.cl.Allgather(mine)
+			return res, err
+		},
+		irun: func() (*coll.Request, error) { return c.cl.Iallgather(mine), nil },
+		fin:  deposit,
+	}, nil
 }
 
 // Alltoall exchanges equal-size sections between all pairs
@@ -291,36 +550,30 @@ func (c *Intracomm) Alltoall(
 	sendbuf any, soffset, scount int, sdt *Datatype,
 	recvbuf any, roffset, rcount int, rdt *Datatype,
 ) error {
-	c.env.enterCall()
-	if err := c.ok(); err != nil {
-		return c.raise(err)
-	}
-	if err := c.checkType(sdt); err != nil {
-		return c.raise(err)
-	}
-	if err := c.checkType(rdt); err != nil {
-		return c.raise(err)
-	}
-	parts := make([][]byte, c.Size())
-	for r := range parts {
-		at := soffset + r*scount*sdt.Extent()
-		wire, err := c.packColl(sendbuf, at, scount, sdt)
-		if err != nil {
-			return c.raise(err)
-		}
-		parts[r] = wire
-	}
-	blocks, err := c.cl.Alltoall(parts)
+	return c.runColl(c.planAlltoall(sendbuf, soffset, scount, sdt, nil, rdt, nil,
+		blocksFin(recvbuf, roffset, rcount, rdt)))
+}
+
+// AlltoallCtx is Alltoall under a context.
+func (c *Intracomm) AlltoallCtx(
+	ctx context.Context,
+	sendbuf any, soffset, scount int, sdt *Datatype,
+	recvbuf any, roffset, rcount int, rdt *Datatype,
+) error {
+	req, err := c.Ialltoall(sendbuf, soffset, scount, sdt, recvbuf, roffset, rcount, rdt)
 	if err != nil {
-		return c.raise(errf(ErrIntern, "%v", err))
+		return err
 	}
-	for r, b := range blocks {
-		at := roffset + r*rcount*rdt.Extent()
-		if _, err := dtype.Unpack(b, recvbuf, at, rcount, rdt.t); err != nil {
-			return c.raise(mapDataErr(err))
-		}
-	}
-	return nil
+	return req.WaitCtx(ctx)
+}
+
+// Ialltoall starts a nonblocking alltoall (MPI_Ialltoall).
+func (c *Intracomm) Ialltoall(
+	sendbuf any, soffset, scount int, sdt *Datatype,
+	recvbuf any, roffset, rcount int, rdt *Datatype,
+) (*CollRequest, error) {
+	return c.startColl(c.planAlltoall(sendbuf, soffset, scount, sdt, nil, rdt, nil,
+		blocksFin(recvbuf, roffset, rcount, rdt)))
 }
 
 // Alltoallv exchanges varying-size sections between all pairs
@@ -329,40 +582,76 @@ func (c *Intracomm) Alltoallv(
 	sendbuf any, soffset int, sendcounts, sdispls []int, sdt *Datatype,
 	recvbuf any, roffset int, recvcounts, rdispls []int, rdt *Datatype,
 ) error {
+	return c.runColl(c.planAlltoall(sendbuf, soffset, 0, sdt, &vLayout{sendcounts, sdispls},
+		rdt, &vLayout{recvcounts, rdispls}, blocksvFin(recvbuf, roffset, recvcounts, rdispls, rdt)))
+}
+
+// AlltoallvCtx is Alltoallv under a context.
+func (c *Intracomm) AlltoallvCtx(
+	ctx context.Context,
+	sendbuf any, soffset int, sendcounts, sdispls []int, sdt *Datatype,
+	recvbuf any, roffset int, recvcounts, rdispls []int, rdt *Datatype,
+) error {
+	req, err := c.Ialltoallv(sendbuf, soffset, sendcounts, sdispls, sdt, recvbuf, roffset, recvcounts, rdispls, rdt)
+	if err != nil {
+		return err
+	}
+	return req.WaitCtx(ctx)
+}
+
+// Ialltoallv starts a nonblocking varying-size alltoall
+// (MPI_Ialltoallv).
+func (c *Intracomm) Ialltoallv(
+	sendbuf any, soffset int, sendcounts, sdispls []int, sdt *Datatype,
+	recvbuf any, roffset int, recvcounts, rdispls []int, rdt *Datatype,
+) (*CollRequest, error) {
+	return c.startColl(c.planAlltoall(sendbuf, soffset, 0, sdt, &vLayout{sendcounts, sdispls},
+		rdt, &vLayout{recvcounts, rdispls}, blocksvFin(recvbuf, roffset, recvcounts, rdispls, rdt)))
+}
+
+// planAlltoall is the shared plan of Alltoall (uniform scount sections;
+// sendV/recvV nil) and Alltoallv (per-rank layouts on both sides, both
+// validated on every member).
+func (c *Intracomm) planAlltoall(
+	sendbuf any, soffset, scount int, sdt *Datatype, sendV *vLayout,
+	rdt *Datatype, recvV *vLayout, deposit func(res any) error,
+) (collPlan, error) {
 	c.env.enterCall()
 	if err := c.ok(); err != nil {
-		return c.raise(err)
+		return collPlan{}, err
 	}
 	if err := c.checkType(sdt); err != nil {
-		return c.raise(err)
+		return collPlan{}, err
 	}
 	if err := c.checkType(rdt); err != nil {
-		return c.raise(err)
+		return collPlan{}, err
 	}
 	n := c.Size()
-	if len(sendcounts) != n || len(sdispls) != n || len(recvcounts) != n || len(rdispls) != n {
-		return c.raise(errf(ErrArg, "Alltoallv needs %d counts and displacements on both sides", n))
+	if sendV != nil {
+		if sendV.check("", n) != nil || recvV.check("", n) != nil {
+			return collPlan{}, errf(ErrArg, "Alltoallv needs %d counts and displacements on both sides", n)
+		}
 	}
 	parts := make([][]byte, n)
 	for r := range parts {
-		at := soffset + sdispls[r]*sdt.Extent()
-		wire, err := c.packColl(sendbuf, at, sendcounts[r], sdt)
+		at, cnt := soffset+r*scount*sdt.Extent(), scount
+		if sendV != nil {
+			at, cnt = soffset+sendV.displs[r]*sdt.Extent(), sendV.counts[r]
+		}
+		wire, err := c.packColl(sendbuf, at, cnt, sdt)
 		if err != nil {
-			return c.raise(err)
+			return collPlan{}, err
 		}
 		parts[r] = wire
 	}
-	blocks, err := c.cl.Alltoall(parts)
-	if err != nil {
-		return c.raise(errf(ErrIntern, "%v", err))
-	}
-	for r, b := range blocks {
-		at := roffset + rdispls[r]*rdt.Extent()
-		if _, err := dtype.Unpack(b, recvbuf, at, recvcounts[r], rdt.t); err != nil {
-			return c.raise(mapDataErr(err))
-		}
-	}
-	return nil
+	return collPlan{
+		run: func() (any, error) {
+			res, err := c.cl.Alltoall(parts)
+			return res, err
+		},
+		irun: func() (*coll.Request, error) { return c.cl.Ialltoall(parts) },
+		fin:  deposit,
+	}, nil
 }
 
 // Reduce folds count items with op, leaving the result at root
@@ -371,27 +660,65 @@ func (c *Intracomm) Reduce(
 	sendbuf any, soffset int, recvbuf any, roffset int,
 	count int, d *Datatype, op *Op, root int,
 ) error {
+	return c.runColl(c.planReduce(sendbuf, soffset, recvbuf, roffset, count, d, op, root))
+}
+
+// ReduceCtx is Reduce under a context.
+func (c *Intracomm) ReduceCtx(
+	ctx context.Context,
+	sendbuf any, soffset int, recvbuf any, roffset int,
+	count int, d *Datatype, op *Op, root int,
+) error {
+	req, err := c.Ireduce(sendbuf, soffset, recvbuf, roffset, count, d, op, root)
+	if err != nil {
+		return err
+	}
+	return req.WaitCtx(ctx)
+}
+
+// Ireduce starts a nonblocking reduction (MPI_Ireduce); root's recvbuf
+// is filled when the request completes.
+func (c *Intracomm) Ireduce(
+	sendbuf any, soffset int, recvbuf any, roffset int,
+	count int, d *Datatype, op *Op, root int,
+) (*CollRequest, error) {
+	return c.startColl(c.planReduce(sendbuf, soffset, recvbuf, roffset, count, d, op, root))
+}
+
+func (c *Intracomm) planReduce(
+	sendbuf any, soffset int, recvbuf any, roffset int,
+	count int, d *Datatype, op *Op, root int,
+) (collPlan, error) {
 	c.env.enterCall()
 	if err := c.collChecks(d, root); err != nil {
-		return c.raise(err)
+		return collPlan{}, err
 	}
 	if err := checkOp(op, d); err != nil {
-		return c.raise(err)
+		return collPlan{}, err
 	}
 	dense, err := dtype.Extract(sendbuf, soffset, count, d.t)
 	if err != nil {
-		return c.raise(mapDataErr(err))
+		return collPlan{}, mapDataErr(err)
 	}
-	res, err := c.cl.Reduce(root, dense, op.op)
-	if err != nil {
-		return c.raise(errf(ErrIntern, "%v", err))
+	p := collPlan{
+		run:  func() (any, error) { return c.cl.Reduce(root, dense, op.op) },
+		irun: func() (*coll.Request, error) { return c.cl.Ireduce(root, dense, op.op) },
 	}
 	if c.rank == root {
-		if err := dtype.Deposit(res, recvbuf, roffset, count, d.t); err != nil {
-			return c.raise(mapDataErr(err))
-		}
+		p.fin = depositFin(recvbuf, roffset, count, d)
 	}
-	return nil
+	return p, nil
+}
+
+// depositFin builds the completion deposit shared by the reduction
+// family: the folded dense result lands in the receive section.
+func depositFin(recvbuf any, roffset, count int, d *Datatype) func(res any) error {
+	return func(res any) error {
+		if err := dtype.Deposit(res, recvbuf, roffset, count, d.t); err != nil {
+			return mapDataErr(err)
+		}
+		return nil
+	}
 }
 
 // Allreduce folds count items with op, leaving the result everywhere
@@ -400,28 +727,54 @@ func (c *Intracomm) Allreduce(
 	sendbuf any, soffset int, recvbuf any, roffset int,
 	count int, d *Datatype, op *Op,
 ) error {
+	return c.runColl(c.planAllreduce(sendbuf, soffset, recvbuf, roffset, count, d, op))
+}
+
+// AllreduceCtx is Allreduce under a context.
+func (c *Intracomm) AllreduceCtx(
+	ctx context.Context,
+	sendbuf any, soffset int, recvbuf any, roffset int,
+	count int, d *Datatype, op *Op,
+) error {
+	req, err := c.Iallreduce(sendbuf, soffset, recvbuf, roffset, count, d, op)
+	if err != nil {
+		return err
+	}
+	return req.WaitCtx(ctx)
+}
+
+// Iallreduce starts a nonblocking all-reduction (MPI_Iallreduce); every
+// member's recvbuf is filled when the request completes.
+func (c *Intracomm) Iallreduce(
+	sendbuf any, soffset int, recvbuf any, roffset int,
+	count int, d *Datatype, op *Op,
+) (*CollRequest, error) {
+	return c.startColl(c.planAllreduce(sendbuf, soffset, recvbuf, roffset, count, d, op))
+}
+
+func (c *Intracomm) planAllreduce(
+	sendbuf any, soffset int, recvbuf any, roffset int,
+	count int, d *Datatype, op *Op,
+) (collPlan, error) {
 	c.env.enterCall()
 	if err := c.ok(); err != nil {
-		return c.raise(err)
+		return collPlan{}, err
 	}
 	if err := c.checkType(d); err != nil {
-		return c.raise(err)
+		return collPlan{}, err
 	}
 	if err := checkOp(op, d); err != nil {
-		return c.raise(err)
+		return collPlan{}, err
 	}
 	dense, err := dtype.Extract(sendbuf, soffset, count, d.t)
 	if err != nil {
-		return c.raise(mapDataErr(err))
+		return collPlan{}, mapDataErr(err)
 	}
-	res, err := c.cl.Allreduce(dense, op.op)
-	if err != nil {
-		return c.raise(errf(ErrIntern, "%v", err))
-	}
-	if err := dtype.Deposit(res, recvbuf, roffset, count, d.t); err != nil {
-		return c.raise(mapDataErr(err))
-	}
-	return nil
+	return collPlan{
+		run:  func() (any, error) { return c.cl.Allreduce(dense, op.op) },
+		irun: func() (*coll.Request, error) { return c.cl.Iallreduce(dense, op.op), nil },
+		fin:  depositFin(recvbuf, roffset, count, d),
+	}, nil
 }
 
 // ReduceScatter folds with op and scatters segments of the result:
@@ -430,40 +783,66 @@ func (c *Intracomm) ReduceScatter(
 	sendbuf any, soffset int, recvbuf any, roffset int,
 	recvcounts []int, d *Datatype, op *Op,
 ) error {
+	return c.runColl(c.planReduceScatter(sendbuf, soffset, recvbuf, roffset, recvcounts, d, op))
+}
+
+// ReduceScatterCtx is ReduceScatter under a context.
+func (c *Intracomm) ReduceScatterCtx(
+	ctx context.Context,
+	sendbuf any, soffset int, recvbuf any, roffset int,
+	recvcounts []int, d *Datatype, op *Op,
+) error {
+	req, err := c.IreduceScatter(sendbuf, soffset, recvbuf, roffset, recvcounts, d, op)
+	if err != nil {
+		return err
+	}
+	return req.WaitCtx(ctx)
+}
+
+// IreduceScatter starts a nonblocking fold-and-scatter
+// (MPI_Ireduce_scatter).
+func (c *Intracomm) IreduceScatter(
+	sendbuf any, soffset int, recvbuf any, roffset int,
+	recvcounts []int, d *Datatype, op *Op,
+) (*CollRequest, error) {
+	return c.startColl(c.planReduceScatter(sendbuf, soffset, recvbuf, roffset, recvcounts, d, op))
+}
+
+func (c *Intracomm) planReduceScatter(
+	sendbuf any, soffset int, recvbuf any, roffset int,
+	recvcounts []int, d *Datatype, op *Op,
+) (collPlan, error) {
 	c.env.enterCall()
 	if err := c.ok(); err != nil {
-		return c.raise(err)
+		return collPlan{}, err
 	}
 	if err := c.checkType(d); err != nil {
-		return c.raise(err)
+		return collPlan{}, err
 	}
 	if err := checkOp(op, d); err != nil {
-		return c.raise(err)
+		return collPlan{}, err
 	}
 	if len(recvcounts) != c.Size() {
-		return c.raise(errf(ErrArg, "ReduceScatter needs %d recvcounts", c.Size()))
+		return collPlan{}, errf(ErrArg, "ReduceScatter needs %d recvcounts", c.Size())
 	}
 	total := 0
 	elemCounts := make([]int, len(recvcounts))
 	for i, n := range recvcounts {
 		if n < 0 {
-			return c.raise(errf(ErrCount, "negative recvcount %d", n))
+			return collPlan{}, errf(ErrCount, "negative recvcount %d", n)
 		}
 		total += n
 		elemCounts[i] = n * d.Size()
 	}
 	dense, err := dtype.Extract(sendbuf, soffset, total, d.t)
 	if err != nil {
-		return c.raise(mapDataErr(err))
+		return collPlan{}, mapDataErr(err)
 	}
-	res, err := c.cl.ReduceScatter(dense, elemCounts, op.op)
-	if err != nil {
-		return c.raise(errf(ErrIntern, "%v", err))
-	}
-	if err := dtype.Deposit(res, recvbuf, roffset, recvcounts[c.rank], d.t); err != nil {
-		return c.raise(mapDataErr(err))
-	}
-	return nil
+	return collPlan{
+		run:  func() (any, error) { return c.cl.ReduceScatter(dense, elemCounts, op.op) },
+		irun: func() (*coll.Request, error) { return c.cl.IreduceScatter(dense, elemCounts, op.op) },
+		fin:  depositFin(recvbuf, roffset, recvcounts[c.rank], d),
+	}, nil
 }
 
 // Scan computes the inclusive prefix reduction in rank order (MPI_Scan).
@@ -471,28 +850,106 @@ func (c *Intracomm) Scan(
 	sendbuf any, soffset int, recvbuf any, roffset int,
 	count int, d *Datatype, op *Op,
 ) error {
+	return c.runColl(c.planScan(false, sendbuf, soffset, recvbuf, roffset, count, d, op))
+}
+
+// ScanCtx is Scan under a context.
+func (c *Intracomm) ScanCtx(
+	ctx context.Context,
+	sendbuf any, soffset int, recvbuf any, roffset int,
+	count int, d *Datatype, op *Op,
+) error {
+	req, err := c.Iscan(sendbuf, soffset, recvbuf, roffset, count, d, op)
+	if err != nil {
+		return err
+	}
+	return req.WaitCtx(ctx)
+}
+
+// Iscan starts a nonblocking inclusive prefix reduction (MPI_Iscan).
+func (c *Intracomm) Iscan(
+	sendbuf any, soffset int, recvbuf any, roffset int,
+	count int, d *Datatype, op *Op,
+) (*CollRequest, error) {
+	return c.startColl(c.planScan(false, sendbuf, soffset, recvbuf, roffset, count, d, op))
+}
+
+// Exscan computes the exclusive prefix reduction in rank order — one of
+// the MPI-2 additions the paper plans to fold in (§5.3). Member r
+// receives op(x_0, …, x_{r-1}); rank 0's receive buffer is untouched
+// (its result is undefined, per the standard).
+func (c *Intracomm) Exscan(
+	sendbuf any, soffset int, recvbuf any, roffset int,
+	count int, d *Datatype, op *Op,
+) error {
+	return c.runColl(c.planScan(true, sendbuf, soffset, recvbuf, roffset, count, d, op))
+}
+
+// ExscanCtx is Exscan under a context.
+func (c *Intracomm) ExscanCtx(
+	ctx context.Context,
+	sendbuf any, soffset int, recvbuf any, roffset int,
+	count int, d *Datatype, op *Op,
+) error {
+	req, err := c.Iexscan(sendbuf, soffset, recvbuf, roffset, count, d, op)
+	if err != nil {
+		return err
+	}
+	return req.WaitCtx(ctx)
+}
+
+// Iexscan starts a nonblocking exclusive prefix reduction
+// (MPI_Iexscan).
+func (c *Intracomm) Iexscan(
+	sendbuf any, soffset int, recvbuf any, roffset int,
+	count int, d *Datatype, op *Op,
+) (*CollRequest, error) {
+	return c.startColl(c.planScan(true, sendbuf, soffset, recvbuf, roffset, count, d, op))
+}
+
+// planScan is the shared plan of Scan and Exscan; exclusive selects the
+// variant. Rank 0's Exscan result is undefined and its buffer is left
+// untouched (the schedule reports a nil result there).
+func (c *Intracomm) planScan(
+	exclusive bool,
+	sendbuf any, soffset int, recvbuf any, roffset int,
+	count int, d *Datatype, op *Op,
+) (collPlan, error) {
 	c.env.enterCall()
 	if err := c.ok(); err != nil {
-		return c.raise(err)
+		return collPlan{}, err
 	}
 	if err := c.checkType(d); err != nil {
-		return c.raise(err)
+		return collPlan{}, err
 	}
 	if err := checkOp(op, d); err != nil {
-		return c.raise(err)
+		return collPlan{}, err
 	}
 	dense, err := dtype.Extract(sendbuf, soffset, count, d.t)
 	if err != nil {
-		return c.raise(mapDataErr(err))
+		return collPlan{}, mapDataErr(err)
 	}
-	res, err := c.cl.Scan(dense, op.op)
-	if err != nil {
-		return c.raise(errf(ErrIntern, "%v", err))
-	}
-	if err := dtype.Deposit(res, recvbuf, roffset, count, d.t); err != nil {
-		return c.raise(mapDataErr(err))
-	}
-	return nil
+	deposit := depositFin(recvbuf, roffset, count, d)
+	return collPlan{
+		run: func() (any, error) {
+			if exclusive {
+				return c.cl.Exscan(dense, op.op)
+			}
+			return c.cl.Scan(dense, op.op)
+		},
+		irun: func() (*coll.Request, error) {
+			if exclusive {
+				return c.cl.Iexscan(dense, op.op), nil
+			}
+			return c.cl.Iscan(dense, op.op), nil
+		},
+		fin: func(res any) error {
+			if res == nil {
+				return nil // Exscan at rank 0
+			}
+			return deposit(res)
+		},
+	}, nil
 }
 
 // Dup duplicates the communicator with fresh contexts (MPI_Comm_dup).
@@ -598,38 +1055,4 @@ func (c *Intracomm) Create(g *Group) (*Intracomm, error) {
 	}
 	group := append([]int(nil), g.ranks...)
 	return newIntracomm(c.env, group, myRank, base, c.name+".create"), nil
-}
-
-// Exscan computes the exclusive prefix reduction in rank order — one of
-// the MPI-2 additions the paper plans to fold in (§5.3). Member r
-// receives op(x_0, …, x_{r-1}); rank 0's receive buffer is untouched
-// (its result is undefined, per the standard).
-func (c *Intracomm) Exscan(
-	sendbuf any, soffset int, recvbuf any, roffset int,
-	count int, d *Datatype, op *Op,
-) error {
-	c.env.enterCall()
-	if err := c.ok(); err != nil {
-		return c.raise(err)
-	}
-	if err := c.checkType(d); err != nil {
-		return c.raise(err)
-	}
-	if err := checkOp(op, d); err != nil {
-		return c.raise(err)
-	}
-	dense, err := dtype.Extract(sendbuf, soffset, count, d.t)
-	if err != nil {
-		return c.raise(mapDataErr(err))
-	}
-	res, err := c.cl.Exscan(dense, op.op)
-	if err != nil {
-		return c.raise(errf(ErrIntern, "%v", err))
-	}
-	if res != nil {
-		if err := dtype.Deposit(res, recvbuf, roffset, count, d.t); err != nil {
-			return c.raise(mapDataErr(err))
-		}
-	}
-	return nil
 }

@@ -1,17 +1,30 @@
 package typed
 
-import "gompi/mpi"
+import "fmt"
 
-// Typed collectives. Counts are taken from slice lengths, so the
-// classic API's uniform-contribution rule becomes a length rule: every
-// member passes the same send length to Gather/Allgather, the same recv
-// length to Scatter, and the same count to the reductions. Receive
-// buffers that a call does not touch on this rank (recv at a non-root,
-// Gather's recvbuf away from root) may be nil.
+// Typed collectives, generic over the Comm interface: any communicator
+// exposing the classic collective surface works — *mpi.Intracomm today,
+// *mpi.Cartcomm/*mpi.Graphcomm through embedding, intercommunicators
+// once their collectives exist. Counts are taken from slice lengths, so
+// the classic API's uniform-contribution rule becomes a length rule:
+// every member passes the same send length to Gather/Allgather, the
+// same recv length to Scatter, and the same count to the reductions.
+// The v-variants (Gatherv/Scatterv/Allgatherv/Alltoallv) relax that to
+// per-rank counts with back-to-back packing. Receive buffers that a
+// call does not touch on this rank (recv at a non-root, Gather's
+// recvbuf away from root) may be nil.
+//
+// The I*-prefixed forms are the nonblocking variants: they return a
+// *Request[T] completing when every member has entered the matching
+// call; receive buffers are filled by the first Wait/WaitCtx/Test that
+// observes completion and must not be touched before then.
+
+// Barrier blocks until every member has entered it (MPI_Barrier).
+func Barrier(c Comm) error { return c.Barrier() }
 
 // Bcast broadcasts root's buffer to every member (MPI_Bcast). All
 // members pass a buffer of the same length.
-func Bcast[T any](c *mpi.Intracomm, buf []T, root int) error {
+func Bcast[T any](c Comm, buf []T, root int) error {
 	raw, d, unbox := view(buf)
 	if err := c.Bcast(raw, 0, len(buf), d, root); err != nil {
 		return err
@@ -22,9 +35,19 @@ func Bcast[T any](c *mpi.Intracomm, buf []T, root int) error {
 	return nil
 }
 
+// Ibcast starts a nonblocking broadcast (MPI_Ibcast).
+func Ibcast[T any](c Comm, buf []T, root int) (*Request[T], error) {
+	raw, d, unbox := view(buf)
+	cr, err := c.Ibcast(raw, 0, len(buf), d, root)
+	if err != nil {
+		return nil, err
+	}
+	return &Request[T]{cr: cr, unbox: unbox}, nil
+}
+
 // BcastOne broadcasts a single value from root, returning the value on
 // every member.
-func BcastOne[T any](c *mpi.Intracomm, v T, root int) (T, error) {
+func BcastOne[T any](c Comm, v T, root int) (T, error) {
 	buf := []T{v}
 	err := Bcast(c, buf, root)
 	return buf[0], err
@@ -33,7 +56,7 @@ func BcastOne[T any](c *mpi.Intracomm, v T, root int) (T, error) {
 // Gather collects every member's send slice at root (MPI_Gather):
 // member r's contribution lands at recv[r*len(send):]. recv needs
 // length Size()*len(send) at root and is ignored elsewhere.
-func Gather[T any](c *mpi.Intracomm, send, recv []T, root int) error {
+func Gather[T any](c Comm, send, recv []T, root int) error {
 	sraw, sd, _ := view(send)
 	rraw, rd, unbox := view(recv)
 	if err := c.Gather(sraw, 0, len(send), sd, rraw, 0, len(send), rd, root); err != nil {
@@ -45,9 +68,49 @@ func Gather[T any](c *mpi.Intracomm, send, recv []T, root int) error {
 	return nil
 }
 
+// Igather starts a nonblocking gather (MPI_Igather).
+func Igather[T any](c Comm, send, recv []T, root int) (*Request[T], error) {
+	sraw, sd, _ := view(send)
+	rraw, rd, unbox := view(recv)
+	cr, err := c.Igather(sraw, 0, len(send), sd, rraw, 0, len(send), rd, root)
+	if err != nil {
+		return nil, err
+	}
+	if c.Rank() != root {
+		unbox = nil
+	}
+	return &Request[T]{cr: cr, unbox: unbox}, nil
+}
+
+// Gatherv collects varying-length contributions at root (MPI_Gatherv):
+// member r contributes its whole send slice, whose length must equal
+// counts[r], and the blocks land back-to-back in recv (length
+// sum(counts)) in rank order. counts and recv are significant at root
+// only.
+func Gatherv[T any](c Comm, send, recv []T, counts []int, root int) error {
+	sraw, sd, _ := view(send)
+	rraw, rd, unbox := view(recv)
+	var displs []int
+	if c.Rank() == root {
+		var total int
+		displs, total = displsOf(counts)
+		if len(recv) != total {
+			c.SkipColl() // stay tag-aligned with members whose call proceeds
+			return fmt.Errorf("typed: Gatherv recv length %d, want sum(counts) = %d", len(recv), total)
+		}
+	}
+	if err := c.Gatherv(sraw, 0, len(send), sd, rraw, 0, counts, displs, rd, root); err != nil {
+		return err
+	}
+	if unbox != nil && c.Rank() == root {
+		return unbox()
+	}
+	return nil
+}
+
 // Allgather is Gather with the result delivered to every member
 // (MPI_Allgather). recv needs length Size()*len(send) everywhere.
-func Allgather[T any](c *mpi.Intracomm, send, recv []T) error {
+func Allgather[T any](c Comm, send, recv []T) error {
 	sraw, sd, _ := view(send)
 	rraw, rd, unbox := view(recv)
 	if err := c.Allgather(sraw, 0, len(send), sd, rraw, 0, len(send), rd); err != nil {
@@ -59,10 +122,46 @@ func Allgather[T any](c *mpi.Intracomm, send, recv []T) error {
 	return nil
 }
 
+// Iallgather starts a nonblocking allgather (MPI_Iallgather).
+func Iallgather[T any](c Comm, send, recv []T) (*Request[T], error) {
+	sraw, sd, _ := view(send)
+	rraw, rd, unbox := view(recv)
+	cr, err := c.Iallgather(sraw, 0, len(send), sd, rraw, 0, len(send), rd)
+	if err != nil {
+		return nil, err
+	}
+	return &Request[T]{cr: cr, unbox: unbox}, nil
+}
+
+// Allgatherv is Gatherv with the result delivered to every member
+// (MPI_Allgatherv): member r contributes len(send) == counts[r]
+// elements and every member's recv (length sum(counts)) receives the
+// blocks back-to-back in rank order.
+func Allgatherv[T any](c Comm, send, recv []T, counts []int) error {
+	sraw, sd, _ := view(send)
+	rraw, rd, unbox := view(recv)
+	displs, total := displsOf(counts)
+	if len(recv) != total {
+		c.SkipColl() // stay tag-aligned with members whose call proceeds
+		return fmt.Errorf("typed: Allgatherv recv length %d, want sum(counts) = %d", len(recv), total)
+	}
+	if r := c.Rank(); r < len(counts) && len(send) != counts[r] {
+		c.SkipColl()
+		return fmt.Errorf("typed: Allgatherv send length %d, want counts[%d] = %d", len(send), r, counts[r])
+	}
+	if err := c.Allgatherv(sraw, 0, len(send), sd, rraw, 0, counts, displs, rd); err != nil {
+		return err
+	}
+	if unbox != nil {
+		return unbox()
+	}
+	return nil
+}
+
 // Scatter distributes root's send slice over the members (MPI_Scatter):
 // member r receives send[r*len(recv):]. send needs length
 // Size()*len(recv) at root and is ignored elsewhere.
-func Scatter[T any](c *mpi.Intracomm, send, recv []T, root int) error {
+func Scatter[T any](c Comm, send, recv []T, root int) error {
 	sraw, sd, _ := view(send)
 	rraw, rd, unbox := view(recv)
 	if err := c.Scatter(sraw, 0, len(recv), sd, rraw, 0, len(recv), rd, root); err != nil {
@@ -74,15 +173,142 @@ func Scatter[T any](c *mpi.Intracomm, send, recv []T, root int) error {
 	return nil
 }
 
+// Iscatter starts a nonblocking scatter (MPI_Iscatter).
+func Iscatter[T any](c Comm, send, recv []T, root int) (*Request[T], error) {
+	sraw, sd, _ := view(send)
+	rraw, rd, unbox := view(recv)
+	cr, err := c.Iscatter(sraw, 0, len(recv), sd, rraw, 0, len(recv), rd, root)
+	if err != nil {
+		return nil, err
+	}
+	return &Request[T]{cr: cr, unbox: unbox}, nil
+}
+
+// Scatterv distributes varying-length blocks from root (MPI_Scatterv):
+// root's send slice holds the blocks back-to-back in rank order (block
+// r has counts[r] elements); member r receives block r into recv, whose
+// length must equal counts[r]. send and counts are significant at root
+// only.
+func Scatterv[T any](c Comm, send []T, counts []int, recv []T, root int) error {
+	sraw, sd, _ := view(send)
+	rraw, rd, unbox := view(recv)
+	var displs []int
+	if c.Rank() == root {
+		var total int
+		displs, total = displsOf(counts)
+		if len(send) != total {
+			c.SkipColl() // stay tag-aligned with members whose call proceeds
+			return fmt.Errorf("typed: Scatterv send length %d, want sum(counts) = %d", len(send), total)
+		}
+	}
+	if err := c.Scatterv(sraw, 0, counts, displs, sd, rraw, 0, len(recv), rd, root); err != nil {
+		return err
+	}
+	if unbox != nil {
+		return unbox()
+	}
+	return nil
+}
+
+// Alltoall exchanges equal-size blocks between all pairs (MPI_Alltoall):
+// send and recv both hold Size() blocks back-to-back; member j receives
+// send block j. len(send) and len(recv) must be multiples of Size().
+func Alltoall[T any](c Comm, send, recv []T) error {
+	if err := checkBlocks(c, len(send), len(recv)); err != nil {
+		c.SkipColl() // stay tag-aligned with members whose call proceeds
+		return err
+	}
+	sraw, sd, _ := view(send)
+	rraw, rd, unbox := view(recv)
+	if err := c.Alltoall(sraw, 0, len(send)/c.Size(), sd, rraw, 0, len(recv)/c.Size(), rd); err != nil {
+		return err
+	}
+	if unbox != nil {
+		return unbox()
+	}
+	return nil
+}
+
+// Ialltoall starts a nonblocking alltoall (MPI_Ialltoall).
+func Ialltoall[T any](c Comm, send, recv []T) (*Request[T], error) {
+	if err := checkBlocks(c, len(send), len(recv)); err != nil {
+		c.SkipColl() // stay tag-aligned with members whose call proceeds
+		return nil, err
+	}
+	sraw, sd, _ := view(send)
+	rraw, rd, unbox := view(recv)
+	cr, err := c.Ialltoall(sraw, 0, len(send)/c.Size(), sd, rraw, 0, len(recv)/c.Size(), rd)
+	if err != nil {
+		return nil, err
+	}
+	return &Request[T]{cr: cr, unbox: unbox}, nil
+}
+
+// checkBlocks rejects alltoall buffers that do not divide evenly into
+// Size() blocks — integer division would silently drop the trailing
+// elements otherwise.
+func checkBlocks(c Comm, nsend, nrecv int) error {
+	if n := c.Size(); nsend%n != 0 || nrecv%n != 0 {
+		return fmt.Errorf("typed: alltoall buffer lengths %d/%d are not multiples of the communicator size %d",
+			nsend, nrecv, n)
+	}
+	return nil
+}
+
+// Alltoallv exchanges varying-size blocks between all pairs
+// (MPI_Alltoallv): send holds the outgoing blocks back-to-back (block j,
+// bound for member j, has sendcounts[j] elements) and recv receives the
+// incoming blocks back-to-back (block j, from member j, has
+// recvcounts[j] elements). Every pair must agree: my sendcounts[j]
+// equals member j's recvcounts[my rank].
+func Alltoallv[T any](c Comm, send []T, sendcounts []int, recv []T, recvcounts []int) error {
+	sraw, sd, _ := view(send)
+	rraw, rd, unbox := view(recv)
+	sdispls, stotal := displsOf(sendcounts)
+	rdispls, rtotal := displsOf(recvcounts)
+	if len(send) != stotal || len(recv) != rtotal {
+		c.SkipColl() // stay tag-aligned with members whose call proceeds
+		return fmt.Errorf("typed: Alltoallv buffer lengths %d/%d, want sum(counts) = %d/%d",
+			len(send), len(recv), stotal, rtotal)
+	}
+	if err := c.Alltoallv(sraw, 0, sendcounts, sdispls, sd, rraw, 0, recvcounts, rdispls, rd); err != nil {
+		return err
+	}
+	if unbox != nil {
+		return unbox()
+	}
+	return nil
+}
+
+// displsOf derives back-to-back displacements from per-rank counts.
+func displsOf(counts []int) ([]int, int) {
+	displs := make([]int, len(counts))
+	total := 0
+	for i, n := range counts {
+		displs[i] = total
+		total += n
+	}
+	return displs, total
+}
+
 // Reduce folds every member's send slice elementwise with op, leaving
 // the result in recv at root (MPI_Reduce). recv may be nil elsewhere.
-func Reduce[T Primitive](c *mpi.Intracomm, send, recv []T, op Op[T], root int) error {
+func Reduce[T Primitive](c Comm, send, recv []T, op Op[T], root int) error {
 	return c.Reduce(send, 0, recv, 0, len(send), TypeOf[T](), op.op, root)
+}
+
+// Ireduce starts a nonblocking reduction (MPI_Ireduce).
+func Ireduce[T Primitive](c Comm, send, recv []T, op Op[T], root int) (*Request[T], error) {
+	cr, err := c.Ireduce(send, 0, recv, 0, len(send), TypeOf[T](), op.op, root)
+	if err != nil {
+		return nil, err
+	}
+	return &Request[T]{cr: cr}, nil
 }
 
 // ReduceOne folds a single value with op; the reduced value is returned
 // at root (other members receive their own contribution back).
-func ReduceOne[T Primitive](c *mpi.Intracomm, v T, op Op[T], root int) (T, error) {
+func ReduceOne[T Primitive](c Comm, v T, op Op[T], root int) (T, error) {
 	out := []T{v}
 	err := Reduce(c, []T{v}, out, op, root)
 	return out[0], err
@@ -90,13 +316,24 @@ func ReduceOne[T Primitive](c *mpi.Intracomm, v T, op Op[T], root int) (T, error
 
 // Allreduce folds every member's send slice elementwise with op,
 // leaving the result in recv on every member (MPI_Allreduce).
-func Allreduce[T Primitive](c *mpi.Intracomm, send, recv []T, op Op[T]) error {
+func Allreduce[T Primitive](c Comm, send, recv []T, op Op[T]) error {
 	return c.Allreduce(send, 0, recv, 0, len(send), TypeOf[T](), op.op)
+}
+
+// Iallreduce starts a nonblocking all-reduction (MPI_Iallreduce): the
+// canonical communication/computation overlap primitive — start it,
+// compute, then Wait (or WaitCtx) before reading recv.
+func Iallreduce[T Primitive](c Comm, send, recv []T, op Op[T]) (*Request[T], error) {
+	cr, err := c.Iallreduce(send, 0, recv, 0, len(send), TypeOf[T](), op.op)
+	if err != nil {
+		return nil, err
+	}
+	return &Request[T]{cr: cr}, nil
 }
 
 // AllreduceOne folds a single value with op and returns the reduced
 // value on every member.
-func AllreduceOne[T Primitive](c *mpi.Intracomm, v T, op Op[T]) (T, error) {
+func AllreduceOne[T Primitive](c Comm, v T, op Op[T]) (T, error) {
 	out := []T{v}
 	err := Allreduce(c, []T{v}, out, op)
 	return out[0], err
@@ -104,13 +341,32 @@ func AllreduceOne[T Primitive](c *mpi.Intracomm, v T, op Op[T]) (T, error) {
 
 // Scan computes the inclusive prefix reduction in rank order (MPI_Scan):
 // member r receives op over the contributions of ranks 0..r.
-func Scan[T Primitive](c *mpi.Intracomm, send, recv []T, op Op[T]) error {
+func Scan[T Primitive](c Comm, send, recv []T, op Op[T]) error {
 	return c.Scan(send, 0, recv, 0, len(send), TypeOf[T](), op.op)
+}
+
+// Iscan starts a nonblocking inclusive prefix reduction (MPI_Iscan).
+func Iscan[T Primitive](c Comm, send, recv []T, op Op[T]) (*Request[T], error) {
+	cr, err := c.Iscan(send, 0, recv, 0, len(send), TypeOf[T](), op.op)
+	if err != nil {
+		return nil, err
+	}
+	return &Request[T]{cr: cr}, nil
 }
 
 // Exscan computes the exclusive prefix reduction in rank order
 // (MPI_Exscan): member r receives op over ranks 0..r-1; rank 0's recv
 // is untouched.
-func Exscan[T Primitive](c *mpi.Intracomm, send, recv []T, op Op[T]) error {
+func Exscan[T Primitive](c Comm, send, recv []T, op Op[T]) error {
 	return c.Exscan(send, 0, recv, 0, len(send), TypeOf[T](), op.op)
+}
+
+// Iexscan starts a nonblocking exclusive prefix reduction
+// (MPI_Iexscan).
+func Iexscan[T Primitive](c Comm, send, recv []T, op Op[T]) (*Request[T], error) {
+	cr, err := c.Iexscan(send, 0, recv, 0, len(send), TypeOf[T](), op.op)
+	if err != nil {
+		return nil, err
+	}
+	return &Request[T]{cr: cr}, nil
 }

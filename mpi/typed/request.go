@@ -7,22 +7,29 @@ import (
 	"gompi/mpi"
 )
 
-// Request is a typed handle on a pending non-blocking operation. It
-// wraps the classic *mpi.Request and, for receives of Obj-routed
-// element types, copies the boxed elements back into the caller's
-// typed buffer at completion.
+// Request is a typed handle on a pending non-blocking operation —
+// point-to-point (Isend/Irecv) or collective (Ibcast/Iallreduce/…). It
+// wraps the corresponding classic request and, for receives of
+// Obj-routed element types, copies the boxed elements back into the
+// caller's typed buffer at completion.
 type Request[T any] struct {
-	r     *mpi.Request
-	unbox func() error // nil for sends and zero-copy receives
+	r     *mpi.Request     // point-to-point; nil for collectives
+	cr    *mpi.CollRequest // collective; nil for point-to-point
+	unbox func() error     // nil for sends and zero-copy receives
 	once  sync.Once
 	uerr  error
 }
 
-// Raw exposes the underlying classic request, for mixing typed requests
-// into mpi.WaitAll / mpi.WaitAny sets. For Obj-routed receives the
-// typed buffer is only filled by Wait/WaitCtx/Test on this handle, not
-// by completing the raw request directly.
+// Raw exposes the underlying classic point-to-point request, for mixing
+// typed requests into mpi.WaitAll / mpi.WaitAny sets; it is nil for
+// collective requests (see Coll). For Obj-routed receives the typed
+// buffer is only filled by Wait/WaitCtx/Test on this handle, not by
+// completing the raw request directly.
 func (r *Request[T]) Raw() *mpi.Request { return r.r }
+
+// Coll exposes the underlying classic collective request; it is nil for
+// point-to-point requests.
+func (r *Request[T]) Coll() *mpi.CollRequest { return r.cr }
 
 // settle runs the unbox step exactly once after completion; like the
 // classic request's finish, it is safe under concurrent Wait/Test.
@@ -39,7 +46,15 @@ func (r *Request[T]) settle() error {
 // runs even when the operation completed in error: a truncated receive
 // has deposited its whole elements and they must still reach the typed
 // buffer. The operation's error takes precedence over an unbox error.
+// Collective completions carry no Status; their Wait returns nil.
 func (r *Request[T]) Wait() (*mpi.Status, error) {
+	if r.cr != nil {
+		err := r.cr.Wait()
+		if uerr := r.settle(); err == nil {
+			err = uerr
+		}
+		return nil, err
+	}
 	st, err := r.r.Wait()
 	if uerr := r.settle(); err == nil {
 		err = uerr
@@ -48,8 +63,15 @@ func (r *Request[T]) Wait() (*mpi.Status, error) {
 }
 
 // WaitCtx blocks until the operation completes or ctx is done; see
-// mpi.Request.WaitCtx for the cancellation contract.
+// mpi.Request.WaitCtx and mpi.CollRequest.WaitCtx for the cancellation
+// contracts. A cancelled wait leaves the typed buffer untouched.
 func (r *Request[T]) WaitCtx(ctx context.Context) (*mpi.Status, error) {
+	if r.cr != nil {
+		if err := r.cr.WaitCtx(ctx); err != nil {
+			return nil, err
+		}
+		return nil, r.settle()
+	}
 	st, err := r.r.WaitCtx(ctx)
 	if err != nil {
 		return st, err
@@ -59,6 +81,16 @@ func (r *Request[T]) WaitCtx(ctx context.Context) (*mpi.Status, error) {
 
 // Test polls the operation for completion (MPI_Test).
 func (r *Request[T]) Test() (*mpi.Status, bool, error) {
+	if r.cr != nil {
+		done, err := r.cr.Test()
+		if !done {
+			return nil, false, nil
+		}
+		if uerr := r.settle(); err == nil {
+			err = uerr
+		}
+		return nil, true, err
+	}
 	st, ok, err := r.r.Test()
 	if !ok {
 		return st, ok, err
@@ -69,5 +101,12 @@ func (r *Request[T]) Test() (*mpi.Status, bool, error) {
 	return st, true, err
 }
 
-// Cancel attempts to cancel the pending operation (MPI_Cancel).
-func (r *Request[T]) Cancel() error { return r.r.Cancel() }
+// Cancel attempts to cancel a pending point-to-point operation
+// (MPI_Cancel). Collectives have no standalone cancel: cancellation is
+// driven through WaitCtx, so Cancel is a no-op for them.
+func (r *Request[T]) Cancel() error {
+	if r.r == nil {
+		return nil
+	}
+	return r.r.Cancel()
+}

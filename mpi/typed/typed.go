@@ -37,10 +37,10 @@ import (
 	"gompi/mpi"
 )
 
-// Comm is the point-to-point surface of the classic API the typed layer
+// Peer is the point-to-point surface of the classic API the typed layer
 // builds on. *mpi.Comm satisfies it, and so do *mpi.Intracomm,
 // *mpi.Intercomm, *mpi.Cartcomm and *mpi.Graphcomm through embedding.
-type Comm interface {
+type Peer interface {
 	Rank() int
 	Size() int
 	Send(buf any, offset, count int, d *mpi.Datatype, dest, tag int) error
@@ -49,6 +49,65 @@ type Comm interface {
 	Isend(buf any, offset, count int, d *mpi.Datatype, dest, tag int) (*mpi.Request, error)
 	Irecv(buf any, offset, count int, d *mpi.Datatype, source, tag int) (*mpi.Request, error)
 	IrecvInto(buf any, offset, count int, d *mpi.Datatype, source, tag int) (*mpi.Request, error)
+}
+
+// Comm is the communicator surface the typed collectives compile
+// against: the point-to-point Peer surface plus the classic collective
+// entry points, blocking and nonblocking. *mpi.Intracomm satisfies it,
+// and *mpi.Cartcomm and *mpi.Graphcomm do through embedding; when
+// intercommunicator collectives land, *mpi.Intercomm will too, with no
+// typed-signature break. Point-to-point-only communicators keep working
+// with the typed sends and receives, which only require Peer.
+type Comm interface {
+	Peer
+	SkipColl()
+	Barrier() error
+	BarrierCtx(ctx context.Context) error
+	Ibarrier() (*mpi.CollRequest, error)
+	Bcast(buf any, offset, count int, d *mpi.Datatype, root int) error
+	Ibcast(buf any, offset, count int, d *mpi.Datatype, root int) (*mpi.CollRequest, error)
+	Gather(sendbuf any, soffset, scount int, sdt *mpi.Datatype,
+		recvbuf any, roffset, rcount int, rdt *mpi.Datatype, root int) error
+	Igather(sendbuf any, soffset, scount int, sdt *mpi.Datatype,
+		recvbuf any, roffset, rcount int, rdt *mpi.Datatype, root int) (*mpi.CollRequest, error)
+	Gatherv(sendbuf any, soffset, scount int, sdt *mpi.Datatype,
+		recvbuf any, roffset int, recvcounts, displs []int, rdt *mpi.Datatype, root int) error
+	Scatter(sendbuf any, soffset, scount int, sdt *mpi.Datatype,
+		recvbuf any, roffset, rcount int, rdt *mpi.Datatype, root int) error
+	Iscatter(sendbuf any, soffset, scount int, sdt *mpi.Datatype,
+		recvbuf any, roffset, rcount int, rdt *mpi.Datatype, root int) (*mpi.CollRequest, error)
+	Scatterv(sendbuf any, soffset int, sendcounts, displs []int, sdt *mpi.Datatype,
+		recvbuf any, roffset, rcount int, rdt *mpi.Datatype, root int) error
+	Allgather(sendbuf any, soffset, scount int, sdt *mpi.Datatype,
+		recvbuf any, roffset, rcount int, rdt *mpi.Datatype) error
+	Iallgather(sendbuf any, soffset, scount int, sdt *mpi.Datatype,
+		recvbuf any, roffset, rcount int, rdt *mpi.Datatype) (*mpi.CollRequest, error)
+	Allgatherv(sendbuf any, soffset, scount int, sdt *mpi.Datatype,
+		recvbuf any, roffset int, recvcounts, displs []int, rdt *mpi.Datatype) error
+	Alltoall(sendbuf any, soffset, scount int, sdt *mpi.Datatype,
+		recvbuf any, roffset, rcount int, rdt *mpi.Datatype) error
+	Ialltoall(sendbuf any, soffset, scount int, sdt *mpi.Datatype,
+		recvbuf any, roffset, rcount int, rdt *mpi.Datatype) (*mpi.CollRequest, error)
+	Alltoallv(sendbuf any, soffset int, sendcounts, sdispls []int, sdt *mpi.Datatype,
+		recvbuf any, roffset int, recvcounts, rdispls []int, rdt *mpi.Datatype) error
+	Reduce(sendbuf any, soffset int, recvbuf any, roffset int,
+		count int, d *mpi.Datatype, op *mpi.Op, root int) error
+	Ireduce(sendbuf any, soffset int, recvbuf any, roffset int,
+		count int, d *mpi.Datatype, op *mpi.Op, root int) (*mpi.CollRequest, error)
+	Allreduce(sendbuf any, soffset int, recvbuf any, roffset int,
+		count int, d *mpi.Datatype, op *mpi.Op) error
+	Iallreduce(sendbuf any, soffset int, recvbuf any, roffset int,
+		count int, d *mpi.Datatype, op *mpi.Op) (*mpi.CollRequest, error)
+	ReduceScatter(sendbuf any, soffset int, recvbuf any, roffset int,
+		recvcounts []int, d *mpi.Datatype, op *mpi.Op) error
+	Scan(sendbuf any, soffset int, recvbuf any, roffset int,
+		count int, d *mpi.Datatype, op *mpi.Op) error
+	Iscan(sendbuf any, soffset int, recvbuf any, roffset int,
+		count int, d *mpi.Datatype, op *mpi.Op) (*mpi.CollRequest, error)
+	Exscan(sendbuf any, soffset int, recvbuf any, roffset int,
+		count int, d *mpi.Datatype, op *mpi.Op) error
+	Iexscan(sendbuf any, soffset int, recvbuf any, roffset int,
+		count int, d *mpi.Datatype, op *mpi.Op) (*mpi.CollRequest, error)
 }
 
 // datatypeOf maps a storage class to its predefined basic datatype,
@@ -159,7 +218,7 @@ func reboxPointer[T any](v any) (T, bool) {
 // Send is the blocking standard-mode send of a whole slice: the typed
 // analogue of MPI_Send. Use sub-slicing where the classic API would use
 // offset/count.
-func Send[T any](c Comm, buf []T, dest, tag int) error {
+func Send[T any](c Peer, buf []T, dest, tag int) error {
 	raw, d, _ := view(buf)
 	return c.Send(raw, 0, len(buf), d, dest, tag)
 }
@@ -167,7 +226,7 @@ func Send[T any](c Comm, buf []T, dest, tag int) error {
 // Recv is the blocking receive into a whole slice (MPI_Recv). The
 // source and tag arguments accept the mpi.AnySource and mpi.AnyTag
 // wildcards.
-func Recv[T any](c Comm, buf []T, source, tag int) (*mpi.Status, error) {
+func Recv[T any](c Peer, buf []T, source, tag int) (*mpi.Status, error) {
 	raw, d, unbox := view(buf)
 	st, err := c.Recv(raw, 0, len(buf), d, source, tag)
 	// Unbox even on error: a truncated receive has deposited whole
@@ -189,7 +248,7 @@ func Recv[T any](c Comm, buf []T, source, tag int) (*mpi.Status, error) {
 // ErrTruncate-class error is returned (MPI_ERR_TRUNCATE semantics). Use
 // it with preallocated buffers on hot paths: a steady-state RecvInto
 // allocates nothing.
-func RecvInto[T any](c Comm, buf []T, source, tag int) (*mpi.Status, error) {
+func RecvInto[T any](c Peer, buf []T, source, tag int) (*mpi.Status, error) {
 	raw, d, unbox := view(buf)
 	st, err := c.RecvInto(raw, 0, len(buf), d, source, tag)
 	// Unbox even on error (see Recv): truncated receives deposit whole
@@ -204,7 +263,7 @@ func RecvInto[T any](c Comm, buf []T, source, tag int) (*mpi.Status, error) {
 
 // IrecvInto starts a non-blocking zero-copy receive (see RecvInto). The
 // buffer must not be touched until the returned request completes.
-func IrecvInto[T any](c Comm, buf []T, source, tag int) (*Request[T], error) {
+func IrecvInto[T any](c Peer, buf []T, source, tag int) (*Request[T], error) {
 	raw, d, unbox := view(buf)
 	r, err := c.IrecvInto(raw, 0, len(buf), d, source, tag)
 	if err != nil {
@@ -217,7 +276,7 @@ func IrecvInto[T any](c Comm, buf []T, source, tag int) (*Request[T], error) {
 // under ctx. If ctx fires while the message is still unmatched the
 // receive is cancelled (MPI_Cancel semantics), the status reports
 // TestCancelled() and ctx's error is returned.
-func RecvCtx[T any](ctx context.Context, c Comm, buf []T, source, tag int) (*mpi.Status, error) {
+func RecvCtx[T any](ctx context.Context, c Peer, buf []T, source, tag int) (*mpi.Status, error) {
 	req, err := Irecv(c, buf, source, tag)
 	if err != nil {
 		return nil, err
@@ -227,7 +286,7 @@ func RecvCtx[T any](ctx context.Context, c Comm, buf []T, source, tag int) (*mpi
 
 // Isend starts a non-blocking standard-mode send (MPI_Isend). The
 // buffer must not be modified until the request completes.
-func Isend[T any](c Comm, buf []T, dest, tag int) (*Request[T], error) {
+func Isend[T any](c Peer, buf []T, dest, tag int) (*Request[T], error) {
 	raw, d, _ := view(buf)
 	r, err := c.Isend(raw, 0, len(buf), d, dest, tag)
 	if err != nil {
@@ -238,7 +297,7 @@ func Isend[T any](c Comm, buf []T, dest, tag int) (*Request[T], error) {
 
 // Irecv starts a non-blocking receive (MPI_Irecv). The buffer is filled
 // when the returned request completes.
-func Irecv[T any](c Comm, buf []T, source, tag int) (*Request[T], error) {
+func Irecv[T any](c Peer, buf []T, source, tag int) (*Request[T], error) {
 	raw, d, unbox := view(buf)
 	r, err := c.Irecv(raw, 0, len(buf), d, source, tag)
 	if err != nil {
@@ -248,19 +307,19 @@ func Irecv[T any](c Comm, buf []T, source, tag int) (*Request[T], error) {
 }
 
 // SendOne sends a single value (a one-element message).
-func SendOne[T any](c Comm, v T, dest, tag int) error {
+func SendOne[T any](c Peer, v T, dest, tag int) error {
 	return Send(c, []T{v}, dest, tag)
 }
 
 // RecvOne receives a single value.
-func RecvOne[T any](c Comm, source, tag int) (T, *mpi.Status, error) {
+func RecvOne[T any](c Peer, source, tag int) (T, *mpi.Status, error) {
 	buf := make([]T, 1)
 	st, err := Recv(c, buf, source, tag)
 	return buf[0], st, err
 }
 
 // RecvOneCtx receives a single value under a context.
-func RecvOneCtx[T any](ctx context.Context, c Comm, source, tag int) (T, *mpi.Status, error) {
+func RecvOneCtx[T any](ctx context.Context, c Peer, source, tag int) (T, *mpi.Status, error) {
 	buf := make([]T, 1)
 	st, err := RecvCtx(ctx, c, buf, source, tag)
 	return buf[0], st, err
