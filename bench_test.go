@@ -116,6 +116,23 @@ func BenchmarkFig6(b *testing.B) {
 	}
 }
 
+// BenchmarkFileIO measures the parallel I/O subsystem: 4-rank
+// collective two-phase WriteAtAll/ReadAtAll bandwidth, reported as
+// aggregate MB/s across ranks.
+func BenchmarkFileIO(b *testing.B) {
+	for _, size := range []int{64 << 10, 1 << 20} {
+		size := size
+		b.Run(fmt.Sprintf("perRank=%d", size), func(b *testing.B) {
+			pts, err := bench.IOBandwidth(4, []int{size}, b.N, b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(pts[0].WriteMBps, "write-MB/s")
+			b.ReportMetric(pts[0].ReadMBps, "read-MB/s")
+		})
+	}
+}
+
 // BenchmarkLinpack_Native reproduces the native side of §4.6.
 func BenchmarkLinpack_Native(b *testing.B) {
 	const n = 200

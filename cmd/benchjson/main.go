@@ -1,0 +1,114 @@
+// benchjson runs the paper's benchmark harness (§4 Table 1, Figure 5)
+// plus the parallel I/O bandwidth benchmark and emits one
+// machine-readable JSON document — the perf trajectory record CI
+// writes as BENCH_PR<N>.json so regressions across PRs are visible in
+// version control rather than only in scrollback.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson -quick -out BENCH_PR5.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"gompi/internal/bench"
+)
+
+type table1JSON struct {
+	Label string `json:"label"`
+	SMNs  int64  `json:"sm_latency_ns"`
+	DMNs  int64  `json:"dm_latency_ns"`
+}
+
+type pointJSON struct {
+	Bytes    int     `json:"bytes"`
+	OneWayNs int64   `json:"one_way_ns"`
+	MBps     float64 `json:"mbps"`
+}
+
+type output struct {
+	Schema    string                 `json:"schema"`
+	GoVersion string                 `json:"go_version"`
+	GOOS      string                 `json:"goos"`
+	GOARCH    string                 `json:"goarch"`
+	NumCPU    int                    `json:"num_cpu"`
+	Quick     bool                   `json:"quick"`
+	Table1    []table1JSON           `json:"table1_latency"`
+	Fig5SM    map[string][]pointJSON `json:"fig5_sm_pingpong"`
+	IO        []bench.IOPoint        `json:"io_bandwidth_4ranks"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH.json", "output path")
+	quick := flag.Bool("quick", false, "small sweeps and few repetitions (CI mode)")
+	flag.Parse()
+	// run returns instead of exiting so its deferred scratch-dir
+	// cleanup executes on failure paths too.
+	if err := run(*out, *quick); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, quick bool) error {
+	t1Reps, figMax, figReps := 256, 1<<20, 64
+	ioMax, ioReps := 4<<20, 8
+	if quick {
+		t1Reps, figMax, figReps = 32, 1<<16, 8
+		ioMax, ioReps = 1<<20, 3
+	}
+
+	doc := output{
+		Schema:    "gompi-bench/1",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Quick:     quick,
+		Fig5SM:    map[string][]pointJSON{},
+	}
+
+	rows, err := bench.Table1(false, t1Reps)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		doc.Table1 = append(doc.Table1, table1JSON{Label: r.Label, SMNs: r.SM.Nanoseconds(), DMNs: r.DM.Nanoseconds()})
+	}
+
+	curves, err := bench.Figure(bench.SM, false, figMax, figReps)
+	if err != nil {
+		return err
+	}
+	for label, pts := range curves {
+		for _, p := range pts {
+			doc.Fig5SM[label] = append(doc.Fig5SM[label], pointJSON{Bytes: p.Size, OneWayNs: p.OneWay.Nanoseconds(), MBps: p.MBps})
+		}
+	}
+
+	dir, err := os.MkdirTemp("", "gompi-iobench")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	doc.IO, err = bench.IOBandwidth(4, bench.IOSizes(ioMax), ioReps, dir)
+	if err != nil {
+		return err
+	}
+
+	blob, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchjson: wrote %s (%d bytes)\n", out, len(blob))
+	return nil
+}

@@ -14,7 +14,17 @@
 // relaxation instead of serializing every iteration (the check lags one
 // sweep, costing at most one extra iteration).
 //
-//	go run ./examples/jacobi [-n 96] [-np 4] [-iters 500]
+// Checkpoint/restart rides on the parallel I/O subsystem: -checkpoint
+// writes the converged (or iteration-capped) grid through a strided
+// mpi.File view — each rank's column band is a MPI_TYPE_VECTOR over
+// the row-major global matrix, so the collective WriteAtAll needs no
+// caller-side gather loop — and -restore resumes a later run from that
+// file, bit-exactly reproducing an uninterrupted run's trajectory. The
+// checkpoint stores the global grid, so the restoring job may even use
+// a different rank count.
+//
+//	go run ./examples/jacobi [-n 96] [-np 4] [-iters 500] \
+//	    [-checkpoint FILE] [-restore FILE]
 package main
 
 import (
@@ -28,23 +38,130 @@ import (
 
 func main() {
 	n := flag.Int("n", 96, "global grid side")
-	np := flag.Int("np", 4, "number of ranks")
-	iters := flag.Int("iters", 500, "max iterations")
+	np := flag.Int("np", 4, "number of ranks (SM mode)")
+	iters := flag.Int("iters", 500, "max iterations (absolute, including restored ones)")
 	tol := flag.Float64("tol", 1e-4, "convergence threshold")
+	ckpt := flag.String("checkpoint", "", "write a checkpoint file at end of run")
+	restore := flag.String("restore", "", "resume from a checkpoint file")
 	flag.Parse()
-	if *n%*np != 0 {
-		log.Fatalf("grid side %d must divide by np %d", *n, *np)
-	}
-	if err := mpi.Run(*np, func(env *mpi.Env) error {
-		return jacobi(env, *n, *iters, *tol)
-	}); err != nil {
+	// mpi.Main runs SM mode (np goroutine ranks) stand-alone, or this
+	// process's single rank when launched under cmd/mpirun (DM mode).
+	err := mpi.Main(*np, func(env *mpi.Env) error {
+		return jacobi(env, *n, *iters, *tol, *ckpt, *restore)
+	})
+	if err != nil {
 		log.Fatal(err)
 	}
 }
 
-func jacobi(env *mpi.Env, n, maxIters int, tol float64) error {
+// checkpoint file layout, all MPI.DOUBLE: a hdrLen-element header
+// [magic, grid side, completed sweeps, last drained residual (-1 if
+// none)] followed by the n×n grid in global row-major order. The
+// residual is the value the next iteration's lagged convergence check
+// would have consumed, so a restored run reconstructs the overlapped
+// reduction pipeline exactly.
+const (
+	ckptMagic  = 0x6a61636f // "jaco"
+	ckptHdrLen = 4
+)
+
+// gridTypes builds the matching (file view, buffer section) pair for
+// one rank's column band: in the file, n blocks of cols doubles with
+// stride n (the band of a row-major n×n matrix); in memory the same
+// shape with the local stride width.
+func gridTypes(n, cols, width int) (ft, bt *mpi.Datatype, err error) {
+	if ft, err = mpi.TypeVector(n, cols, n, mpi.DOUBLE); err != nil {
+		return nil, nil, err
+	}
+	ft.Commit()
+	if bt, err = mpi.TypeVector(n, cols, width, mpi.DOUBLE); err != nil {
+		return nil, nil, err
+	}
+	bt.Commit()
+	return ft, bt, nil
+}
+
+// writeCheckpoint collectively writes the header and the grid: rank 0
+// writes the header independently through the identity view, then all
+// ranks write their column bands through strided views in one
+// collective two-phase WriteAtAll.
+func writeCheckpoint(world *mpi.Intracomm, path string, grid []float64, n, cols, width, it int, lastRes float64) error {
+	f, err := world.OpenFile(path, mpi.ModeCreate|mpi.ModeWronly)
+	if err != nil {
+		return err
+	}
+	if err := f.SetView(0, mpi.DOUBLE, mpi.DOUBLE); err != nil {
+		return err
+	}
+	if world.Rank() == 0 {
+		hdr := []float64{ckptMagic, float64(n), float64(it), lastRes}
+		if _, err := f.WriteAt(0, hdr, 0, ckptHdrLen, mpi.DOUBLE); err != nil {
+			return err
+		}
+	}
+	ft, bt, err := gridTypes(n, cols, width)
+	if err != nil {
+		return err
+	}
+	if err := f.SetView(ckptHdrLen+world.Rank()*cols, mpi.DOUBLE, ft); err != nil {
+		return err
+	}
+	if _, err := f.WriteAtAll(0, grid, 1, 1, bt); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// readCheckpoint restores the rank's column band and returns the
+// completed sweep count and last drained residual from the header.
+func readCheckpoint(world *mpi.Intracomm, path string, grid []float64, n, cols, width int) (int, float64, error) {
+	f, err := world.OpenFile(path, mpi.ModeRdonly)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := f.SetView(0, mpi.DOUBLE, mpi.DOUBLE); err != nil {
+		return 0, 0, err
+	}
+	hdr := make([]float64, ckptHdrLen)
+	st, err := f.ReadAt(0, hdr, 0, ckptHdrLen, mpi.DOUBLE)
+	if err != nil {
+		return 0, 0, err
+	}
+	if st.GetCount(mpi.DOUBLE) != ckptHdrLen || hdr[0] != ckptMagic {
+		return 0, 0, fmt.Errorf("%s is not a jacobi checkpoint", path)
+	}
+	if int(hdr[1]) != n {
+		return 0, 0, fmt.Errorf("checkpoint grid side %d does not match -n %d", int(hdr[1]), n)
+	}
+	ft, bt, err := gridTypes(n, cols, width)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := f.SetView(ckptHdrLen+world.Rank()*cols, mpi.DOUBLE, ft); err != nil {
+		return 0, 0, err
+	}
+	st, err = f.ReadAtAll(0, grid, 1, 1, bt)
+	if err != nil {
+		return 0, 0, err
+	}
+	if got := st.GetCount(bt); got != 1 {
+		return 0, 0, fmt.Errorf("checkpoint truncated: band read returned count %d", got)
+	}
+	if err := f.Close(); err != nil {
+		return 0, 0, err
+	}
+	return int(hdr[2]), hdr[3], nil
+}
+
+func jacobi(env *mpi.Env, n, maxIters int, tol float64, ckpt, restore string) error {
 	world := env.CommWorld()
 	rank, size := world.Rank(), world.Size()
+	if n%size != 0 {
+		return fmt.Errorf("grid side %d must divide by %d ranks", n, size)
+	}
 	cols := n / size
 	width := cols + 2 // owned columns plus two halo columns
 
@@ -85,14 +202,39 @@ func jacobi(env *mpi.Env, n, maxIters int, tol float64) error {
 	haloL := make([]float64, n)
 	haloR := make([]float64, n)
 
+	// Resuming replaces the freshly initialized band with the
+	// checkpointed one and skips the sweeps it already carries; the
+	// trajectory from there is bit-identical to an uninterrupted run,
+	// since the sweep is deterministic in the grid state. pipeRes
+	// reconstructs the overlapped reduction pipeline: it is the
+	// residual the first resumed iteration's lagged convergence check
+	// would have drained (-1: none pending).
+	it0 := 0
+	pipeRes := -1.0
+	if restore != "" {
+		var err error
+		if it0, pipeRes, err = readCheckpoint(world, restore, grid, n, cols, width); err != nil {
+			return err
+		}
+		copy(next, grid)
+	}
+
 	// In-flight residual reduction: started after sweep k, waited for
 	// after sweep k+1's compute, so communication overlaps computation.
 	var resReq *mpi.CollRequest
 	resIn := []float64{0}
 	resOut := []float64{0}
+	lastRes := pipeRes // most recently drained residual, for the checkpoint header
+
+	// A checkpoint taken at convergence carries a residual already
+	// under tol; an uninterrupted run performs no sweeps past its
+	// convergence break, so neither must a restored one.
+	if pipeRes >= 0 && pipeRes < tol {
+		maxIters = it0
+	}
 
 	start := env.Wtime()
-	it := 0
+	it := it0
 	for ; it < maxIters; it++ {
 		// Exchange halos: post both zero-copy receives first, then send
 		// the owned boundary columns, then scatter the landed halos.
@@ -150,15 +292,27 @@ func jacobi(env *mpi.Env, n, maxIters int, tol float64) error {
 		grid, next = next, grid
 
 		// The previous sweep's residual reduction has been overlapping
-		// this sweep's halo exchange and relaxation; settle it now. The
-		// reduced maximum is identical on every rank, so all ranks take
-		// the same branch and the collective call sequence stays aligned.
+		// this sweep's halo exchange and relaxation; settle it now (on
+		// the first resumed iteration, the checkpointed pipeRes stands
+		// in for it). The reduced maximum is identical on every rank,
+		// so all ranks take the same branch and the collective call
+		// sequence stays aligned.
+		settled := -1.0
 		if resReq != nil {
 			if err := resReq.Wait(); err != nil {
 				return err
 			}
-			if resOut[0] < tol {
+			settled = resOut[0]
+		} else if pipeRes >= 0 {
+			settled, pipeRes = pipeRes, -1
+		}
+		if settled >= 0 {
+			lastRes = settled
+			if settled < tol {
+				// Sweep `it` has completed; count it before leaving so
+				// `it` uniformly means sweeps carried by the grid.
 				resReq = nil
+				it++
 				break
 			}
 		}
@@ -178,8 +332,15 @@ func jacobi(env *mpi.Env, n, maxIters int, tol float64) error {
 		if err := resReq.Wait(); err != nil {
 			return err
 		}
+		lastRes = resOut[0]
 	}
 	elapsed := env.Wtime() - start
+
+	if ckpt != "" {
+		if err := writeCheckpoint(world, ckpt, grid, n, cols, width, it, lastRes); err != nil {
+			return err
+		}
+	}
 
 	// Report the global heat content from rank 0.
 	sum := 0.0
@@ -196,6 +357,10 @@ func jacobi(env *mpi.Env, n, maxIters int, tol float64) error {
 	if rank == 0 {
 		fmt.Printf("jacobi: %d ranks, %dx%d grid, %d iterations, heat=%.4f, %.3fs\n",
 			size, n, n, it, out[0], elapsed)
+		// A timing-free line with full precision: a restored run must
+		// reproduce an uninterrupted run's values bit-exactly (the CI
+		// smoke job compares these lines verbatim).
+		fmt.Printf("jacobi result: iters=%d heat=%.17g residual=%.17g\n", it, out[0], lastRes)
 	}
 	return nil
 }

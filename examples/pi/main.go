@@ -7,7 +7,14 @@
 // scalar conveniences (ReduceOne/AllreduceOne) replace the one-element
 // slice dance of the classic binding.
 //
+// Run in-process (SM mode):
+//
 //	go run ./examples/pi [-n 2000000] [-np 4]
+//
+// Run as separate OS processes (DM mode):
+//
+//	go build -o /tmp/pi ./examples/pi
+//	go run ./cmd/mpirun -np 4 /tmp/pi
 package main
 
 import (
@@ -23,9 +30,11 @@ import (
 
 func main() {
 	n := flag.Int("n", 2_000_000, "integration intervals / samples")
-	np := flag.Int("np", 4, "number of ranks")
+	np := flag.Int("np", 4, "number of ranks (SM mode)")
 	flag.Parse()
-	if err := mpi.Run(*np, func(env *mpi.Env) error {
+	// mpi.Main runs SM mode (np goroutine ranks) stand-alone, or this
+	// process's single rank when launched under cmd/mpirun (DM mode).
+	if err := mpi.Main(*np, func(env *mpi.Env) error {
 		return pi(env, *n)
 	}); err != nil {
 		log.Fatal(err)

@@ -17,31 +17,16 @@ package main
 import (
 	"fmt"
 	"log"
-	"os"
 
-	"gompi/internal/launch"
 	"gompi/mpi"
 	"gompi/mpi/typed"
 )
 
 func main() {
-	if os.Getenv(launch.EnvSize) != "" {
-		// Launched by mpirun: one rank per OS process (paper Fig. 3's
-		// structure: MPI.Init ... MPI.Finalize).
-		env, _, err := mpi.Init(os.Args)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := hello(env); err != nil {
-			log.Fatal(err)
-		}
-		if err := env.Finalize(); err != nil {
-			log.Fatal(err)
-		}
-		return
-	}
-	// Stand-alone: run both ranks in-process.
-	if err := mpi.Run(2, hello); err != nil {
+	// mpi.Main runs both ranks in-process stand-alone (SM mode), or
+	// this process's single rank when launched under cmd/mpirun (the
+	// paper Fig. 3 structure: MPI.Init ... MPI.Finalize).
+	if err := mpi.Main(2, hello); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -47,6 +47,12 @@ const (
 	// tagExscan is Exscan's own family: Scan and Exscan traffic must
 	// never cross-match, even back to back on one communicator.
 	tagExscan
+	// tagPlan0 is the first of the families reserved for Plan-composed
+	// schedules (see plan.go): each communication primitive added to a
+	// Plan draws the next family, so a composed schedule may use the
+	// same primitive (e.g. two alltoalls in a two-phase read) without
+	// its rounds cross-matching.
+	tagPlan0
 )
 
 const (
@@ -270,7 +276,13 @@ func (c *Comm) addScatterSteps(s *sched, root int, parts *[][]byte, out *[]byte)
 // at completion *out holds every member's block. Blocks may differ in
 // size, so this also serves Allgatherv.
 func (c *Comm) addAllgatherSteps(s *sched, mine []byte, out *[][]byte) {
-	tag := s.tag(tagAllgather)
+	c.addAllgatherStepsFam(s, tagAllgather, mine, out)
+}
+
+// addAllgatherStepsFam is addAllgatherSteps under an explicit tag
+// family, for Plan-composed schedules.
+func (c *Comm) addAllgatherStepsFam(s *sched, family int, mine []byte, out *[][]byte) {
+	tag := s.tag(family)
 	right := (c.Rank + 1) % c.Size
 	left := (c.Rank - 1 + c.Size) % c.Size
 	blocks := make([][]byte, c.Size)
@@ -296,7 +308,14 @@ func (c *Comm) addAllgatherSteps(s *sched, mine []byte, out *[][]byte) {
 // reaches member j; at completion *out holds the blocks received from
 // every member. Variable block sizes make it also serve Alltoallv.
 func (c *Comm) addAlltoallSteps(s *sched, parts [][]byte, out *[][]byte) {
-	tag := s.tag(tagAlltoall)
+	c.addAlltoallStepsFam(s, tagAlltoall, parts, out)
+}
+
+// addAlltoallStepsFam is addAlltoallSteps under an explicit tag family.
+// parts contents are read lazily inside the steps, so a Plan may fill
+// the (pre-sized) slice from an earlier step of the same schedule.
+func (c *Comm) addAlltoallStepsFam(s *sched, family int, parts [][]byte, out *[][]byte) {
+	tag := s.tag(family)
 	res := make([][]byte, c.Size)
 	for st := 1; st < c.Size; st++ {
 		st := st

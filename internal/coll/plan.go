@@ -1,0 +1,80 @@
+package coll
+
+import "fmt"
+
+// Plan composes a custom collective schedule from the engine's
+// primitives: local compute steps interleaved with collective exchange
+// rounds, all running as one schedule instance — so the composition
+// inherits the engine's nonblocking Start form, cancellation points and
+// per-instance tag isolation for free. The parallel I/O layer builds
+// its two-phase collective reads and writes this way.
+//
+// Like every collective, a Plan must be constructed synchronously and
+// in the same program order on every member of the communicator (the
+// instance number is minted at NewPlan), and every member must add the
+// same sequence of exchange primitives. Each primitive draws its own
+// reserved tag family, so one Plan may use the same primitive several
+// times (e.g. the request and data alltoalls of a two-phase read)
+// without its rounds cross-matching.
+type Plan struct {
+	c   *Comm
+	s   *sched
+	fam int
+}
+
+// NewPlan starts an empty composed schedule, minting its collective
+// instance number. Callers that abort between NewPlan and Run/Start
+// leave the instance consumed, exactly like an aborted collective —
+// peers whose matching call proceeded stay tag-aligned.
+func (c *Comm) NewPlan() *Plan {
+	return &Plan{c: c, s: c.newSched(), fam: tagPlan0}
+}
+
+// nextFam allocates the next reserved tag family for one exchange
+// primitive. The family space is bounded by the tag layout; a plan
+// that exhausts it is a builder bug, not a runtime condition.
+func (p *Plan) nextFam() int {
+	f := p.fam
+	if f >= 1<<tagFamBits {
+		panic(fmt.Sprintf("coll: plan exceeds %d exchange primitives", (1<<tagFamBits)-tagPlan0))
+	}
+	p.fam++
+	return f
+}
+
+// Step appends a local compute step. Steps run in order on the
+// schedule's executor (the caller for Run, the runner goroutine for
+// Start); an error aborts the schedule.
+func (p *Plan) Step(fn func() error) { p.s.step(fn) }
+
+// Alltoall appends a pairwise exchange round: parts[j] reaches member
+// j, and *out holds the blocks received from every member once the
+// round's steps have run. Block sizes may vary. parts must be pre-sized
+// to the communicator size, but its contents are read lazily — an
+// earlier Step of the same plan may fill them.
+func (p *Plan) Alltoall(parts [][]byte, out *[][]byte) error {
+	if len(parts) != p.c.Size {
+		return fmt.Errorf("coll: plan alltoall with %d parts for %d ranks", len(parts), p.c.Size)
+	}
+	p.c.addAlltoallStepsFam(p.s, p.nextFam(), parts, out)
+	return nil
+}
+
+// Allgather appends a ring allgather round of this member's block; *out
+// holds every member's block once the round's steps have run.
+func (p *Plan) Allgather(mine []byte, out *[][]byte) {
+	p.c.addAllgatherStepsFam(p.s, p.nextFam(), mine, out)
+}
+
+// Publish appends the final step that snapshots the schedule's result:
+// what Run returns and what a started Request completes with.
+func (p *Plan) Publish(get func() any) { p.s.publish(get) }
+
+// Run executes the composed schedule inline to completion on the
+// calling goroutine (the blocking form).
+func (p *Plan) Run() (any, error) { return p.s.runInline() }
+
+// Start launches the composed schedule on its own progress goroutine
+// and returns its request (the nonblocking form), with cancellation
+// points at every exchange wait.
+func (p *Plan) Start() *Request { return p.s.start() }

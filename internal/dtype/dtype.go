@@ -203,6 +203,29 @@ func (t *Type) IsMarker() bool { return t.marker != markNone }
 // require.
 func (t *Type) IsContiguous() bool { return t.contig }
 
+// Runs returns the typemap grouped into maximal runs of consecutive
+// displacements, as (offset, length) pairs in typemap order. The file
+// layer walks these to turn a view into contiguous file extents.
+func (t *Type) Runs() [][2]int {
+	out := make([][2]int, len(t.runs))
+	for i, r := range t.runs {
+		out[i] = [2]int{r.off, r.n}
+	}
+	return out
+}
+
+// Monotone reports whether the typemap's displacements are strictly
+// increasing — the shape MPI requires of filetypes (non-negative,
+// monotonically nondecreasing, non-overlapping for writes).
+func (t *Type) Monotone() bool {
+	for i := 1; i < len(t.disps); i++ {
+		if t.disps[i] <= t.disps[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
 // Commit finalizes a derived type for use in communication. It is
 // idempotent.
 func (t *Type) Commit() {

@@ -26,6 +26,10 @@ type CollRequest struct {
 	creq *coll.Request
 	fin  func(res any) error // deferred completion: deposit into user buffers
 
+	// fileStatus carries the transfer status of a collective file read
+	// (set by the completion deposit; see File.IreadAtAll).
+	fileStatus *Status
+
 	once sync.Once
 	err  error
 }
@@ -46,7 +50,10 @@ func (r *CollRequest) settle(res any, schedErr error) error {
 			r.err = ErrCollectiveCancelled
 			return
 		case schedErr != nil:
-			err = errf(ErrIntern, "%v", schedErr)
+			// mapPioErr classifies file-schedule failures (ErrFile,
+			// ErrArg, ErrAccess, ErrIO) and wraps everything else as
+			// ErrIntern — exactly the classic collective behaviour.
+			err = mapPioErr(schedErr)
 		case r.fin != nil:
 			err = r.fin(res)
 		}
@@ -95,3 +102,10 @@ func (r *CollRequest) Test() (bool, error) {
 	}
 	return true, r.settle(res, err)
 }
+
+// FileStatus returns the transfer status of a completed collective
+// file read (File.IreadAtAll/IreadAll): GetCount reports the elements
+// the file actually held, so short reads at end-of-file are detectable
+// on the nonblocking path too. It is nil before completion and for
+// every other kind of collective.
+func (r *CollRequest) FileStatus() *Status { return r.fileStatus }

@@ -29,6 +29,12 @@ const (
 	ErrIntern                   // internal implementation error
 	ErrInStatus                 // error code is in the status
 	ErrPending                  // pending request
+
+	// MPI-2 §9 (parallel I/O) classes.
+	ErrFile   // invalid file handle (closed, nil, wrong state)
+	ErrIO     // underlying filesystem I/O failure
+	ErrAmode  // invalid access-mode combination passed to OpenFile
+	ErrAccess // operation forbidden by the file's access mode
 )
 
 var errClassNames = map[ErrClass]string{
@@ -39,6 +45,8 @@ var errClassNames = map[ErrClass]string{
 	ErrDims: "MPI_ERR_DIMS", ErrArg: "MPI_ERR_ARG", ErrTruncate: "MPI_ERR_TRUNCATE",
 	ErrOther: "MPI_ERR_OTHER", ErrIntern: "MPI_ERR_INTERN", ErrInStatus: "MPI_ERR_IN_STATUS",
 	ErrPending: "MPI_ERR_PENDING",
+	ErrFile:    "MPI_ERR_FILE", ErrIO: "MPI_ERR_IO", ErrAmode: "MPI_ERR_AMODE",
+	ErrAccess: "MPI_ERR_ACCESS",
 }
 
 func (c ErrClass) String() string {

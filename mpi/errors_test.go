@@ -1,0 +1,67 @@
+package mpi_test
+
+import (
+	"strings"
+	"testing"
+
+	"gompi/mpi"
+)
+
+// TestErrClassStrings round-trips every error class through String():
+// each class must render its distinct MPI_* name, through the full
+// MPI-1 table and the MPI-2 parallel I/O additions.
+func TestErrClassStrings(t *testing.T) {
+	want := map[mpi.ErrClass]string{
+		mpi.ErrSuccess:  "MPI_SUCCESS",
+		mpi.ErrBuffer:   "MPI_ERR_BUFFER",
+		mpi.ErrCount:    "MPI_ERR_COUNT",
+		mpi.ErrType:     "MPI_ERR_TYPE",
+		mpi.ErrTag:      "MPI_ERR_TAG",
+		mpi.ErrComm:     "MPI_ERR_COMM",
+		mpi.ErrRank:     "MPI_ERR_RANK",
+		mpi.ErrRequest:  "MPI_ERR_REQUEST",
+		mpi.ErrRoot:     "MPI_ERR_ROOT",
+		mpi.ErrGroup:    "MPI_ERR_GROUP",
+		mpi.ErrOp:       "MPI_ERR_OP",
+		mpi.ErrTopology: "MPI_ERR_TOPOLOGY",
+		mpi.ErrDims:     "MPI_ERR_DIMS",
+		mpi.ErrArg:      "MPI_ERR_ARG",
+		mpi.ErrTruncate: "MPI_ERR_TRUNCATE",
+		mpi.ErrOther:    "MPI_ERR_OTHER",
+		mpi.ErrIntern:   "MPI_ERR_INTERN",
+		mpi.ErrInStatus: "MPI_ERR_IN_STATUS",
+		mpi.ErrPending:  "MPI_ERR_PENDING",
+		mpi.ErrFile:     "MPI_ERR_FILE",
+		mpi.ErrIO:       "MPI_ERR_IO",
+		mpi.ErrAmode:    "MPI_ERR_AMODE",
+		mpi.ErrAccess:   "MPI_ERR_ACCESS",
+	}
+	seen := map[string]mpi.ErrClass{}
+	for class, name := range want {
+		got := class.String()
+		if got != name {
+			t.Errorf("class %d: String() = %q, want %q", int(class), got, name)
+		}
+		if prev, dup := seen[got]; dup {
+			t.Errorf("classes %d and %d share the name %q", int(prev), int(class), got)
+		}
+		seen[got] = class
+	}
+	// Every class named in the table must survive an Error round trip:
+	// the class comes back out of ClassOf and the name appears in the
+	// message.
+	for class, name := range want {
+		err := &mpi.Error{Class: class, Msg: "detail"}
+		if mpi.ClassOf(err) != class {
+			t.Errorf("ClassOf lost class %s", name)
+		}
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("Error() = %q does not mention %s", err.Error(), name)
+		}
+	}
+	// Unknown classes render a stable fallback rather than colliding
+	// with real names.
+	if got := mpi.ErrClass(9999).String(); got != "MPI_ERR(9999)" {
+		t.Errorf("unknown class String() = %q", got)
+	}
+}

@@ -1,0 +1,440 @@
+package mpi_test
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"gompi/mpi"
+)
+
+// TestFileStridedCollectiveRoundTrip is the subsystem's acceptance
+// shape: a 4-rank collective WriteAtAll through a strided view (each
+// rank a column block of a row-major matrix), followed by a collective
+// ReadAtAll through the same view, must round-trip bit-exact — and the
+// bytes on disk must be the matrix in global row-major order.
+func TestFileStridedCollectiveRoundTrip(t *testing.T) {
+	const ranks, side = 4, 32
+	const cpr = side / ranks // columns per rank
+	path := filepath.Join(t.TempDir(), "matrix.bin")
+	err := mpi.Run(ranks, func(env *mpi.Env) error {
+		w := env.CommWorld()
+		f, err := w.OpenFile(path, mpi.ModeCreate|mpi.ModeRdwr)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		f.SetStripe(512) // several stripes per rank: real aggregation traffic
+
+		// Rank r's file view: its column block of the row-major matrix.
+		ft, err := mpi.TypeVector(side, cpr, side, mpi.DOUBLE)
+		if err != nil {
+			return err
+		}
+		ft.Commit()
+		if err := f.SetView(w.Rank()*cpr, mpi.DOUBLE, ft); err != nil {
+			return err
+		}
+
+		mine := make([]float64, side*cpr)
+		for i := range mine {
+			mine[i] = float64(w.Rank())*1e6 + float64(i) + 0.25
+		}
+		st, err := f.WriteAtAll(0, mine, 0, len(mine), mpi.DOUBLE)
+		if err != nil {
+			return err
+		}
+		if got := st.GetCount(mpi.DOUBLE); got != len(mine) {
+			return fmt.Errorf("rank %d: wrote %d elements, want %d", w.Rank(), got, len(mine))
+		}
+
+		back := make([]float64, side*cpr)
+		st, err = f.ReadAtAll(0, back, 0, len(back), mpi.DOUBLE)
+		if err != nil {
+			return err
+		}
+		if got := st.GetCount(mpi.DOUBLE); got != len(back) {
+			return fmt.Errorf("rank %d: read %d elements, want %d", w.Rank(), got, len(back))
+		}
+		if !reflect.DeepEqual(mine, back) {
+			return fmt.Errorf("rank %d: collective round trip not bit-exact", w.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cross-check the on-disk layout from outside MPI.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != side*side*8 {
+		t.Fatalf("file holds %d bytes, want %d", len(raw), side*side*8)
+	}
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			owner := c / cpr
+			want := float64(owner)*1e6 + float64(r*cpr+c-owner*cpr) + 0.25
+			got := math.Float64frombits(binary.LittleEndian.Uint64(raw[(r*side+c)*8:]))
+			if got != want {
+				t.Fatalf("matrix[%d,%d] = %v, want %v", r, c, got, want)
+			}
+		}
+	}
+}
+
+// TestFileIndependentAndPointerIO exercises WriteAt/ReadAt, the
+// file-pointer forms and Seek, single rank.
+func TestFileIndependentAndPointerIO(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "indep.bin")
+	err := mpi.Run(1, func(env *mpi.Env) error {
+		w := env.CommWorld()
+		f, err := w.OpenFile(path, mpi.ModeCreate|mpi.ModeRdwr)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := f.SetView(0, mpi.INT, mpi.INT); err != nil {
+			return err
+		}
+		data := []int32{5, 6, 7, 8}
+		if _, err := f.WriteAt(2, data, 0, 4, mpi.INT); err != nil {
+			return err
+		}
+		// Pointer I/O: write two more at the pointer, then seek around.
+		if _, err := f.Write([]int32{1, 2}, 0, 2, mpi.INT); err != nil {
+			return err
+		}
+		if pos := f.Tell(); pos != 2 {
+			return fmt.Errorf("tell after Write = %d, want 2", pos)
+		}
+		if _, err := f.Seek(0, mpi.SeekEnd); err != nil {
+			return err
+		}
+		if pos := f.Tell(); pos != 6 {
+			return fmt.Errorf("tell after SeekEnd = %d, want 6", pos)
+		}
+		if _, err := f.Seek(-4, mpi.SeekCur); err != nil {
+			return err
+		}
+		buf := make([]int32, 4)
+		st, err := f.Read(buf, 0, 4, mpi.INT)
+		if err != nil {
+			return err
+		}
+		if st.GetCount(mpi.INT) != 4 || !reflect.DeepEqual(buf, data) {
+			return fmt.Errorf("Read got %v (count %d)", buf, st.GetCount(mpi.INT))
+		}
+		// Reading past EOF delivers the available prefix.
+		big := make([]int32, 10)
+		st, err = f.ReadAt(4, big, 0, 10, mpi.INT)
+		if err != nil {
+			return err
+		}
+		if st.GetCount(mpi.INT) != 2 || big[0] != 7 || big[1] != 8 {
+			return fmt.Errorf("EOF read: count=%d buf=%v", st.GetCount(mpi.INT), big)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileAmodeAndAccessErrors(t *testing.T) {
+	dir := t.TempDir()
+	err := mpi.Run(2, func(env *mpi.Env) error {
+		w := env.CommWorld()
+		// Invalid amode combinations are local errors (MPI_ERR_AMODE).
+		for _, amode := range []int{
+			0,                             // no access bits
+			mpi.ModeRdonly | mpi.ModeRdwr, // two access bits
+			mpi.ModeRdonly | mpi.ModeCreate,
+			mpi.ModeWronly | mpi.ModeExcl, // Excl without Create
+		} {
+			if _, err := w.OpenFile(filepath.Join(dir, "x"), amode); mpi.ClassOf(err) != mpi.ErrAmode {
+				return fmt.Errorf("amode %#x: got %v, want MPI_ERR_AMODE", amode, err)
+			}
+		}
+
+		path := filepath.Join(dir, "access.bin")
+		f, err := w.OpenFile(path, mpi.ModeCreate|mpi.ModeWronly)
+		if err != nil {
+			return err
+		}
+		buf := []byte{1}
+		if _, err := f.ReadAt(0, buf, 0, 1, mpi.BYTE); mpi.ClassOf(err) != mpi.ErrAccess {
+			return fmt.Errorf("read on write-only file: got %v, want MPI_ERR_ACCESS", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+
+		f, err = w.OpenFile(path, mpi.ModeRdonly)
+		if err != nil {
+			return err
+		}
+		if _, err := f.WriteAt(0, buf, 0, 1, mpi.BYTE); mpi.ClassOf(err) != mpi.ErrAccess {
+			return fmt.Errorf("write on read-only file: got %v, want MPI_ERR_ACCESS", err)
+		}
+		// Collective write on a read-only file: every member fails
+		// locally and consumes the instance; the communicator survives.
+		if _, err := f.WriteAtAll(0, buf, 0, 1, mpi.BYTE); mpi.ClassOf(err) != mpi.ErrAccess {
+			return fmt.Errorf("collective write on read-only file: got %v, want MPI_ERR_ACCESS", err)
+		}
+		if err := w.Barrier(); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+
+		// Excl on an existing file fails collectively.
+		if _, err := w.OpenFile(path, mpi.ModeCreate|mpi.ModeExcl|mpi.ModeWronly); mpi.ClassOf(err) != mpi.ErrIO {
+			return fmt.Errorf("excl on existing file: got %v, want MPI_ERR_IO", err)
+		}
+
+		// Operations on a closed file report MPI_ERR_FILE.
+		f, err = w.OpenFile(path, mpi.ModeRdonly)
+		if err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if _, err := f.ReadAt(0, buf, 0, 1, mpi.BYTE); mpi.ClassOf(err) != mpi.ErrFile {
+			return fmt.Errorf("read on closed file: got %v, want MPI_ERR_FILE", err)
+		}
+		if _, err := f.ReadAtAll(0, buf, 0, 1, mpi.BYTE); mpi.ClassOf(err) != mpi.ErrFile {
+			return fmt.Errorf("collective read on closed file: got %v, want MPI_ERR_FILE", err)
+		}
+		return w.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileOpenMissingFails(t *testing.T) {
+	dir := t.TempDir()
+	err := mpi.Run(2, func(env *mpi.Env) error {
+		w := env.CommWorld()
+		_, err := w.OpenFile(filepath.Join(dir, "nope.bin"), mpi.ModeRdonly)
+		if mpi.ClassOf(err) != mpi.ErrIO {
+			return fmt.Errorf("open missing: got %v, want MPI_ERR_IO", err)
+		}
+		// The communicator must stay healthy after the failed open.
+		return w.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileNonblockingCollective(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "icoll.bin")
+	const ranks, per = 4, 1000
+	err := mpi.Run(ranks, func(env *mpi.Env) error {
+		w := env.CommWorld()
+		f, err := w.OpenFile(path, mpi.ModeCreate|mpi.ModeRdwr)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		mine := make([]int64, per)
+		for i := range mine {
+			mine[i] = int64(w.Rank()*per + i)
+		}
+		req, err := f.IwriteAtAll(int64(w.Rank()*per*8), mine, 0, per, mpi.LONG)
+		if err != nil {
+			return err
+		}
+		if err := req.Wait(); err != nil {
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			return err
+		}
+		back := make([]int64, per)
+		rreq, err := f.IreadAtAll(int64(w.Rank()*per*8), back, 0, per, mpi.LONG)
+		if err != nil {
+			return err
+		}
+		if err := rreq.Wait(); err != nil {
+			return err
+		}
+		if !reflect.DeepEqual(mine, back) {
+			return fmt.Errorf("rank %d: nonblocking round trip mismatch", w.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFileCollectiveCtxCancel checks that a collective file write
+// stalled on an absent peer unblocks promptly under a context, and the
+// communicator recovers once the late member catches up.
+func TestFileCollectiveCtxCancel(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cancel.bin")
+	err := mpi.Run(2, func(env *mpi.Env) error {
+		w := env.CommWorld()
+		f, err := w.OpenFile(path, mpi.ModeCreate|mpi.ModeRdwr)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		data := []byte{1, 2, 3, 4}
+		if w.Rank() == 0 {
+			ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+			defer cancel()
+			_, err := f.WriteAtAllCtx(ctx, 0, data, 0, len(data), mpi.BYTE)
+			if !errors.Is(err, context.DeadlineExceeded) {
+				return fmt.Errorf("stalled collective write returned %v, want deadline", err)
+			}
+			// Catch up with rank 1's pending collective so the pair
+			// stays aligned, then prove the file is still usable.
+			if _, err := f.WriteAtAll(4, data, 0, len(data), mpi.BYTE); err != nil {
+				return err
+			}
+		} else {
+			time.Sleep(150 * time.Millisecond)
+			// The matching call for the one rank 0 abandoned...
+			if _, err := f.WriteAtAll(0, data, 0, len(data), mpi.BYTE); err != nil {
+				return err
+			}
+			// ...and the recovery collective.
+			if _, err := f.WriteAtAll(4, data, 0, len(data), mpi.BYTE); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileAppendAndDeleteOnClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "append.bin")
+	if err := os.WriteFile(path, []byte{9, 9, 9}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := mpi.Run(1, func(env *mpi.Env) error {
+		w := env.CommWorld()
+		f, err := w.OpenFile(path, mpi.ModeWronly|mpi.ModeAppend|mpi.ModeDeleteOnClose)
+		if err != nil {
+			return err
+		}
+		if f.Tell() != 3 {
+			return fmt.Errorf("append position = %d, want 3", f.Tell())
+		}
+		if _, err := f.Write([]byte{7}, 0, 1, mpi.BYTE); err != nil {
+			return err
+		}
+		n, err := f.Size()
+		if err != nil {
+			return err
+		}
+		if n != 4 {
+			return fmt.Errorf("size = %d, want 4", n)
+		}
+		return f.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("delete-on-close left the file behind: %v", err)
+	}
+}
+
+// TestFileEtypeMatchAndIreadStatus covers the file-interface
+// typematch rule (buffer class must agree with the view's etype, with
+// MPI.BYTE matching anything) and the FileStatus accessor that makes
+// EOF short reads detectable on the nonblocking collective path.
+func TestFileEtypeMatchAndIreadStatus(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "etype.bin")
+	err := mpi.Run(1, func(env *mpi.Env) error {
+		w := env.CommWorld()
+		f, err := w.OpenFile(path, mpi.ModeCreate|mpi.ModeRdwr)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := f.SetView(0, mpi.DOUBLE, mpi.DOUBLE); err != nil {
+			return err
+		}
+		// An int32 buffer through a DOUBLE view would silently
+		// reinterpret raw bytes; the typematch rule rejects it.
+		if _, err := f.WriteAt(0, []int32{1, 2}, 0, 2, mpi.INT); mpi.ClassOf(err) != mpi.ErrType {
+			return fmt.Errorf("int buffer through double view: got %v, want MPI_ERR_TYPE", err)
+		}
+		// MPI.BYTE is the escape hatch on either side.
+		if _, err := f.WriteAt(0, make([]byte, 16), 0, 16, mpi.BYTE); err != nil {
+			return fmt.Errorf("byte buffer through double view: %v", err)
+		}
+		// 16 bytes = 2 doubles; a 5-double nonblocking collective read
+		// must report the short count through FileStatus.
+		buf := make([]float64, 5)
+		req, err := f.IreadAtAll(0, buf, 0, 5, mpi.DOUBLE)
+		if err != nil {
+			return err
+		}
+		if err := req.Wait(); err != nil {
+			return err
+		}
+		st := req.FileStatus()
+		if st == nil || st.GetCount(mpi.DOUBLE) != 2 {
+			return fmt.Errorf("FileStatus after EOF Iread = %+v, want count 2", st)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileSetSizeAndView(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "view.bin")
+	err := mpi.Run(2, func(env *mpi.Env) error {
+		w := env.CommWorld()
+		f, err := w.OpenFile(path, mpi.ModeCreate|mpi.ModeRdwr)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := f.SetSize(64); err != nil {
+			return err
+		}
+		n, err := f.Size()
+		if err != nil {
+			return err
+		}
+		if n != 64 {
+			return fmt.Errorf("size = %d, want 64", n)
+		}
+		// A view over OBJECT is rejected; the default view survives.
+		if err := f.SetView(0, mpi.OBJECT, mpi.OBJECT); mpi.ClassOf(err) != mpi.ErrArg {
+			return fmt.Errorf("object view: got %v, want MPI_ERR_ARG", err)
+		}
+		disp, et, ft := f.GetView()
+		if disp != 0 || et != mpi.BYTE || ft != mpi.BYTE {
+			return fmt.Errorf("view after rejected SetView = (%d,%s,%s)", disp, et.Name(), ft.Name())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -46,3 +46,24 @@ func Init(args []string) (*Env, []string, error) {
 	}
 	return newEnv(dev, cfg), args, nil
 }
+
+// Main runs fn as an SPMD job in whichever mode the process was
+// launched: under cmd/mpirun (job geometry in the environment) the
+// process is one rank and fn runs once between Init and Finalize;
+// otherwise np ranks run in-process via Run. It is the one-line main
+// shared by the examples.
+func Main(np int, fn func(*Env) error) error {
+	if os.Getenv(launch.EnvSize) == "" {
+		return Run(np, fn)
+	}
+	env, _, err := Init(os.Args)
+	if err != nil {
+		return err
+	}
+	if err := fn(env); err != nil {
+		// A failed rank skips the Finalize barrier (peers may be out
+		// of step); mpirun surfaces the nonzero exit.
+		return err
+	}
+	return env.Finalize()
+}

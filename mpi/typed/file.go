@@ -1,0 +1,154 @@
+package typed
+
+import (
+	"context"
+	"fmt"
+
+	"gompi/mpi"
+)
+
+// FileOpener is the communicator surface the typed file layer needs:
+// *mpi.Intracomm satisfies it, and *mpi.Cartcomm and *mpi.Graphcomm do
+// through embedding.
+type FileOpener interface {
+	OpenFile(path string, amode int) (*mpi.File, error)
+}
+
+// File is the generics face of mpi.File: the etype is inferred from
+// the element type T, buffers are slices carrying their own counts,
+// and offsets count T elements. T must be one of the seven native
+// element types or a named primitive over one (the fixed-size classes
+// a file view can address); structs and other OBJECT-routed types have
+// no fixed wire size and are rejected at open.
+type File[T any] struct {
+	// F is the underlying classic handle, for the calls the typed
+	// surface does not wrap (SetSize, Sync, Seek, views over other
+	// etypes).
+	F *mpi.File
+	d *mpi.Datatype
+}
+
+// OpenFile opens path collectively over the communicator with the
+// etype inferred from T (MPI_File_open + MPI_File_set_view's etype in
+// one step). The view starts as the identity over T: element i of the
+// file is T element i.
+func OpenFile[T any](c FileOpener, path string, amode int) (*File[T], error) {
+	var probe []T
+	_, d, _ := view(probe)
+	if d == mpi.OBJECT {
+		return nil, fmt.Errorf("typed: element type %T has no fixed wire size; files need a native element type", probe)
+	}
+	f, err := c.OpenFile(path, amode)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.SetView(0, d, d); err != nil {
+		f.Close() //nolint:errcheck // best-effort teardown
+		return nil, err
+	}
+	return &File[T]{F: f, d: d}, nil
+}
+
+// SetView installs a view with T as the etype (MPI_File_set_view):
+// disp counts T elements and filetype must be built over T's storage
+// class. Collective; resets the individual file pointer.
+func (f *File[T]) SetView(disp int, filetype *mpi.Datatype) error {
+	return f.F.SetView(disp, f.d, filetype)
+}
+
+// Close closes the file. Collective.
+func (f *File[T]) Close() error { return f.F.Close() }
+
+// wbuf resolves buf for a file call: native and named-primitive
+// element types reinterpret in place (see view); OBJECT routing cannot
+// occur because OpenFile rejected those types.
+func wbuf[T any](buf []T) (any, *mpi.Datatype) {
+	raw, d, _ := view(buf)
+	return raw, d
+}
+
+// WriteAt writes buf at view element offset foff, independently of
+// other ranks (MPI_File_write_at).
+func (f *File[T]) WriteAt(buf []T, foff int) (*mpi.Status, error) {
+	raw, d := wbuf(buf)
+	return f.F.WriteAt(int64(foff), raw, 0, len(buf), d)
+}
+
+// ReadAt reads len(buf) elements from view element offset foff,
+// independently of other ranks (MPI_File_read_at). Count reports how
+// many elements a read that hit end-of-file delivered.
+func (f *File[T]) ReadAt(buf []T, foff int) (*mpi.Status, error) {
+	raw, d := wbuf(buf)
+	return f.F.ReadAt(int64(foff), raw, 0, len(buf), d)
+}
+
+// Write writes buf at the individual file pointer (MPI_File_write).
+func (f *File[T]) Write(buf []T) (*mpi.Status, error) {
+	raw, d := wbuf(buf)
+	return f.F.Write(raw, 0, len(buf), d)
+}
+
+// Read reads len(buf) elements at the individual file pointer
+// (MPI_File_read).
+func (f *File[T]) Read(buf []T) (*mpi.Status, error) {
+	raw, d := wbuf(buf)
+	return f.F.Read(raw, 0, len(buf), d)
+}
+
+// WriteAllAt is the collective two-phase write of buf at view element
+// offset foff (MPI_File_write_at_all). Every member must call it;
+// buffer lengths may differ, including zero.
+func (f *File[T]) WriteAllAt(buf []T, foff int) (*mpi.Status, error) {
+	raw, d := wbuf(buf)
+	return f.F.WriteAtAll(int64(foff), raw, 0, len(buf), d)
+}
+
+// ReadAllAt is the collective two-phase read of len(buf) elements at
+// view element offset foff (MPI_File_read_at_all).
+func (f *File[T]) ReadAllAt(buf []T, foff int) (*mpi.Status, error) {
+	raw, d := wbuf(buf)
+	return f.F.ReadAtAll(int64(foff), raw, 0, len(buf), d)
+}
+
+// WriteAllAtCtx is WriteAllAt under a context: a collective stalled on
+// an absent peer unblocks promptly with ctx's error.
+func (f *File[T]) WriteAllAtCtx(ctx context.Context, buf []T, foff int) (*mpi.Status, error) {
+	raw, d := wbuf(buf)
+	return f.F.WriteAtAllCtx(ctx, int64(foff), raw, 0, len(buf), d)
+}
+
+// ReadAllAtCtx is ReadAllAt under a context.
+func (f *File[T]) ReadAllAtCtx(ctx context.Context, buf []T, foff int) (*mpi.Status, error) {
+	raw, d := wbuf(buf)
+	return f.F.ReadAtAllCtx(ctx, int64(foff), raw, 0, len(buf), d)
+}
+
+// IwriteAllAt starts the nonblocking collective write of buf at view
+// element offset foff (MPI_File_iwrite_at_all); buf must not be
+// modified until the request completes.
+func (f *File[T]) IwriteAllAt(buf []T, foff int) (*mpi.CollRequest, error) {
+	raw, d := wbuf(buf)
+	return f.F.IwriteAtAll(int64(foff), raw, 0, len(buf), d)
+}
+
+// IreadAllAt starts the nonblocking collective read of len(buf)
+// elements at view element offset foff (MPI_File_iread_at_all); buf is
+// filled when the request completes.
+func (f *File[T]) IreadAllAt(buf []T, foff int) (*mpi.CollRequest, error) {
+	raw, d := wbuf(buf)
+	return f.F.IreadAtAll(int64(foff), raw, 0, len(buf), d)
+}
+
+// WriteAll is the collective write at the individual file pointer
+// (MPI_File_write_all).
+func (f *File[T]) WriteAll(buf []T) (*mpi.Status, error) {
+	raw, d := wbuf(buf)
+	return f.F.WriteAll(raw, 0, len(buf), d)
+}
+
+// ReadAll is the collective read at the individual file pointer
+// (MPI_File_read_all).
+func (f *File[T]) ReadAll(buf []T) (*mpi.Status, error) {
+	raw, d := wbuf(buf)
+	return f.F.ReadAll(raw, 0, len(buf), d)
+}

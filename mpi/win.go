@@ -21,6 +21,7 @@ type Win struct {
 	comm *Intracomm // private duplicate owning the service contexts
 	base any        // the exposed slice
 	dt   *Datatype  // basic element type of the window
+	size int        // window length, in elements
 
 	winMu   sync.Mutex // serializes applies to the window
 	pending sync.WaitGroup
@@ -100,7 +101,8 @@ func (c *Intracomm) CreateWin(base any, d *Datatype) (*Win, error) {
 	if d.Size() != 1 || d.Extent() != 1 {
 		return nil, c.raise(errf(ErrType, "window element type must be basic, got %s", d.Name()))
 	}
-	if _, err := dtype.CheckBuf(base, d.t); err != nil {
+	n, err := dtype.CheckBuf(base, d.t)
+	if err != nil {
 		return nil, c.raise(mapDataErr(err))
 	}
 	priv, err := c.Dup()
@@ -108,7 +110,7 @@ func (c *Intracomm) CreateWin(base any, d *Datatype) (*Win, error) {
 		return nil, err
 	}
 	priv.SetName(c.Name() + ".win")
-	w := &Win{comm: priv, base: base, dt: d, svcDone: make(chan struct{})}
+	w := &Win{comm: priv, base: base, dt: d, size: n, svcDone: make(chan struct{})}
 	go w.serve()
 	// All members must have their service running before any origin
 	// issues an operation.
@@ -156,21 +158,33 @@ func (w *Win) serve() {
 		payload := f[14:]
 		var reply []byte
 		var opErr error
-		switch kind {
-		case rmaStop:
+		if kind == rmaStop {
 			w.ack(st.SourceGroup, id, nil)
 			req.Recycle()
 			return
-		case rmaPut:
-			w.winMu.Lock()
-			_, opErr = dtype.Unpack(payload, w.base, disp, count, w.dt.t)
-			w.winMu.Unlock()
-		case rmaGet:
-			w.winMu.Lock()
-			reply, opErr = dtype.Pack(nil, w.base, disp, count, w.dt.t)
-			w.winMu.Unlock()
-		case rmaAcc:
-			opErr = w.applyAcc(accOp, payload, disp, count)
+		}
+		// Target-side validation: MPI delegates range and datatype
+		// checking of one-sided operations to the target, where the
+		// window's true shape is known. Invalid operations are dropped
+		// (the ack still flows so fences cannot hang) and surface on
+		// the target's next Fence.
+		opErr = w.checkTarget(kind, disp, count, len(payload))
+		if opErr == nil {
+			switch kind {
+			case rmaPut:
+				w.winMu.Lock()
+				_, opErr = dtype.Unpack(payload, w.base, disp, count, w.dt.t)
+				w.winMu.Unlock()
+			case rmaGet:
+				w.winMu.Lock()
+				reply, opErr = dtype.Pack(nil, w.base, disp, count, w.dt.t)
+				w.winMu.Unlock()
+			case rmaAcc:
+				opErr = w.applyAcc(accOp, payload, disp, count)
+			}
+			if _, isMPI := opErr.(*Error); opErr != nil && !isMPI {
+				opErr = mapDataErr(opErr)
+			}
 		}
 		if opErr != nil {
 			// Surface target-side failures on the target rank; the
@@ -182,6 +196,27 @@ func (w *Win) serve() {
 		w.ack(st.SourceGroup, id, reply)
 		req.Recycle()
 	}
+}
+
+// checkTarget validates an incoming operation's window section and,
+// for data-carrying kinds, that the payload length matches the claimed
+// element count — the datatype-mismatch check only the target can
+// perform.
+func (w *Win) checkTarget(kind byte, disp, count, payloadLen int) error {
+	if disp < 0 || count < 0 || disp+count > w.size {
+		return errf(ErrBuffer, "one-sided access [%d,%d) outside window of %d elements", disp, disp+count, w.size)
+	}
+	// OBJECT payloads are gob-encoded with no fixed element size; the
+	// length check only applies to the fixed-size classes.
+	if kind != rmaGet {
+		if es := w.dt.t.Class().WireSize(); es > 0 {
+			if want := count * es; payloadLen != want {
+				return errf(ErrType, "one-sided payload of %d bytes does not match %d elements of %s",
+					payloadLen, count, w.dt.Name())
+			}
+		}
+	}
+	return nil
 }
 
 func (w *Win) applyAcc(code byte, payload []byte, disp, count int) error {

@@ -1,0 +1,201 @@
+package mpi_test
+
+import (
+	"fmt"
+	"testing"
+
+	"gompi/mpi"
+)
+
+// TestWinUseAfterFree covers the origin-side error paths: Put, Get,
+// Accumulate and Fence on a freed window must fail locally with
+// MPI_ERR_COMM and leave the communicator usable.
+func TestWinUseAfterFree(t *testing.T) {
+	err := mpi.Run(2, func(env *mpi.Env) error {
+		w := env.CommWorld()
+		base := make([]float64, 8)
+		win, err := w.CreateWin(base, mpi.DOUBLE)
+		if err != nil {
+			return err
+		}
+		if err := win.Free(); err != nil {
+			return err
+		}
+		buf := []float64{1}
+		if err := win.Put(buf, 0, 1, mpi.DOUBLE, 0, 0); mpi.ClassOf(err) != mpi.ErrComm {
+			return fmt.Errorf("Put after Free: got %v, want MPI_ERR_COMM", err)
+		}
+		if err := win.Get(buf, 0, 1, mpi.DOUBLE, 0, 0); mpi.ClassOf(err) != mpi.ErrComm {
+			return fmt.Errorf("Get after Free: got %v, want MPI_ERR_COMM", err)
+		}
+		if err := win.Accumulate(buf, 0, 1, mpi.DOUBLE, 0, 0, mpi.SUM); mpi.ClassOf(err) != mpi.ErrComm {
+			return fmt.Errorf("Accumulate after Free: got %v, want MPI_ERR_COMM", err)
+		}
+		if err := win.Free(); mpi.ClassOf(err) != mpi.ErrComm {
+			return fmt.Errorf("double Free: got %v, want MPI_ERR_COMM", err)
+		}
+		// The world communicator is unaffected.
+		return w.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWinTargetRangeError covers the target-side range check: a Put to
+// a displacement outside the target's window is dropped at the target
+// and surfaces through the *target's* next Fence as MPI_ERR_BUFFER;
+// the origin's Fence stays clean and the window remains usable.
+func TestWinTargetRangeError(t *testing.T) {
+	err := mpi.Run(2, func(env *mpi.Env) error {
+		w := env.CommWorld()
+		base := make([]float64, 4)
+		win, err := w.CreateWin(base, mpi.DOUBLE)
+		if err != nil {
+			return err
+		}
+		if w.Rank() == 0 {
+			// Displacement 100 is far outside rank 1's 4-element window.
+			if err := win.Put([]float64{7}, 0, 1, mpi.DOUBLE, 1, 100); err != nil {
+				return fmt.Errorf("Put itself must not fail at the origin: %v", err)
+			}
+		}
+		err = win.Fence()
+		switch w.Rank() {
+		case 0:
+			if err != nil {
+				return fmt.Errorf("origin Fence: %v, want nil", err)
+			}
+		case 1:
+			if mpi.ClassOf(err) != mpi.ErrBuffer {
+				return fmt.Errorf("target Fence: got %v, want MPI_ERR_BUFFER", err)
+			}
+		}
+		// The error is consumed by the Fence that reported it; the
+		// window keeps working.
+		if w.Rank() == 0 {
+			if err := win.Put([]float64{7}, 0, 1, mpi.DOUBLE, 1, 3); err != nil {
+				return err
+			}
+		}
+		if err := win.Fence(); err != nil {
+			return err
+		}
+		if w.Rank() == 1 && base[3] != 7 {
+			return fmt.Errorf("window element 3 = %v after recovery Put, want 7", base[3])
+		}
+		return win.Free()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWinDatatypeMismatchError covers the target-side datatype check:
+// an Accumulate whose payload does not match the window's element
+// size (here FLOAT into a DOUBLE window) surfaces through the target's
+// Fence as MPI_ERR_TYPE.
+func TestWinDatatypeMismatchError(t *testing.T) {
+	err := mpi.Run(2, func(env *mpi.Env) error {
+		w := env.CommWorld()
+		base := make([]float64, 4)
+		win, err := w.CreateWin(base, mpi.DOUBLE)
+		if err != nil {
+			return err
+		}
+		if w.Rank() == 0 {
+			// 2 float32 elements = 8 bytes, claiming 2 window elements
+			// (16 bytes expected): a datatype mismatch only the target
+			// can detect.
+			if err := win.Accumulate([]float32{1, 2}, 0, 2, mpi.FLOAT, 1, 0, mpi.SUM); err != nil {
+				return fmt.Errorf("Accumulate itself must not fail at the origin: %v", err)
+			}
+		}
+		err = win.Fence()
+		switch w.Rank() {
+		case 0:
+			if err != nil {
+				return fmt.Errorf("origin Fence: %v, want nil", err)
+			}
+		case 1:
+			if mpi.ClassOf(err) != mpi.ErrType {
+				return fmt.Errorf("target Fence: got %v, want MPI_ERR_TYPE", err)
+			}
+			for i, v := range base {
+				if v != 0 {
+					return fmt.Errorf("mismatched accumulate mutated window: base[%d]=%v", i, v)
+				}
+			}
+		}
+		return win.Free()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWinObjectWindow pins down that the target-side datatype check
+// does not reject OBJECT windows, whose gob payloads have no fixed
+// element size.
+func TestWinObjectWindow(t *testing.T) {
+	mpi.RegisterObject("")
+	err := mpi.Run(2, func(env *mpi.Env) error {
+		w := env.CommWorld()
+		base := make([]any, 4)
+		win, err := w.CreateWin(base, mpi.OBJECT)
+		if err != nil {
+			return err
+		}
+		if w.Rank() == 0 {
+			if err := win.Put([]any{"hello", "there"}, 0, 2, mpi.OBJECT, 1, 1); err != nil {
+				return err
+			}
+		}
+		if err := win.Fence(); err != nil {
+			return err
+		}
+		if w.Rank() == 1 {
+			if base[1] != "hello" || base[2] != "there" {
+				return fmt.Errorf("object window after Put: %v", base)
+			}
+		}
+		return win.Free()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWinGetRangeError covers the Get direction of the range check.
+func TestWinGetRangeError(t *testing.T) {
+	err := mpi.Run(2, func(env *mpi.Env) error {
+		w := env.CommWorld()
+		base := make([]float64, 4)
+		win, err := w.CreateWin(base, mpi.DOUBLE)
+		if err != nil {
+			return err
+		}
+		if w.Rank() == 0 {
+			// Read [2, 6) of a 4-element window.
+			buf := make([]float64, 4)
+			if err := win.Get(buf, 0, 4, mpi.DOUBLE, 1, 2); err != nil {
+				return fmt.Errorf("Get itself must not fail at the origin: %v", err)
+			}
+		}
+		err = win.Fence()
+		switch w.Rank() {
+		case 0:
+			if err != nil {
+				return fmt.Errorf("origin Fence: %v, want nil", err)
+			}
+		case 1:
+			if mpi.ClassOf(err) != mpi.ErrBuffer {
+				return fmt.Errorf("target Fence: got %v, want MPI_ERR_BUFFER", err)
+			}
+		}
+		return win.Free()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
