@@ -41,6 +41,7 @@ type output struct {
 	Table1    []table1JSON           `json:"table1_latency"`
 	Fig5SM    map[string][]pointJSON `json:"fig5_sm_pingpong"`
 	IO        []bench.IOPoint        `json:"io_bandwidth_4ranks"`
+	Devices   []bench.DevPoint       `json:"device_pingpong"`
 }
 
 func main() {
@@ -89,6 +90,15 @@ func run(out string, quick bool) error {
 		for _, p := range pts {
 			doc.Fig5SM[label] = append(doc.Fig5SM[label], pointJSON{Bytes: p.Size, OneWayNs: p.OneWay.Nanoseconds(), MBps: p.MBps})
 		}
+	}
+
+	devReps := 256
+	if quick {
+		devReps = 32
+	}
+	doc.Devices, err = bench.DeviceSweep(bench.DeviceSizes, devReps)
+	if err != nil {
+		return err
 	}
 
 	dir, err := os.MkdirTemp("", "gompi-iobench")

@@ -1,12 +1,15 @@
-// mpirun launches an SPMD job of N OS processes connected over TCP — the
-// paper's Distributed Memory mode with real process isolation. It plays
-// the role of WMPI/p4's startup daemon (§3.2): it runs the rendezvous
-// coordinator, sets each worker's job geometry through the environment,
-// and propagates exit status.
+// mpirun launches an SPMD job of N OS processes — the paper's modes
+// with real process isolation. It plays the role of WMPI/p4's startup
+// daemon (§3.2): it provisions the fabric (a shared-memory segment for
+// same-node ranks, a rendezvous coordinator for socket meshes, or both
+// for hybrid runs), sets each worker's job geometry through the
+// environment, and propagates exit status.
 //
 // Usage:
 //
-//	mpirun -np 4 ./myprog arg1 arg2
+//	mpirun -np 4 ./myprog arg1 arg2             # shared memory (auto)
+//	mpirun -np 4 -device tcp ./myprog           # socket mesh
+//	mpirun -np 4 -nodes 2 ./myprog              # hybrid: 2 shm islands + TCP
 package main
 
 import (
@@ -15,17 +18,52 @@ import (
 	"net"
 	"os"
 	"os/exec"
+	"os/signal"
+	"path/filepath"
 	"strconv"
+	"strings"
 	"sync"
+	"syscall"
+	"time"
 
 	"gompi/internal/launch"
+	"gompi/internal/transport/shmipc"
 )
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mpirun: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// island is one group of ranks sharing a shared-memory segment.
+type island struct {
+	ranks []int
+	path  string
+}
+
+// splitIslands partitions np ranks into nodes contiguous blocks, the
+// fake multi-node topology used to exercise hybrid routing on one
+// machine.
+func splitIslands(np, nodes int) []island {
+	out := make([]island, nodes)
+	for i := 0; i < nodes; i++ {
+		lo, hi := i*np/nodes, (i+1)*np/nodes
+		for r := lo; r < hi; r++ {
+			out[i].ranks = append(out[i].ranks, r)
+		}
+	}
+	return out
+}
 
 func main() {
 	np := flag.Int("np", 2, "number of processes")
 	eager := flag.Int("eager", 0, "eager/rendezvous threshold in bytes (0 = default)")
+	device := flag.String("device", "auto", "transport medium: auto, shm or tcp")
+	nodes := flag.Int("nodes", 1, "emulated node count (>1 splits ranks into shm islands bridged by TCP)")
+	shmSlots := flag.Int("shm-slots", 0, "per-pair ring slots in the shared segment (0 = default)")
+	shmArenaMB := flag.Int("shm-arena-mb", 0, "shared frame-pool arena size in MiB (0 = default)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mpirun [-np N] [-eager BYTES] prog [args...]\n")
+		fmt.Fprintf(os.Stderr, "usage: mpirun [-np N] [-device auto|shm|tcp] [-nodes N] [-eager BYTES] prog [args...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -34,39 +72,163 @@ func main() {
 		os.Exit(2)
 	}
 	if *np < 1 {
-		fmt.Fprintln(os.Stderr, "mpirun: -np must be at least 1")
-		os.Exit(2)
+		fatalf("-np must be at least 1")
+	}
+	if *nodes < 1 || *nodes > *np {
+		fatalf("-nodes must be in [1,%d]", *np)
 	}
 	prog := flag.Arg(0)
 	args := flag.Args()[1:]
 
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "mpirun: coordinator listener: %v\n", err)
-		os.Exit(1)
+	// Crash-recovery sweep: segments whose creating mpirun died are
+	// dead weight in /dev/shm; remove them before provisioning ours.
+	if removed, err := shmipc.CleanupStale(shmipc.DefaultDir(), time.Minute); err == nil && len(removed) > 0 {
+		fmt.Fprintf(os.Stderr, "mpirun: removed %d stale shm segment(s)\n", len(removed))
 	}
-	coordErr := make(chan error, 1)
-	go func() { coordErr <- launch.Coordinate(ln, *np) }()
 
+	// Decide the fabric. workerDev is what the workers are told to
+	// construct through the device registry.
+	var islands []island
+	workerDev := ""
+	needCoord := false
+	switch *device {
+	case "tcp":
+		workerDev = "tcp"
+		needCoord = true
+	case "shm":
+		if *nodes > 1 {
+			fatalf("-device shm is single-node; use -device auto with -nodes for hybrid runs")
+		}
+		workerDev = "shm"
+		islands = splitIslands(*np, 1)
+	case "auto":
+		if *nodes == 1 {
+			workerDev = "shm"
+			islands = splitIslands(*np, 1)
+		} else {
+			workerDev = "hybrid"
+			islands = splitIslands(*np, *nodes)
+			needCoord = true
+		}
+	default:
+		fatalf("unknown -device %q (want auto, shm or tcp)", *device)
+	}
+
+	// Provision the segments. Cleanup must run on every exit path,
+	// including signals.
+	cfg := shmipc.Config{Slots: *shmSlots, ArenaBytes: *shmArenaMB << 20}
+	var cleanupOnce sync.Once
+	cleanup := func() {
+		cleanupOnce.Do(func() {
+			for _, isl := range islands {
+				if isl.path != "" {
+					os.Remove(isl.path)
+				}
+			}
+		})
+	}
+	for i := range islands {
+		path := filepath.Join(shmipc.DefaultDir(),
+			fmt.Sprintf("%sjob%d-%d.seg", shmipc.SegPrefix, os.Getpid(), i))
+		if _, err := shmipc.Create(path, islands[i].ranks, cfg); err != nil {
+			if *device == "auto" && *nodes == 1 {
+				// No shared memory here; sockets still work.
+				fmt.Fprintf(os.Stderr, "mpirun: shared memory unavailable (%v), falling back to tcp\n", err)
+				islands = nil
+				workerDev = "tcp"
+				needCoord = true
+				break
+			}
+			cleanup()
+			fatalf("creating shm segment: %v", err)
+		}
+		islands[i].path = path
+	}
+	defer cleanup()
+
+	coordAddr := ""
+	coordErr := make(chan error, 1)
+	if needCoord {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			cleanup()
+			fatalf("coordinator listener: %v", err)
+		}
+		defer ln.Close()
+		coordAddr = ln.Addr().String()
+		go func() { coordErr <- launch.Coordinate(ln, *np) }()
+	} else {
+		coordErr <- nil
+	}
+
+	// Per-rank environment: geometry plus the fabric handles.
+	islandOf := make(map[int]*island)
+	for i := range islands {
+		for _, r := range islands[i].ranks {
+			islandOf[r] = &islands[i]
+		}
+	}
+	rankEnv := func(r int) []string {
+		env := append(os.Environ(),
+			launch.EnvRank+"="+strconv.Itoa(r),
+			launch.EnvSize+"="+strconv.Itoa(*np),
+			launch.EnvEager+"="+strconv.Itoa(*eager),
+			launch.EnvDevice+"="+workerDev,
+		)
+		if coordAddr != "" {
+			env = append(env, launch.EnvCoord+"="+coordAddr)
+		}
+		if isl := islandOf[r]; isl != nil {
+			ranks := make([]string, len(isl.ranks))
+			for i, w := range isl.ranks {
+				ranks[i] = strconv.Itoa(w)
+			}
+			env = append(env,
+				launch.EnvShmSeg+"="+isl.path,
+				launch.EnvShmRanks+"="+strings.Join(ranks, ","))
+		}
+		return env
+	}
+
+	var procMu sync.Mutex
 	procs := make([]*exec.Cmd, *np)
+	killAll := func() {
+		procMu.Lock()
+		defer procMu.Unlock()
+		for _, p := range procs {
+			if p != nil && p.Process != nil {
+				p.Process.Kill() //nolint:errcheck // best-effort teardown
+			}
+		}
+	}
+
+	// Abnormal-exit path: tear workers down and remove the segments so
+	// an interrupted job leaks nothing.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		fmt.Fprintf(os.Stderr, "mpirun: %v: killing %d ranks\n", s, *np)
+		killAll()
+		cleanup()
+		os.Exit(130)
+	}()
+
 	for r := 0; r < *np; r++ {
 		cmd := exec.Command(prog, args...)
 		cmd.Stdout = os.Stdout
 		cmd.Stderr = os.Stderr
-		cmd.Env = append(os.Environ(),
-			launch.EnvRank+"="+strconv.Itoa(r),
-			launch.EnvSize+"="+strconv.Itoa(*np),
-			launch.EnvCoord+"="+ln.Addr().String(),
-			launch.EnvEager+"="+strconv.Itoa(*eager),
-		)
-		if err := cmd.Start(); err != nil {
+		cmd.Env = rankEnv(r)
+		procMu.Lock()
+		err := cmd.Start()
+		procs[r] = cmd
+		procMu.Unlock()
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "mpirun: starting rank %d: %v\n", r, err)
-			for _, p := range procs[:r] {
-				p.Process.Kill() //nolint:errcheck // best-effort teardown
-			}
+			killAll()
+			cleanup()
 			os.Exit(1)
 		}
-		procs[r] = cmd
 	}
 
 	exit := 0
@@ -91,6 +253,6 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mpirun: %v\n", err)
 		exit = 1
 	}
-	ln.Close()
+	cleanup()
 	os.Exit(exit)
 }

@@ -1,12 +1,13 @@
 // mpitest runs the functionality suite of the paper's §3.4 — the
-// 57-program IBM-suite translation — in Shared Memory and Distributed
-// Memory modes and prints a per-category summary, mirroring the paper's
-// report that "all the codes ran in both modes without alterations".
+// 57-program IBM-suite translation — across the transport media and
+// prints a per-category summary, mirroring the paper's report that
+// "all the codes ran in both modes without alterations".
 //
 // Usage:
 //
-//	mpitest            # run everything, both modes
-//	mpitest -mode sm   # one mode only
+//	mpitest            # run everything, SM and DM modes
+//	mpitest -mode sm   # one medium only (sm, dm or shm)
+//	mpitest -mode all  # every medium, including shm
 //	mpitest -v         # list every program result
 package main
 
@@ -17,38 +18,50 @@ import (
 	"time"
 
 	"gompi/internal/testsuite"
+	"gompi/mpi"
 )
 
+// medium is one suite pass: a display name plus the device it runs on.
+type medium struct {
+	name   string
+	device string
+}
+
+var media = map[string]medium{
+	"sm":  {"SM", "chan"}, // paper's Shared Memory mode: in-process channels
+	"dm":  {"DM", "tcp"},  // Distributed Memory mode: loopback sockets
+	"shm": {"SHM", "shm"}, // cross-process mmap segment, exercised in-process
+}
+
 func main() {
-	mode := flag.String("mode", "both", "sm, dm or both")
+	mode := flag.String("mode", "both", "sm, dm, shm, both (sm+dm) or all")
 	verbose := flag.Bool("v", false, "print every program result")
 	flag.Parse()
 
-	modes := []bool{false, true} // tcp flags
+	var passes []medium
 	switch *mode {
-	case "sm":
-		modes = []bool{false}
-	case "dm":
-		modes = []bool{true}
 	case "both":
+		passes = []medium{media["sm"], media["dm"]}
+	case "all":
+		passes = []medium{media["sm"], media["dm"], media["shm"]}
 	default:
-		fmt.Fprintf(os.Stderr, "mpitest: unknown mode %q\n", *mode)
-		os.Exit(2)
+		m, ok := media[*mode]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mpitest: unknown mode %q\n", *mode)
+			os.Exit(2)
+		}
+		passes = []medium{m}
 	}
 
 	programs := testsuite.Programs()
 	fmt.Printf("mpitest: %d programs (paper §3.4: 57)\n", len(programs))
 	failures := 0
-	for _, tcp := range modes {
-		name := "SM"
-		if tcp {
-			name = "DM"
-		}
-		fmt.Printf("\n=== %s mode ===\n", name)
+	for _, md := range passes {
+		fmt.Printf("\n=== %s mode ===\n", md.name)
 		perCat := map[string][2]int{} // pass, fail
 		start := time.Now()
 		for _, p := range programs {
-			err := testsuite.RunProgram(p, tcp)
+			err := testsuite.RunProgramOpt(p, mpi.RunOptions{Device: md.device})
 			pf := perCat[p.Category]
 			if err != nil {
 				pf[1]++
@@ -62,7 +75,7 @@ func main() {
 			}
 			perCat[p.Category] = pf
 		}
-		fmt.Printf("--- %s summary (%v) ---\n", name, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("--- %s summary (%v) ---\n", md.name, time.Since(start).Round(time.Millisecond))
 		total := [2]int{}
 		for _, cat := range []string{
 			testsuite.CatCollective, testsuite.CatComm, testsuite.CatDatatype,

@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gompi/internal/transport"
+	"gompi/internal/transport/shmipc"
+)
+
+// DevPoint is one (medium, message size) raw-transport measurement: the
+// device dimension of the benchmark record, comparing the cross-process
+// shared-memory segment against loopback sockets and in-process
+// channels at the frame level, with no MPI software on top.
+type DevPoint struct {
+	Device   string  `json:"device"`
+	Bytes    int     `json:"bytes"`
+	OneWayNs int64   `json:"one_way_ns"`
+	MBps     float64 `json:"mbps"`
+}
+
+// DeviceSizes is the sweep used by the device dimension: a page-ish
+// frame, the eager/rendezvous neighborhood, and the 1 MiB bandwidth
+// point the shm-vs-tcp comparison is judged on.
+var DeviceSizes = []int{4 << 10, 64 << 10, 1 << 20}
+
+// DeviceSweep ping-pongs frames over each available medium and reports
+// one point per (device, size). Media that cannot run here (shmipc on a
+// platform without mmap) are skipped, not failed.
+func DeviceSweep(sizes []int, reps int) ([]DevPoint, error) {
+	var out []DevPoint
+	for _, name := range []string{"chan", "tcp", "shm"} {
+		devs, err := devJobPair(name)
+		if err != nil {
+			if name == "shm" {
+				continue // platform without shared-memory support
+			}
+			return nil, fmt.Errorf("bench: %s pair: %w", name, err)
+		}
+		pts, err := devPingPong(devs, sizes, reps)
+		for _, d := range devs {
+			d.Close()
+		}
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s ping-pong: %w", name, err)
+		}
+		for _, p := range pts {
+			out = append(out, DevPoint{
+				Device:   name,
+				Bytes:    p.Size,
+				OneWayNs: p.OneWay.Nanoseconds(),
+				MBps:     p.MBps,
+			})
+		}
+	}
+	return out, nil
+}
+
+func devJobPair(name string) ([]transport.Device, error) {
+	out := make([]transport.Device, 2)
+	switch name {
+	case "chan":
+		for i, d := range transport.NewShmJob(2, 0) {
+			out[i] = d
+		}
+	case "tcp":
+		devs, err := transport.NewLoopbackJob(2)
+		if err != nil {
+			return nil, err
+		}
+		for i, d := range devs {
+			out[i] = d
+		}
+	case "shm":
+		devs, err := shmipc.NewProcJob(2, shmipc.Config{})
+		if err != nil {
+			return nil, err
+		}
+		for i, d := range devs {
+			out[i] = d
+		}
+	default:
+		return nil, fmt.Errorf("unknown device %q", name)
+	}
+	return out, nil
+}
+
+// takeFrame extracts the received bytes from f, taking over whatever
+// storage backs them so they can be shipped straight back: the
+// zero-copy recirculation pattern — over shmipc the very same arena
+// block shuttles between the endpoints for the whole run.
+func takeFrame(f transport.Frame) []byte {
+	if f.Payload != nil {
+		b := f.Payload
+		f.DetachPayload()
+		f.Release()
+		return b
+	}
+	// Contiguous frame: the storage moves onward with the bytes; no
+	// Release, ownership travels with the next Sendv(recycle=true).
+	return f.Data
+}
+
+// devPingPong measures the raw round trip per size. Both sides pass
+// recycle=true, so pooled storage recirculates instead of allocating:
+// the shm medium forwards the same shared-arena block by reference both
+// ways, the socket media recycle through the process pool.
+func devPingPong(devs []transport.Device, sizes []int, reps int) ([]Point, error) {
+	warm := reps / 4
+	if warm < 2 {
+		warm = 2
+	}
+	var wg sync.WaitGroup
+	var echoErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for range sizes {
+			for r := 0; r < warm+reps; r++ {
+				f, err := devs[1].Recv()
+				if err != nil {
+					echoErr = err
+					return
+				}
+				if err := devs[1].Sendv(0, nil, takeFrame(f), true); err != nil {
+					echoErr = err
+					return
+				}
+			}
+		}
+	}()
+
+	points := make([]Point, 0, len(sizes))
+	for _, size := range sizes {
+		cur := transport.GetBuf(size)
+		roundTrip := func() error {
+			if err := devs[0].Sendv(1, nil, cur, true); err != nil {
+				return err
+			}
+			f, err := devs[0].Recv()
+			if err != nil {
+				return err
+			}
+			cur = takeFrame(f)
+			return nil
+		}
+		for w := 0; w < warm; w++ {
+			if err := roundTrip(); err != nil {
+				return nil, err
+			}
+		}
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			if err := roundTrip(); err != nil {
+				return nil, err
+			}
+		}
+		elapsed := time.Since(start)
+		transport.PutBuf(cur)
+		points = append(points, newPoint(size, elapsed/time.Duration(2*reps)))
+	}
+	wg.Wait()
+	if echoErr != nil {
+		return nil, echoErr
+	}
+	return points, nil
+}

@@ -67,15 +67,16 @@ type Proc struct {
 	dev transport.Device
 	cfg Config
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	posted  []*Request // posted receives, post order
-	arrived []*inMsg   // unexpected messages, arrival order
-	sent    map[uint64]*Request
-	recving map[uint64]*Request
-	nextID  uint64
-	nextCtx int32
-	closed  bool
+	mu       sync.Mutex
+	cond     *sync.Cond
+	posted   []*Request // posted receives, post order
+	arrived  []*inMsg   // unexpected messages, arrival order
+	sent     map[uint64]*Request
+	recving  map[uint64]*Request
+	peerDown map[int]error // world rank -> loss report, once per peer
+	nextID   uint64
+	nextCtx  int32
+	closed   bool
 
 	stats Stats
 
@@ -141,6 +142,16 @@ func (p *Proc) progress() {
 	for {
 		raw, err := p.dev.Recv()
 		if err != nil {
+			// A single lost peer is not a device failure: fail the
+			// operations pinned to that peer (MPI_ERR_PROC_FAILED
+			// semantics) and keep serving everyone else. This is what
+			// lets surviving ranks drain a barrier while an already
+			// finalized peer's exit is being noticed.
+			var pl *transport.PeerLostError
+			if errors.As(err, &pl) {
+				p.failPeer(pl)
+				continue
+			}
 			p.mu.Lock()
 			p.closed = true
 			p.cond.Broadcast()
@@ -180,6 +191,67 @@ func (p *Proc) progress() {
 type lateComplete struct {
 	req *Request
 	st  Status
+}
+
+// failPeer records that world rank pl.Peer is gone and completes, with
+// the loss as the status error, every operation only that peer could
+// satisfy: posted world-context receives pinned to it (group ranks
+// equal world ranks on contexts 0/1; derived-communicator receives
+// cannot be mapped to a world rank here and surface the failure on the
+// group's next send instead), rendezvous sends awaiting its CTS/ACK,
+// and granted receives awaiting its DATA. Later sends to the peer fail
+// fast in Isend. Reported once per peer.
+func (p *Proc) failPeer(pl *transport.PeerLostError) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, dup := p.peerDown[pl.Peer]; dup {
+		return
+	}
+	if p.peerDown == nil {
+		p.peerDown = make(map[int]error)
+	}
+	p.peerDown[pl.Peer] = pl
+	p.stats.PeersLost.Add(1)
+	peer := int32(pl.Peer)
+
+	kept := p.posted[:0]
+	for _, r := range p.posted {
+		if r.ctx <= 1 && r.src == peer {
+			p.completeLocked(r, nil, Status{SourceGroup: int(peer), Tag: int(r.tag), Err: pl})
+			continue
+		}
+		kept = append(kept, r)
+	}
+	for i := len(kept); i < len(p.posted); i++ {
+		p.posted[i] = nil
+	}
+	p.posted = kept
+
+	for id, r := range p.sent {
+		if r.dstWorld != peer {
+			continue
+		}
+		delete(p.sent, id)
+		if r.data != nil && r.recycle {
+			transport.PutBuf(r.data)
+		}
+		r.data = nil
+		p.completeLocked(r, nil, Status{Bytes: r.size, Err: pl})
+	}
+	for id, r := range p.recving {
+		if r.ctx <= 1 && int32(r.Stat.SourceGroup) == peer {
+			delete(p.recving, id)
+			p.completeLocked(r, nil, Status{SourceGroup: int(peer), Tag: r.Stat.Tag, Err: pl})
+		}
+	}
+	p.cond.Broadcast() // wake Probe waiters pinned to the lost peer
+}
+
+// peerLoss returns the recorded loss report for world rank dst, if any.
+func (p *Proc) peerLoss(dst int) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.peerDown[dst]
 }
 
 // handle runs the matching engine on one frame. It owns f.frame: the
@@ -365,6 +437,14 @@ func (p *Proc) Isend(ctx int32, srcGroup int, dstWorld int, tag int, payload []b
 	req.ctxS = ctx
 	req.size = len(payload)
 
+	if lost := p.peerLoss(dstWorld); lost != nil {
+		if recycle {
+			transport.PutBuf(payload)
+		}
+		p.complete(req, nil, Status{Err: lost})
+		return req, fmt.Errorf("core: send to rank %d: %w", dstWorld, lost)
+	}
+
 	eager := p.cfg.eagerLimit()
 	small := eager >= 0 && len(payload) <= eager
 
@@ -448,6 +528,15 @@ func (p *Proc) irecvInto(ctx, src, tag int32, into []byte, elemSize int) *Reques
 	p.mu.Lock()
 	m, idx := p.findArrivedLocked(ctx, src, tag)
 	if m == nil {
+		// A world-context receive pinned to an already-lost peer can
+		// never match; fail it now rather than park it forever.
+		if src != AnySource && ctx <= 1 {
+			if lost := p.peerDown[int(src)]; lost != nil {
+				p.completeLocked(req, nil, Status{SourceGroup: int(src), Tag: int(tag), Err: lost})
+				p.mu.Unlock()
+				return req
+			}
+		}
 		p.posted = append(p.posted, req)
 		p.mu.Unlock()
 		return req
@@ -501,6 +590,11 @@ func (p *Proc) Probe(ctx, src, tag int32) (Status, error) {
 	for {
 		if m, _ := p.findArrivedLocked(ctx, src, tag); m != nil {
 			return statusOf(m), nil
+		}
+		if src != AnySource && ctx <= 1 {
+			if lost := p.peerDown[int(src)]; lost != nil {
+				return Status{SourceGroup: int(src), Tag: int(tag)}, lost
+			}
 		}
 		if p.closed {
 			return Status{}, transport.ErrClosed

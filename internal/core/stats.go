@@ -38,6 +38,9 @@ type Stats struct {
 	RecvsZeroCopy atomic.Uint64
 	// Cancelled counts operations completed by cancellation.
 	Cancelled atomic.Uint64
+	// PeersLost counts peer processes whose loss the engine has
+	// observed and converted into per-operation failures.
+	PeersLost atomic.Uint64
 }
 
 // Snapshot is a plain-value copy of the counters, including the
@@ -50,11 +53,19 @@ type Snapshot struct {
 	BytesCopied                      uint64
 	RecvsZeroCopy                    uint64
 	Cancelled                        uint64
+	PeersLost                        uint64
 
 	// Pool is the frame pool's counter snapshot; Pool.HitRate shows
 	// how much of the frame traffic recirculates instead of
 	// allocating. The pool is shared by every in-process rank.
 	Pool transport.PoolSnapshot
+
+	// Devices breaks traffic down by transport medium: one entry per
+	// device this rank's endpoint is composed of ("shm", "tcp",
+	// "chan"), each with its own frame/byte counters and — for media
+	// with their own buffer pool, like the shared-memory arena — a
+	// per-medium pool snapshot.
+	Devices []transport.DevStats
 }
 
 // Stats returns the engine's counter set.
@@ -74,6 +85,8 @@ func (p *Proc) StatsSnapshot() Snapshot {
 		BytesCopied:     s.BytesCopied.Load(),
 		RecvsZeroCopy:   s.RecvsZeroCopy.Load(),
 		Cancelled:       s.Cancelled.Load(),
+		PeersLost:       s.PeersLost.Load(),
 		Pool:            transport.PoolStats(),
+		Devices:         transport.DeviceStatsOf(p.dev),
 	}
 }

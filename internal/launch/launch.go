@@ -73,36 +73,30 @@ func Coordinate(ln net.Listener, n int) error {
 	return nil
 }
 
-// Join runs the worker side: it opens this rank's mesh listener,
-// registers with the coordinator, waits for the address table and builds
-// the mesh device.
-func Join(coordAddr string, rank, size int) (*transport.TCPDevice, error) {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return nil, fmt.Errorf("launch: mesh listener: %w", err)
-	}
+// rendezvous registers this rank's mesh listener address with the
+// coordinator and returns the full address table.
+func rendezvous(coordAddr string, rank, size int, addr string) ([]string, error) {
 	conn, err := net.DialTimeout("tcp", coordAddr, 30*time.Second)
 	if err != nil {
-		ln.Close()
 		return nil, fmt.Errorf("launch: dialing coordinator %s: %w", coordAddr, err)
 	}
 	defer conn.Close()
-	if err := gob.NewEncoder(conn).Encode(hello{Rank: rank, Addr: ln.Addr().String()}); err != nil {
-		ln.Close()
+	if err := gob.NewEncoder(conn).Encode(hello{Rank: rank, Addr: addr}); err != nil {
 		return nil, fmt.Errorf("launch: registering: %w", err)
 	}
 	var t table
 	if err := gob.NewDecoder(conn).Decode(&t); err != nil {
-		ln.Close()
 		return nil, fmt.Errorf("launch: waiting for address table: %w", err)
 	}
 	if len(t.Addrs) != size {
-		ln.Close()
 		return nil, fmt.Errorf("launch: coordinator sent %d addresses for size %d", len(t.Addrs), size)
 	}
-	dev, err := transport.ConnectMesh(rank, size, t.Addrs, ln, true)
-	if err != nil {
-		return nil, fmt.Errorf("launch: mesh: %w", err)
-	}
-	return dev, nil
+	return t.Addrs, nil
+}
+
+// Join runs the worker side: it opens this rank's mesh listener,
+// registers with the coordinator, waits for the address table and builds
+// the mesh device.
+func Join(coordAddr string, rank, size int) (*transport.TCPDevice, error) {
+	return joinMesh(transport.JobSpec{Rank: rank, Size: size, Coord: coordAddr}, nil)
 }

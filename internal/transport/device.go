@@ -21,6 +21,28 @@ import (
 // ErrClosed is returned by device operations after Close.
 var ErrClosed = errors.New("transport: device closed")
 
+// PeerLostError reports that a specific peer endpoint died without a
+// clean shutdown: its connection reset mid-stream, or its process
+// disappeared while frames were outstanding. Recv returns it (once per
+// lost peer) without closing the device, so the progress engine can
+// fail the operations pending on that peer and keep serving the rest —
+// the error-class-instead-of-hang half of fault tolerance.
+type PeerLostError struct {
+	// Peer is the lost endpoint's world rank.
+	Peer int
+	// Err is the underlying transport failure, if any.
+	Err error
+}
+
+func (e *PeerLostError) Error() string {
+	if e.Err == nil {
+		return fmt.Sprintf("transport: peer rank %d lost", e.Peer)
+	}
+	return fmt.Sprintf("transport: peer rank %d lost: %v", e.Peer, e.Err)
+}
+
+func (e *PeerLostError) Unwrap() error { return e.Err }
+
 // Frame is one received message. Data holds the wire header and, when
 // Payload is nil, the inline payload too; a non-nil Payload is the
 // message body delivered separately (the scatter-gather path — by
@@ -54,6 +76,13 @@ func (f *Frame) Release() {
 // PayloadPooled reports whether Release will return the payload to the
 // frame pool (diagnostics and tests).
 func (f *Frame) PayloadPooled() bool { return f.pooledPayload }
+
+// PooledFrame assembles a received frame for a device implementation
+// living outside this package (e.g. transport/shmipc): data and payload
+// carry the pool-ownership marks Release honours.
+func PooledFrame(data, payload []byte, pooledData, pooledPayload bool) Frame {
+	return Frame{Data: data, Payload: payload, pooledData: pooledData, pooledPayload: pooledPayload}
+}
 
 // DetachPayload transfers ownership of the payload out of the frame and
 // releases whatever storage does not back it: for a scatter-gather

@@ -1,0 +1,176 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Hybrid composes per-peer sub-devices behind one Device: the
+// same-node/off-node split of a multi-machine job, where ranks sharing
+// a machine talk through the shared-memory segment and everyone else
+// through the socket mesh. Sends route by destination; receives merge
+// every sub-device's stream through pump goroutines, preserving each
+// sub-device's per-pair FIFO order (merging never reorders a single
+// pair, whose frames all travel one sub-device).
+type Hybrid struct {
+	rank, size int
+	// route[r] is the sub-device carrying traffic to/from world rank r.
+	route []Device
+	devs  []Device // distinct sub-devices, pump order
+
+	inbox chan Frame
+	errs  chan error
+	done  chan struct{}
+	wg    sync.WaitGroup
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// NewHybrid builds a composite endpoint for this rank. route must name
+// a sub-device for every world rank except possibly this one (self
+// traffic uses route[rank] if set, else the first sub-device that
+// claims it). Hybrid takes ownership of the sub-devices and closes them
+// on Close.
+func NewHybrid(rank, size int, route []Device) (*Hybrid, error) {
+	if len(route) != size {
+		return nil, fmt.Errorf("transport: hybrid route covers %d of %d ranks", len(route), size)
+	}
+	var devs []Device
+	seen := map[Device]bool{}
+	for r, d := range route {
+		if d == nil {
+			if r == rank {
+				continue
+			}
+			return nil, fmt.Errorf("transport: hybrid route missing rank %d", r)
+		}
+		if !seen[d] {
+			seen[d] = true
+			devs = append(devs, d)
+		}
+	}
+	if len(devs) == 0 {
+		return nil, fmt.Errorf("transport: hybrid needs at least one sub-device")
+	}
+	if route[rank] == nil {
+		route[rank] = devs[0]
+	}
+	h := &Hybrid{
+		rank: rank, size: size, route: route, devs: devs,
+		inbox: make(chan Frame, DefaultInboxDepth),
+		errs:  make(chan error, size),
+		done:  make(chan struct{}),
+	}
+	for _, d := range devs {
+		h.wg.Add(1)
+		go h.pump(d)
+	}
+	return h, nil
+}
+
+// pump forwards one sub-device's receive stream into the merged inbox.
+// A PeerLostError passes through (the sub-device keeps serving its
+// other peers); ErrClosed or any terminal error ends the pump.
+func (h *Hybrid) pump(d Device) {
+	defer h.wg.Done()
+	for {
+		f, err := d.Recv()
+		if err != nil {
+			if _, lost := err.(*PeerLostError); lost {
+				select {
+				case h.errs <- err:
+				case <-h.done:
+					return
+				}
+				continue
+			}
+			return
+		}
+		select {
+		case h.inbox <- f:
+		case <-h.done:
+			f.Release()
+			return
+		}
+	}
+}
+
+// Rank returns this endpoint's world rank.
+func (h *Hybrid) Rank() int { return h.rank }
+
+// Size returns the job's world size.
+func (h *Hybrid) Size() int { return h.size }
+
+// Send routes a contiguous frame to dst's sub-device.
+func (h *Hybrid) Send(dst int, frame []byte) error {
+	if err := checkDst(dst, h.size); err != nil {
+		return err
+	}
+	return h.route[dst].Send(dst, frame)
+}
+
+// Sendv routes a scatter-gather frame to dst's sub-device.
+func (h *Hybrid) Sendv(dst int, hdr, payload []byte, recycle bool) error {
+	if err := checkDst(dst, h.size); err != nil {
+		return err
+	}
+	return h.route[dst].Sendv(dst, hdr, payload, recycle)
+}
+
+// Recv returns the next frame from any sub-device. Frames already
+// pumped win over failure reports: a pump forwards a sub-device's
+// stream in order, so prioritizing the inbox guarantees a peer's last
+// frames are all delivered before its loss is reported.
+func (h *Hybrid) Recv() (Frame, error) {
+	select {
+	case f := <-h.inbox:
+		return f, nil
+	default:
+	}
+	select {
+	case f := <-h.inbox:
+		return f, nil
+	case err := <-h.errs:
+		return Frame{}, err
+	case <-h.done:
+		select {
+		case f := <-h.inbox:
+			return f, nil
+		default:
+			return Frame{}, ErrClosed
+		}
+	}
+}
+
+// Close shuts down every sub-device and drains the pumps.
+func (h *Hybrid) Close() error {
+	h.closeOnce.Do(func() {
+		close(h.done)
+		for _, d := range h.devs {
+			if err := d.Close(); err != nil && h.closeErr == nil {
+				h.closeErr = err
+			}
+		}
+		h.wg.Wait()
+		for {
+			select {
+			case f := <-h.inbox:
+				f.Release()
+			default:
+				return
+			}
+		}
+	})
+	return h.closeErr
+}
+
+// DeviceStats concatenates the sub-devices' counters, one entry per
+// medium.
+func (h *Hybrid) DeviceStats() []DevStats {
+	var out []DevStats
+	for _, d := range h.devs {
+		out = append(out, DeviceStatsOf(d)...)
+	}
+	return out
+}

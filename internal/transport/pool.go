@@ -80,6 +80,70 @@ func PoolStats() PoolSnapshot {
 	}
 }
 
+// Arena is a pluggable buffer source layered in front of the private
+// size-classed pool — the hook a shared-memory segment uses to make
+// GetBuf hand out storage living in the segment, so payloads are packed
+// straight into cross-process-visible memory and `recycle` ownership
+// transfer shuttles them between processes without a copy. AllocBuf
+// returns nil when the request cannot or should not be served from the
+// arena (too small, too large, arena full), in which case GetBuf falls
+// through to the private pool. FreeBuf returns false for buffers the
+// arena does not own.
+type Arena interface {
+	AllocBuf(n int) []byte
+	FreeBuf(b []byte) bool
+}
+
+// activeArena is the installed arena, if any. One arena serves the
+// whole process: a rank attaches at most one segment, and in-process
+// jobs share a single segment across ranks.
+var activeArena atomic.Pointer[arenaSlot]
+
+type arenaSlot struct {
+	a    Arena
+	refs atomic.Int32
+}
+
+// ShareArena installs a as the process's buffer arena, reference
+// counted: each attach calls ShareArena, each detach ReleaseArena, and
+// the hook uninstalls when the count drops to zero. Installing a second
+// distinct arena while one is active is refused (the caller keeps
+// working, just without segment-backed buffers) — one segment per
+// process is the deployment model, and silently swapping arenas under
+// live buffers would misroute frees.
+func ShareArena(a Arena) bool {
+	for {
+		cur := activeArena.Load()
+		if cur == nil {
+			slot := &arenaSlot{a: a}
+			slot.refs.Store(1)
+			if activeArena.CompareAndSwap(nil, slot) {
+				return true
+			}
+			continue
+		}
+		if cur.a != a {
+			return false
+		}
+		cur.refs.Add(1)
+		return true
+	}
+}
+
+// ReleaseArena drops one reference on the installed arena, uninstalling
+// the hook at zero. Buffers still outstanding keep working: PutBuf on
+// an orphaned arena buffer matches no private class and is dropped to
+// the garbage collector rather than poisoning a pool.
+func ReleaseArena(a Arena) {
+	cur := activeArena.Load()
+	if cur == nil || cur.a != a {
+		return
+	}
+	if cur.refs.Add(-1) == 0 {
+		activeArena.CompareAndSwap(cur, nil)
+	}
+}
+
 // classOf returns the index of the smallest class with capacity >= n,
 // or -1 if n exceeds every class.
 func classOf(n int) int {
@@ -97,6 +161,12 @@ func classOf(n int) int {
 // allocator.
 func GetBuf(n int) []byte {
 	poolGets.Add(1)
+	if slot := activeArena.Load(); slot != nil {
+		if b := slot.a.AllocBuf(n); b != nil {
+			poolHits.Add(1)
+			return b
+		}
+	}
 	ci := classOf(n)
 	if ci < 0 {
 		return make([]byte, n)
@@ -115,6 +185,10 @@ func GetBuf(n int) []byte {
 func PutBuf(b []byte) {
 	c := cap(b)
 	if c == 0 {
+		return
+	}
+	if slot := activeArena.Load(); slot != nil && slot.a.FreeBuf(b) {
+		poolPuts.Add(1)
 		return
 	}
 	for i, cl := range bufClasses {

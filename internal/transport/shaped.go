@@ -82,6 +82,10 @@ func (s *Shaped) Sendv(dst int, hdr, payload []byte, recycle bool) error {
 	return s.Device.Sendv(dst, hdr, payload, recycle)
 }
 
+// Unwrap exposes the inner device so stats queries (DeviceStatsOf) look
+// through the shaping decorator.
+func (s *Shaped) Unwrap() Device { return s.Device }
+
 // charge spins for the profile's software and link costs of an n-byte
 // frame.
 func (s *Shaped) charge(n int) {

@@ -19,6 +19,8 @@ type ShmDevice struct {
 
 	mu     sync.Mutex
 	closed bool
+
+	devCounters
 }
 
 // DefaultInboxDepth is the per-rank flow-control window, in frames.
@@ -95,6 +97,7 @@ func (d *ShmDevice) deliver(dst int, f Frame) error {
 	}
 	select {
 	case d.job.inboxes[dst] <- f:
+		d.countSend(len(f.Data) + len(f.Payload))
 		return nil
 	case <-mine:
 		f.Release()
@@ -109,12 +112,14 @@ func (d *ShmDevice) deliver(dst int, f Frame) error {
 func (d *ShmDevice) Recv() (Frame, error) {
 	select {
 	case f := <-d.job.inboxes[d.rank]:
+		d.countRecv(len(f.Data) + len(f.Payload))
 		return f, nil
 	case <-d.job.done[d.rank]:
 		// Drain anything already queued so shutdown is not lossy
 		// for frames delivered before Close.
 		select {
 		case f := <-d.job.inboxes[d.rank]:
+			d.countRecv(len(f.Data) + len(f.Payload))
 			return f, nil
 		default:
 			return Frame{}, ErrClosed
@@ -131,6 +136,12 @@ func (d *ShmDevice) Close() error {
 		close(d.job.done[d.rank])
 	}
 	return nil
+}
+
+// DeviceStats reports this endpoint's traffic under the "chan" medium
+// name (in-process channels), with the process-private pool counters.
+func (d *ShmDevice) DeviceStats() []DevStats {
+	return []DevStats{d.devCounters.stats("chan", PoolStats())}
 }
 
 var _ Device = (*ShmDevice)(nil)

@@ -1,0 +1,214 @@
+package shmipc
+
+import (
+	"encoding/binary"
+	"sync/atomic"
+	"unsafe"
+
+	"gompi/internal/transport"
+)
+
+// The arena is a size-classed block allocator living in the segment,
+// shared by every attached process: the cross-process twin of the
+// transport package's private frame pool. Classes are powers of two
+// from 4 KiB with classSlack bytes of headroom, so a power-of-two
+// payload plus a frame header still fits its own class. Free lists are
+// per-class Treiber stacks whose heads carry an ABA tag; a free
+// block's first data word links to the next free block. Blocks carry a
+// 64-byte header (magic + class) so a data pointer alone identifies
+// its block — that is what lets transport.PutBuf route any
+// segment-born buffer back here from either process.
+
+const (
+	arenaClasses  = 16
+	arenaMinShift = 12 // smallest class: 4 KiB (+ slack)
+	classSlack    = 128
+
+	// arenaMinBuf is the smallest GetBuf request served from the
+	// arena; smaller buffers (frame headers, tiny payloads) stay in
+	// the private pool and travel inline through the rings.
+	arenaMinBuf = 2048
+
+	blkHdrBytes = 64
+	blkMagic    = 0x314b4c424d4f47 // "GOMPBLK1" sans one byte, fits 56 bits
+	blkFree     = 0x30455246424d4f47
+)
+
+// classData returns the data capacity of class k.
+func classData(k int) int { return (1 << (arenaMinShift + k)) + classSlack }
+
+// classFor returns the smallest class holding n bytes, or -1.
+func classFor(n int) int {
+	for k := 0; k < arenaClasses; k++ {
+		if n <= classData(k) {
+			return k
+		}
+	}
+	return -1
+}
+
+const (
+	headOffBits = 40
+	headOffMask = (1 << headOffBits) - 1
+)
+
+// pushFree links the block at blkOff onto class k's free list.
+func (s *Segment) pushFree(k, blkOff int) {
+	head := s.word(offFree + k*8)
+	next := s.word(blkOff + blkHdrBytes)
+	for {
+		old := atomic.LoadUint64(head)
+		atomic.StoreUint64(next, old&headOffMask)
+		tag := (old >> headOffBits) + 1
+		if atomic.CompareAndSwapUint64(head, old, tag<<headOffBits|uint64(blkOff)) {
+			return
+		}
+	}
+}
+
+// popFree unlinks a block from class k's free list, returning its
+// header offset or 0.
+func (s *Segment) popFree(k int) int {
+	head := s.word(offFree + k*8)
+	for {
+		old := atomic.LoadUint64(head)
+		off := old & headOffMask
+		if off == 0 {
+			return 0
+		}
+		next := atomic.LoadUint64(s.word(int(off) + blkHdrBytes))
+		tag := (old >> headOffBits) + 1
+		if atomic.CompareAndSwapUint64(head, old, tag<<headOffBits|next) {
+			return int(off)
+		}
+	}
+}
+
+// allocBlock returns the data slice of a fresh class-k block, from the
+// free list or by bumping the arena frontier. Returns nil when the
+// arena is exhausted.
+func (s *Segment) allocBlock(k, n int) []byte {
+	blkOff := s.popFree(k)
+	if blkOff != 0 {
+		s.arHits.Add(1)
+	} else {
+		need := uint64(blkHdrBytes + classData(k))
+		bump := s.word(offBump)
+		for {
+			old := atomic.LoadUint64(bump)
+			next := (old + need + 63) &^ 63
+			if next > uint64(s.arenaOff+s.arenaLen) {
+				return nil
+			}
+			if atomic.CompareAndSwapUint64(bump, old, next) {
+				blkOff = int(old)
+				break
+			}
+		}
+	}
+	binary.LittleEndian.PutUint64(s.b[blkOff:], blkMagic)
+	binary.LittleEndian.PutUint32(s.b[blkOff+8:], uint32(k))
+	return s.b[blkOff+blkHdrBytes : blkOff+blkHdrBytes+n : blkOff+blkHdrBytes+classData(k)]
+}
+
+// blockOf validates that p is the data pointer of a live arena block
+// and returns its header offset and class.
+func (s *Segment) blockOf(p unsafe.Pointer) (blkOff, class int, ok bool) {
+	base := unsafe.Pointer(unsafe.SliceData(s.b))
+	d := uintptr(p) - uintptr(base)
+	if d < uintptr(s.arenaOff)+blkHdrBytes || d >= uintptr(len(s.b)) {
+		return 0, 0, false
+	}
+	blkOff = int(d) - blkHdrBytes
+	if binary.LittleEndian.Uint64(s.b[blkOff:]) != blkMagic {
+		return 0, 0, false
+	}
+	class = int(binary.LittleEndian.Uint32(s.b[blkOff+8:]))
+	if class < 0 || class >= arenaClasses {
+		return 0, 0, false
+	}
+	return blkOff, class, true
+}
+
+// contains reports whether p points into the mapped segment.
+func (s *Segment) contains(p unsafe.Pointer) bool {
+	base := uintptr(unsafe.Pointer(unsafe.SliceData(s.b)))
+	return uintptr(p) >= base && uintptr(p) < base+uintptr(len(s.b))
+}
+
+// dataPtr returns b's backing-array pointer (capacity view, so a
+// shortened slice still names its original storage).
+func dataPtr(b []byte) unsafe.Pointer {
+	return unsafe.Pointer(unsafe.SliceData(b[:cap(b)]))
+}
+
+// dataOff returns the segment offset of a pointer into the mapping.
+func (s *Segment) dataOff(p unsafe.Pointer) int {
+	return int(uintptr(p) - uintptr(unsafe.Pointer(unsafe.SliceData(s.b))))
+}
+
+// AllocBuf implements transport.Arena: GetBuf requests in the arena's
+// range are served from segment memory so payloads are packed directly
+// into cross-process-visible storage. Out-of-range or unsatisfiable
+// requests return nil and fall through to the private pool.
+func (s *Segment) AllocBuf(n int) []byte {
+	if n < arenaMinBuf {
+		return nil
+	}
+	k := classFor(n)
+	if k < 0 {
+		return nil
+	}
+	s.arGets.Add(1)
+	b := s.allocBlock(k, n)
+	if b == nil {
+		s.arDrops.Add(1)
+	}
+	return b
+}
+
+// FreeBuf implements transport.Arena: buffers whose data pointer is a
+// live block of this segment return to the shared free list —
+// including blocks a *different* process allocated, which is how
+// ownership-transferred payloads recirculate across the process
+// boundary. Pointers into the segment that are not a block base (an
+// interior alias) are claimed but not freed, so a stray alias can
+// never corrupt the free lists.
+func (s *Segment) FreeBuf(b []byte) bool {
+	if cap(b) == 0 {
+		return false
+	}
+	p := unsafe.Pointer(unsafe.SliceData(b[:cap(b)]))
+	if !s.contains(p) {
+		return false
+	}
+	if blkOff, _, ok := s.blockOf(p); ok {
+		s.freeBlock(blkOff)
+	}
+	s.arPuts.Add(1)
+	return true
+}
+
+// freeBlock returns the block at blkOff to its class free list,
+// guarding against double frees via the header magic.
+func (s *Segment) freeBlock(blkOff int) {
+	if binary.LittleEndian.Uint64(s.b[blkOff:]) != blkMagic {
+		return
+	}
+	k := int(binary.LittleEndian.Uint32(s.b[blkOff+8:]))
+	binary.LittleEndian.PutUint64(s.b[blkOff:], blkFree)
+	s.pushFree(k, blkOff)
+}
+
+// ArenaStats returns this process's view of the shared arena's
+// counters (gets/hits/puts/drops in the transport pool's shape).
+func (s *Segment) ArenaStats() transport.PoolSnapshot {
+	return transport.PoolSnapshot{
+		Gets:  s.arGets.Load(),
+		Hits:  s.arHits.Load(),
+		Puts:  s.arPuts.Load(),
+		Drops: s.arDrops.Load(),
+	}
+}
+
+var _ transport.Arena = (*Segment)(nil)

@@ -1,0 +1,367 @@
+// Package shmipc is the cross-process shared-memory transport: the
+// paper's Shared Memory mode with real OS-process isolation, where the
+// in-process "shm" device only emulates it with goroutines. One
+// mmap-backed segment carries, for every ordered pair of local ranks, a
+// lock-free single-producer/single-consumer slot ring, plus a shared
+// frame-pool arena. Payload buffers drawn from the arena (through the
+// transport pool's Arena hook) are packed by the sender directly into
+// segment memory and published to the receiver by reference, so
+// Sendv's `recycle` ownership transfer shuttles buffers between
+// processes without a copy — the PR 2 zero-copy protocol, across
+// address spaces.
+//
+// Segment layout (all offsets 64-byte aligned):
+//
+//	header      magic, geometry, creator pid, ready flag, arena bump
+//	            pointer and per-class free-list heads
+//	rank table  one 64-byte record per slot: state, pid, world rank
+//	rings       nranks² slot rings; ring (i,j) carries i→j traffic
+//	arena       size-classed block allocator (shared free lists)
+//
+// All cross-process synchronization is word-sized atomics on the
+// mapped memory: slot sequence numbers (Vyukov-style ring protocol),
+// Treiber-stack free lists with an ABA tag, and the rank-state words.
+// Blocking is spin-then-sleep backoff; peer death is detected by pid
+// liveness probes during backoff and surfaced as
+// transport.PeerLostError instead of a hang.
+package shmipc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"time"
+	"unsafe"
+)
+
+const (
+	segMagic   = 0x314d5349504d4f47 // "GOMPISM1" little-endian
+	segVersion = 1
+
+	// Header field offsets.
+	offMagic    = 0
+	offVersion  = 8
+	offNRanks   = 12
+	offSlotSize = 16
+	offSlots    = 20
+	offArenaOff = 24
+	offArenaLen = 32
+	offReady    = 40
+	offOwnerPID = 44 // u32 is enough for a pid on every supported OS
+	offBump     = 48
+	offFree     = 64 // arenaClasses u64 free-list heads
+	offTable    = offFree + arenaClasses*8
+
+	rankRecBytes = 64 // per-slot rank record
+	ringHdrBytes = 64 // reserved per ring (diagnostics; sync is per-slot)
+
+	// Rank states.
+	rankEmpty    = 0
+	rankAttached = 1
+	rankClosed   = 2
+)
+
+// Config sizes a segment. The zero value selects the defaults.
+type Config struct {
+	// Slots is the per-ring slot count (the per-pair flow-control
+	// window in frames). Default 512.
+	Slots int
+	// SlotBytes is the size of one ring slot including its 8-byte
+	// sequence word; frames up to roughly SlotBytes-24 travel inline
+	// in the ring, larger ones through the arena. Must be a multiple
+	// of 64. Default 1024.
+	SlotBytes int
+	// ArenaBytes is the shared frame-pool arena capacity. Default 64 MiB.
+	ArenaBytes int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Slots <= 0 {
+		c.Slots = 512
+	}
+	if c.SlotBytes <= 0 {
+		c.SlotBytes = 1024
+	}
+	c.SlotBytes = (c.SlotBytes + 63) &^ 63
+	if c.ArenaBytes <= 0 {
+		c.ArenaBytes = 64 << 20
+	}
+	return c
+}
+
+// Segment is one process's view of a mapped segment. Multiple local
+// devices (an in-process job) may share one Segment; cross-process,
+// each process attaches its own.
+type Segment struct {
+	b    []byte
+	f    *os.File
+	path string
+	// owner marks the creating process, which is responsible for
+	// unlinking the file.
+	owner bool
+
+	nranks    int
+	slots     int
+	slotBytes int
+	ringsOff  int
+	ringBytes int
+	arenaOff  int
+	arenaLen  int
+
+	// Process-local arena counters (the per-medium pool snapshot).
+	arGets, arHits, arPuts, arDrops atomic.Uint64
+	// refs counts attached devices sharing this mapping (in-process
+	// jobs); the arena hook is released when it reaches zero.
+	refs atomic.Int32
+}
+
+// word returns a pointer to the u64 at byte offset off, for atomic use.
+// Offsets are 8-aligned by construction.
+func (s *Segment) word(off int) *uint64 {
+	return (*uint64)(unsafe.Pointer(&s.b[off]))
+}
+
+func (s *Segment) word32(off int) *uint32 {
+	return (*uint32)(unsafe.Pointer(&s.b[off]))
+}
+
+// Path returns the segment file's path.
+func (s *Segment) Path() string { return s.path }
+
+// NRanks returns the number of slots (local participants).
+func (s *Segment) NRanks() int { return s.nranks }
+
+func layout(nranks int, cfg Config) (ringsOff, ringBytes, arenaOff, total int) {
+	ringsOff = align64(offTable + nranks*rankRecBytes)
+	ringBytes = ringHdrBytes + cfg.Slots*cfg.SlotBytes
+	arenaOff = align64(ringsOff + nranks*nranks*ringBytes)
+	total = arenaOff + cfg.ArenaBytes
+	return
+}
+
+func align64(n int) int { return (n + 63) &^ 63 }
+
+// DefaultDir returns the directory segments are created in: /dev/shm
+// when the OS provides it (memory-backed, no writeback), else the
+// system temp directory.
+func DefaultDir() string {
+	if st, err := os.Stat("/dev/shm"); err == nil && st.IsDir() {
+		return "/dev/shm"
+	}
+	return os.TempDir()
+}
+
+// SegPrefix is the filename prefix of every segment this package
+// creates; CleanupStale keys on it.
+const SegPrefix = "gompi-shm-"
+
+// Create builds a fresh segment at path for the given local world
+// ranks (slot i belongs to worldRanks[i]) and maps it. The file is
+// created exclusively; a leftover path is an error (use CleanupStale).
+func Create(path string, worldRanks []int, cfg Config) (*Segment, error) {
+	cfg = cfg.withDefaults()
+	n := len(worldRanks)
+	if n < 1 {
+		return nil, fmt.Errorf("shmipc: empty rank set")
+	}
+	ringsOff, ringBytes, arenaOff, total := layout(n, cfg)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("shmipc: create segment: %w", err)
+	}
+	if err := f.Truncate(int64(total)); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, fmt.Errorf("shmipc: size segment: %w", err)
+	}
+	b, err := mmapFile(f, total)
+	if err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, fmt.Errorf("shmipc: map segment: %w", err)
+	}
+	s := &Segment{
+		b: b, f: f, path: path, owner: true,
+		nranks: n, slots: cfg.Slots, slotBytes: cfg.SlotBytes,
+		ringsOff: ringsOff, ringBytes: ringBytes,
+		arenaOff: arenaOff, arenaLen: cfg.ArenaBytes,
+	}
+	binary.LittleEndian.PutUint64(b[offMagic:], segMagic)
+	binary.LittleEndian.PutUint32(b[offVersion:], segVersion)
+	binary.LittleEndian.PutUint32(b[offNRanks:], uint32(n))
+	binary.LittleEndian.PutUint32(b[offSlotSize:], uint32(cfg.SlotBytes))
+	binary.LittleEndian.PutUint32(b[offSlots:], uint32(cfg.Slots))
+	binary.LittleEndian.PutUint64(b[offArenaOff:], uint64(arenaOff))
+	binary.LittleEndian.PutUint64(b[offArenaLen:], uint64(cfg.ArenaBytes))
+	binary.LittleEndian.PutUint32(b[offOwnerPID:], uint32(os.Getpid()))
+	// The arena bump pointer starts at the first block boundary.
+	atomic.StoreUint64(s.word(offBump), uint64(arenaOff))
+	for slot, w := range worldRanks {
+		rec := offTable + slot*rankRecBytes
+		binary.LittleEndian.PutUint64(b[rec+16:], uint64(w))
+	}
+	// Ring slot sequence numbers: slot k is free for ring position k.
+	for ring := 0; ring < n*n; ring++ {
+		base := ringsOff + ring*ringBytes + ringHdrBytes
+		for k := 0; k < cfg.Slots; k++ {
+			binary.LittleEndian.PutUint64(b[base+k*cfg.SlotBytes:], uint64(k))
+		}
+	}
+	atomic.StoreUint32(s.word32(offReady), 1)
+	return s, nil
+}
+
+// Open maps an existing segment, waiting up to timeout for the creator
+// to finish initializing it.
+func Open(path string, timeout time.Duration) (*Segment, error) {
+	deadline := time.Now().Add(timeout)
+	var f *os.File
+	var err error
+	for {
+		f, err = os.OpenFile(path, os.O_RDWR, 0)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("shmipc: open segment: %w", err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("shmipc: stat segment: %w", err)
+	}
+	b, err := mmapFile(f, int(st.Size()))
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("shmipc: map segment: %w", err)
+	}
+	s := &Segment{b: b, f: f, path: path}
+	for atomic.LoadUint32(s.word32(offReady)) != 1 {
+		if time.Now().After(deadline) {
+			s.unmap()
+			return nil, fmt.Errorf("shmipc: segment %s never became ready", path)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if binary.LittleEndian.Uint64(b[offMagic:]) != segMagic {
+		s.unmap()
+		return nil, fmt.Errorf("shmipc: %s is not a gompi segment", path)
+	}
+	if v := binary.LittleEndian.Uint32(b[offVersion:]); v != segVersion {
+		s.unmap()
+		return nil, fmt.Errorf("shmipc: segment version %d, want %d", v, segVersion)
+	}
+	s.nranks = int(binary.LittleEndian.Uint32(b[offNRanks:]))
+	s.slotBytes = int(binary.LittleEndian.Uint32(b[offSlotSize:]))
+	s.slots = int(binary.LittleEndian.Uint32(b[offSlots:]))
+	s.arenaOff = int(binary.LittleEndian.Uint64(b[offArenaOff:]))
+	s.arenaLen = int(binary.LittleEndian.Uint64(b[offArenaLen:]))
+	s.ringsOff, s.ringBytes, _, _ = layout(s.nranks, Config{
+		Slots: s.slots, SlotBytes: s.slotBytes, ArenaBytes: s.arenaLen,
+	}.withDefaults())
+	return s, nil
+}
+
+// unmap releases the mapping. It is never called while frames may
+// still alias the segment: processes rely on exit-time teardown, and
+// only error paths during Open/Create use it.
+func (s *Segment) unmap() {
+	if s.b != nil {
+		munmapFile(s.b) //nolint:errcheck // nothing to do on failure
+		s.b = nil
+	}
+	if s.f != nil {
+		s.f.Close()
+		s.f = nil
+	}
+}
+
+// Unlink removes the segment file. Existing mappings stay valid; the
+// kernel frees the memory when the last process unmaps (typically at
+// exit).
+func (s *Segment) Unlink() error { return os.Remove(s.path) }
+
+// OwnerPID returns the creator's process id as recorded in the header.
+func (s *Segment) OwnerPID() int {
+	return int(binary.LittleEndian.Uint32(s.b[offOwnerPID:]))
+}
+
+// WorldRanks returns the world rank of every slot.
+func (s *Segment) WorldRanks() []int {
+	out := make([]int, s.nranks)
+	for i := range out {
+		out[i] = int(binary.LittleEndian.Uint64(s.b[offTable+i*rankRecBytes+16:]))
+	}
+	return out
+}
+
+// rank-record accessors.
+
+func (s *Segment) rankStateWord(slot int) *uint32 {
+	return s.word32(offTable + slot*rankRecBytes)
+}
+
+func (s *Segment) rankPIDWord(slot int) *uint64 {
+	return s.word(offTable + slot*rankRecBytes + 8)
+}
+
+// attachSlot marks a slot attached by this process.
+func (s *Segment) attachSlot(slot int) {
+	atomic.StoreUint64(s.rankPIDWord(slot), uint64(os.Getpid()))
+	atomic.StoreUint32(s.rankStateWord(slot), rankAttached)
+}
+
+// CleanupStale removes segment files in dir whose creating process no
+// longer exists — the crash-recovery sweep mpirun runs at startup so an
+// aborted job cannot leak /dev/shm memory forever. Files younger than
+// grace are left alone (their creator may not have written the header
+// yet). It returns the removed paths.
+func CleanupStale(dir string, grace time.Duration) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var removed []string
+	for _, ent := range ents {
+		name := ent.Name()
+		if !strings.HasPrefix(name, SegPrefix) || !strings.HasSuffix(name, ".seg") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		info, err := ent.Info()
+		if err != nil || time.Since(info.ModTime()) < grace {
+			continue
+		}
+		pid, ok := segmentOwner(path)
+		if !ok || pidAlive(pid) {
+			continue
+		}
+		if os.Remove(path) == nil {
+			removed = append(removed, path)
+		}
+	}
+	return removed, nil
+}
+
+// segmentOwner reads the creator pid out of a segment file without
+// mapping it.
+func segmentOwner(path string) (int, bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, false
+	}
+	defer f.Close()
+	var hdr [offOwnerPID + 4]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		return 0, false
+	}
+	if binary.LittleEndian.Uint64(hdr[offMagic:]) != segMagic {
+		return 0, false
+	}
+	return int(binary.LittleEndian.Uint32(hdr[offOwnerPID:])), true
+}

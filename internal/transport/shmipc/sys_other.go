@@ -1,0 +1,15 @@
+//go:build !unix
+
+package shmipc
+
+import "os"
+
+// shmSupported gates the registry probe off: no shared mmap here, so
+// device selection falls back to sockets.
+const shmSupported = false
+
+func mmapFile(f *os.File, size int) ([]byte, error) { return nil, errUnsupported }
+
+func munmapFile(b []byte) error { return errUnsupported }
+
+func pidAlive(pid int) bool { return true }

@@ -20,10 +20,17 @@ type TCPDevice struct {
 	ln         net.Listener
 	ownsLn     bool
 
-	inbox     chan Frame
+	inbox chan Frame
+	// fail carries peer-loss reports out of the read loops: a
+	// connection that dies mid-stream surfaces as PeerLostError from
+	// Recv instead of a silent stall, so receives pending on that peer
+	// fail with an MPI error class rather than hanging.
+	fail      chan error
 	done      chan struct{}
 	closeOnce sync.Once
 	readers   sync.WaitGroup
+
+	devCounters
 }
 
 // peerWriterSize is the per-peer staging buffer: a length prefix, header
@@ -73,9 +80,18 @@ const meshMagic = 0x6d706a31 // "mpj1"
 // rank, identifying peers through a handshake frame, so the procedure is
 // deadlock-free regardless of scheduling.
 func ConnectMesh(rank, size int, addrs []string, ln net.Listener, ownsListener bool) (*TCPDevice, error) {
+	return ConnectPartialMesh(rank, size, addrs, ln, ownsListener, nil)
+}
+
+// ConnectPartialMesh is ConnectMesh restricted to a peer subset: ranks
+// with skip[r] set get no connection (a hybrid job reaches them through
+// another medium). A nil skip connects everyone. Sends toward a skipped
+// rank fail with ErrClosed.
+func ConnectPartialMesh(rank, size int, addrs []string, ln net.Listener, ownsListener bool, skip []bool) (*TCPDevice, error) {
 	if len(addrs) != size {
 		return nil, fmt.Errorf("transport: %d addresses for job size %d", len(addrs), size)
 	}
+	skipped := func(r int) bool { return skip != nil && r < len(skip) && skip[r] }
 	d := &TCPDevice{
 		rank:   rank,
 		size:   size,
@@ -83,10 +99,14 @@ func ConnectMesh(rank, size int, addrs []string, ln net.Listener, ownsListener b
 		ln:     ln,
 		ownsLn: ownsListener,
 		inbox:  make(chan Frame, DefaultInboxDepth),
+		fail:   make(chan error, size),
 		done:   make(chan struct{}),
 	}
 	// Dial lower ranks.
 	for j := 0; j < rank; j++ {
+		if skipped(j) {
+			continue
+		}
 		c, err := dialPeer(addrs[j], rank)
 		if err != nil {
 			d.Close()
@@ -95,13 +115,19 @@ func ConnectMesh(rank, size int, addrs []string, ln net.Listener, ownsListener b
 		d.peers[j] = newPeerConn(c)
 	}
 	// Accept higher ranks.
-	for need := size - rank - 1; need > 0; need-- {
+	need := 0
+	for r := rank + 1; r < size; r++ {
+		if !skipped(r) {
+			need++
+		}
+	}
+	for ; need > 0; need-- {
 		c, peer, err := acceptPeer(ln)
 		if err != nil {
 			d.Close()
 			return nil, fmt.Errorf("transport: rank %d accepting: %w", rank, err)
 		}
-		if peer <= rank || peer >= size || d.peers[peer] != nil {
+		if peer <= rank || peer >= size || skipped(peer) || d.peers[peer] != nil {
 			c.Close()
 			d.Close()
 			return nil, fmt.Errorf("transport: rank %d got bad handshake from claimed rank %d", rank, peer)
@@ -231,6 +257,7 @@ func (d *TCPDevice) Send(dst int, frame []byte) error {
 	if err := p.writeFrame(frame, nil); err != nil {
 		return fmt.Errorf("transport: send to rank %d: %w", dst, err)
 	}
+	d.countSend(len(frame))
 	return nil
 }
 
@@ -258,6 +285,7 @@ func (d *TCPDevice) Sendv(dst int, hdr, payload []byte, recycle bool) error {
 		return ErrClosed
 	}
 	err := p.writeFrame(hdr, payload)
+	n := len(hdr) + len(payload)
 	PutBuf(hdr)
 	if recycle {
 		PutBuf(payload)
@@ -265,14 +293,18 @@ func (d *TCPDevice) Sendv(dst int, hdr, payload []byte, recycle bool) error {
 	if err != nil {
 		return fmt.Errorf("transport: send to rank %d: %w", dst, err)
 	}
+	d.countSend(n)
 	return nil
 }
 
 // selfDeliver enqueues f on the local inbox, releasing its pooled
 // storage if the device is already closed and nobody will consume it.
 func (d *TCPDevice) selfDeliver(f Frame) error {
+	n := len(f.Data) + len(f.Payload)
 	select {
 	case d.inbox <- f:
+		d.countSend(n)
+		d.countRecv(n)
 		return nil
 	case <-d.done:
 		f.Release()
@@ -280,11 +312,21 @@ func (d *TCPDevice) selfDeliver(f Frame) error {
 	}
 }
 
-// Recv returns the next frame addressed to this rank.
+// Recv returns the next frame addressed to this rank, or a
+// PeerLostError when a mesh connection died mid-stream (the device
+// stays usable for the surviving peers).
 func (d *TCPDevice) Recv() (Frame, error) {
+	// Frames already received win over failure reports.
 	select {
 	case f := <-d.inbox:
 		return f, nil
+	default:
+	}
+	select {
+	case f := <-d.inbox:
+		return f, nil
+	case err := <-d.fail:
+		return Frame{}, err
 	case <-d.done:
 		select {
 		case f := <-d.inbox:
@@ -295,12 +337,27 @@ func (d *TCPDevice) Recv() (Frame, error) {
 	}
 }
 
+// peerLost reports a dead mesh connection, unless the read error is
+// just this endpoint's own shutdown tearing connections down.
+func (d *TCPDevice) peerLost(peer int, err error) {
+	select {
+	case <-d.done:
+		return
+	default:
+	}
+	select {
+	case d.fail <- &PeerLostError{Peer: peer, Err: err}:
+	default:
+	}
+}
+
 func (d *TCPDevice) readLoop(peer int, c net.Conn) {
 	defer d.readers.Done()
 	var hdr [4]byte
 	for {
 		if _, err := io.ReadFull(c, hdr[:]); err != nil {
-			return // peer closed or we are shutting down
+			d.peerLost(peer, err)
+			return
 		}
 		n := binary.LittleEndian.Uint32(hdr[:])
 		// Stage the whole frame in one pooled buffer; the engine
@@ -308,8 +365,10 @@ func (d *TCPDevice) readLoop(peer int, c net.Conn) {
 		// matching receive without another copy.
 		frame := GetBuf(int(n))
 		if _, err := io.ReadFull(c, frame); err != nil {
+			d.peerLost(peer, err)
 			return
 		}
+		d.countRecv(int(n))
 		select {
 		case d.inbox <- Frame{Data: frame, pooledData: true}:
 		case <-d.done:
@@ -333,6 +392,12 @@ func (d *TCPDevice) Close() error {
 		}
 	})
 	return nil
+}
+
+// DeviceStats reports this endpoint's traffic; its payload buffers come
+// from the process-private pool.
+func (d *TCPDevice) DeviceStats() []DevStats {
+	return []DevStats{d.devCounters.stats("tcp", PoolStats())}
 }
 
 var _ Device = (*TCPDevice)(nil)

@@ -165,12 +165,44 @@ type EngineStats struct {
 	BytesCopied                      uint64
 	RecvsZeroCopy                    uint64
 	Cancelled                        uint64
+	PeersLost                        uint64
 	PoolHitRate                      float64
+
+	// Devices breaks the traffic down by transport medium — one entry
+	// per device behind this rank's endpoint ("shm", "tcp", "chan"),
+	// each carrying its own frame/byte counters and buffer-pool hit
+	// rate (the shared-segment arena for "shm", the process pool
+	// otherwise). A hybrid run reports one entry per medium.
+	DeviceStats []DeviceStats
+}
+
+// DeviceStats is one transport medium's counter snapshot.
+type DeviceStats struct {
+	// Device names the medium ("shm", "tcp", "chan").
+	Device string
+	// FramesSent/FramesRecv count frames through the endpoint.
+	FramesSent, FramesRecv uint64
+	// BytesSent/BytesRecv total frame bytes (header + payload).
+	BytesSent, BytesRecv uint64
+	// PoolHitRate is the fraction of the medium's buffer-pool requests
+	// served by recycling rather than allocation.
+	PoolHitRate float64
 }
 
 // EngineStats snapshots the rank's hot-path counters.
 func (e *Env) EngineStats() EngineStats {
 	s := e.proc.StatsSnapshot()
+	devs := make([]DeviceStats, 0, len(s.Devices))
+	for _, d := range s.Devices {
+		devs = append(devs, DeviceStats{
+			Device:      d.Name,
+			FramesSent:  d.FramesSent,
+			FramesRecv:  d.FramesRecv,
+			BytesSent:   d.BytesSent,
+			BytesRecv:   d.BytesRecv,
+			PoolHitRate: d.Pool.HitRate(),
+		})
+	}
 	return EngineStats{
 		SendsEager:      s.SendsEager,
 		SendsSync:       s.SendsSync,
@@ -182,7 +214,9 @@ func (e *Env) EngineStats() EngineStats {
 		BytesCopied:     s.BytesCopied,
 		RecvsZeroCopy:   s.RecvsZeroCopy,
 		Cancelled:       s.Cancelled,
+		PeersLost:       s.PeersLost,
 		PoolHitRate:     s.Pool.HitRate(),
+		DeviceStats:     devs,
 	}
 }
 

@@ -35,6 +35,13 @@ const (
 	ErrIO     // underlying filesystem I/O failure
 	ErrAmode  // invalid access-mode combination passed to OpenFile
 	ErrAccess // operation forbidden by the file's access mode
+
+	// ErrProcFailed reports that a peer process died (its OS process
+	// exited or its connection reset) while an operation depending on
+	// it was pending — the MPI fault-tolerance extensions'
+	// MPI_ERR_PROC_FAILED. Operations with other, live peers continue
+	// to work on the same communicator.
+	ErrProcFailed
 )
 
 var errClassNames = map[ErrClass]string{
@@ -46,7 +53,7 @@ var errClassNames = map[ErrClass]string{
 	ErrOther: "MPI_ERR_OTHER", ErrIntern: "MPI_ERR_INTERN", ErrInStatus: "MPI_ERR_IN_STATUS",
 	ErrPending: "MPI_ERR_PENDING",
 	ErrFile:    "MPI_ERR_FILE", ErrIO: "MPI_ERR_IO", ErrAmode: "MPI_ERR_AMODE",
-	ErrAccess: "MPI_ERR_ACCESS",
+	ErrAccess: "MPI_ERR_ACCESS", ErrProcFailed: "MPI_ERR_PROC_FAILED",
 }
 
 func (c ErrClass) String() string {

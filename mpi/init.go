@@ -30,17 +30,16 @@ func Init(args []string) (*Env, []string, error) {
 	if err != nil || rank < 0 || rank >= size {
 		return nil, args, errf(ErrArg, "bad %s=%q", launch.EnvRank, os.Getenv(launch.EnvRank))
 	}
-	coord := os.Getenv(launch.EnvCoord)
-	if coord == "" {
-		return nil, args, errf(ErrArg, "%s not set (run under mpirun)", launch.EnvCoord)
-	}
 	cfg := core.Config{}
 	if e := os.Getenv(launch.EnvEager); e != "" {
 		if v, err := strconv.Atoi(e); err == nil {
 			cfg.EagerLimit = v
 		}
 	}
-	dev, err := launch.Join(coord, rank, size)
+	// The medium comes from the device registry: mpirun names one
+	// ("shm", "tcp", "hybrid") or leaves "auto" to pick the fastest
+	// fabric it provisioned (segment, coordinator, or both).
+	dev, err := transport.NewDevice(launch.DeviceFromEnv(), launch.SpecFromEnv(rank, size))
 	if err != nil {
 		return nil, args, errf(ErrIntern, "%v", err)
 	}

@@ -7,6 +7,7 @@ import (
 
 	"gompi/internal/core"
 	"gompi/internal/dtype"
+	"gompi/internal/transport"
 )
 
 // Request is a handle on a pending non-blocking operation. Following the
@@ -78,6 +79,13 @@ func recvStatus(cst *core.Status, into bool, payload []byte, buf any, offset, co
 			err = mapDataErr(uerr)
 			st.Error = ClassOf(err)
 		}
+		// A completion-time error (peer lost mid-operation) arrives
+		// with an empty payload — the unpack above deposited nothing —
+		// so surface the loss as the operation's error.
+		if err == nil && cst.Err != nil {
+			err = mapDataErr(cst.Err)
+			st.Error = ClassOf(err)
+		}
 	}
 	return st, err
 }
@@ -101,6 +109,10 @@ func (r *Request) finish() {
 				st.cancelled = true
 				st.Source = ProcNull
 				st.Tag = AnyTag
+			}
+			if cst.Err != nil {
+				r.err = mapDataErr(cst.Err)
+				st.Error = ClassOf(r.err)
 			}
 			r.st = st
 			return
@@ -427,9 +439,12 @@ func WaitAllP(ps []*Prequest) ([]*Status, error) {
 // mapDataErr converts datatype- and core-layer errors into MPI error
 // classes.
 func mapDataErr(err error) error {
+	var lost *transport.PeerLostError
 	switch {
 	case err == nil:
 		return nil
+	case errors.As(err, &lost):
+		return errf(ErrProcFailed, "%v", err)
 	case errors.Is(err, dtype.ErrTruncate), errors.Is(err, core.ErrTruncated):
 		return errf(ErrTruncate, "%v", err)
 	case errors.Is(err, dtype.ErrClassMismatch):

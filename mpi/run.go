@@ -9,6 +9,7 @@ import (
 
 	"gompi/internal/core"
 	"gompi/internal/transport"
+	"gompi/internal/transport/shmipc"
 )
 
 // LinkEmulation configures artificial per-message costs for benchmark
@@ -46,6 +47,11 @@ type RunOptions struct {
 	// Memory mode) instead of the in-process shared-memory device
 	// (Shared Memory mode).
 	TCP bool
+	// Device names the transport medium explicitly, overriding TCP:
+	// "chan" (in-process channels), "shm" (the cross-process
+	// shared-memory segment, exercised in-process) or "tcp" (loopback
+	// sockets). Empty defers to the TCP flag.
+	Device string
 	// EagerLimit overrides the eager/rendezvous threshold in bytes
 	// (0 = default, negative = always rendezvous).
 	EagerLimit int
@@ -145,7 +151,16 @@ func RunWith(opt RunOptions, fn func(*Env) error) error {
 func buildDevices(opt RunOptions) ([]transport.Device, error) {
 	profile := opt.Link.profile()
 	out := make([]transport.Device, opt.NP)
-	if opt.TCP {
+	device := opt.Device
+	if device == "" {
+		if opt.TCP {
+			device = "tcp"
+		} else {
+			device = "chan"
+		}
+	}
+	switch device {
+	case "tcp":
 		devs, err := transport.NewLoopbackJob(opt.NP)
 		if err != nil {
 			return nil, errf(ErrIntern, "loopback job: %v", err)
@@ -153,10 +168,20 @@ func buildDevices(opt RunOptions) ([]transport.Device, error) {
 		for i, d := range devs {
 			out[i] = transport.NewShaped(d, profile)
 		}
-		return out, nil
-	}
-	for i, d := range transport.NewShmJob(opt.NP, opt.InboxDepth) {
-		out[i] = transport.NewShaped(d, profile)
+	case "shm":
+		devs, err := shmipc.NewProcJob(opt.NP, shmipc.Config{})
+		if err != nil {
+			return nil, errf(ErrIntern, "shm job: %v", err)
+		}
+		for i, d := range devs {
+			out[i] = transport.NewShaped(d, profile)
+		}
+	case "chan":
+		for i, d := range transport.NewShmJob(opt.NP, opt.InboxDepth) {
+			out[i] = transport.NewShaped(d, profile)
+		}
+	default:
+		return nil, errf(ErrArg, "RunWith: unknown device %q (want chan, shm or tcp)", device)
 	}
 	return out, nil
 }
