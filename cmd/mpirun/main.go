@@ -13,6 +13,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -27,6 +28,7 @@ import (
 	"time"
 
 	"gompi/internal/launch"
+	"gompi/internal/transport"
 	"gompi/internal/transport/shmipc"
 )
 
@@ -64,6 +66,7 @@ func main() {
 	shmArenaMB := flag.Int("shm-arena-mb", 0, "shared frame-pool arena size in MiB (0 = default)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: mpirun [-np N] [-device auto|shm|tcp] [-nodes N] [-eager BYTES] prog [args...]\n")
+		fmt.Fprintf(os.Stderr, "a faulty: prefix on -device (e.g. faulty:shm) injects the GOMPI_FAULT plan into the workers\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -87,11 +90,16 @@ func main() {
 	}
 
 	// Decide the fabric. workerDev is what the workers are told to
-	// construct through the device registry.
+	// construct through the device registry. A faulty: prefix is the
+	// chaos-testing decorator: provisioning decisions are made on the
+	// underlying fabric name, and the prefix is re-applied to the
+	// worker-side device so the registry wraps each endpoint with the
+	// GOMPI_FAULT plan.
+	fabric, injectFaults := strings.CutPrefix(*device, transport.FaultyPrefix)
 	var islands []island
 	workerDev := ""
 	needCoord := false
-	switch *device {
+	switch fabric {
 	case "tcp":
 		workerDev = "tcp"
 		needCoord = true
@@ -111,7 +119,7 @@ func main() {
 			needCoord = true
 		}
 	default:
-		fatalf("unknown -device %q (want auto, shm or tcp)", *device)
+		fatalf("unknown -device %q (want auto, shm or tcp, optionally faulty:-prefixed)", *device)
 	}
 
 	// Provision the segments. Cleanup must run on every exit path,
@@ -169,11 +177,15 @@ func main() {
 		}
 	}
 	rankEnv := func(r int) []string {
+		dev := workerDev
+		if injectFaults {
+			dev = transport.FaultyPrefix + dev
+		}
 		env := append(os.Environ(),
 			launch.EnvRank+"="+strconv.Itoa(r),
 			launch.EnvSize+"="+strconv.Itoa(*np),
 			launch.EnvEager+"="+strconv.Itoa(*eager),
-			launch.EnvDevice+"="+workerDev,
+			launch.EnvDevice+"="+dev,
 		)
 		if coordAddr != "" {
 			env = append(env, launch.EnvCoord+"="+coordAddr)
@@ -231,24 +243,49 @@ func main() {
 		}
 	}
 
-	exit := 0
-	var mu sync.Mutex
-	var wg sync.WaitGroup
+	// Reap children as they die, not in rank order: with fault-tolerant
+	// workers a killed rank exits minutes before its survivors, and its
+	// zombie should be collected — and its identity reported — the
+	// moment it happens. Each Wait runs on its own goroutine (reaping
+	// immediately); the channel serializes the death notices.
+	type exitEvent struct {
+		rank int
+		err  error
+	}
+	deaths := make(chan exitEvent, *np)
 	for r, p := range procs {
-		wg.Add(1)
 		go func(rank int, cmd *exec.Cmd) {
-			defer wg.Done()
-			if err := cmd.Wait(); err != nil {
-				mu.Lock()
-				if exit == 0 {
-					exit = 1
-				}
-				mu.Unlock()
-				fmt.Fprintf(os.Stderr, "mpirun: rank %d: %v\n", rank, err)
-			}
+			deaths <- exitEvent{rank, cmd.Wait()}
 		}(r, p)
 	}
-	wg.Wait()
+
+	exit := 0
+	firstFailed := -1
+	for reaped := 0; reaped < *np; reaped++ {
+		ev := <-deaths
+		if ev.err == nil {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "mpirun: rank %d: %v\n", ev.rank, ev.err)
+		if firstFailed >= 0 {
+			continue
+		}
+		firstFailed = ev.rank
+		// Propagate the failed rank's own status when it has one:
+		// 128+signal for a killed child, its exit code otherwise.
+		exit = 1
+		var ee *exec.ExitError
+		if errors.As(ev.err, &ee) {
+			if ws, ok := ee.Sys().(syscall.WaitStatus); ok && ws.Signaled() {
+				exit = 128 + int(ws.Signal())
+			} else if code := ee.ExitCode(); code > 0 {
+				exit = code
+			}
+		}
+	}
+	if firstFailed >= 0 {
+		fmt.Fprintf(os.Stderr, "mpirun: job failed: first failed rank %d (exit status %d)\n", firstFailed, exit)
+	}
 	if err := <-coordErr; err != nil && exit == 0 {
 		fmt.Fprintf(os.Stderr, "mpirun: %v\n", err)
 		exit = 1

@@ -23,15 +23,29 @@
 // checkpoint stores the global grid, so the restoring job may even use
 // a different rank count.
 //
+// Fault tolerance (-survive) closes the loop with the ULFM repair
+// primitives: when a sweep dies with MPI_ERR_PROC_FAILED or
+// MPI_ERR_REVOKED, the survivors revoke the communicator (freeing peers
+// still blocked on the dead rank), acknowledge the failure, Shrink to a
+// fresh communicator, repartition the grid over the remaining ranks and
+// resume from the latest periodic checkpoint (-checkpoint-every). The
+// sweep is deterministic in the global grid state and independent of the
+// partition, so the repaired run's result line is verbatim-identical to
+// an undisturbed run's.
+//
 //	go run ./examples/jacobi [-n 96] [-np 4] [-iters 500] \
-//	    [-checkpoint FILE] [-restore FILE]
+//	    [-checkpoint FILE] [-restore FILE] \
+//	    [-survive] [-checkpoint-every N] [-dawdle DUR]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math"
+	"os"
+	"time"
 
 	"gompi/mpi"
 )
@@ -43,14 +57,87 @@ func main() {
 	tol := flag.Float64("tol", 1e-4, "convergence threshold")
 	ckpt := flag.String("checkpoint", "", "write a checkpoint file at end of run")
 	restore := flag.String("restore", "", "resume from a checkpoint file")
+	survive := flag.Bool("survive", false, "on rank failure: revoke, shrink, restore from the -checkpoint file and keep sweeping")
+	ckptEvery := flag.Int("checkpoint-every", 0, "write the -checkpoint file every N sweeps (0 = only at end)")
+	dawdle := flag.Duration("dawdle", 0, "sleep per sweep, stretching the run so an external kill lands mid-solve")
 	flag.Parse()
 	// mpi.Main runs SM mode (np goroutine ranks) stand-alone, or this
 	// process's single rank when launched under cmd/mpirun (DM mode).
 	err := mpi.Main(*np, func(env *mpi.Env) error {
-		return jacobi(env, *n, *iters, *tol, *ckpt, *restore)
+		return jacobi(env, params{
+			n: *n, maxIters: *iters, tol: *tol,
+			ckpt: *ckpt, restore: *restore,
+			survive: *survive, ckptEvery: *ckptEvery, dawdle: *dawdle,
+		})
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+}
+
+// params carries the solver configuration through the repair loop.
+type params struct {
+	n, maxIters int
+	tol         float64
+	ckpt        string
+	restore     string
+	survive     bool
+	ckptEvery   int
+	dawdle      time.Duration
+}
+
+// ftError reports whether err is a peer failure or a revocation — the
+// two classes the ULFM repair loop can recover from.
+func ftError(err error) bool {
+	switch mpi.ClassOf(err) {
+	case mpi.ErrProcFailed, mpi.ErrRevoked:
+		return true
+	}
+	return false
+}
+
+// jacobi runs the solve, and in -survive mode repairs the communicator
+// and resumes after every recoverable failure: revoke (unblocks peers
+// still waiting on the dead rank), acknowledge, shrink to the
+// survivors, then restore from the latest checkpoint — or from scratch
+// if none was written yet. Every survivor observes the failure (the
+// residual allreduce spans all ranks), so all of them run this same
+// repair sequence in program order, which is what Revoke/Shrink require.
+func jacobi(env *mpi.Env, p params) error {
+	comm := env.CommWorld()
+	restoreFrom := p.restore
+	for {
+		err := solve(env, comm, p, restoreFrom)
+		if err == nil || !p.survive || !ftError(err) {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "jacobi: rank %d/%d: %v; repairing\n", comm.Rank(), comm.Size(), err)
+		if rerr := comm.Revoke(); rerr != nil {
+			return errors.Join(err, rerr)
+		}
+		if aerr := comm.FailureAck(); aerr != nil {
+			return errors.Join(err, aerr)
+		}
+		shrunk, serr := comm.Shrink()
+		if serr != nil {
+			return errors.Join(err, serr)
+		}
+		comm = shrunk
+		if p.n%comm.Size() != 0 {
+			return fmt.Errorf("cannot repartition: grid side %d does not divide by %d survivors", p.n, comm.Size())
+		}
+		// Resume from the latest checkpoint when one exists; otherwise
+		// recompute from the initial state — either way the trajectory,
+		// being deterministic in the grid, reproduces the undisturbed
+		// run's exactly.
+		restoreFrom = ""
+		if p.ckpt != "" {
+			if _, statErr := os.Stat(p.ckpt); statErr == nil {
+				restoreFrom = p.ckpt
+			}
+		}
+		fmt.Fprintf(os.Stderr, "jacobi: shrunk to %d ranks (rank %d), restoring from %q\n",
+			comm.Size(), comm.Rank(), restoreFrom)
 	}
 }
 
@@ -156,8 +243,8 @@ func readCheckpoint(world *mpi.Intracomm, path string, grid []float64, n, cols, 
 	return int(hdr[2]), hdr[3], nil
 }
 
-func jacobi(env *mpi.Env, n, maxIters int, tol float64, ckpt, restore string) error {
-	world := env.CommWorld()
+func solve(env *mpi.Env, world *mpi.Intracomm, p params, restore string) error {
+	n, maxIters, tol, ckpt := p.n, p.maxIters, p.tol, p.ckpt
 	rank, size := world.Rank(), world.Size()
 	if n%size != 0 {
 		return fmt.Errorf("grid side %d must divide by %d ranks", n, size)
@@ -236,6 +323,11 @@ func jacobi(env *mpi.Env, n, maxIters int, tol float64, ckpt, restore string) er
 	start := env.Wtime()
 	it := it0
 	for ; it < maxIters; it++ {
+		if p.dawdle > 0 {
+			// Stretch the sweep so an externally injected kill (the CI
+			// chaos job's SIGKILL) reliably lands mid-solve.
+			time.Sleep(p.dawdle)
+		}
 		// Exchange halos: post both zero-copy receives first, then send
 		// the owned boundary columns, then scatter the landed halos.
 		reqL, err := world.IrecvInto(haloL, 0, n, mpi.DOUBLE, left, 2)
@@ -317,6 +409,19 @@ func jacobi(env *mpi.Env, n, maxIters int, tol float64, ckpt, restore string) er
 			}
 		}
 
+		// Periodic checkpoint for -survive: written from `next`, which
+		// after the swap holds the grid with exactly `it` sweeps, paired
+		// with `settled` — the residual of sweep it-1 — so the header
+		// keeps the (sweeps S, residual of sweep S-1) invariant the
+		// restore path reconstructs the reduction pipeline from. The
+		// gate is uniform (it and the reduced residual agree on every
+		// rank), keeping the collective write aligned.
+		if ckpt != "" && p.ckptEvery > 0 && settled >= 0 && it%p.ckptEvery == 0 {
+			if err := writeCheckpoint(world, ckpt, next, n, cols, width, it, settled); err != nil {
+				return err
+			}
+		}
+
 		// Launch this sweep's residual reduction; it completes in the
 		// background while the next sweep computes (collectives travel
 		// on their own context, so they cannot interfere with the halo
@@ -342,16 +447,33 @@ func jacobi(env *mpi.Env, n, maxIters int, tol float64, ckpt, restore string) er
 		}
 	}
 
-	// Report the global heat content from rank 0.
-	sum := 0.0
-	for r := 0; r < n; r++ {
-		for c := 1; c <= cols; c++ {
-			sum += grid[r*width+c]
+	// Report the global heat content from rank 0. Summed in global
+	// column order — per-column sums gathered in rank order, folded
+	// sequentially at the root — so the value is bit-identical for any
+	// rank count: a -survive run that shrank mid-solve must reproduce
+	// the undisturbed run's result line verbatim, and a SUM reduction
+	// tree's fold order would depend on the partition.
+	colSums := make([]float64, cols)
+	for c := 1; c <= cols; c++ {
+		s := 0.0
+		for r := 0; r < n; r++ {
+			s += grid[r*width+c]
 		}
+		colSums[c-1] = s
 	}
-	in := []float64{sum}
+	allSums := make([]float64, n)
+	if err := world.Gather(colSums, 0, cols, mpi.DOUBLE, allSums, 0, cols, mpi.DOUBLE, 0); err != nil {
+		return err
+	}
 	out := []float64{0}
-	if err := world.Reduce(in, 0, out, 0, 1, mpi.DOUBLE, mpi.SUM, 0); err != nil {
+	for _, s := range allSums {
+		out[0] += s
+	}
+	// A closing barrier keeps the repaired communicator's teardown
+	// aligned: in -survive mode the world barrier in Finalize is skipped
+	// (the world is revoked), so this is what stops a fast rank from
+	// closing the fabric under a peer still draining the gather.
+	if err := world.Barrier(); err != nil {
 		return err
 	}
 	if rank == 0 {

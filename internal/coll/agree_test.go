@@ -1,0 +1,215 @@
+package coll
+
+import (
+	"sync"
+	"testing"
+
+	"gompi/internal/core"
+	"gompi/internal/transport"
+)
+
+// agreeGroup builds n ranks over a loopback TCP mesh (the device whose
+// readLoop reports peer death) and runs fn on every rank not in dead,
+// after closing the dead ranks' engines.
+func agreeGroup(t *testing.T, n int, dead map[int]bool, fn func(c *Comm) (any, error)) map[int]any {
+	t.Helper()
+	devs, err := transport.NewLoopbackJob(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := make([]*core.Proc, n)
+	for i, d := range devs {
+		procs[i] = core.NewProc(d, core.Config{EagerLimit: 256})
+	}
+	t.Cleanup(func() {
+		for _, p := range procs {
+			p.Close()
+		}
+	})
+	for r := range dead {
+		procs[r].Close()
+	}
+	results := make(map[int]any)
+	errs := make(map[int]error)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		if dead[i] {
+			continue
+		}
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c := &Comm{
+				P:     procs[rank],
+				Ctx:   1,
+				Rank:  rank,
+				Size:  n,
+				World: func(gr int) int { return gr },
+			}
+			res, err := fn(c)
+			mu.Lock()
+			results[rank], errs[rank] = res, err
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	return results
+}
+
+type agreeRes struct {
+	flags uint32
+	cand  int32
+	view  []bool
+}
+
+func checkUniform(t *testing.T, results map[int]any) agreeRes {
+	t.Helper()
+	var first *agreeRes
+	for r, raw := range results {
+		got := raw.(agreeRes)
+		if first == nil {
+			g := got
+			first = &g
+			continue
+		}
+		if got.flags != first.flags || got.cand != first.cand {
+			t.Fatalf("rank %d disagreed: %+v vs %+v", r, got, *first)
+		}
+		for i := range got.view {
+			if got.view[i] != first.view[i] {
+				t.Fatalf("rank %d failure view %v differs from %v", r, got.view, first.view)
+			}
+		}
+	}
+	return *first
+}
+
+// TestAgreeAllAlive: with every member participating, Agree is a plain
+// AND/MAX allreduce with an empty failure view, uniform across ranks.
+func TestAgreeAllAlive(t *testing.T) {
+	const n = 5
+	results := agreeGroup(t, n, nil, func(c *Comm) (any, error) {
+		flags, cand, view, err := c.Agree(^uint32(1<<c.Rank), int32(c.Rank*10), nil)
+		return agreeRes{flags, cand, view}, err
+	})
+	got := checkUniform(t, results)
+	wantFlags := ^uint32(0)
+	for r := 0; r < n; r++ {
+		wantFlags &^= 1 << r
+	}
+	if got.flags != wantFlags || got.cand != (n-1)*10 {
+		t.Fatalf("agreed (%#x, %d), want (%#x, %d)", got.flags, got.cand, wantFlags, (n-1)*10)
+	}
+	for i, f := range got.view {
+		if f {
+			t.Fatalf("rank %d reported failed with everyone alive", i)
+		}
+	}
+}
+
+// TestAgreeRoutesAroundDeath: a member dead before the call — and not
+// yet known to any caller — must be discovered, folded into the failure
+// view, and routed around; the survivors still agree uniformly.
+func TestAgreeRoutesAroundDeath(t *testing.T) {
+	const n, victim = 4, 2
+	results := agreeGroup(t, n, map[int]bool{victim: true}, func(c *Comm) (any, error) {
+		flags, cand, view, err := c.Agree(0xff, int32(c.Rank), nil)
+		return agreeRes{flags, cand, view}, err
+	})
+	got := checkUniform(t, results)
+	if !got.view[victim] {
+		t.Fatalf("failure view %v missed the dead rank %d", got.view, victim)
+	}
+	for i, f := range got.view {
+		if f && i != victim {
+			t.Fatalf("live rank %d marked failed in %v", i, got.view)
+		}
+	}
+	// The dead rank's candidate (2) may or may not fold in depending on
+	// when it died — here it never sent, so the max is over survivors.
+	if got.flags != 0xff || got.cand != n-1 {
+		t.Fatalf("agreed (%#x, %d), want (0xff, %d)", got.flags, got.cand, n-1)
+	}
+}
+
+// TestAgreePreAckedFailure: a failure the callers already acked is
+// routed around without touching the dead rank, and the caller's view
+// slice is not mutated.
+func TestAgreePreAckedFailure(t *testing.T) {
+	const n, victim = 4, 0
+	results := agreeGroup(t, n, map[int]bool{victim: true}, func(c *Comm) (any, error) {
+		mine := make([]bool, n)
+		mine[victim] = true
+		flags, cand, view, err := c.Agree(7, 1, mine)
+		if err == nil {
+			for i, f := range mine {
+				if f != (i == victim) {
+					t.Errorf("rank %d: caller view mutated: %v", c.Rank, mine)
+					break
+				}
+			}
+		}
+		return agreeRes{flags, cand, view}, err
+	})
+	got := checkUniform(t, results)
+	if !got.view[victim] || got.flags != 7 || got.cand != 1 {
+		t.Fatalf("agreed %+v, want flags 7, cand 1, view with rank %d failed", got, victim)
+	}
+}
+
+// TestAgreeBackToBack: repeated agreements on one communicator stay
+// tag-isolated (distinct instances) and keep converging after a death.
+func TestAgreeBackToBack(t *testing.T) {
+	const n, victim = 4, 3
+	results := agreeGroup(t, n, map[int]bool{victim: true}, func(c *Comm) (any, error) {
+		var view []bool
+		var flags uint32
+		var cand int32
+		var err error
+		for round := 0; round < 3; round++ {
+			flags, cand, view, err = c.Agree(uint32(0x30+round), int32(round), view)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return agreeRes{flags, cand, view}, err
+	})
+	got := checkUniform(t, results)
+	if got.flags != 0x32 || got.cand != 2 || !got.view[victim] {
+		t.Fatalf("final agreement %+v, want flags 0x32, cand 2, rank %d failed", got, victim)
+	}
+}
+
+func BenchmarkAgree(b *testing.B) {
+	const n = 4
+	devs := transport.NewShmJob(n, 0)
+	procs := make([]*core.Proc, n)
+	comms := make([]*Comm, n)
+	for i, d := range devs {
+		procs[i] = core.NewProc(d, core.Config{})
+		comms[i] = &Comm{P: procs[i], Ctx: 1, Rank: i, Size: n, World: func(gr int) int { return gr }}
+	}
+	defer func() {
+		for _, p := range procs {
+			p.Close()
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for _, c := range comms {
+			wg.Add(1)
+			go func(c *Comm) {
+				defer wg.Done()
+				c.Agree(1, 0, nil) //nolint:errcheck
+			}(c)
+		}
+		wg.Wait()
+	}
+}

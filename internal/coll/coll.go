@@ -29,6 +29,14 @@ type Comm struct {
 	// any validation. Every member starts collectives in the same
 	// order, so the sequence-derived tags agree across ranks.
 	seq atomic.Uint32
+
+	// rseq numbers the fault-tolerant agreement rounds (see agree.go)
+	// separately from seq: after a failure, survivors may have
+	// abandoned data collectives at different points — seq is no
+	// longer aligned across ranks — but they enter recovery with the
+	// same Agree/Shrink call sequence, so a dedicated counter keeps
+	// the repair traffic's tags aligned.
+	rseq atomic.Uint32
 }
 
 // Internal tag families, one per collective family, in the low
@@ -47,6 +55,10 @@ const (
 	// tagExscan is Exscan's own family: Scan and Exscan traffic must
 	// never cross-match, even back to back on one communicator.
 	tagExscan
+	// tagAgree is the fault-tolerant agreement's family (see agree.go).
+	// Its instances additionally carry core.RecoveryTag so they survive
+	// communicator revocation.
+	tagAgree
 	// tagPlan0 is the first of the families reserved for Plan-composed
 	// schedules (see plan.go): each communication primitive added to a
 	// Plan draws the next family, so a composed schedule may use the

@@ -238,6 +238,13 @@ func (s *sched) recv(src, tag int) ([]byte, error) {
 		req.Recycle()
 		return nil, errors.New("coll: receive cancelled")
 	}
+	if rerr := st.Err; rerr != nil {
+		// A peer died or the communicator was revoked mid-schedule:
+		// surface it rather than fold a nil payload into the algorithm.
+		// (Copied out first: st aliases the request Recycle re-pools.)
+		req.Recycle()
+		return nil, rerr
+	}
 	// Payload lifetime is unbounded here (algorithms forward and stash
 	// blocks), so take it out of the request before recycling.
 	b := req.TakePayload()
@@ -259,7 +266,11 @@ func (s *sched) sendrecv(dst, src, tag int, out []byte) ([]byte, error) {
 // recycles their requests.
 func (s *sched) drain() error {
 	for i, r := range s.pend {
-		if _, err := s.await(r); err != nil {
+		st, err := s.await(r)
+		if err == nil && st.Err != nil {
+			err = st.Err // send completed with a failure (peer loss, revocation)
+		}
+		if err != nil {
 			r.Recycle()
 			s.pend = s.pend[i+1:]
 			s.abort()

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"gompi/internal/transport"
@@ -18,6 +19,25 @@ const DefaultEagerLimit = 64 << 10
 // incoming message (MPI_ERR_TRUNCATE semantics): the buffer is filled to
 // capacity and the remainder of the message is discarded.
 var ErrTruncated = errors.New("core: receive buffer too small, message truncated")
+
+// ErrCommRevoked is the completion error of operations poisoned by a
+// communicator revocation (MPI_ERR_REVOKED semantics): once any member
+// revokes a context pair, every in-flight and future operation on it —
+// except recovery-tagged agreement traffic — fails with this error on
+// every member the revocation reaches.
+var ErrCommRevoked = errors.New("core: communicator revoked")
+
+// RecoveryTag is the tag bit reserved for communicator-repair traffic
+// (the fault-tolerant agreement under Shrink). Operations whose tag
+// carries it keep working on a revoked context: revocation must not
+// poison the very protocol that repairs the communicator. User tags are
+// capped below this bit and collective tags occupy the bits beneath it,
+// so no ordinary operation can claim the exemption.
+const RecoveryTag int32 = 1 << 30
+
+// isRecoveryTag reports whether t carries the repair exemption. Wildcard
+// tags are negative, so the bit test alone would misread them.
+func isRecoveryTag(t int32) bool { return t >= 0 && t&RecoveryTag != 0 }
 
 // Config tunes a Proc.
 type Config struct {
@@ -74,9 +94,19 @@ type Proc struct {
 	sent     map[uint64]*Request
 	recving  map[uint64]*Request
 	peerDown map[int]error // world rank -> loss report, once per peer
-	nextID   uint64
-	nextCtx  int32
-	closed   bool
+	// groups maps a registered context to its group-rank→world-rank
+	// table, letting failPeer and the fail-fast paths attribute peer
+	// death on derived communicators, not just COMM_WORLD.
+	groups map[int32][]int
+	// revoked maps a context to its revocation error once any member
+	// revoked the owning communicator.
+	revoked map[int32]error
+	nextID  uint64
+	nextCtx int32
+	closed  bool
+	// fatal is the terminal device error that killed this endpoint
+	// (failAll); operations posted after death fail fast with it.
+	fatal error
 
 	stats Stats
 
@@ -152,10 +182,12 @@ func (p *Proc) progress() {
 				p.failPeer(pl)
 				continue
 			}
-			p.mu.Lock()
-			p.closed = true
-			p.cond.Broadcast()
-			p.mu.Unlock()
+			// Terminal device error: the fabric under this rank is gone
+			// (Close, or a fault-injected death of our own endpoint).
+			// Complete everything pending with the error so goroutines
+			// blocked in Wait unblock instead of hanging on a rank that
+			// can no longer make progress.
+			p.failAll(err)
 			return
 		}
 		f, err := parseFrame(raw)
@@ -195,12 +227,11 @@ type lateComplete struct {
 
 // failPeer records that world rank pl.Peer is gone and completes, with
 // the loss as the status error, every operation only that peer could
-// satisfy: posted world-context receives pinned to it (group ranks
-// equal world ranks on contexts 0/1; derived-communicator receives
-// cannot be mapped to a world rank here and surface the failure on the
-// group's next send instead), rendezvous sends awaiting its CTS/ACK,
-// and granted receives awaiting its DATA. Later sends to the peer fail
-// fast in Isend. Reported once per peer.
+// satisfy: posted receives pinned to it (world contexts map group ranks
+// directly; derived communicators resolve through their registered
+// group tables), rendezvous sends awaiting its CTS/ACK, and granted
+// receives awaiting its DATA. Later sends to the peer fail fast in
+// Isend. Reported once per peer.
 func (p *Proc) failPeer(pl *transport.PeerLostError) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -212,12 +243,12 @@ func (p *Proc) failPeer(pl *transport.PeerLostError) {
 	}
 	p.peerDown[pl.Peer] = pl
 	p.stats.PeersLost.Add(1)
-	peer := int32(pl.Peer)
+	peer := pl.Peer
 
 	kept := p.posted[:0]
 	for _, r := range p.posted {
-		if r.ctx <= 1 && r.src == peer {
-			p.completeLocked(r, nil, Status{SourceGroup: int(peer), Tag: int(r.tag), Err: pl})
+		if r.src != AnySource && p.worldOfLocked(r.ctx, r.src) == peer {
+			p.completeLocked(r, nil, Status{SourceGroup: int(r.src), Tag: int(r.tag), Err: pl})
 			continue
 		}
 		kept = append(kept, r)
@@ -228,7 +259,7 @@ func (p *Proc) failPeer(pl *transport.PeerLostError) {
 	p.posted = kept
 
 	for id, r := range p.sent {
-		if r.dstWorld != peer {
+		if int(r.dstWorld) != peer {
 			continue
 		}
 		delete(p.sent, id)
@@ -239,12 +270,39 @@ func (p *Proc) failPeer(pl *transport.PeerLostError) {
 		p.completeLocked(r, nil, Status{Bytes: r.size, Err: pl})
 	}
 	for id, r := range p.recving {
-		if r.ctx <= 1 && int32(r.Stat.SourceGroup) == peer {
+		if p.worldOfLocked(r.ctx, int32(r.Stat.SourceGroup)) == peer {
 			delete(p.recving, id)
-			p.completeLocked(r, nil, Status{SourceGroup: int(peer), Tag: r.Stat.Tag, Err: pl})
+			p.completeLocked(r, nil, Status{SourceGroup: r.Stat.SourceGroup, Tag: r.Stat.Tag, Err: pl})
 		}
 	}
 	p.cond.Broadcast() // wake Probe waiters pinned to the lost peer
+}
+
+// failAll marks the engine closed and completes every pending operation
+// with err: the local endpoint itself is dead, so nothing pending can
+// ever complete normally.
+func (p *Proc) failAll(err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	p.fatal = err
+	for _, r := range p.posted {
+		p.completeLocked(r, nil, Status{SourceGroup: int(r.src), Tag: int(r.tag), Err: err})
+	}
+	p.posted = nil
+	for id, r := range p.sent {
+		delete(p.sent, id)
+		if r.data != nil && r.recycle {
+			transport.PutBuf(r.data)
+		}
+		r.data = nil
+		p.completeLocked(r, nil, Status{Bytes: r.size, Err: err})
+	}
+	for id, r := range p.recving {
+		delete(p.recving, id)
+		p.completeLocked(r, nil, Status{SourceGroup: r.Stat.SourceGroup, Tag: r.Stat.Tag, Err: err})
+	}
+	p.cond.Broadcast()
 }
 
 // peerLoss returns the recorded loss report for world rank dst, if any.
@@ -252,6 +310,183 @@ func (p *Proc) peerLoss(dst int) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.peerDown[dst]
+}
+
+// worldOfLocked maps a group rank on a registered context to its world
+// rank, falling back to the identity map on the world contexts; -1 when
+// the mapping is unknown.
+func (p *Proc) worldOfLocked(ctx, groupRank int32) int {
+	if g, ok := p.groups[ctx]; ok {
+		if groupRank >= 0 && int(groupRank) < len(g) {
+			return g[groupRank]
+		}
+		return -1
+	}
+	if ctx <= 1 {
+		return int(groupRank)
+	}
+	return -1
+}
+
+// RegisterGroup records the group-rank→world-rank table of the
+// communicator whose context pair starts at base. Registration is what
+// lets the engine fail receives pinned to a dead peer on derived
+// communicators and route revocation notices to exactly the members.
+func (p *Proc) RegisterGroup(base int32, world []int) {
+	g := append([]int(nil), world...)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.groups == nil {
+		p.groups = make(map[int32][]int)
+	}
+	p.groups[base] = g
+	p.groups[base+1] = g
+}
+
+// DownPeers returns the world ranks currently known to have failed, in
+// rank order.
+func (p *Proc) DownPeers() []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]int, 0, len(p.peerDown))
+	for r := range p.peerDown {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// PeerDown reports whether world rank w is known to have failed.
+func (p *Proc) PeerDown(w int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.peerDown[w] != nil
+}
+
+// Revoke poisons the communicator whose context pair starts at base
+// (ULFM MPI_Comm_revoke): pending operations on the pair complete with
+// ErrCommRevoked, future ones fail fast, and a revocation notice floods
+// to every live member of the registered group. Propagation is
+// engine-level: each member re-floods on first receipt, so the notice
+// survives the revoker dying mid-broadcast as long as the live members
+// stay connected. Recovery-tagged traffic (Agree/Shrink) is exempt —
+// revocation must not poison the repair protocol itself.
+func (p *Proc) Revoke(base int32) {
+	p.mu.Lock()
+	outs, _ := p.revokeLocked(base)
+	p.mu.Unlock()
+	p.sendAsync(outs)
+}
+
+// ContextRevoked reports whether the context pair at base has been
+// revoked.
+func (p *Proc) ContextRevoked(base int32) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.revoked[base] != nil
+}
+
+// ctxErrLocked returns the revocation error barring an operation on ctx
+// with tag, or nil.
+func (p *Proc) ctxErrLocked(ctx, tag int32) error {
+	if err := p.revoked[ctx]; err != nil && !isRecoveryTag(tag) {
+		return err
+	}
+	return nil
+}
+
+// sendAsync ships engine-produced control frames off the caller's
+// goroutine, tracked by inflight so Close drains them.
+func (p *Proc) sendAsync(outs []outFrame) {
+	for _, o := range outs {
+		p.inflight.Add(1)
+		go func(o outFrame) {
+			defer p.inflight.Done()
+			p.dev.Sendv(int(o.dst), o.hdr, o.payload, o.recycle) //nolint:errcheck // peer teardown races are benign
+		}(o)
+	}
+}
+
+// revokeLocked records the revocation of (base, base+1), fails every
+// pinned non-recovery operation, drops queued unexpected messages for
+// the pair, and returns the flood of notices to transmit. fresh is
+// false (and no frames are produced) when the pair was already revoked.
+func (p *Proc) revokeLocked(base int32) (outs []outFrame, fresh bool) {
+	if p.revoked[base] != nil {
+		return nil, false
+	}
+	if p.revoked == nil {
+		p.revoked = make(map[int32]error)
+	}
+	err := fmt.Errorf("%w (ctx %d)", ErrCommRevoked, base)
+	p.revoked[base] = err
+	p.revoked[base+1] = err
+
+	onPair := func(ctx int32) bool { return ctx == base || ctx == base+1 }
+
+	kept := p.posted[:0]
+	for _, r := range p.posted {
+		if onPair(r.ctx) && !isRecoveryTag(r.tag) {
+			p.completeLocked(r, nil, Status{SourceGroup: int(r.src), Tag: int(r.tag), Err: err})
+			continue
+		}
+		kept = append(kept, r)
+	}
+	for i := len(kept); i < len(p.posted); i++ {
+		p.posted[i] = nil
+	}
+	p.posted = kept
+
+	for id, r := range p.sent {
+		if !onPair(r.ctxS) || isRecoveryTag(r.tagS) {
+			continue
+		}
+		delete(p.sent, id)
+		if r.data != nil && r.recycle {
+			transport.PutBuf(r.data)
+		}
+		r.data = nil
+		p.completeLocked(r, nil, Status{Bytes: r.size, Err: err})
+	}
+	for id, r := range p.recving {
+		if onPair(r.ctx) && !isRecoveryTag(r.tag) {
+			delete(p.recving, id)
+			p.completeLocked(r, nil, Status{SourceGroup: r.Stat.SourceGroup, Tag: r.Stat.Tag, Err: err})
+		}
+	}
+	// Unexpected messages for the pair will never be matched; release
+	// their frames rather than hold them until Close.
+	keptMsgs := p.arrived[:0]
+	for _, m := range p.arrived {
+		if onPair(m.env.ctx) && !isRecoveryTag(m.env.tag) {
+			m.frame.Release()
+			continue
+		}
+		keptMsgs = append(keptMsgs, m)
+	}
+	for i := len(keptMsgs); i < len(p.arrived); i++ {
+		p.arrived[i] = nil
+	}
+	p.arrived = keptMsgs
+
+	me := p.Rank()
+	members := p.groups[base]
+	if members == nil {
+		// No registered table (the world pair, or a comm built before
+		// registration): every rank is a potential member.
+		members = make([]int, p.Size())
+		for i := range members {
+			members[i] = i
+		}
+	}
+	for _, w := range members {
+		if w == me || p.peerDown[w] != nil {
+			continue
+		}
+		outs = append(outs, outFrame{dst: int32(w), hdr: buildRevoke(int32(me), base)})
+	}
+	p.cond.Broadcast() // wake Probe waiters on the revoked pair
+	return outs, true
 }
 
 // handle runs the matching engine on one frame. It owns f.frame: the
@@ -329,6 +564,15 @@ func (p *Proc) handle(f parsed) (outs []outFrame, after []lateComplete) {
 		}
 		delete(p.sent, f.id)
 		after = append(after, lateComplete{req: req, st: Status{Bytes: req.size}})
+	case kRevoke:
+		f.frame.Release()
+		// First receipt poisons the pair and re-floods the notice: the
+		// flood is what makes revocation reliable when the revoker dies
+		// mid-broadcast (every member that hears it tells everyone).
+		revokeOuts, fresh := p.revokeLocked(f.env.ctx)
+		if fresh {
+			outs = append(outs, revokeOuts...)
+		}
 	}
 	return outs, after
 }
@@ -435,9 +679,31 @@ func (p *Proc) Isend(ctx int32, srcGroup int, dstWorld int, tag int, payload []b
 	req := newRequest(p, reqSend)
 	req.dstWorld = int32(dstWorld)
 	req.ctxS = ctx
+	req.tagS = int32(tag)
 	req.size = len(payload)
 
-	if lost := p.peerLoss(dstWorld); lost != nil {
+	p.mu.Lock()
+	ctxErr := p.ctxErrLocked(ctx, int32(tag))
+	lost := p.peerDown[dstWorld]
+	fatal := p.fatal
+	p.mu.Unlock()
+	if fatal != nil {
+		// The local endpoint is dead (fault-injected or device failure):
+		// nothing posted from here on can ever complete normally.
+		if recycle {
+			transport.PutBuf(payload)
+		}
+		p.complete(req, nil, Status{Err: fatal})
+		return req, fmt.Errorf("core: send on dead endpoint: %w", fatal)
+	}
+	if ctxErr != nil {
+		if recycle {
+			transport.PutBuf(payload)
+		}
+		p.complete(req, nil, Status{Err: ctxErr})
+		return req, fmt.Errorf("core: send on revoked context %d: %w", ctx, ctxErr)
+	}
+	if lost != nil {
 		if recycle {
 			transport.PutBuf(payload)
 		}
@@ -526,15 +792,34 @@ func (p *Proc) irecvInto(ctx, src, tag int32, into []byte, elemSize int) *Reques
 	req.intoES = elemSize
 
 	p.mu.Lock()
+	// A receive on a revoked context can never complete normally; fail
+	// it now (revocation already purged the pair's unexpected queue).
+	if rerr := p.ctxErrLocked(ctx, tag); rerr != nil {
+		p.completeLocked(req, nil, Status{SourceGroup: int(src), Tag: int(tag), Err: rerr})
+		p.mu.Unlock()
+		return req
+	}
 	m, idx := p.findArrivedLocked(ctx, src, tag)
 	if m == nil {
-		// A world-context receive pinned to an already-lost peer can
-		// never match; fail it now rather than park it forever.
-		if src != AnySource && ctx <= 1 {
-			if lost := p.peerDown[int(src)]; lost != nil {
-				p.completeLocked(req, nil, Status{SourceGroup: int(src), Tag: int(tag), Err: lost})
-				p.mu.Unlock()
-				return req
+		// No queued match, and the local endpoint is dead: parking the
+		// receive would hang the caller on an engine with no progress.
+		// (Checked after the queue so frames delivered before death stay
+		// readable.)
+		if p.fatal != nil {
+			p.completeLocked(req, nil, Status{SourceGroup: int(src), Tag: int(tag), Err: p.fatal})
+			p.mu.Unlock()
+			return req
+		}
+		// A receive pinned to an already-lost peer can never match;
+		// fail it now rather than park it forever. Derived contexts
+		// resolve through their registered group tables.
+		if src != AnySource {
+			if w := p.worldOfLocked(ctx, src); w >= 0 {
+				if lost := p.peerDown[w]; lost != nil {
+					p.completeLocked(req, nil, Status{SourceGroup: int(src), Tag: int(tag), Err: lost})
+					p.mu.Unlock()
+					return req
+				}
 			}
 		}
 		p.posted = append(p.posted, req)
@@ -591,9 +876,14 @@ func (p *Proc) Probe(ctx, src, tag int32) (Status, error) {
 		if m, _ := p.findArrivedLocked(ctx, src, tag); m != nil {
 			return statusOf(m), nil
 		}
-		if src != AnySource && ctx <= 1 {
-			if lost := p.peerDown[int(src)]; lost != nil {
-				return Status{SourceGroup: int(src), Tag: int(tag)}, lost
+		if rerr := p.ctxErrLocked(ctx, tag); rerr != nil {
+			return Status{SourceGroup: int(src), Tag: int(tag)}, rerr
+		}
+		if src != AnySource {
+			if w := p.worldOfLocked(ctx, src); w >= 0 {
+				if lost := p.peerDown[w]; lost != nil {
+					return Status{SourceGroup: int(src), Tag: int(tag)}, lost
+				}
 			}
 		}
 		if p.closed {

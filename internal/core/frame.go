@@ -21,6 +21,7 @@ const (
 	kCts                   // clear-to-send, receiver matched an RTS
 	kData                  // rendezvous payload
 	kAck                   // matched-ack for kEagerSync
+	kRevoke                // communicator revocation (ULFM MPI_Comm_revoke)
 )
 
 // Wildcards used in receive matching. The public binding maps its own
@@ -48,6 +49,7 @@ type envelope struct {
 //	kCts:              srcWorld(4) id(8) recvID(8)
 //	kData:             srcWorld(4) recvID(8) | payload
 //	kAck:              srcWorld(4) id(8)
+//	kRevoke:           srcWorld(4) ctx(4)
 const envLen = 16
 
 func putEnv(b []byte, e envelope) {
@@ -115,6 +117,16 @@ func buildAck(srcWorld int32, id uint64) []byte {
 	return f
 }
 
+// buildRevoke builds a revocation notice for the communicator whose
+// point-to-point context is ctx (the pair base).
+func buildRevoke(srcWorld, ctx int32) []byte {
+	f := transport.GetBuf(1 + 4 + 4)
+	f[0] = kRevoke
+	binary.LittleEndian.PutUint32(f[1:], uint32(srcWorld))
+	binary.LittleEndian.PutUint32(f[5:], uint32(ctx))
+	return f
+}
+
 // parsed is a decoded incoming frame. payload aliases the transport
 // frame's storage (or, over shm, the sender's payload buffer); frame
 // retains ownership so the engine can release or transfer it.
@@ -179,6 +191,12 @@ func parseFrame(f transport.Frame) (parsed, error) {
 		}
 		p.env.srcWorld = int32(binary.LittleEndian.Uint32(body))
 		p.id = binary.LittleEndian.Uint64(body[4:])
+	case kRevoke:
+		if len(body) < 8 {
+			return p, fmt.Errorf("core: short revoke frame (%d bytes)", len(hdr))
+		}
+		p.env.srcWorld = int32(binary.LittleEndian.Uint32(body))
+		p.env.ctx = int32(binary.LittleEndian.Uint32(body[4:]))
 	default:
 		return p, fmt.Errorf("core: unknown frame kind %d", p.kind)
 	}

@@ -95,7 +95,8 @@ type Request struct {
 	size     int    // payload length at Isend time
 	recycle  bool   // payload is exclusively owned; pool it downstream
 	dstWorld int32
-	ctxS     int32 // send-side context (for diagnostics)
+	ctxS     int32 // send-side context (for revocation poisoning)
+	tagS     int32 // send-side tag (recovery traffic is revoke-exempt)
 }
 
 // reqPool recycles Request allocations for the zero-allocation hot path;

@@ -23,6 +23,12 @@ type Hybrid struct {
 	done  chan struct{}
 	wg    sync.WaitGroup
 
+	// lost dedupes peer-loss reports across sub-devices: a peer may be
+	// reachable (and thus lose-able) through more than one medium, but
+	// the engine must see exactly one PeerLostError per peer.
+	lostMu sync.Mutex
+	lost   map[int]bool
+
 	closeOnce sync.Once
 	closeErr  error
 }
@@ -61,6 +67,7 @@ func NewHybrid(rank, size int, route []Device) (*Hybrid, error) {
 		inbox: make(chan Frame, DefaultInboxDepth),
 		errs:  make(chan error, size),
 		done:  make(chan struct{}),
+		lost:  make(map[int]bool),
 	}
 	for _, d := range devs {
 		h.wg.Add(1)
@@ -70,14 +77,22 @@ func NewHybrid(rank, size int, route []Device) (*Hybrid, error) {
 }
 
 // pump forwards one sub-device's receive stream into the merged inbox.
-// A PeerLostError passes through (the sub-device keeps serving its
-// other peers); ErrClosed or any terminal error ends the pump.
+// A PeerLostError passes through only when this sub-device is the one
+// routing the peer's traffic — an island device may share its segment
+// with ranks the composite actually reaches over TCP (or vice versa),
+// and a medium losing a peer it does not carry must not fail that
+// peer's healthy route. Each peer's loss is surfaced at most once, even
+// when several media report it. ErrClosed or any terminal error ends
+// the pump.
 func (h *Hybrid) pump(d Device) {
 	defer h.wg.Done()
 	for {
 		f, err := d.Recv()
 		if err != nil {
-			if _, lost := err.(*PeerLostError); lost {
+			if pl, lost := err.(*PeerLostError); lost {
+				if !h.lostOnRoute(pl.Peer, d) {
+					continue
+				}
 				select {
 				case h.errs <- err:
 				case <-h.done:
@@ -94,6 +109,22 @@ func (h *Hybrid) pump(d Device) {
 			return
 		}
 	}
+}
+
+// lostOnRoute records d's loss report for peer and reports whether it
+// should surface: only the first report, and only from the sub-device
+// that actually routes the peer.
+func (h *Hybrid) lostOnRoute(peer int, d Device) bool {
+	if peer < 0 || peer >= h.size || h.route[peer] != d {
+		return false
+	}
+	h.lostMu.Lock()
+	defer h.lostMu.Unlock()
+	if h.lost[peer] {
+		return false
+	}
+	h.lost[peer] = true
+	return true
 }
 
 // Rank returns this endpoint's world rank.

@@ -1,0 +1,178 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// scriptDev is a Device whose receive stream the test feeds by hand:
+// the harness for exercising the hybrid merge without real fabrics.
+type scriptDev struct {
+	rank, size int
+	events     chan func() (Frame, error)
+	done       chan struct{}
+	closeOnce  sync.Once
+}
+
+func newScriptDev(rank, size int) *scriptDev {
+	return &scriptDev{
+		rank: rank, size: size,
+		events: make(chan func() (Frame, error), 16),
+		done:   make(chan struct{}),
+	}
+}
+
+func (d *scriptDev) frame(b []byte) {
+	d.events <- func() (Frame, error) { return Frame{Data: b}, nil }
+}
+
+func (d *scriptDev) lose(peer int) {
+	d.events <- func() (Frame, error) {
+		return Frame{}, &PeerLostError{Peer: peer, Err: errors.New("scripted loss")}
+	}
+}
+
+func (d *scriptDev) Rank() int                             { return d.rank }
+func (d *scriptDev) Size() int                             { return d.size }
+func (d *scriptDev) Send(dst int, frame []byte) error      { return nil }
+func (d *scriptDev) Sendv(int, []byte, []byte, bool) error { return nil }
+
+func (d *scriptDev) Recv() (Frame, error) {
+	select {
+	case ev := <-d.events:
+		return ev()
+	case <-d.done:
+		return Frame{}, ErrClosed
+	}
+}
+
+func (d *scriptDev) Close() error {
+	d.closeOnce.Do(func() { close(d.done) })
+	return nil
+}
+
+type recvRes struct {
+	f   Frame
+	err error
+}
+
+// startReceiver drains h.Recv on one goroutine (as the engine's
+// progress loop would), so timed assertions never leave a stray Recv
+// behind to steal the next event.
+func startReceiver(h *Hybrid) <-chan recvRes {
+	ch := make(chan recvRes, 16)
+	go func() {
+		for {
+			f, err := h.Recv()
+			if err == ErrClosed {
+				return
+			}
+			ch <- recvRes{f, err}
+		}
+	}()
+	return ch
+}
+
+// recvOne returns the receiver's next event, or ok=false if none
+// arrives in time — the shape a (correctly) suppressed report asserts.
+func recvOne(t *testing.T, ch <-chan recvRes, wait time.Duration) (Frame, error, bool) {
+	t.Helper()
+	select {
+	case r := <-ch:
+		return r.f, r.err, true
+	case <-time.After(wait):
+		return Frame{}, nil, false
+	}
+}
+
+// TestHybridPeerLossRouteFilter: a medium losing a peer it does not
+// route must not fail that peer — only the routing medium's report
+// surfaces, and traffic from the peer's healthy route keeps flowing.
+func TestHybridPeerLossRouteFilter(t *testing.T) {
+	island := newScriptDev(0, 4)
+	mesh := newScriptDev(0, 4)
+	h, err := NewHybrid(0, 4, []Device{nil, island, mesh, mesh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	ch := startReceiver(h)
+
+	// The mesh claims peer 1 died — but peer 1 travels the island.
+	mesh.lose(1)
+	island.frame([]byte("from-1"))
+
+	f, rerr, ok := recvOne(t, ch, 5*time.Second)
+	if !ok || rerr != nil || string(f.Data) != "from-1" {
+		t.Fatalf("Recv after off-route loss: frame=%q err=%v ok=%v, want the island frame", f.Data, rerr, ok)
+	}
+	// The suppressed report must not be queued behind the frame.
+	if f, rerr, ok := recvOne(t, ch, 100*time.Millisecond); ok {
+		t.Fatalf("off-route loss surfaced: frame=%q err=%v", f.Data, rerr)
+	}
+}
+
+// TestHybridPeerLossDedup: a peer reachable over several media must
+// surface exactly one PeerLostError, no matter how many media report it
+// or how many times.
+func TestHybridPeerLossDedup(t *testing.T) {
+	island := newScriptDev(0, 4)
+	mesh := newScriptDev(0, 4)
+	h, err := NewHybrid(0, 4, []Device{nil, island, mesh, mesh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	ch := startReceiver(h)
+
+	mesh.lose(2)
+	mesh.lose(2)   // duplicate from the routing medium
+	island.lose(2) // report from the other medium
+
+	_, rerr, ok := recvOne(t, ch, 5*time.Second)
+	var pl *PeerLostError
+	if !ok || !errors.As(rerr, &pl) || pl.Peer != 2 {
+		t.Fatalf("first Recv: err=%v ok=%v, want PeerLostError for peer 2", rerr, ok)
+	}
+	if _, rerr, ok := recvOne(t, ch, 100*time.Millisecond); ok {
+		t.Fatalf("duplicate loss surfaced: %v", rerr)
+	}
+
+	// The composite keeps serving other peers after the loss.
+	island.frame([]byte("still-here"))
+	f, rerr, ok := recvOne(t, ch, 5*time.Second)
+	if !ok || rerr != nil || string(f.Data) != "still-here" {
+		t.Fatalf("post-loss Recv: frame=%q err=%v ok=%v", f.Data, rerr, ok)
+	}
+}
+
+// TestHybridLossOnEachMedium: losses on distinct peers routed by
+// distinct media both surface (the dedup is per peer, not global).
+func TestHybridLossOnEachMedium(t *testing.T) {
+	island := newScriptDev(0, 3)
+	mesh := newScriptDev(0, 3)
+	h, err := NewHybrid(0, 3, []Device{nil, island, mesh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	ch := startReceiver(h)
+
+	island.lose(1)
+	mesh.lose(2)
+
+	seen := map[int]int{}
+	for i := 0; i < 2; i++ {
+		_, rerr, ok := recvOne(t, ch, 5*time.Second)
+		var pl *PeerLostError
+		if !ok || !errors.As(rerr, &pl) {
+			t.Fatalf("Recv %d: err=%v ok=%v", i, rerr, ok)
+		}
+		seen[pl.Peer]++
+	}
+	if seen[1] != 1 || seen[2] != 1 {
+		t.Fatalf("loss reports = %v, want exactly one for each of peers 1 and 2", seen)
+	}
+}

@@ -2,7 +2,9 @@ package transport
 
 import (
 	"fmt"
+	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -92,8 +94,29 @@ func Names() []string {
 	return out
 }
 
-// NewDevice probes and constructs the named medium for spec.
+// FaultyPrefix is the media-name decorator that wraps any registered
+// medium with the fault-injection layer: "faulty:shm" builds the shm
+// endpoint, then applies the FaultPlan from the GOMPI_FAULT environment
+// variable (see ParseFaultPlan). Ranks outside the plan's rank filter
+// get the inner device untouched, so one exported variable injects a
+// fault into exactly one rank of a whole job.
+const FaultyPrefix = "faulty:"
+
+// NewDevice probes and constructs the named medium for spec. A
+// FaultyPrefix on the name decorates the constructed endpoint with the
+// fault-injection plan from the environment.
 func NewDevice(name string, spec JobSpec) (Device, error) {
+	if inner, ok := strings.CutPrefix(name, FaultyPrefix); ok {
+		plan, err := ParseFaultPlan(os.Getenv(EnvFault))
+		if err != nil {
+			return nil, err
+		}
+		dev, err := NewDevice(inner, spec)
+		if err != nil {
+			return nil, err
+		}
+		return NewFaulty(dev, plan), nil
+	}
 	e, ok := Lookup(name)
 	if !ok {
 		return nil, fmt.Errorf("transport: unknown device %q (have %v)", name, Names())

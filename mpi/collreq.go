@@ -6,6 +6,8 @@ import (
 	"sync"
 
 	"gompi/internal/coll"
+	"gompi/internal/core"
+	"gompi/internal/transport"
 )
 
 // ErrCollectiveCancelled reports a collective whose schedule was torn
@@ -50,10 +52,17 @@ func (r *CollRequest) settle(res any, schedErr error) error {
 			r.err = ErrCollectiveCancelled
 			return
 		case schedErr != nil:
-			// mapPioErr classifies file-schedule failures (ErrFile,
-			// ErrArg, ErrAccess, ErrIO) and wraps everything else as
-			// ErrIntern — exactly the classic collective behaviour.
-			err = mapPioErr(schedErr)
+			// Fault-tolerance outcomes first (a member died or revoked
+			// mid-collective), then mapPioErr classifies file-schedule
+			// failures (ErrFile, ErrArg, ErrAccess, ErrIO) and wraps
+			// everything else as ErrIntern — exactly the classic
+			// collective behaviour.
+			var lost *transport.PeerLostError
+			if errors.As(schedErr, &lost) || errors.Is(schedErr, core.ErrCommRevoked) {
+				err = mapEngineErr(schedErr)
+			} else {
+				err = mapPioErr(schedErr)
+			}
 		case r.fin != nil:
 			err = r.fin(res)
 		}

@@ -1,6 +1,8 @@
 package mpi
 
 import (
+	"sync"
+
 	"gompi/internal/coll"
 	"gompi/internal/core"
 	"gompi/internal/dtype"
@@ -30,19 +32,33 @@ type Comm struct {
 	freed   bool
 	errh    Errhandler
 	attrs   *attrMap
+
+	// Fault-tolerance state (see ft.go): the group ranks whose failure
+	// this member has acknowledged with FailureAck. Behind a pointer so
+	// derived views of one communicator (a topology comm embedding the
+	// Intracomm it split from) share one ack state, and Comm values
+	// stay copyable.
+	ft *ftState
 }
 
-func (e *Env) buildComm(group []int, myRank int, ctxBase int32, name string) *Comm {
-	c := &Comm{
-		attrs:   &attrMap{},
-		env:     e,
-		group:   group,
-		rank:    myRank,
-		remote:  group,
-		ptpCtx:  ctxBase,
-		collCtx: ctxBase + 1,
-		name:    name,
-	}
+// ftState is a communicator's ULFM acknowledgement state.
+type ftState struct {
+	mu    sync.Mutex
+	acked map[int]bool
+}
+
+// buildComm initializes c in place — not by struct assignment, because
+// Comm carries a mutex (the fault-tolerance ack state) once built.
+func (e *Env) buildComm(c *Comm, group []int, myRank int, ctxBase int32, name string) {
+	c.attrs = &attrMap{}
+	c.ft = &ftState{}
+	c.env = e
+	c.group = group
+	c.rank = myRank
+	c.remote = group
+	c.ptpCtx = ctxBase
+	c.collCtx = ctxBase + 1
+	c.name = name
 	c.cl = &coll.Comm{
 		P:     e.proc,
 		Ctx:   c.collCtx,
@@ -50,7 +66,10 @@ func (e *Env) buildComm(group []int, myRank int, ctxBase int32, name string) *Co
 		Size:  len(group),
 		World: func(gr int) int { return group[gr] },
 	}
-	return c
+	// Register the rank table with the engine: that is what lets it
+	// attribute a peer death to this communicator's group ranks and
+	// route revocation notices to exactly the members.
+	e.proc.RegisterGroup(ctxBase, group)
 }
 
 // Rank returns the caller's rank within the (local) group.
@@ -235,7 +254,7 @@ func (c *Comm) startSend(buf any, offset, count int, d *Datatype, dest, tag int,
 	}
 	creq, err := c.env.proc.Isend(c.ptpCtx, c.rank, c.remote[dest], tag, payload, mode, pooled)
 	if err != nil {
-		return nil, errf(ErrIntern, "%v", err)
+		return nil, mapEngineErr(err)
 	}
 	return creq, nil
 }
@@ -338,7 +357,7 @@ func (c *Comm) Ibsend(buf any, offset, count int, d *Datatype, dest, tag int) (*
 	creq, err := c.env.proc.Isend(c.ptpCtx, c.rank, c.remote[dest], tag, payload, core.ModeStandard, pooled)
 	if err != nil {
 		c.env.releaseBuffer(len(payload))
-		return nil, c.raise(errf(ErrIntern, "%v", err))
+		return nil, c.raise(mapEngineErr(err))
 	}
 	n := len(payload)
 	env := c.env
@@ -541,7 +560,7 @@ func (c *Comm) SendrecvReplace(
 		if err != nil {
 			// No PutBuf here: Isend took ownership, and the device's
 			// own error path may already have recycled the payload.
-			return nil, c.raise(errf(ErrIntern, "%v", err))
+			return nil, c.raise(mapEngineErr(err))
 		}
 		defer creq.Wait()
 	} else if pooled {
@@ -577,7 +596,7 @@ func (c *Comm) Probe(source, tag int) (*Status, error) {
 	}
 	cst, err := c.env.proc.Probe(c.ptpCtx, src, tg)
 	if err != nil {
-		return nil, c.raise(errf(ErrIntern, "%v", err))
+		return nil, c.raise(mapEngineErr(err))
 	}
 	return probeStatus(cst.SourceGroup, cst.Tag, cst.Bytes), nil
 }

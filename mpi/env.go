@@ -138,7 +138,14 @@ func (e *Env) Finalize() error {
 	if e.finalized.Swap(true) {
 		return errf(ErrOther, "Finalize called twice")
 	}
-	barrierErr := e.world.cl.Barrier()
+	// The closing barrier keeps a fast rank from tearing the fabric down
+	// under peers still draining traffic. On a revoked world it can never
+	// complete (and ULFM applications end on a shrunken communicator of
+	// their own); skip straight to teardown.
+	var barrierErr error
+	if !e.proc.ContextRevoked(e.world.ptpCtx) {
+		barrierErr = e.world.cl.Barrier()
+	}
 	err := e.proc.Close()
 	for _, c := range e.closers {
 		if cerr := c(); err == nil {

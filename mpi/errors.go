@@ -42,6 +42,13 @@ const (
 	// MPI_ERR_PROC_FAILED. Operations with other, live peers continue
 	// to work on the same communicator.
 	ErrProcFailed
+
+	// ErrRevoked reports that the communicator was revoked
+	// (ULFM MPI_ERR_REVOKED): some member called Revoke after observing
+	// a failure, poisoning all non-recovery operations on the
+	// communicator so every member reaches the repair path (Shrink)
+	// instead of deadlocking on a dead participant.
+	ErrRevoked
 )
 
 var errClassNames = map[ErrClass]string{
@@ -54,6 +61,7 @@ var errClassNames = map[ErrClass]string{
 	ErrPending: "MPI_ERR_PENDING",
 	ErrFile:    "MPI_ERR_FILE", ErrIO: "MPI_ERR_IO", ErrAmode: "MPI_ERR_AMODE",
 	ErrAccess: "MPI_ERR_ACCESS", ErrProcFailed: "MPI_ERR_PROC_FAILED",
+	ErrRevoked: "MPI_ERR_REVOKED",
 }
 
 func (c ErrClass) String() string {

@@ -176,7 +176,7 @@ func (c *Intracomm) OpenFile(path string, amode int) (*File, error) {
 	}
 	verdict, err = priv.cl.Bcast(0, verdict)
 	if err != nil {
-		return fail(errf(ErrIntern, "%v", err))
+		return fail(mapEngineErr(err))
 	}
 	if len(verdict) == 0 || verdict[0] == 0 {
 		if openErr != nil {
@@ -203,7 +203,7 @@ func (c *Intracomm) OpenFile(path string, amode int) (*File, error) {
 	}
 	res, err := priv.cl.Allreduce(ok, coll.Min)
 	if err != nil {
-		return fail(errf(ErrIntern, "%v", err))
+		return fail(mapEngineErr(err))
 	}
 	if res.([]int32)[0] == 0 {
 		if pf != nil {
@@ -288,7 +288,7 @@ func (f *File) SetView(disp int, etype, filetype *Datatype) error {
 	// still participates in the collective, so peers are not left
 	// hanging in the barrier.
 	if err := f.comm.cl.Barrier(); err != nil {
-		return f.comm.raise(errf(ErrIntern, "%v", err))
+		return f.comm.raise(mapEngineErr(err))
 	}
 	if err := f.comm.checkType(etype); err != nil {
 		return f.comm.raise(err)
@@ -338,7 +338,7 @@ func (f *File) SetSize(n int64) error {
 	}
 	verdict, err := f.comm.cl.Bcast(0, verdict)
 	if err != nil {
-		return f.comm.raise(errf(ErrIntern, "%v", err))
+		return f.comm.raise(mapEngineErr(err))
 	}
 	if terr != nil {
 		return f.comm.raise(mapPioErr(terr))
@@ -358,7 +358,7 @@ func (f *File) Sync() error {
 	}
 	serr := f.pf.Sync()
 	if err := f.comm.cl.Barrier(); err != nil {
-		return f.comm.raise(errf(ErrIntern, "%v", err))
+		return f.comm.raise(mapEngineErr(err))
 	}
 	return f.comm.raise(mapPioErr(serr))
 }
@@ -372,7 +372,7 @@ func (f *File) Close() error {
 	f.freed = true
 	cerr := f.pf.Close()
 	if err := f.comm.cl.Barrier(); err != nil {
-		return f.comm.raise(errf(ErrIntern, "%v", err))
+		return f.comm.raise(mapEngineErr(err))
 	}
 	if f.amode&ModeDeleteOnClose != 0 && f.comm.Rank() == 0 {
 		if rerr := os.Remove(f.pf.Path()); rerr != nil && cerr == nil {

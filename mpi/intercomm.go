@@ -80,7 +80,7 @@ func (c *Intracomm) CreateIntercomm(peer *Comm, localLeader, remoteLeader, tag i
 	// tie-break for Merge ordering.
 	localLeaderWorld := c.group[localLeader]
 	ic := &Intercomm{low: localLeaderWorld < remoteLeaderWorld}
-	ic.Comm = *c.env.buildComm(c.group, c.rank, final, c.name+".inter")
+	c.env.buildComm(&ic.Comm, c.group, c.rank, final, c.name+".inter")
 	ic.inter = true
 	ic.remote = remoteGroup
 	return ic, nil
@@ -226,7 +226,7 @@ func (ic *Intercomm) Dup() (*Intercomm, error) {
 	ic.env.proc.CommitContexts(final)
 
 	out := &Intercomm{low: ic.low}
-	out.Comm = *ic.env.buildComm(ic.group, ic.rank, final, ic.name+".dup")
+	ic.env.buildComm(&out.Comm, ic.group, ic.rank, final, ic.name+".dup")
 	out.inter = true
 	out.remote = ic.remote
 	return out, nil

@@ -25,7 +25,9 @@ type Intracomm struct {
 }
 
 func newIntracomm(e *Env, group []int, myRank int, ctxBase int32, name string) *Intracomm {
-	return &Intracomm{Comm: *e.buildComm(group, myRank, ctxBase, name)}
+	ic := &Intracomm{}
+	e.buildComm(&ic.Comm, group, myRank, ctxBase, name)
+	return ic
 }
 
 func (c *Intracomm) checkRoot(root int) error {
@@ -68,7 +70,7 @@ func (c *Intracomm) runColl(p collPlan, err error) error {
 	}
 	res, rerr := p.run()
 	if rerr != nil {
-		return c.raise(errf(ErrIntern, "%v", rerr))
+		return c.raise(mapEngineErr(rerr))
 	}
 	if p.fin != nil {
 		return c.raise(p.fin(res))
@@ -86,7 +88,7 @@ func (c *Intracomm) startColl(p collPlan, err error) (*CollRequest, error) {
 	}
 	creq, rerr := p.irun()
 	if rerr != nil {
-		return nil, c.raise(errf(ErrIntern, "%v", rerr))
+		return nil, c.raise(mapEngineErr(rerr))
 	}
 	return newCollRequest(&c.Comm, creq, p.fin), nil
 }
@@ -961,7 +963,7 @@ func (c *Intracomm) Dup() (*Intracomm, error) {
 	}
 	base, err := c.cl.AgreeContextBase()
 	if err != nil {
-		return nil, c.raise(errf(ErrIntern, "%v", err))
+		return nil, c.raise(mapEngineErr(err))
 	}
 	dup := newIntracomm(c.env, c.group, c.rank, base, c.name+".dup")
 	c.copyAttrsTo(&dup.Comm)
@@ -984,11 +986,11 @@ func (c *Intracomm) Split(colour, key int) (*Intracomm, error) {
 	binary.LittleEndian.PutUint32(enc[4:], uint32(int32(key)))
 	all, err := c.cl.Allgather(enc[:])
 	if err != nil {
-		return nil, c.raise(errf(ErrIntern, "%v", err))
+		return nil, c.raise(mapEngineErr(err))
 	}
 	base, err := c.cl.AgreeContextBase()
 	if err != nil {
-		return nil, c.raise(errf(ErrIntern, "%v", err))
+		return nil, c.raise(mapEngineErr(err))
 	}
 	if colour == Undefined {
 		return nil, nil
@@ -1032,7 +1034,7 @@ func (c *Intracomm) Create(g *Group) (*Intracomm, error) {
 	}
 	base, err := c.cl.AgreeContextBase()
 	if err != nil {
-		return nil, c.raise(errf(ErrIntern, "%v", err))
+		return nil, c.raise(mapEngineErr(err))
 	}
 	parent := make(map[int]bool, len(c.group))
 	for _, w := range c.group {

@@ -436,6 +436,25 @@ func WaitAllP(ps []*Prequest) ([]*Status, error) {
 	return WaitAll(reqs)
 }
 
+// mapEngineErr converts engine- and schedule-layer failures into MPI
+// error classes: fault-tolerance outcomes (a dead peer, a revoked
+// communicator) get their own classes so callers can branch into the
+// ULFM recovery path; anything else on these paths is an internal
+// error.
+func mapEngineErr(err error) error {
+	var lost *transport.PeerLostError
+	switch {
+	case err == nil:
+		return nil
+	case errors.As(err, &lost):
+		return errf(ErrProcFailed, "%v", err)
+	case errors.Is(err, core.ErrCommRevoked):
+		return errf(ErrRevoked, "%v", err)
+	default:
+		return errf(ErrIntern, "%v", err)
+	}
+}
+
 // mapDataErr converts datatype- and core-layer errors into MPI error
 // classes.
 func mapDataErr(err error) error {
@@ -445,6 +464,8 @@ func mapDataErr(err error) error {
 		return nil
 	case errors.As(err, &lost):
 		return errf(ErrProcFailed, "%v", err)
+	case errors.Is(err, core.ErrCommRevoked):
+		return errf(ErrRevoked, "%v", err)
 	case errors.Is(err, dtype.ErrTruncate), errors.Is(err, core.ErrTruncated):
 		return errf(ErrTruncate, "%v", err)
 	case errors.Is(err, dtype.ErrClassMismatch):

@@ -62,6 +62,10 @@ type RunOptions struct {
 	// BindingOverhead injects the emulated JNI-crossing cost into
 	// every communication call (see Env.SetBindingOverhead).
 	BindingOverhead time.Duration
+	// WrapDevice, when set, decorates each rank's device after shaping
+	// — the hook the fault-injection tests use to interpose
+	// transport.Faulty deterministically on one rank.
+	WrapDevice func(rank int, dev transport.Device) transport.Device
 }
 
 // Run executes fn as an np-rank SPMD job, one goroutine per rank, over
@@ -182,6 +186,11 @@ func buildDevices(opt RunOptions) ([]transport.Device, error) {
 		}
 	default:
 		return nil, errf(ErrArg, "RunWith: unknown device %q (want chan, shm or tcp)", device)
+	}
+	if opt.WrapDevice != nil {
+		for i, d := range out {
+			out[i] = opt.WrapDevice(i, d)
+		}
 	}
 	return out, nil
 }
