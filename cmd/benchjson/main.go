@@ -42,6 +42,7 @@ type output struct {
 	Fig5SM    map[string][]pointJSON `json:"fig5_sm_pingpong"`
 	IO        []bench.IOPoint        `json:"io_bandwidth_4ranks"`
 	Devices   []bench.DevPoint       `json:"device_pingpong"`
+	Persist   []bench.PersistPoint   `json:"persistent_vs_oneshot"`
 }
 
 func main() {
@@ -100,6 +101,19 @@ func run(out string, quick bool) error {
 	if err != nil {
 		return err
 	}
+
+	// Per-op times are a few µs, so even the full rep count is cheap —
+	// quick mode keeps it for stable numbers.
+	persistReps, persistNp := 256, 4
+	pp, err := bench.PersistentPingPong([]int{64, 4096, 65536}, persistReps)
+	if err != nil {
+		return err
+	}
+	pa, err := bench.PersistentAllreduce(persistNp, []int{1, 512, 8192}, persistReps)
+	if err != nil {
+		return err
+	}
+	doc.Persist = append(pp, pa...)
 
 	dir, err := os.MkdirTemp("", "gompi-iobench")
 	if err != nil {

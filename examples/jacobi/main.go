@@ -2,14 +2,17 @@
 // the paper's §2.2 motivating case for derived datatypes. The global
 // N×N grid is linearized row-major into a one-dimensional array (Java
 // and Go have no true multidimensional arrays, §2.2); each rank owns a
-// band of columns plus one halo column per neighbour. Outgoing halo
-// columns — strided sections of the local array — travel as
-// MPI_TYPE_VECTOR datatypes; incoming halos land in preallocated
-// contiguous buffers through the zero-copy IrecvInto path, so the whole
-// exchange allocates nothing in steady state: the demo workload for the
-// runtime's pooled, receive-into hot path. Convergence is a
-// MAX-Iallreduce of the local residuals, overlapped with the next
-// sweep: the reduction started after sweep k is only waited for after
+// band of columns plus one halo column per neighbour. The whole
+// exchange is persistent (MPI_Send_init/MPI_Recv_init): the halo
+// envelopes are validated and frozen once before the loop, and each
+// sweep just Starts them — outgoing halo columns, strided sections of
+// the local array, travel as MPI_TYPE_VECTOR datatypes (one persistent
+// send per buffer of the swapped grid/next pair), and incoming halos
+// land in preallocated contiguous buffers on the zero-copy RecvIntoInit
+// path, so a steady-state sweep performs no validation and no
+// allocation. Convergence is a persistent MAX allreduce
+// (MPI_Allreduce_init) of the local residuals, overlapped with the next
+// sweep: the activation started after sweep k is only waited for after
 // sweep k+1's compute, so the collective's latency hides behind the
 // relaxation instead of serializing every iteration (the check lags one
 // sweep, costing at most one extra iteration).
@@ -21,7 +24,13 @@
 // caller-side gather loop — and -restore resumes a later run from that
 // file, bit-exactly reproducing an uninterrupted run's trajectory. The
 // checkpoint stores the global grid, so the restoring job may even use
-// a different rank count.
+// a different rank count. Periodic checkpoints (-checkpoint-every)
+// overlap with the solve: the band is copied to a stable buffer, the
+// collective write is started nonblocking (IwriteAtAll) against a
+// temporary file and sweeps continue while it drains; the write is
+// settled at the next checkpoint epoch (or at the end of the run) and
+// the temporary is atomically renamed into place, so the checkpoint
+// path never holds a half-written file.
 //
 // Fault tolerance (-survive) closes the loop with the ULFM repair
 // primitives: when a sweep dies with MPI_ERR_PROC_FAILED or
@@ -202,6 +211,88 @@ func writeCheckpoint(world *mpi.Intracomm, path string, grid []float64, n, cols,
 	return f.Close()
 }
 
+// asyncCkpt is a periodic checkpoint in flight: the header is written,
+// the band's collective write has been started from a stable copy of
+// the grid, and sweeps continue while it drains. finish settles the
+// write, syncs, closes and atomically renames the temporary into place.
+type asyncCkpt struct {
+	world *mpi.Intracomm
+	f     *mpi.File
+	req   *mpi.FileCollRequest
+	tmp   string
+	path  string
+}
+
+// startCheckpoint begins an overlapped checkpoint write. band must be a
+// stable snapshot the solver will not touch until finish: the write
+// proceeds in the background. Collective — the gate that calls it must
+// be uniform across ranks.
+func startCheckpoint(world *mpi.Intracomm, path string, band []float64, n, cols, width, it int, lastRes float64) (*asyncCkpt, error) {
+	tmp := path + ".tmp"
+	f, err := world.OpenFile(tmp, mpi.ModeCreate|mpi.ModeWronly)
+	if err != nil {
+		return nil, err
+	}
+	fail := func(err error) (*asyncCkpt, error) {
+		f.Close() //nolint:errcheck // best-effort teardown
+		return nil, err
+	}
+	if err := f.SetView(0, mpi.DOUBLE, mpi.DOUBLE); err != nil {
+		return fail(err)
+	}
+	if world.Rank() == 0 {
+		hdr := []float64{ckptMagic, float64(n), float64(it), lastRes}
+		if _, err := f.WriteAt(0, hdr, 0, ckptHdrLen, mpi.DOUBLE); err != nil {
+			return fail(err)
+		}
+	}
+	ft, bt, err := gridTypes(n, cols, width)
+	if err != nil {
+		return fail(err)
+	}
+	if err := f.SetView(ckptHdrLen+world.Rank()*cols, mpi.DOUBLE, ft); err != nil {
+		return fail(err)
+	}
+	req, err := f.IwriteAtAll(0, band, 1, 1, bt)
+	if err != nil {
+		return fail(err)
+	}
+	return &asyncCkpt{world: world, f: f, req: req, tmp: tmp, path: path}, nil
+}
+
+// finish settles the in-flight band write and publishes the checkpoint:
+// sync, collective close, then rank 0 renames the temporary over the
+// real path — atomically, so -survive's restore never sees a torn file.
+func (a *asyncCkpt) finish() error {
+	if _, err := a.req.Wait(); err != nil {
+		a.f.Close() //nolint:errcheck // best-effort teardown
+		return err
+	}
+	if err := a.f.Sync(); err != nil {
+		a.f.Close() //nolint:errcheck // best-effort teardown
+		return err
+	}
+	if err := a.f.Close(); err != nil {
+		return err
+	}
+	if a.world.Rank() == 0 {
+		if err := os.Rename(a.tmp, a.path); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// abort tears the in-flight checkpoint down best-effort on the solve's
+// error paths: no collective settling (the communicator may be dead or
+// revoked) — just release the handle and drop the temporary.
+func (a *asyncCkpt) abort() {
+	a.f.Close() //nolint:errcheck // best-effort teardown
+	if a.world.Rank() == 0 {
+		os.Remove(a.tmp) //nolint:errcheck // best-effort teardown
+	}
+}
+
 // readCheckpoint restores the rank's column band and returns the
 // completed sweep count and last drained residual from the header.
 func readCheckpoint(world *mpi.Intracomm, path string, grid []float64, n, cols, width int) (int, float64, error) {
@@ -289,6 +380,37 @@ func solve(env *mpi.Env, world *mpi.Intracomm, p params, restore string) error {
 	haloL := make([]float64, n)
 	haloR := make([]float64, n)
 
+	// Persistent halo exchange: the envelopes are validated and frozen
+	// here, once; each sweep just Starts them. The receives bind the
+	// fixed landing zones on the zero-copy path. The sends are strided
+	// column sections of whichever array currently holds the grid — the
+	// grid/next swap alternates between two fixed arrays, so each
+	// direction freezes one persistent send per array and the loop
+	// Starts the pair matching the current parity.
+	recvL, err := world.RecvIntoInit(haloL, 0, n, mpi.DOUBLE, left, 2)
+	if err != nil {
+		return err
+	}
+	recvR, err := world.RecvIntoInit(haloR, 0, n, mpi.DOUBLE, right, 1)
+	if err != nil {
+		return err
+	}
+	var sendL, sendR [2]*mpi.PersistentRequest
+	for i, g := range [2][]float64{grid, next} {
+		if sendL[i], err = world.SendInit(g, 1, 1, colType, left, 1); err != nil {
+			return err
+		}
+		if sendR[i], err = world.SendInit(g, width-2, 1, colType, right, 2); err != nil {
+			return err
+		}
+	}
+	par := 0 // index of the array the grid variable currently aliases
+	defer func() {
+		for _, pr := range []*mpi.PersistentRequest{recvL, recvR, sendL[0], sendL[1], sendR[0], sendR[1]} {
+			pr.Free() //nolint:errcheck // handle release at end of solve
+		}
+	}()
+
 	// Resuming replaces the freshly initialized band with the
 	// checkpointed one and skips the sweeps it already carries; the
 	// trajectory from there is bit-identical to an uninterrupted run,
@@ -306,12 +428,36 @@ func solve(env *mpi.Env, world *mpi.Intracomm, p params, restore string) error {
 		copy(next, grid)
 	}
 
-	// In-flight residual reduction: started after sweep k, waited for
-	// after sweep k+1's compute, so communication overlaps computation.
-	var resReq *mpi.CollRequest
+	// In-flight residual reduction, persistent: the MAX allreduce over
+	// the fixed one-element buffers is planned once, and each sweep's
+	// activation is a bare Start — re-pack, enqueue on the shared
+	// progress pool, done. Started after sweep k, waited for after sweep
+	// k+1's compute, so communication overlaps computation.
 	resIn := []float64{0}
 	resOut := []float64{0}
-	lastRes := pipeRes // most recently drained residual, for the checkpoint header
+	resRed, err := world.AllreduceInit(resIn, 0, resOut, 0, 1, mpi.DOUBLE, mpi.MAX)
+	if err != nil {
+		return err
+	}
+	resInFlight := false
+	defer resRed.Free() //nolint:errcheck // handle release at end of solve
+	lastRes := pipeRes  // most recently drained residual, for the checkpoint header
+
+	// Overlapped periodic checkpointing: the band is snapshotted into
+	// ckptBuf and the collective write drains while later sweeps run.
+	var pending *asyncCkpt
+	var ckptBuf []float64
+	if ckpt != "" && p.ckptEvery > 0 {
+		ckptBuf = make([]float64, n*width)
+	}
+	defer func() {
+		// Error paths (including -survive's recoverable failures) leave
+		// the in-flight checkpoint torn down best-effort; success paths
+		// have settled it and cleared pending.
+		if pending != nil {
+			pending.abort()
+		}
+	}()
 
 	// A checkpoint taken at convergence carries a residual already
 	// under tol; an uninterrupted run performs no sweeps past its
@@ -328,28 +474,26 @@ func solve(env *mpi.Env, world *mpi.Intracomm, p params, restore string) error {
 			// chaos job's SIGKILL) reliably lands mid-solve.
 			time.Sleep(p.dawdle)
 		}
-		// Exchange halos: post both zero-copy receives first, then send
-		// the owned boundary columns, then scatter the landed halos.
-		reqL, err := world.IrecvInto(haloL, 0, n, mpi.DOUBLE, left, 2)
+		// Exchange halos: one StartAll activates the persistent receives
+		// (listed first, so they are posted before the matching sends)
+		// and the persistent sends bound to the array holding the
+		// current grid; then settle all four and scatter the landed
+		// halos.
+		if err := mpi.StartAll([]*mpi.PersistentRequest{recvL, recvR, sendL[par], sendR[par]}); err != nil {
+			return err
+		}
+		stL, err := recvL.Wait()
 		if err != nil {
 			return err
 		}
-		reqR, err := world.IrecvInto(haloR, 0, n, mpi.DOUBLE, right, 1)
+		stR, err := recvR.Wait()
 		if err != nil {
 			return err
 		}
-		if err := world.Send(grid, 1, 1, colType, left, 1); err != nil {
+		if _, err := sendL[par].Wait(); err != nil {
 			return err
 		}
-		if err := world.Send(grid, width-2, 1, colType, right, 2); err != nil {
-			return err
-		}
-		stL, err := reqL.Wait()
-		if err != nil {
-			return err
-		}
-		stR, err := reqR.Wait()
-		if err != nil {
+		if _, err := sendR[par].Wait(); err != nil {
 			return err
 		}
 		if left != mpi.ProcNull && stL.GetCount(mpi.DOUBLE) == n {
@@ -382,6 +526,7 @@ func solve(env *mpi.Env, world *mpi.Intracomm, p params, restore string) error {
 			}
 		}
 		grid, next = next, grid
+		par ^= 1
 
 		// The previous sweep's residual reduction has been overlapping
 		// this sweep's halo exchange and relaxation; settle it now (on
@@ -390,10 +535,11 @@ func solve(env *mpi.Env, world *mpi.Intracomm, p params, restore string) error {
 		// so all ranks take the same branch and the collective call
 		// sequence stays aligned.
 		settled := -1.0
-		if resReq != nil {
-			if err := resReq.Wait(); err != nil {
+		if resInFlight {
+			if _, err := resRed.Wait(); err != nil {
 				return err
 			}
+			resInFlight = false
 			settled = resOut[0]
 		} else if pipeRes >= 0 {
 			settled, pipeRes = pipeRes, -1
@@ -403,41 +549,60 @@ func solve(env *mpi.Env, world *mpi.Intracomm, p params, restore string) error {
 			if settled < tol {
 				// Sweep `it` has completed; count it before leaving so
 				// `it` uniformly means sweeps carried by the grid.
-				resReq = nil
 				it++
 				break
 			}
 		}
 
-		// Periodic checkpoint for -survive: written from `next`, which
-		// after the swap holds the grid with exactly `it` sweeps, paired
-		// with `settled` — the residual of sweep it-1 — so the header
-		// keeps the (sweeps S, residual of sweep S-1) invariant the
-		// restore path reconstructs the reduction pipeline from. The
+		// Periodic checkpoint for -survive: snapshotted from `next`,
+		// which after the swap holds the grid with exactly `it` sweeps,
+		// paired with `settled` — the residual of sweep it-1 — so the
+		// header keeps the (sweeps S, residual of sweep S-1) invariant
+		// the restore path reconstructs the reduction pipeline from. The
 		// gate is uniform (it and the reduced residual agree on every
-		// rank), keeping the collective write aligned.
+		// rank), keeping the collective write aligned. The write itself
+		// overlaps the following sweeps: settle the previous epoch's
+		// write if it is still in flight, snapshot the band into the
+		// stable buffer, and start the next one nonblocking.
 		if ckpt != "" && p.ckptEvery > 0 && settled >= 0 && it%p.ckptEvery == 0 {
-			if err := writeCheckpoint(world, ckpt, next, n, cols, width, it, settled); err != nil {
+			if pending != nil {
+				if err := pending.finish(); err != nil {
+					return err
+				}
+				pending = nil
+			}
+			copy(ckptBuf, next)
+			if pending, err = startCheckpoint(world, ckpt, ckptBuf, n, cols, width, it, settled); err != nil {
 				return err
 			}
 		}
 
-		// Launch this sweep's residual reduction; it completes in the
-		// background while the next sweep computes (collectives travel
-		// on their own context, so they cannot interfere with the halo
-		// point-to-point traffic).
+		// Launch this sweep's residual reduction; the activation
+		// completes in the background while the next sweep computes
+		// (collectives travel on their own context, so they cannot
+		// interfere with the halo point-to-point traffic).
 		resIn[0] = local
-		if resReq, err = world.Iallreduce(resIn, 0, resOut, 0, 1, mpi.DOUBLE, mpi.MAX); err != nil {
+		if err := resRed.Start(); err != nil {
 			return err
 		}
+		resInFlight = true
 	}
 	// Drain the final in-flight reduction so every rank has made the
 	// same collective calls before the closing Reduce.
-	if resReq != nil {
-		if err := resReq.Wait(); err != nil {
+	if resInFlight {
+		if _, err := resRed.Wait(); err != nil {
 			return err
 		}
+		resInFlight = false
 		lastRes = resOut[0]
+	}
+	// Settle the last overlapped periodic checkpoint before the final
+	// (blocking) one, so the two writers never race on the same path.
+	if pending != nil {
+		if err := pending.finish(); err != nil {
+			return err
+		}
+		pending = nil
 	}
 	elapsed := env.Wtime() - start
 

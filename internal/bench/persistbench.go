@@ -1,0 +1,214 @@
+package bench
+
+import (
+	"fmt"
+
+	"gompi/mpi"
+)
+
+// PersistPoint is one persistent-vs-one-shot comparison: the same
+// communication pattern driven through an MPI-4 persistent request
+// (plan once, Start per iteration) and through the equivalent one-shot
+// nonblocking call issued fresh each iteration. The persistent column
+// is what the plan cache and pre-minted tags buy.
+type PersistPoint struct {
+	Op        string  `json:"op"`
+	Bytes     int     `json:"bytes"`
+	PersistNs int64   `json:"persistent_ns_per_op"`
+	OneShotNs int64   `json:"oneshot_ns_per_op"`
+	Speedup   float64 `json:"oneshot_over_persistent"`
+}
+
+func (p *PersistPoint) fill(psec, osec float64, reps int) {
+	p.PersistNs = int64(psec / float64(reps) * 1e9)
+	p.OneShotNs = int64(osec / float64(reps) * 1e9)
+	if psec > 0 {
+		p.Speedup = osec / psec
+	}
+}
+
+// PersistentPingPong measures a two-rank round trip: persistent
+// SendInit/RecvIntoInit cycled with StartAll against fresh
+// Isend/IrecvInto pairs per round, both over fixed buffers.
+func PersistentPingPong(sizes []int, reps int) ([]PersistPoint, error) {
+	if reps <= 0 {
+		reps = 64
+	}
+	out := make([]PersistPoint, 0, len(sizes))
+	for _, size := range sizes {
+		var psec, osec float64
+		err := mpi.Run(2, func(env *mpi.Env) error {
+			w := env.CommWorld()
+			rank := w.Rank()
+			peer := 1 - rank
+			buf := make([]byte, size)
+			in := make([]byte, size)
+
+			send, err := w.SendInit(buf, 0, size, mpi.BYTE, peer, 1)
+			if err != nil {
+				return err
+			}
+			defer send.Free()
+			recv, err := w.RecvIntoInit(in, 0, size, mpi.BYTE, peer, 1)
+			if err != nil {
+				return err
+			}
+			defer recv.Free()
+			pair := []*mpi.PersistentRequest{recv, send}
+
+			round := func() error {
+				if err := mpi.StartAll(pair); err != nil {
+					return err
+				}
+				if _, err := send.Wait(); err != nil {
+					return err
+				}
+				_, err := recv.Wait()
+				return err
+			}
+			oneShot := func() error {
+				rr, err := w.IrecvInto(in, 0, size, mpi.BYTE, peer, 1)
+				if err != nil {
+					return err
+				}
+				rs, err := w.Isend(buf, 0, size, mpi.BYTE, peer, 1)
+				if err != nil {
+					return err
+				}
+				if _, err := rs.Wait(); err != nil {
+					return err
+				}
+				_, err = rr.Wait()
+				return err
+			}
+			// Warm both patterns (request freelists, wire buffers) so
+			// neither timed loop pays the cold-start cost for the other.
+			for i := 0; i < 16; i++ {
+				if err := round(); err != nil {
+					return err
+				}
+				if err := oneShot(); err != nil {
+					return err
+				}
+			}
+			if err := w.Barrier(); err != nil {
+				return err
+			}
+			start := env.Wtime()
+			for r := 0; r < reps; r++ {
+				if err := round(); err != nil {
+					return err
+				}
+			}
+			if rank == 0 {
+				psec = env.Wtime() - start
+			}
+
+			if err := w.Barrier(); err != nil {
+				return err
+			}
+			start = env.Wtime()
+			for r := 0; r < reps; r++ {
+				if err := oneShot(); err != nil {
+					return err
+				}
+			}
+			if rank == 0 {
+				osec = env.Wtime() - start
+			}
+			return w.Barrier()
+		})
+		if err != nil {
+			return nil, fmt.Errorf("persistent pingpong at %d bytes: %w", size, err)
+		}
+		p := PersistPoint{Op: "pingpong", Bytes: size}
+		p.fill(psec, osec, reps)
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// PersistentAllreduce measures an np-rank SUM all-reduction:
+// AllreduceInit cycled with Start/Wait against a fresh Iallreduce per
+// iteration, both over fixed float64 operand buffers.
+func PersistentAllreduce(np int, counts []int, reps int) ([]PersistPoint, error) {
+	if reps <= 0 {
+		reps = 64
+	}
+	out := make([]PersistPoint, 0, len(counts))
+	for _, count := range counts {
+		var psec, osec float64
+		err := mpi.Run(np, func(env *mpi.Env) error {
+			w := env.CommWorld()
+			rank := w.Rank()
+			send := make([]float64, count)
+			recv := make([]float64, count)
+			for i := range send {
+				send[i] = float64(rank + i)
+			}
+
+			red, err := w.AllreduceInit(send, 0, recv, 0, count, mpi.DOUBLE, mpi.SUM)
+			if err != nil {
+				return err
+			}
+			defer red.Free()
+
+			cycle := func() error {
+				if err := red.Start(); err != nil {
+					return err
+				}
+				_, err := red.Wait()
+				return err
+			}
+			oneShot := func() error {
+				req, err := w.Iallreduce(send, 0, recv, 0, count, mpi.DOUBLE, mpi.SUM)
+				if err != nil {
+					return err
+				}
+				_, err = req.Wait()
+				return err
+			}
+			for i := 0; i < 8; i++ {
+				if err := cycle(); err != nil {
+					return err
+				}
+				if err := oneShot(); err != nil {
+					return err
+				}
+			}
+			if err := w.Barrier(); err != nil {
+				return err
+			}
+			start := env.Wtime()
+			for r := 0; r < reps; r++ {
+				if err := cycle(); err != nil {
+					return err
+				}
+			}
+			if rank == 0 {
+				psec = env.Wtime() - start
+			}
+
+			if err := w.Barrier(); err != nil {
+				return err
+			}
+			start = env.Wtime()
+			for r := 0; r < reps; r++ {
+				if err := oneShot(); err != nil {
+					return err
+				}
+			}
+			if rank == 0 {
+				osec = env.Wtime() - start
+			}
+			return w.Barrier()
+		})
+		if err != nil {
+			return nil, fmt.Errorf("persistent allreduce at count %d: %w", count, err)
+		}
+		p := PersistPoint{Op: "allreduce", Bytes: count * 8}
+		p.fill(psec, osec, reps)
+		out = append(out, p)
+	}
+	return out, nil
+}

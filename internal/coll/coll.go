@@ -107,6 +107,13 @@ func topMask(size int) int {
 // allocating its instance tags as it goes; composed collectives
 // (allreduce over reduce+bcast, reduce-scatter over reduce+scatter)
 // chain builders, threading mid-schedule values through pointers.
+//
+// Two conventions make the schedules pool- and persistent-ready: waits
+// for messages go through recvStep/exchStep (post step + gated consume
+// step — the executor parks rather than blocks), and every piece of
+// mutable per-activation state is initialized in an onReset hook rather
+// than at build time, so a persistent schedule re-arms cleanly on each
+// Start.
 // ---------------------------------------------------------------------
 
 // addBarrierSteps schedules the dissemination barrier: ⌈log2 p⌉ rounds
@@ -114,13 +121,11 @@ func topMask(size int) int {
 func (c *Comm) addBarrierSteps(s *sched) {
 	tag := s.tag(tagBarrier)
 	for k := 1; k < c.Size; k <<= 1 {
-		k := k
-		s.step(func() error {
-			dst := (c.Rank + k) % c.Size
-			src := (c.Rank - k + c.Size) % c.Size
-			_, err := s.sendrecv(dst, src, tag, nil)
-			return err
-		})
+		dst := (c.Rank + k) % c.Size
+		src := (c.Rank - k + c.Size) % c.Size
+		s.exchStep(dst, src, tag,
+			func() ([]byte, error) { return nil, nil },
+			func([]byte) error { return nil })
 	}
 }
 
@@ -132,11 +137,7 @@ func (c *Comm) addBcastSteps(s *sched, root int, data *[]byte) {
 	start := topMask(c.Size) >> 1
 	if vr != 0 {
 		low := vr & -vr // subtree parent sits at the lowest set bit
-		s.step(func() error {
-			got, err := s.recv(unrel(vr-low, root, c.Size), tag)
-			if err != nil {
-				return err
-			}
+		s.recvStep(unrel(vr-low, root, c.Size), tag, func(got []byte) error {
 			*data = got
 			return nil
 		})
@@ -197,7 +198,8 @@ func decodeBundle(data []byte, into map[int][]byte) error {
 func (c *Comm) addGatherSteps(s *sched, root int, mine *[]byte, out *[][]byte) {
 	tag := s.tag(tagGather)
 	vr := rel(c.Rank, root, c.Size)
-	have := make(map[int][]byte)
+	var have map[int][]byte
+	s.onReset(func() { have = make(map[int][]byte) })
 	s.step(func() error { have[vr] = *mine; return nil })
 	for mask := 1; mask < c.Size; mask <<= 1 {
 		mask := mask
@@ -208,11 +210,7 @@ func (c *Comm) addGatherSteps(s *sched, root int, mine *[]byte, out *[][]byte) {
 			return // subtree forwarded; this member is done
 		}
 		if vr+mask < c.Size {
-			s.step(func() error {
-				got, err := s.recv(unrel(vr+mask, root, c.Size), tag)
-				if err != nil {
-					return err
-				}
+			s.recvStep(unrel(vr+mask, root, c.Size), tag, func(got []byte) error {
 				return decodeBundle(got, have)
 			})
 		}
@@ -237,7 +235,8 @@ func (c *Comm) addGatherSteps(s *sched, root int, mine *[]byte, out *[][]byte) {
 func (c *Comm) addScatterSteps(s *sched, root int, parts *[][]byte, out *[]byte) {
 	tag := s.tag(tagScatter)
 	vr := rel(c.Rank, root, c.Size)
-	have := make(map[int][]byte)
+	var have map[int][]byte
+	s.onReset(func() { have = make(map[int][]byte) })
 	var start int
 	if vr == 0 {
 		s.step(func() error {
@@ -252,11 +251,7 @@ func (c *Comm) addScatterSteps(s *sched, root int, parts *[][]byte, out *[]byte)
 		start = topMask(c.Size) >> 1
 	} else {
 		low := vr & -vr
-		s.step(func() error {
-			got, err := s.recv(unrel(vr-low, root, c.Size), tag)
-			if err != nil {
-				return err
-			}
+		s.recvStep(unrel(vr-low, root, c.Size), tag, func(got []byte) error {
 			return decodeBundle(got, have)
 		})
 		start = low >> 1
@@ -285,33 +280,36 @@ func (c *Comm) addScatterSteps(s *sched, root int, parts *[][]byte, out *[]byte)
 }
 
 // addAllgatherSteps schedules the ring allgather (p-1 shifted steps);
-// at completion *out holds every member's block. Blocks may differ in
-// size, so this also serves Allgatherv.
-func (c *Comm) addAllgatherSteps(s *sched, mine []byte, out *[][]byte) {
+// at completion *out holds every member's block (*mine is re-read each
+// activation). Blocks may differ in size, so this also serves
+// Allgatherv.
+func (c *Comm) addAllgatherSteps(s *sched, mine *[]byte, out *[][]byte) {
 	c.addAllgatherStepsFam(s, tagAllgather, mine, out)
 }
 
 // addAllgatherStepsFam is addAllgatherSteps under an explicit tag
 // family, for Plan-composed schedules.
-func (c *Comm) addAllgatherStepsFam(s *sched, family int, mine []byte, out *[][]byte) {
+func (c *Comm) addAllgatherStepsFam(s *sched, family int, mine *[]byte, out *[][]byte) {
 	tag := s.tag(family)
 	right := (c.Rank + 1) % c.Size
 	left := (c.Rank - 1 + c.Size) % c.Size
-	blocks := make([][]byte, c.Size)
-	blocks[c.Rank] = mine
-	cur := mine
+	var blocks [][]byte
+	var cur []byte
+	s.onReset(func() {
+		blocks = make([][]byte, c.Size)
+		blocks[c.Rank] = *mine
+		cur = *mine
+	})
 	for st := 0; st < c.Size-1; st++ {
 		st := st
-		s.step(func() error {
-			in, err := s.sendrecv(right, left, tag, cur)
-			if err != nil {
-				return err
-			}
-			origin := (c.Rank - st - 1 + c.Size) % c.Size
-			blocks[origin] = in
-			cur = in
-			return nil
-		})
+		s.exchStep(right, left, tag,
+			func() ([]byte, error) { return cur, nil },
+			func(in []byte) error {
+				origin := (c.Rank - st - 1 + c.Size) % c.Size
+				blocks[origin] = in
+				cur = in
+				return nil
+			})
 	}
 	s.step(func() error { *out = blocks; return nil })
 }
@@ -328,36 +326,33 @@ func (c *Comm) addAlltoallSteps(s *sched, parts [][]byte, out *[][]byte) {
 // the (pre-sized) slice from an earlier step of the same schedule.
 func (c *Comm) addAlltoallStepsFam(s *sched, family int, parts [][]byte, out *[][]byte) {
 	tag := s.tag(family)
-	res := make([][]byte, c.Size)
+	var res [][]byte
+	s.onReset(func() { res = make([][]byte, c.Size) })
 	for st := 1; st < c.Size; st++ {
-		st := st
-		s.step(func() error {
-			dst := (c.Rank + st) % c.Size
-			src := (c.Rank - st + c.Size) % c.Size
-			in, err := s.sendrecv(dst, src, tag, parts[dst])
-			if err != nil {
-				return err
-			}
-			res[src] = in
-			return nil
-		})
+		dst := (c.Rank + st) % c.Size
+		src := (c.Rank - st + c.Size) % c.Size
+		s.exchStep(dst, src, tag,
+			func() ([]byte, error) { return parts[dst], nil },
+			func(in []byte) error { res[src] = in; return nil })
 	}
 	s.step(func() error { res[c.Rank] = parts[c.Rank]; *out = res; return nil })
 }
 
-// addReduceSteps schedules the reduction of mine toward root; at
-// completion *out (root only) holds the folded dense slice. Commutative
-// ops fold up a binomial tree; non-commutative ops gather at root and
-// fold in strict rank order.
-func (c *Comm) addReduceSteps(s *sched, root int, mine any, op *Op, out *any) {
+// addReduceSteps schedules the reduction of *mine toward root (the
+// pointed-to dense slice must be valid at build time, and is re-read on
+// each activation); at completion *out (root only) holds the folded
+// dense slice. Commutative ops fold up a binomial tree; non-commutative
+// ops gather at root and fold in strict rank order.
+func (c *Comm) addReduceSteps(s *sched, root int, mine *any, op *Op, out *any) {
 	if !op.Commutative {
 		c.addOrderedReduceSteps(s, root, mine, op, out)
 		return
 	}
 	tag := s.tag(tagReduce)
 	vr := rel(c.Rank, root, c.Size)
-	cls, _ := dtype.ClassOf(mine)
-	acc := dtype.CloneDense(mine)
+	cls, _ := dtype.ClassOf(*mine)
+	var acc any
+	s.onReset(func() { acc = dtype.CloneDense(*mine) })
 	for mask := 1; mask < c.Size; mask <<= 1 {
 		mask := mask
 		if vr&mask != 0 {
@@ -371,11 +366,7 @@ func (c *Comm) addReduceSteps(s *sched, root int, mine any, op *Op, out *any) {
 			return // contribution forwarded; this member is done
 		}
 		if vr+mask < c.Size {
-			s.step(func() error {
-				got, err := s.recv(unrel(vr+mask, root, c.Size), tag)
-				if err != nil {
-					return err
-				}
+			s.recvStep(unrel(vr+mask, root, c.Size), tag, func(got []byte) error {
 				partial, err := dtype.DecodeDense(got, cls)
 				if err != nil {
 					return err
@@ -396,11 +387,11 @@ func (c *Comm) addReduceSteps(s *sched, root int, mine any, op *Op, out *any) {
 // addOrderedReduceSteps gathers all contributions at root and folds
 // them in strict rank order, as required for non-commutative
 // operations.
-func (c *Comm) addOrderedReduceSteps(s *sched, root int, mine any, op *Op, out *any) {
+func (c *Comm) addOrderedReduceSteps(s *sched, root int, mine *any, op *Op, out *any) {
 	var wire []byte
 	var blocks [][]byte
 	s.step(func() error {
-		w, err := dtype.EncodeDense(mine)
+		w, err := dtype.EncodeDense(*mine)
 		wire = w
 		return err
 	})
@@ -409,7 +400,7 @@ func (c *Comm) addOrderedReduceSteps(s *sched, root int, mine any, op *Op, out *
 		return
 	}
 	s.step(func() error {
-		cls, _ := dtype.ClassOf(mine)
+		cls, _ := dtype.ClassOf(*mine)
 		acc, err := dtype.DecodeDense(blocks[0], cls)
 		if err != nil {
 			return err
@@ -429,12 +420,13 @@ func (c *Comm) addOrderedReduceSteps(s *sched, root int, mine any, op *Op, out *
 	})
 }
 
-// addAllreduceSteps schedules the all-reduction of mine; at completion
-// *out holds the folded dense slice on every member. Commutative ops
-// use recursive doubling with the standard non-power-of-two pre/post
-// folding; non-commutative ops reduce to rank 0 and broadcast.
-func (c *Comm) addAllreduceSteps(s *sched, mine any, op *Op, out *any) {
-	cls, _ := dtype.ClassOf(mine)
+// addAllreduceSteps schedules the all-reduction of *mine (valid at
+// build, re-read per activation); at completion *out holds the folded
+// dense slice on every member. Commutative ops use recursive doubling
+// with the standard non-power-of-two pre/post folding; non-commutative
+// ops reduce to rank 0 and broadcast.
+func (c *Comm) addAllreduceSteps(s *sched, mine *any, op *Op, out *any) {
+	cls, _ := dtype.ClassOf(*mine)
 	if !op.Commutative {
 		var res any
 		c.addReduceSteps(s, 0, mine, op, &res)
@@ -460,7 +452,8 @@ func (c *Comm) addAllreduceSteps(s *sched, mine any, op *Op, out *any) {
 	}
 
 	tag := s.tag(tagReduce)
-	acc := dtype.CloneDense(mine)
+	var acc any
+	s.onReset(func() { acc = dtype.CloneDense(*mine) })
 	p2 := 1
 	for p2*2 <= c.Size {
 		p2 *= 2
@@ -479,11 +472,7 @@ func (c *Comm) addAllreduceSteps(s *sched, mine any, op *Op, out *any) {
 			return s.isend(c.Rank+1, tag, wire)
 		})
 	case c.Rank < 2*remainder:
-		s.step(func() error {
-			got, err := s.recv(c.Rank-1, tag)
-			if err != nil {
-				return err
-			}
+		s.recvStep(c.Rank-1, tag, func(got []byte) error {
 			lower, err := dtype.DecodeDense(got, cls)
 			if err != nil {
 				return err
@@ -505,28 +494,22 @@ func (c *Comm) addAllreduceSteps(s *sched, mine any, op *Op, out *any) {
 	if newRank >= 0 {
 		for mask := 1; mask < p2; mask <<= 1 {
 			partner := newRank ^ mask
-			s.step(func() error {
-				wire, err := dtype.EncodeDense(acc)
-				if err != nil {
-					return err
-				}
-				got, err := s.sendrecv(realOf(partner), realOf(partner), tag, wire)
-				if err != nil {
-					return err
-				}
-				theirs, err := dtype.DecodeDense(got, cls)
-				if err != nil {
-					return err
-				}
-				if partner < newRank {
-					return op.Apply(theirs, acc)
-				}
-				if err := op.Apply(acc, theirs); err != nil {
-					return err
-				}
-				acc = theirs
-				return nil
-			})
+			s.exchStep(realOf(partner), realOf(partner), tag,
+				func() ([]byte, error) { return dtype.EncodeDense(acc) },
+				func(got []byte) error {
+					theirs, err := dtype.DecodeDense(got, cls)
+					if err != nil {
+						return err
+					}
+					if partner < newRank {
+						return op.Apply(theirs, acc)
+					}
+					if err := op.Apply(acc, theirs); err != nil {
+						return err
+					}
+					acc = theirs
+					return nil
+				})
 		}
 	}
 
@@ -534,11 +517,7 @@ func (c *Comm) addAllreduceSteps(s *sched, mine any, op *Op, out *any) {
 	// idled even members.
 	if c.Rank < 2*remainder {
 		if c.Rank%2 == 0 {
-			s.step(func() error {
-				got, err := s.recv(c.Rank+1, tag)
-				if err != nil {
-					return err
-				}
+			s.recvStep(c.Rank+1, tag, func(got []byte) error {
 				v, err := dtype.DecodeDense(got, cls)
 				if err != nil {
 					return err
@@ -565,16 +544,13 @@ func (c *Comm) addAllreduceSteps(s *sched, mine any, op *Op, out *any) {
 // ranks 0..r-1 (Exscan; nil at rank 0, whose result is undefined per
 // the standard). The chain preserves non-commutative operation order by
 // construction.
-func (c *Comm) addScanSteps(s *sched, family int, exclusive bool, mine any, op *Op, out *any) {
+func (c *Comm) addScanSteps(s *sched, family int, exclusive bool, mine *any, op *Op, out *any) {
 	tag := s.tag(family)
-	cls, _ := dtype.ClassOf(mine)
+	cls, _ := dtype.ClassOf(*mine)
 	var prefix, incl any
 	if c.Rank > 0 {
-		s.step(func() error {
-			got, err := s.recv(c.Rank-1, tag)
-			if err != nil {
-				return err
-			}
+		s.recvStep(c.Rank-1, tag, func(got []byte) error {
+			var err error
 			prefix, err = dtype.DecodeDense(got, cls)
 			return err
 		})
@@ -583,7 +559,7 @@ func (c *Comm) addScanSteps(s *sched, family int, exclusive bool, mine any, op *
 	// exclusive mode, published — skip the clone-and-fold there.
 	if !exclusive || c.Rank < c.Size-1 {
 		s.step(func() error {
-			incl = dtype.CloneDense(mine)
+			incl = dtype.CloneDense(*mine)
 			if c.Rank == 0 {
 				return nil
 			}
@@ -611,7 +587,7 @@ func (c *Comm) addScanSteps(s *sched, family int, exclusive bool, mine any, op *
 
 // addReduceScatterSteps schedules the fold-then-scatter: member r ends
 // up with counts[r] elements of the result in *out.
-func (c *Comm) addReduceScatterSteps(s *sched, mine any, counts []int, op *Op, out *any) {
+func (c *Comm) addReduceScatterSteps(s *sched, mine *any, counts []int, op *Op, out *any) {
 	var res any
 	c.addReduceSteps(s, 0, mine, op, &res)
 	var parts [][]byte
@@ -635,7 +611,7 @@ func (c *Comm) addReduceScatterSteps(s *sched, mine any, counts []int, op *Op, o
 	var wire []byte
 	c.addScatterSteps(s, 0, &parts, &wire)
 	s.step(func() error {
-		cls, _ := dtype.ClassOf(mine)
+		cls, _ := dtype.ClassOf(*mine)
 		v, err := dtype.DecodeDense(wire, cls)
 		if err != nil {
 			return err
@@ -780,8 +756,9 @@ func (c *Comm) Scatter(root int, parts [][]byte) ([]byte, error) {
 
 func (c *Comm) allgatherSched(mine []byte) *sched {
 	s := c.newSched()
+	in := mine
 	var blocks [][]byte
-	c.addAllgatherSteps(s, mine, &blocks)
+	c.addAllgatherSteps(s, &in, &blocks)
 	s.publish(func() any { return blocks })
 	return s
 }
@@ -841,8 +818,9 @@ func (c *Comm) reduceSched(root int, mine any, op *Op) (*sched, error) {
 	if err := c.check(root); err != nil {
 		return nil, err
 	}
+	in := mine
 	var res any
-	c.addReduceSteps(s, root, mine, op, &res)
+	c.addReduceSteps(s, root, &in, op, &res)
 	s.publish(func() any { return res })
 	return s, nil
 }
@@ -869,8 +847,9 @@ func (c *Comm) Reduce(root int, mine any, op *Op) (any, error) {
 
 func (c *Comm) allreduceSched(mine any, op *Op) *sched {
 	s := c.newSched()
+	in := mine
 	var res any
-	c.addAllreduceSteps(s, mine, op, &res)
+	c.addAllreduceSteps(s, &in, op, &res)
 	s.publish(func() any { return res })
 	return s
 }
@@ -889,8 +868,9 @@ func (c *Comm) Allreduce(mine any, op *Op) (any, error) {
 
 func (c *Comm) scanSched(family int, exclusive bool, mine any, op *Op) *sched {
 	s := c.newSched()
+	in := mine
 	var res any
-	c.addScanSteps(s, family, exclusive, mine, op, &res)
+	c.addScanSteps(s, family, exclusive, &in, op, &res)
 	s.publish(func() any { return res })
 	return s
 }
@@ -925,8 +905,9 @@ func (c *Comm) reduceScatterSched(mine any, counts []int, op *Op) (*sched, error
 	if len(counts) != c.Size {
 		return nil, fmt.Errorf("coll: reduce_scatter with %d counts for %d ranks", len(counts), c.Size)
 	}
+	in := mine
 	var res any
-	c.addReduceScatterSteps(s, mine, counts, op, &res)
+	c.addReduceScatterSteps(s, &in, counts, op, &res)
 	s.publish(func() any { return res })
 	return s, nil
 }

@@ -63,7 +63,8 @@ func (p *Plan) Alltoall(parts [][]byte, out *[][]byte) error {
 // Allgather appends a ring allgather round of this member's block; *out
 // holds every member's block once the round's steps have run.
 func (p *Plan) Allgather(mine []byte, out *[][]byte) {
-	p.c.addAllgatherStepsFam(p.s, p.nextFam(), mine, out)
+	in := mine
+	p.c.addAllgatherStepsFam(p.s, p.nextFam(), &in, out)
 }
 
 // Publish appends the final step that snapshots the schedule's result:

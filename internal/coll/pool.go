@@ -1,0 +1,79 @@
+package coll
+
+import (
+	"os"
+	"runtime"
+	"sync"
+)
+
+// forcePool routes the blocking collective entry points through the
+// shared progress pool too (instead of their inline executor), so one
+// environment switch drives every collective test through the
+// park/resume machinery. CI runs the conformance suite this way.
+var forcePool = os.Getenv("GOMPI_COLL_POOL") == "force"
+
+// progressPool executes collective schedules on a small shared set of
+// workers, O(cores) for the whole process no matter how many
+// communicators or in-flight collectives exist. Schedules never block a
+// worker waiting for a message: they park (see sched.park) and are
+// re-enqueued by the engine's completion callback, so a bounded worker
+// set cannot deadlock on cross-rank message dependencies — a parked
+// schedule occupies no worker at all.
+type progressPool struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	q       []*sched // FIFO of runnable schedules
+	head    int
+	idle    int // workers blocked waiting for work
+	workers int // workers spawned so far, capped at max
+	max     int
+}
+
+// sharedPool is the process-wide pool. Workers are spawned lazily, up
+// to GOMAXPROCS, and persist for the life of the process.
+var sharedPool = func() *progressPool {
+	p := &progressPool{max: runtime.GOMAXPROCS(0)}
+	if p.max < 1 {
+		p.max = 1
+	}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}()
+
+// MaxPoolWorkers reports the pool's worker cap (for tests asserting the
+// O(cores) goroutine bound).
+func MaxPoolWorkers() int { return sharedPool.max }
+
+// enqueue makes s runnable. It never blocks and takes only the pool's
+// own lock: completion callbacks invoke it under the engine lock.
+func (p *progressPool) enqueue(s *sched) {
+	p.mu.Lock()
+	p.q = append(p.q, s)
+	switch {
+	case p.idle > 0:
+		p.cond.Signal()
+	case p.workers < p.max:
+		p.workers++
+		go p.worker()
+	}
+	p.mu.Unlock()
+}
+
+func (p *progressPool) worker() {
+	p.mu.Lock()
+	for {
+		for p.head == len(p.q) {
+			p.q = p.q[:0]
+			p.head = 0
+			p.idle++
+			p.cond.Wait()
+			p.idle--
+		}
+		s := p.q[p.head]
+		p.q[p.head] = nil
+		p.head++
+		p.mu.Unlock()
+		s.run()
+		p.mu.Lock()
+	}
+}

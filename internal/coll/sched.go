@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 
 	"gompi/internal/core"
 )
@@ -11,6 +12,10 @@ import (
 // ErrCancelled is the completion error of a collective schedule that was
 // torn down by context cancellation before it finished.
 var ErrCancelled = errors.New("coll: collective cancelled")
+
+// ErrActive is returned by Persistent.Start when the previous activation
+// of the operation has not completed yet.
+var ErrActive = errors.New("coll: previous activation still in progress")
 
 // Request is a handle on an in-flight collective schedule. It completes
 // exactly once, with the algorithm's result (shape depends on the
@@ -22,6 +27,10 @@ type Request struct {
 	done     chan struct{}
 	cancelCh chan struct{}
 	cancel   sync.Once
+
+	// s is the schedule this request completes; cancellation pokes it so
+	// a parked schedule wakes up and observes the cancel.
+	s *sched
 
 	// Written by the schedule runner before done is closed.
 	res any
@@ -76,7 +85,12 @@ func (r *Request) WaitCtx(ctx context.Context) (any, error) {
 	case <-r.done:
 		return r.res, r.err
 	case <-ctx.Done():
-		r.cancel.Do(func() { close(r.cancelCh) })
+		r.cancel.Do(func() {
+			close(r.cancelCh)
+			if r.s != nil {
+				r.s.cancelGated()
+			}
+		})
 		<-r.done
 		switch {
 		case r.err == nil:
@@ -92,24 +106,50 @@ func (r *Request) WaitCtx(ctx context.Context) (any, error) {
 	}
 }
 
-// step is one unit of a collective schedule: it posts nonblocking
-// operations, waits (cancellably) on them, and folds received data into
-// the algorithm's state.
-type step func() error
+// fut is the seam between a step that posts a nonblocking operation and
+// the later step that consumes it: the posting step fills req, the
+// consuming step is gated on its completion and empties it again (so a
+// persistent schedule can refill it on the next activation).
+type fut struct {
+	req *core.Request
+}
+
+// step is one unit of a collective schedule. run posts nonblocking
+// operations and folds received data into the algorithm's state; a step
+// with a gate does not run until the gated operation has completed, so
+// run never blocks on message arrival — the executor parks the whole
+// schedule instead.
+type step struct {
+	gate *fut
+	run  func() error
+}
 
 // sched is one collective operation's schedule: the ordered steps the
 // algorithm compiled into, the progress state they share, and the sends
 // still in flight. A schedule is built synchronously inside the
 // collective call (so tag allocation happens in program order on every
 // member) and then executed either inline (blocking entry points) or on
-// its own runner goroutine (nonblocking entry points).
+// the shared progress pool (nonblocking and persistent entry points),
+// parking — not blocking a worker — whenever it waits for a message.
 type sched struct {
-	c     *Comm
-	inst  uint32 // this collective instance's sequence number
-	req   *Request
-	steps []step
-	pend  []*core.Request // outstanding isends, drained at the end
-	res   any             // published to req on successful completion
+	c      *Comm
+	inst   uint32 // this collective instance's sequence number
+	req    *Request
+	steps  []step
+	resets []func()        // per-activation state initializers, run by arm
+	pc     int             // index of the next step to run
+	pend   []*core.Request // outstanding isends, drained at the end
+	res    any             // published to req on successful completion
+
+	// Parking state. While the schedule is parked on the pool, gated
+	// holds the incomplete operations it waits for (guarded by gmu, so a
+	// cancelling goroutine can poke them without racing the executor)
+	// and waits counts the completions still owed before the schedule
+	// becomes runnable again.
+	gmu   sync.Mutex
+	gated []*core.Request
+	waits atomic.Int32
+	wake  func() // bound once; decrements waits, enqueues at zero
 }
 
 // newSched builds an empty schedule and mints its instance number —
@@ -120,7 +160,14 @@ type sched struct {
 // behaves like "never cancelled" in both cancellation points — so a
 // blocking collective pays no channel allocations.
 func (c *Comm) newSched() *sched {
-	return &sched{c: c, inst: c.seq.Add(1) - 1, req: &Request{}}
+	s := &sched{c: c, inst: c.seq.Add(1) - 1}
+	s.req = &Request{s: s}
+	s.wake = func() {
+		if s.waits.Add(-1) == 0 {
+			sharedPool.enqueue(s)
+		}
+	}
+	return s
 }
 
 // tag mints the matching tag for one family within this instance.
@@ -131,54 +178,268 @@ func (s *sched) tag(family int) int {
 	return int(s.inst%seqPeriod)<<tagFamBits | family
 }
 
-func (s *sched) step(fn step) { s.steps = append(s.steps, fn) }
+func (s *sched) step(fn func() error) { s.steps = append(s.steps, step{run: fn}) }
+
+// onReset registers a per-activation state initializer. Builders route
+// every piece of mutable algorithm state they would otherwise initialize
+// at build time through a reset, which makes the schedule re-runnable:
+// one-shot schedules arm once, persistent ones re-arm on every Start.
+func (s *sched) onReset(fn func()) { s.resets = append(s.resets, fn) }
+
+// arm runs the registered resets, initializing the activation's state.
+func (s *sched) arm() {
+	for _, fn := range s.resets {
+		fn()
+	}
+}
+
+// rearm prepares a fresh activation of an already-run schedule: a new
+// request (the old one stays valid for its completed activation), the
+// program counter back at the top, and re-initialized algorithm state.
+// The instance number — and with it every matching tag — is reused:
+// persistent activations are aligned across members by the rule that
+// each member completes activation k before starting k+1, so round k+1
+// traffic can never cross-match round k's.
+func (s *sched) rearm() {
+	s.req = &Request{s: s, done: make(chan struct{}), cancelCh: make(chan struct{})}
+	s.pc = 0
+	s.pend = nil
+	s.res = nil
+	s.arm()
+}
 
 // publish appends the final step that snapshots the algorithm's result.
 func (s *sched) publish(get func() any) {
 	s.step(func() error { s.res = get(); return nil })
 }
 
-// start launches the schedule on its own progress goroutine and returns
+// recvStep appends a post step and a gated consume step: the receive is
+// posted nonblockingly, and fn runs — with the payload, ownership
+// transferred out of the engine — only once it has completed, without
+// ever blocking an executor.
+func (s *sched) recvStep(src, tag int, fn func([]byte) error) {
+	f := &fut{}
+	s.steps = append(s.steps, step{run: func() error {
+		f.req = s.c.P.Irecv(s.c.Ctx, int32(src), int32(tag))
+		return nil
+	}})
+	s.steps = append(s.steps, step{gate: f, run: func() error {
+		b, err := s.takeRecv(f)
+		if err != nil {
+			return err
+		}
+		return fn(b)
+	}})
+}
+
+// exchStep appends a concurrent exchange with two (possibly distinct)
+// partners, the building block of the symmetric algorithms: one step
+// posts the send (payload computed at post time by out) and the
+// receive, a gated step consumes the received payload. The send's
+// completion is left to the drain.
+func (s *sched) exchStep(dst, src, tag int, out func() ([]byte, error), fn func([]byte) error) {
+	f := &fut{}
+	s.steps = append(s.steps, step{run: func() error {
+		b, err := out()
+		if err != nil {
+			return err
+		}
+		if err := s.isend(dst, tag, b); err != nil {
+			return err
+		}
+		f.req = s.c.P.Irecv(s.c.Ctx, int32(src), int32(tag))
+		return nil
+	}})
+	s.steps = append(s.steps, step{gate: f, run: func() error {
+		b, err := s.takeRecv(f)
+		if err != nil {
+			return err
+		}
+		return fn(b)
+	}})
+}
+
+// takeRecv consumes a completed gated receive: surfaces its completion
+// error, transfers the payload out of the engine, and recycles the
+// request (emptying the future for the next activation).
+func (s *sched) takeRecv(f *fut) ([]byte, error) {
+	req := f.req
+	f.req = nil
+	st := &req.Stat
+	if st.Cancelled {
+		req.Recycle()
+		return nil, errors.New("coll: receive cancelled")
+	}
+	if rerr := st.Err; rerr != nil {
+		// A peer died or the communicator was revoked mid-schedule:
+		// surface it rather than fold a nil payload into the algorithm.
+		req.Recycle()
+		return nil, rerr
+	}
+	// Payload lifetime is unbounded here (algorithms forward and stash
+	// blocks), so take it out of the request before recycling.
+	b := req.TakePayload()
+	req.Recycle()
+	return b, nil
+}
+
+// start launches the schedule on the shared progress pool and returns
 // the request (the nonblocking entry points). The completion and
-// cancellation channels are created here, before the runner exists, so
-// every escaping request has them.
+// cancellation channels are created here, before the schedule is
+// enqueued, so every escaping request has them.
 func (s *sched) start() *Request {
 	s.req.done = make(chan struct{})
 	s.req.cancelCh = make(chan struct{})
-	go s.run()
+	s.arm()
+	sharedPool.enqueue(s)
 	return s.req
 }
 
 // runInline executes the schedule to completion on the calling goroutine
-// (the blocking entry points: same schedule, no runner handoff).
+// (the blocking entry points: same schedule, no pool handoff), blocking
+// at each gate instead of parking. With the pool forced (GOMPI_COLL_POOL
+// =force), blocking entry points run through the pool too, exercising
+// the park/resume machinery under every collective test.
 func (s *sched) runInline() (any, error) {
-	s.run()
+	if forcePool {
+		s.req.done = make(chan struct{})
+		s.req.cancelCh = make(chan struct{})
+		s.arm()
+		sharedPool.enqueue(s)
+		return s.req.Wait()
+	}
+	s.arm()
+	for s.pc < len(s.steps) {
+		if s.cancelled() {
+			s.fail(ErrCancelled)
+			return nil, s.req.err
+		}
+		st := s.steps[s.pc]
+		if st.gate != nil && st.gate.req != nil {
+			if err := s.await(st.gate.req); err != nil {
+				s.fail(err)
+				return nil, s.req.err
+			}
+		}
+		if err := st.run(); err != nil {
+			s.fail(err)
+			return nil, s.req.err
+		}
+		s.pc++
+	}
+	if err := s.drainInline(); err != nil {
+		s.fail(err)
+		return nil, s.req.err
+	}
+	s.finish(nil)
 	return s.req.res, s.req.err
 }
 
+// run executes the schedule on a pool worker until it completes or
+// parks. A parked schedule is re-enqueued by the completion callback of
+// the last operation it gates on; run then resumes at the same program
+// counter.
 func (s *sched) run() {
-	err := s.exec()
-	if err == nil {
-		s.req.res = s.res
-	}
-	s.req.err = err
-	if s.req.done != nil {
-		close(s.req.done)
+	// The previous park's gate list is stale the moment we are running
+	// again; clear it before any gated request can be consumed, so a
+	// concurrent canceller never pokes a recycled request.
+	s.gmu.Lock()
+	s.gated = nil
+	s.gmu.Unlock()
+	for {
+		if s.cancelled() {
+			s.fail(ErrCancelled)
+			return
+		}
+		if s.pc < len(s.steps) {
+			st := s.steps[s.pc]
+			if st.gate != nil && st.gate.req != nil {
+				if _, done := st.gate.req.Test(); !done {
+					if s.park(st.gate.req) {
+						return
+					}
+				}
+			}
+			if err := st.run(); err != nil {
+				s.fail(err)
+				return
+			}
+			s.pc++
+			continue
+		}
+		// Steps exhausted: drain the outstanding sends.
+		var waitFor []*core.Request
+		for _, r := range s.pend {
+			if _, done := r.Test(); !done {
+				waitFor = append(waitFor, r)
+			}
+		}
+		if len(waitFor) > 0 {
+			if s.park(waitFor...) {
+				return
+			}
+			continue // completed while parking; re-check from the top
+		}
+		var err error
+		for _, r := range s.pend {
+			if err == nil && r.Stat.Err != nil {
+				err = r.Stat.Err // send failed (peer loss, revocation)
+			}
+			r.Recycle()
+		}
+		s.pend = nil
+		if err != nil {
+			s.fail(err)
+			return
+		}
+		s.finish(nil)
+		return
 	}
 }
 
-func (s *sched) exec() error {
-	for _, fn := range s.steps {
-		if s.cancelled() {
-			s.abort()
-			return ErrCancelled
-		}
-		if err := fn(); err != nil {
-			s.abort()
-			return err
-		}
+// park suspends the schedule until every request in reqs has completed.
+// It returns true when the schedule is genuinely parked — the executor
+// must return, and the last completion callback re-enqueues the
+// schedule — or false when everything completed while parking, in which
+// case the executor just continues. The +1 guard below makes the
+// resume decision race-free: the callbacks and the final Add together
+// reach zero exactly once, wherever the completions land.
+func (s *sched) park(reqs ...*core.Request) bool {
+	s.gmu.Lock()
+	s.gated = reqs
+	s.gmu.Unlock()
+	s.waits.Store(int32(len(reqs)) + 1)
+	for _, r := range reqs {
+		r.OnDone(s.wake)
 	}
-	return s.drain()
+	if s.cancelled() {
+		// The cancel may have arrived before gated was published; poke
+		// the gated operations ourselves so the park is bounded.
+		s.cancelGated()
+	}
+	if s.waits.Add(-1) == 0 {
+		s.gmu.Lock()
+		s.gated = nil
+		s.gmu.Unlock()
+		return false
+	}
+	return true
+}
+
+// cancelGated pokes a parked schedule's gated operations: still-
+// revocable ones complete as cancelled immediately; matched ones are
+// left to their imminent ordinary completion. Either way each gated
+// request's completion callback still fires, so the schedule wakes,
+// observes the cancellation and aborts. Holding gmu across the Cancel
+// calls pins the gate list: the executor clears it (under gmu) before
+// recycling any gated request, so a concurrent resume cannot recycle a
+// request out from under us.
+func (s *sched) cancelGated() {
+	s.gmu.Lock()
+	for _, r := range s.gated {
+		s.c.P.Cancel(r)
+	}
+	s.gmu.Unlock()
 }
 
 func (s *sched) cancelled() bool {
@@ -190,26 +451,72 @@ func (s *sched) cancelled() bool {
 	}
 }
 
+// finish completes the activation's request.
+func (s *sched) finish(err error) {
+	if err == nil {
+		s.req.res = s.res
+	}
+	s.req.err = err
+	if s.req.done != nil {
+		close(s.req.done)
+	}
+}
+
+// fail tears the schedule down after an error or cancellation and
+// completes the request with err.
+func (s *sched) fail(err error) {
+	s.abortGate()
+	s.abort()
+	s.finish(err)
+}
+
+// abortGate disposes of the current step's gated receive, if any: a
+// completed one is recycled, an in-flight one is cancelled when the
+// engine still can (and otherwise left to complete in the background,
+// reclaimed by the garbage collector).
+func (s *sched) abortGate() {
+	if s.pc >= len(s.steps) {
+		return
+	}
+	f := s.steps[s.pc].gate
+	if f == nil || f.req == nil {
+		return
+	}
+	r := f.req
+	f.req = nil
+	if s.c.P.Cancel(r) {
+		r.Recycle()
+		return
+	}
+	if _, done := r.Test(); done {
+		r.Recycle()
+	}
+}
+
 // await blocks until r completes or the schedule is cancelled — the
-// per-round cancellation point the context variants rely on. On
-// cancellation it revokes r when the engine still can (an unmatched
-// receive, an ungranted rendezvous send); an operation past that point
-// is consumed so the engine's bookkeeping stays balanced, but the step
-// still reports cancellation: the schedule is being torn down.
-func (s *sched) await(r *core.Request) (*core.Status, error) {
-	if st, done := r.Test(); done {
-		return st, nil
+// inline executor's cancellation point. On cancellation it revokes r
+// when the engine still can (an unmatched receive); an operation past
+// that point is consumed so the engine's bookkeeping stays balanced,
+// but the wait still reports cancellation: the schedule is being torn
+// down.
+func (s *sched) await(r *core.Request) error {
+	if _, done := r.Test(); done {
+		return nil
+	}
+	if s.req.cancelCh == nil {
+		r.Wait()
+		return nil
 	}
 	done := r.Done()
 	select {
 	case <-done:
-		return &r.Stat, nil
+		return nil
 	case <-s.req.cancelCh:
 	}
 	if !s.c.P.Cancel(r) {
 		<-done
 	}
-	return &r.Stat, ErrCancelled
+	return ErrCancelled
 }
 
 // isend posts a standard-mode send on the schedule's context and tracks
@@ -225,55 +532,18 @@ func (s *sched) isend(dst, tag int, b []byte) error {
 	return nil
 }
 
-// recv posts a receive and waits for it cancellably, returning the
-// payload with ownership transferred out of the engine.
-func (s *sched) recv(src, tag int) ([]byte, error) {
-	req := s.c.P.Irecv(s.c.Ctx, int32(src), int32(tag))
-	st, err := s.await(req)
-	if err != nil {
-		req.Recycle()
-		return nil, err
-	}
-	if st.Cancelled {
-		req.Recycle()
-		return nil, errors.New("coll: receive cancelled")
-	}
-	if rerr := st.Err; rerr != nil {
-		// A peer died or the communicator was revoked mid-schedule:
-		// surface it rather than fold a nil payload into the algorithm.
-		// (Copied out first: st aliases the request Recycle re-pools.)
-		req.Recycle()
-		return nil, rerr
-	}
-	// Payload lifetime is unbounded here (algorithms forward and stash
-	// blocks), so take it out of the request before recycling.
-	b := req.TakePayload()
-	req.Recycle()
-	return b, nil
-}
-
-// sendrecv runs a concurrent exchange with two (possibly distinct)
-// partners, the building block of the symmetric algorithms. The send's
-// completion is left to the drain.
-func (s *sched) sendrecv(dst, src, tag int, out []byte) ([]byte, error) {
-	if err := s.isend(dst, tag, out); err != nil {
-		return nil, err
-	}
-	return s.recv(src, tag)
-}
-
-// drain waits (cancellably) for the schedule's outstanding sends and
-// recycles their requests.
-func (s *sched) drain() error {
+// drainInline waits (cancellably) for the schedule's outstanding sends
+// and recycles their requests (the inline executor's drain; the pooled
+// executor parks on them instead).
+func (s *sched) drainInline() error {
 	for i, r := range s.pend {
-		st, err := s.await(r)
-		if err == nil && st.Err != nil {
-			err = st.Err // send completed with a failure (peer loss, revocation)
+		err := s.await(r)
+		if err == nil && r.Stat.Err != nil {
+			err = r.Stat.Err // send completed with a failure (peer loss, revocation)
 		}
 		if err != nil {
 			r.Recycle()
 			s.pend = s.pend[i+1:]
-			s.abort()
 			return err
 		}
 		r.Recycle()

@@ -69,6 +69,10 @@ type Request struct {
 	// Guarded by proc.mu until completion.
 	completed bool
 
+	// onDone, when set, runs exactly once at completion — synchronously,
+	// under the engine lock. Guarded by proc.mu. See OnDone.
+	onDone func()
+
 	// Completion results.
 	Stat Status
 	// Payload is the receive payload (wire bytes), nil for sends. It
@@ -223,6 +227,27 @@ func (r *Request) Test() (*Status, bool) {
 // IsRecv reports whether this is a receive request.
 func (r *Request) IsRecv() bool { return r.kind == reqRecv }
 
+// OnDone arranges for fn to run exactly once when the request completes.
+// If the request has already completed, fn runs immediately on the
+// calling goroutine; otherwise it runs at completion time, synchronously
+// under the engine lock. fn must therefore be brief and must not call
+// back into the engine (no Wait, Cancel, Recycle, Isend, ...) — it is
+// meant to flip a flag, decrement a counter, or hand the request off to
+// a scheduler queue. At most one callback may be registered per
+// operation; registering a second before the first has fired replaces
+// it.
+func (r *Request) OnDone(fn func()) {
+	p := r.proc
+	p.mu.Lock()
+	if r.completed {
+		p.mu.Unlock()
+		fn()
+		return
+	}
+	r.onDone = fn
+	p.mu.Unlock()
+}
+
 // completeLocked finalizes a request. proc.mu must be held.
 func (p *Proc) completeLocked(r *Request, payload []byte, st Status) {
 	if r.completed {
@@ -233,6 +258,10 @@ func (p *Proc) completeLocked(r *Request, payload []byte, st Status) {
 	r.completed = true
 	if r.done != nil {
 		close(r.done)
+	}
+	if fn := r.onDone; fn != nil {
+		r.onDone = nil
+		fn()
 	}
 	p.cond.Broadcast()
 }

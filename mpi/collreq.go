@@ -71,11 +71,23 @@ func (r *CollRequest) settle(res any, schedErr error) error {
 	return r.err
 }
 
+// stat is the status a completed collective reports: collective file
+// reads carry their transfer status, every other collective completes
+// with the empty status (collectives have no source/tag to report).
+func (r *CollRequest) stat() *Status {
+	if r.fileStatus != nil {
+		return r.fileStatus
+	}
+	return nullStatus()
+}
+
 // Wait blocks until the collective completes on this member (MPI_Wait)
-// and fills the receive buffers.
-func (r *CollRequest) Wait() error {
+// and fills the receive buffers. The returned status is empty except
+// for collective file reads, which report their transfer status.
+func (r *CollRequest) Wait() (*Status, error) {
 	res, err := r.creq.Wait()
-	return r.settle(res, err)
+	serr := r.settle(res, err)
+	return r.stat(), serr
 }
 
 // WaitCtx blocks until the collective completes or ctx is done. When
@@ -94,23 +106,30 @@ func (r *CollRequest) Wait() error {
 // the cancelled member stalls the late sender's rendezvous, so ranks
 // mixing cancellation into a communicator should use the *Ctx forms on
 // every member (see coll.Request.WaitCtx).
-func (r *CollRequest) WaitCtx(ctx context.Context) error {
+func (r *CollRequest) WaitCtx(ctx context.Context) (*Status, error) {
 	res, err := r.creq.WaitCtx(ctx)
 	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
-		return err
+		return nullStatus(), err
 	}
-	return r.settle(res, err)
+	serr := r.settle(res, err)
+	return r.stat(), serr
 }
 
 // Test reports whether the collective has completed (MPI_Test), filling
 // the receive buffers on the observation of completion.
-func (r *CollRequest) Test() (bool, error) {
+func (r *CollRequest) Test() (*Status, bool, error) {
 	res, done, err := r.creq.Test()
 	if !done {
-		return false, nil
+		return nil, false, nil
 	}
-	return true, r.settle(res, err)
+	serr := r.settle(res, err)
+	return r.stat(), true, serr
 }
+
+// Free releases the handle (MPI_Request_free): the collective, if still
+// pending, is allowed to complete in the background; its result is
+// discarded and the receive buffers are never filled.
+func (r *CollRequest) Free() error { return nil }
 
 // FileStatus returns the transfer status of a completed collective
 // file read (File.IreadAtAll/IreadAll): GetCount reports the elements
@@ -118,3 +137,13 @@ func (r *CollRequest) Test() (bool, error) {
 // on the nonblocking path too. It is nil before completion and for
 // every other kind of collective.
 func (r *CollRequest) FileStatus() *Status { return r.fileStatus }
+
+// FileCollRequest is the request of a nonblocking collective file
+// operation (File.IwriteAtAll, File.IreadAtAll and friends). It is a
+// CollRequest whose Wait/WaitCtx/Test report the transfer status of the
+// completed file operation — for reads, GetCount on the returned status
+// gives the elements the file actually held, so short reads at
+// end-of-file are detectable without a separate FileStatus call.
+type FileCollRequest struct {
+	*CollRequest
+}

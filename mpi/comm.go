@@ -634,43 +634,54 @@ func (c *Comm) Iprobe(source, tag int) (*Status, error) {
 
 // SendInit creates a persistent standard-mode send request
 // (MPI_Send_init).
-func (c *Comm) SendInit(buf any, offset, count int, d *Datatype, dest, tag int) (*Prequest, error) {
+func (c *Comm) SendInit(buf any, offset, count int, d *Datatype, dest, tag int) (*PersistentRequest, error) {
 	if err := c.sendChecks(d, dest, tag); err != nil {
 		return nil, c.raise(err)
 	}
-	return &Prequest{comm: c, mode: core.ModeStandard, buf: buf, offset: offset, count: count, dt: d, rank: dest, tag: tag}, nil
+	return &PersistentRequest{comm: c, mode: core.ModeStandard, buf: buf, offset: offset, count: count, dt: d, rank: dest, tag: tag}, nil
 }
 
 // SsendInit creates a persistent synchronous-mode send request.
-func (c *Comm) SsendInit(buf any, offset, count int, d *Datatype, dest, tag int) (*Prequest, error) {
+func (c *Comm) SsendInit(buf any, offset, count int, d *Datatype, dest, tag int) (*PersistentRequest, error) {
 	if err := c.sendChecks(d, dest, tag); err != nil {
 		return nil, c.raise(err)
 	}
-	return &Prequest{comm: c, mode: core.ModeSync, buf: buf, offset: offset, count: count, dt: d, rank: dest, tag: tag}, nil
+	return &PersistentRequest{comm: c, mode: core.ModeSync, buf: buf, offset: offset, count: count, dt: d, rank: dest, tag: tag}, nil
 }
 
 // RsendInit creates a persistent ready-mode send request.
-func (c *Comm) RsendInit(buf any, offset, count int, d *Datatype, dest, tag int) (*Prequest, error) {
+func (c *Comm) RsendInit(buf any, offset, count int, d *Datatype, dest, tag int) (*PersistentRequest, error) {
 	if err := c.sendChecks(d, dest, tag); err != nil {
 		return nil, c.raise(err)
 	}
-	return &Prequest{comm: c, mode: core.ModeReady, buf: buf, offset: offset, count: count, dt: d, rank: dest, tag: tag}, nil
+	return &PersistentRequest{comm: c, mode: core.ModeReady, buf: buf, offset: offset, count: count, dt: d, rank: dest, tag: tag}, nil
 }
 
 // BsendInit creates a persistent buffered-mode send request.
-func (c *Comm) BsendInit(buf any, offset, count int, d *Datatype, dest, tag int) (*Prequest, error) {
+func (c *Comm) BsendInit(buf any, offset, count int, d *Datatype, dest, tag int) (*PersistentRequest, error) {
 	if err := c.sendChecks(d, dest, tag); err != nil {
 		return nil, c.raise(err)
 	}
-	return &Prequest{comm: c, buffed: true, buf: buf, offset: offset, count: count, dt: d, rank: dest, tag: tag}, nil
+	return &PersistentRequest{comm: c, buffed: true, buf: buf, offset: offset, count: count, dt: d, rank: dest, tag: tag}, nil
 }
 
 // RecvInit creates a persistent receive request (MPI_Recv_init).
-func (c *Comm) RecvInit(buf any, offset, count int, d *Datatype, source, tag int) (*Prequest, error) {
+func (c *Comm) RecvInit(buf any, offset, count int, d *Datatype, source, tag int) (*PersistentRequest, error) {
 	if err := c.recvChecks(d, source, tag); err != nil {
 		return nil, c.raise(err)
 	}
-	return &Prequest{comm: c, isRecv: true, buf: buf, offset: offset, count: count, dt: d, rank: source, tag: tag}, nil
+	return &PersistentRequest{comm: c, isRecv: true, buf: buf, offset: offset, count: count, dt: d, rank: source, tag: tag}, nil
+}
+
+// RecvIntoInit creates a persistent zero-copy receive request: each
+// activation deposits the payload directly into the buffer section, on
+// the IrecvInto path. Use it with a preallocated landing buffer on hot
+// loops — a steady-state activation allocates nothing.
+func (c *Comm) RecvIntoInit(buf any, offset, count int, d *Datatype, source, tag int) (*PersistentRequest, error) {
+	if err := c.recvChecks(d, source, tag); err != nil {
+		return nil, c.raise(err)
+	}
+	return &PersistentRequest{comm: c, isRecv: true, recvInto: true, buf: buf, offset: offset, count: count, dt: d, rank: source, tag: tag}, nil
 }
 
 // Pack incrementally packs a buffer section into outbuf starting at

@@ -18,7 +18,7 @@ import (
 // positioned and file-pointer I/O, and collective two-phase I/O
 // (ReadAtAll/WriteAtAll and the individual-pointer ReadAll/WriteAll)
 // built on the collective schedule engine — so every collective form
-// also has a nonblocking I* variant returning a *CollRequest and a
+// also has a nonblocking I* variant returning a *FileCollRequest and a
 // *Ctx variant with cancellation points inside the exchange rounds.
 //
 // All offsets and displacements are in elements, following the
@@ -589,7 +589,7 @@ func (f *File) WriteAtAllCtx(ctx context.Context, foff int64, buf any, offset, c
 		return nil, err
 	}
 	req := newCollRequest(&f.comm.Comm, plan.Start(), nil)
-	if err := req.WaitCtx(ctx); err != nil {
+	if _, err := req.WaitCtx(ctx); err != nil {
 		return nil, err
 	}
 	return st, nil
@@ -598,13 +598,13 @@ func (f *File) WriteAtAllCtx(ctx context.Context, foff int64, buf any, offset, c
 // IwriteAtAll starts a nonblocking collective write at an explicit
 // offset (MPI_File_iwrite_at_all); both the exchange and the
 // filesystem writes proceed in the background.
-func (f *File) IwriteAtAll(foff int64, buf any, offset, count int, d *Datatype) (*CollRequest, error) {
+func (f *File) IwriteAtAll(foff int64, buf any, offset, count int, d *Datatype) (*FileCollRequest, error) {
 	f.comm.env.enterCall()
 	plan, _, err := f.planWriteAll(foff, buf, offset, count, d)
 	if err != nil {
 		return nil, err
 	}
-	return newCollRequest(&f.comm.Comm, plan.Start(), nil), nil
+	return &FileCollRequest{newCollRequest(&f.comm.Comm, plan.Start(), nil)}, nil
 }
 
 // planWriteAll validates, packs and builds the two-phase write
@@ -649,7 +649,7 @@ func (f *File) ReadAtAllCtx(ctx context.Context, foff int64, buf any, offset, co
 	if err != nil {
 		return nil, err
 	}
-	if err := req.WaitCtx(ctx); err != nil {
+	if _, err := req.WaitCtx(ctx); err != nil {
 		return nil, err
 	}
 	return req.fileStatus, nil
@@ -658,7 +658,7 @@ func (f *File) ReadAtAllCtx(ctx context.Context, foff int64, buf any, offset, co
 // IreadAtAll starts a nonblocking collective read at an explicit
 // offset (MPI_File_iread_at_all). The buffer is filled when the
 // request completes; it must not be touched before then.
-func (f *File) IreadAtAll(foff int64, buf any, offset, count int, d *Datatype) (*CollRequest, error) {
+func (f *File) IreadAtAll(foff int64, buf any, offset, count int, d *Datatype) (*FileCollRequest, error) {
 	f.comm.env.enterCall()
 	plan, err := f.planReadAll(foff, buf, offset, count, d)
 	if err != nil {
@@ -671,7 +671,7 @@ func (f *File) IreadAtAll(foff int64, buf any, offset, count int, d *Datatype) (
 		req.fileStatus = st
 		return derr
 	}
-	return req, nil
+	return &FileCollRequest{req}, nil
 }
 
 func (f *File) planReadAll(foff int64, buf any, offset, count int, d *Datatype) (*coll.Plan, error) {
@@ -699,7 +699,7 @@ func (f *File) WriteAll(buf any, offset, count int, d *Datatype) (*Status, error
 // IwriteAll starts a nonblocking collective write at the individual
 // file pointer (MPI_File_iwrite_all); the pointer advances by the
 // requested elements at the call, not at completion.
-func (f *File) IwriteAll(buf any, offset, count int, d *Datatype) (*CollRequest, error) {
+func (f *File) IwriteAll(buf any, offset, count int, d *Datatype) (*FileCollRequest, error) {
 	return f.IwriteAtAll(f.advanceFor(buf, offset, count, d), buf, offset, count, d)
 }
 
@@ -713,7 +713,7 @@ func (f *File) ReadAll(buf any, offset, count int, d *Datatype) (*Status, error)
 // IreadAll starts a nonblocking collective read at the individual file
 // pointer (MPI_File_iread_all); the pointer advances by the requested
 // elements at the call, not at completion.
-func (f *File) IreadAll(buf any, offset, count int, d *Datatype) (*CollRequest, error) {
+func (f *File) IreadAll(buf any, offset, count int, d *Datatype) (*FileCollRequest, error) {
 	return f.IreadAtAll(f.advanceFor(buf, offset, count, d), buf, offset, count, d)
 }
 

@@ -258,7 +258,7 @@ func TestFileNonblockingCollective(t *testing.T) {
 		if err != nil {
 			return err
 		}
-		if err := req.Wait(); err != nil {
+		if _, err := req.Wait(); err != nil {
 			return err
 		}
 		if err := f.Sync(); err != nil {
@@ -269,7 +269,7 @@ func TestFileNonblockingCollective(t *testing.T) {
 		if err != nil {
 			return err
 		}
-		if err := rreq.Wait(); err != nil {
+		if _, err := rreq.Wait(); err != nil {
 			return err
 		}
 		if !reflect.DeepEqual(mine, back) {
@@ -391,7 +391,7 @@ func TestFileEtypeMatchAndIreadStatus(t *testing.T) {
 		if err != nil {
 			return err
 		}
-		if err := req.Wait(); err != nil {
+		if _, err := req.Wait(); err != nil {
 			return err
 		}
 		st := req.FileStatus()

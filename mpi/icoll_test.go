@@ -43,16 +43,16 @@ func TestNonblockingCollectivesOverlap(t *testing.T) {
 		}
 
 		// Wait in reverse start order.
-		if err := rBar.Wait(); err != nil {
+		if _, err := rBar.Wait(); err != nil {
 			return err
 		}
-		if err := rBc.Wait(); err != nil {
+		if _, err := rBc.Wait(); err != nil {
 			return err
 		}
-		if err := rAll.Wait(); err != nil {
+		if _, err := rAll.Wait(); err != nil {
 			return err
 		}
-		if err := rSum.Wait(); err != nil {
+		if _, err := rSum.Wait(); err != nil {
 			return err
 		}
 
@@ -103,7 +103,7 @@ func TestNonblockingRootedCollectives(t *testing.T) {
 		}
 
 		for {
-			done, err := rG.Test()
+			_, done, err := rG.Test()
 			if err != nil {
 				return err
 			}
@@ -112,10 +112,10 @@ func TestNonblockingRootedCollectives(t *testing.T) {
 			}
 			time.Sleep(100 * time.Microsecond)
 		}
-		if err := rS.Wait(); err != nil {
+		if _, err := rS.Wait(); err != nil {
 			return err
 		}
-		if err := rR.Wait(); err != nil {
+		if _, err := rR.Wait(); err != nil {
 			return err
 		}
 
@@ -263,13 +263,13 @@ func TestWaitAfterCancelledWaitCtx(t *testing.T) {
 			}
 			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
 			defer cancel()
-			if err := req.WaitCtx(ctx); !errors.Is(err, context.DeadlineExceeded) {
+			if _, err := req.WaitCtx(ctx); !errors.Is(err, context.DeadlineExceeded) {
 				t.Errorf("WaitCtx: %v", err)
 			}
-			if err := req.Wait(); !errors.Is(err, mpi.ErrCollectiveCancelled) {
+			if _, err := req.Wait(); !errors.Is(err, mpi.ErrCollectiveCancelled) {
 				t.Errorf("Wait after cancelled WaitCtx: %v, want ErrCollectiveCancelled", err)
 			}
-			done, err := req.Test()
+			_, done, err := req.Test()
 			if !done || !errors.Is(err, mpi.ErrCollectiveCancelled) {
 				t.Errorf("Test after cancelled WaitCtx: done=%v err=%v", done, err)
 			}
@@ -315,10 +315,10 @@ func TestNonblockingVVariants(t *testing.T) {
 		if err != nil {
 			return err
 		}
-		if err := rG.Wait(); err != nil {
+		if _, err := rG.Wait(); err != nil {
 			return err
 		}
-		if err := rA.Wait(); err != nil {
+		if _, err := rA.Wait(); err != nil {
 			return err
 		}
 		check := func(name string, got []int32) {
@@ -345,7 +345,7 @@ func TestNonblockingVVariants(t *testing.T) {
 		if err != nil {
 			return err
 		}
-		if err := rS.Wait(); err != nil {
+		if _, err := rS.Wait(); err != nil {
 			return err
 		}
 		for i := range back {
@@ -382,7 +382,7 @@ func TestNonblockingVVariants(t *testing.T) {
 		if err != nil {
 			return err
 		}
-		if err := rT.Wait(); err != nil {
+		if _, err := rT.Wait(); err != nil {
 			return err
 		}
 		for j := 0; j < size; j++ {
@@ -496,10 +496,10 @@ func TestIreduceScatterAndIexscan(t *testing.T) {
 		if err != nil {
 			return err
 		}
-		if err := rRS.Wait(); err != nil {
+		if _, err := rRS.Wait(); err != nil {
 			return err
 		}
-		if err := rEx.Wait(); err != nil {
+		if _, err := rEx.Wait(); err != nil {
 			return err
 		}
 		base := 0

@@ -114,7 +114,8 @@ func (c *Intracomm) BarrierCtx(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	return req.WaitCtx(ctx)
+	_, err = req.WaitCtx(ctx)
+	return err
 }
 
 // Ibarrier starts a nonblocking barrier (MPI_Ibarrier): the request
@@ -146,7 +147,8 @@ func (c *Intracomm) BcastCtx(ctx context.Context, buf any, offset, count int, d 
 	if err != nil {
 		return err
 	}
-	return req.WaitCtx(ctx)
+	_, err = req.WaitCtx(ctx)
+	return err
 }
 
 // Ibcast starts a nonblocking broadcast (MPI_Ibcast). Non-root buffers
@@ -250,7 +252,8 @@ func (c *Intracomm) GatherCtx(
 	if err != nil {
 		return err
 	}
-	return req.WaitCtx(ctx)
+	_, err = req.WaitCtx(ctx)
+	return err
 }
 
 // Igather starts a nonblocking gather (MPI_Igather); root's recvbuf is
@@ -284,7 +287,8 @@ func (c *Intracomm) GathervCtx(
 	if err != nil {
 		return err
 	}
-	return req.WaitCtx(ctx)
+	_, err = req.WaitCtx(ctx)
+	return err
 }
 
 // Igatherv starts a nonblocking varying-size gather (MPI_Igatherv).
@@ -354,7 +358,8 @@ func (c *Intracomm) ScatterCtx(
 	if err != nil {
 		return err
 	}
-	return req.WaitCtx(ctx)
+	_, err = req.WaitCtx(ctx)
+	return err
 }
 
 // Iscatter starts a nonblocking scatter (MPI_Iscatter).
@@ -384,7 +389,8 @@ func (c *Intracomm) ScattervCtx(
 	if err != nil {
 		return err
 	}
-	return req.WaitCtx(ctx)
+	_, err = req.WaitCtx(ctx)
+	return err
 }
 
 // Iscatterv starts a nonblocking varying-size scatter (MPI_Iscatterv).
@@ -465,7 +471,8 @@ func (c *Intracomm) AllgatherCtx(
 	if err != nil {
 		return err
 	}
-	return req.WaitCtx(ctx)
+	_, err = req.WaitCtx(ctx)
+	return err
 }
 
 // Iallgather starts a nonblocking allgather (MPI_Iallgather).
@@ -497,7 +504,8 @@ func (c *Intracomm) AllgathervCtx(
 	if err != nil {
 		return err
 	}
-	return req.WaitCtx(ctx)
+	_, err = req.WaitCtx(ctx)
+	return err
 }
 
 // Iallgatherv starts a nonblocking varying-size allgather
@@ -566,7 +574,8 @@ func (c *Intracomm) AlltoallCtx(
 	if err != nil {
 		return err
 	}
-	return req.WaitCtx(ctx)
+	_, err = req.WaitCtx(ctx)
+	return err
 }
 
 // Ialltoall starts a nonblocking alltoall (MPI_Ialltoall).
@@ -598,7 +607,8 @@ func (c *Intracomm) AlltoallvCtx(
 	if err != nil {
 		return err
 	}
-	return req.WaitCtx(ctx)
+	_, err = req.WaitCtx(ctx)
+	return err
 }
 
 // Ialltoallv starts a nonblocking varying-size alltoall
@@ -675,7 +685,8 @@ func (c *Intracomm) ReduceCtx(
 	if err != nil {
 		return err
 	}
-	return req.WaitCtx(ctx)
+	_, err = req.WaitCtx(ctx)
+	return err
 }
 
 // Ireduce starts a nonblocking reduction (MPI_Ireduce); root's recvbuf
@@ -742,7 +753,8 @@ func (c *Intracomm) AllreduceCtx(
 	if err != nil {
 		return err
 	}
-	return req.WaitCtx(ctx)
+	_, err = req.WaitCtx(ctx)
+	return err
 }
 
 // Iallreduce starts a nonblocking all-reduction (MPI_Iallreduce); every
@@ -798,7 +810,8 @@ func (c *Intracomm) ReduceScatterCtx(
 	if err != nil {
 		return err
 	}
-	return req.WaitCtx(ctx)
+	_, err = req.WaitCtx(ctx)
+	return err
 }
 
 // IreduceScatter starts a nonblocking fold-and-scatter
@@ -865,7 +878,8 @@ func (c *Intracomm) ScanCtx(
 	if err != nil {
 		return err
 	}
-	return req.WaitCtx(ctx)
+	_, err = req.WaitCtx(ctx)
+	return err
 }
 
 // Iscan starts a nonblocking inclusive prefix reduction (MPI_Iscan).
@@ -897,7 +911,8 @@ func (c *Intracomm) ExscanCtx(
 	if err != nil {
 		return err
 	}
-	return req.WaitCtx(ctx)
+	_, err = req.WaitCtx(ctx)
+	return err
 }
 
 // Iexscan starts a nonblocking exclusive prefix reduction

@@ -1,0 +1,79 @@
+package mpi_test
+
+import (
+	"testing"
+
+	"gompi/mpi"
+)
+
+// The persistent/one-shot benchmark pair quantifies what plan caching
+// buys: BenchmarkPersistentAllreduce cycles one AllreduceInit through
+// Start/Wait, BenchmarkOneShotIallreduce plans a fresh Iallreduce each
+// iteration. Per-op allocations for the persistent cycle must stay
+// below the one-shot loop — the cached schedule, pre-minted tags and
+// recycled wire buffers are the point of the API.
+
+func benchAllreduce(b *testing.B, persistent bool) {
+	b.ReportAllocs()
+	const count = 256
+	err := mpi.Run(2, func(env *mpi.Env) error {
+		w := env.CommWorld()
+		send := make([]float64, count)
+		recv := make([]float64, count)
+		for i := range send {
+			send[i] = float64(w.Rank() + i)
+		}
+		if persistent {
+			red, err := w.AllreduceInit(send, 0, recv, 0, count, mpi.DOUBLE, mpi.SUM)
+			if err != nil {
+				return err
+			}
+			defer red.Free()
+			// Warm outside the timed region.
+			if err := red.Start(); err != nil {
+				return err
+			}
+			if _, err := red.Wait(); err != nil {
+				return err
+			}
+			if w.Rank() == 0 {
+				b.ResetTimer()
+			}
+			for i := 0; i < b.N; i++ {
+				if err := red.Start(); err != nil {
+					return err
+				}
+				if _, err := red.Wait(); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		req, err := w.Iallreduce(send, 0, recv, 0, count, mpi.DOUBLE, mpi.SUM)
+		if err != nil {
+			return err
+		}
+		if _, err := req.Wait(); err != nil {
+			return err
+		}
+		if w.Rank() == 0 {
+			b.ResetTimer()
+		}
+		for i := 0; i < b.N; i++ {
+			req, err := w.Iallreduce(send, 0, recv, 0, count, mpi.DOUBLE, mpi.SUM)
+			if err != nil {
+				return err
+			}
+			if _, err := req.Wait(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkPersistentAllreduce(b *testing.B) { benchAllreduce(b, true) }
+func BenchmarkOneShotIallreduce(b *testing.B)   { benchAllreduce(b, false) }

@@ -1,0 +1,324 @@
+package mpi_test
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"gompi/internal/coll"
+	"gompi/mpi"
+)
+
+// TestPersistentPingPong: a persistent send/recv pair cycled many
+// times. Each activation must re-read the send buffer as of Start and
+// deposit into the fixed receive buffer, round after round — the
+// MPI_Send_init/MPI_Recv_init contract.
+func TestPersistentPingPong(t *testing.T) {
+	const rounds = 100
+	err := mpi.Run(2, func(env *mpi.Env) error {
+		w := env.CommWorld()
+		rank := w.Rank()
+		peer := 1 - rank
+
+		out := make([]int64, 4)
+		in := make([]int64, 4)
+		send, err := w.SendInit(out, 0, len(out), mpi.LONG, peer, 7)
+		if err != nil {
+			return err
+		}
+		defer send.Free()
+		recv, err := w.RecvIntoInit(in, 0, len(in), mpi.LONG, peer, 7)
+		if err != nil {
+			return err
+		}
+		defer recv.Free()
+
+		for r := 0; r < rounds; r++ {
+			for i := range out {
+				out[i] = int64(rank*1000_000 + r*100 + i)
+			}
+			if err := mpi.StartAll([]*mpi.PersistentRequest{recv, send}); err != nil {
+				return err
+			}
+			if _, err := send.Wait(); err != nil {
+				return err
+			}
+			st, err := recv.Wait()
+			if err != nil {
+				return err
+			}
+			if got := st.GetCount(mpi.LONG); got != len(in) {
+				t.Errorf("rank %d round %d: count %d, want %d", rank, r, got, len(in))
+			}
+			for i, v := range in {
+				if want := int64(peer*1000_000 + r*100 + i); v != want {
+					t.Errorf("rank %d round %d: in[%d] = %d, want %d", rank, r, i, v, want)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPersistentStartBeforeCompleteRejected: starting an activation
+// while the previous one is still in flight is a local error and must
+// not corrupt the operation.
+func TestPersistentStartBeforeCompleteRejected(t *testing.T) {
+	err := mpi.Run(2, func(env *mpi.Env) error {
+		w := env.CommWorld()
+		rank := w.Rank()
+
+		buf := []int32{int32(rank)}
+		res := []int32{0}
+		red, err := w.AllreduceInit(buf, 0, res, 0, 1, mpi.INT, mpi.SUM)
+		if err != nil {
+			return err
+		}
+		defer red.Free()
+
+		if err := red.Start(); err != nil {
+			return err
+		}
+		if err := red.Start(); mpi.ClassOf(err) != mpi.ErrRequest {
+			t.Errorf("rank %d: second Start while active: %v, want ErrRequest", rank, err)
+		}
+		if _, err := red.Wait(); err != nil {
+			return err
+		}
+		if res[0] != 1 {
+			t.Errorf("rank %d: sum %d, want 1", rank, res[0])
+		}
+		// The rejected Start must not have consumed the activation: the
+		// request is startable again and produces the right answer.
+		buf[0] = int32(rank + 10)
+		if err := red.Start(); err != nil {
+			return err
+		}
+		if _, err := red.Wait(); err != nil {
+			return err
+		}
+		if res[0] != 21 {
+			t.Errorf("rank %d: second sum %d, want 21", rank, res[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPersistentMixedWithOneShot: persistent collectives interleaved
+// with one-shot blocking and nonblocking collectives and persistent
+// point-to-point on the same communicator, all tag-aligned. Completes
+// with WaitAllAny over the mixed request kinds.
+func TestPersistentMixedWithOneShot(t *testing.T) {
+	const rounds = 20
+	err := mpi.Run(3, func(env *mpi.Env) error {
+		w := env.CommWorld()
+		rank, size := w.Rank(), w.Size()
+		peer := (rank + 1) % size
+		src := (rank + size - 1) % size
+
+		val := []int64{0}
+		sum := []int64{0}
+		red, err := w.AllreduceInit(val, 0, sum, 0, 1, mpi.LONG, mpi.SUM)
+		if err != nil {
+			return err
+		}
+		defer red.Free()
+
+		pout := []int32{0}
+		pin := []int32{0}
+		psend, err := w.SendInit(pout, 0, 1, mpi.INT, peer, 3)
+		if err != nil {
+			return err
+		}
+		defer psend.Free()
+		precv, err := w.RecvIntoInit(pin, 0, 1, mpi.INT, src, 3)
+		if err != nil {
+			return err
+		}
+		defer precv.Free()
+
+		for r := 0; r < rounds; r++ {
+			val[0] = int64(rank + r)
+			pout[0] = int32(rank*100 + r)
+
+			// One-shot nonblocking collective, persistent collective and
+			// persistent point-to-point all in flight at once.
+			bc := make([]float64, 1)
+			if rank == r%size {
+				bc[0] = float64(r) + 0.5
+			}
+			ibc, err := w.Ibcast(bc, 0, 1, mpi.DOUBLE, r%size)
+			if err != nil {
+				return err
+			}
+			if err := red.Start(); err != nil {
+				return err
+			}
+			if err := mpi.StartAll([]*mpi.PersistentRequest{precv, psend}); err != nil {
+				return err
+			}
+
+			if _, err := mpi.WaitAllAny([]mpi.AnyRequest{ibc, red, precv, psend}); err != nil {
+				return err
+			}
+
+			wantSum := int64(0)
+			for p := 0; p < size; p++ {
+				wantSum += int64(p + r)
+			}
+			if sum[0] != wantSum {
+				t.Errorf("rank %d round %d: persistent sum %d, want %d", rank, r, sum[0], wantSum)
+			}
+			if bc[0] != float64(r)+0.5 {
+				t.Errorf("rank %d round %d: bcast %v, want %v", rank, r, bc[0], float64(r)+0.5)
+			}
+			if want := int32(src*100 + r); pin[0] != want {
+				t.Errorf("rank %d round %d: p2p %d, want %d", rank, r, pin[0], want)
+			}
+
+			// A one-shot blocking collective between activations keeps the
+			// communicator's instance numbering aligned with the cached
+			// persistent plans.
+			got := []int64{0}
+			if err := w.Allreduce(val, 0, got, 0, 1, mpi.LONG, mpi.MAX); err != nil {
+				return err
+			}
+			if want := int64(size - 1 + r); got[0] != want {
+				t.Errorf("rank %d round %d: one-shot max %d, want %d", rank, r, got[0], want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPersistentStartOnRevoked: Start on a revoked communicator
+// reports ErrRevoked (ULFM semantics) instead of hanging.
+func TestPersistentStartOnRevoked(t *testing.T) {
+	err := mpi.Run(2, func(env *mpi.Env) error {
+		w := env.CommWorld()
+		rank := w.Rank()
+
+		buf := []int64{int64(rank)}
+		res := []int64{0}
+		red, err := w.AllreduceInit(buf, 0, res, 0, 1, mpi.LONG, mpi.SUM)
+		if err != nil {
+			return err
+		}
+		send, err := w.SendInit(buf, 0, 1, mpi.LONG, 1-rank, 5)
+		if err != nil {
+			return err
+		}
+
+		// One healthy activation first.
+		if err := red.Start(); err != nil {
+			return err
+		}
+		if _, err := red.Wait(); err != nil {
+			return err
+		}
+		if res[0] != 1 {
+			t.Errorf("rank %d: pre-revoke sum %d, want 1", rank, res[0])
+		}
+
+		if err := w.Revoke(); err != nil {
+			return err
+		}
+		if err := red.Start(); mpi.ClassOf(err) != mpi.ErrRevoked {
+			t.Errorf("rank %d: Start(collective) on revoked comm: %v, want ErrRevoked", rank, err)
+		}
+		if err := send.Start(); mpi.ClassOf(err) != mpi.ErrRevoked {
+			t.Errorf("rank %d: Start(p2p) on revoked comm: %v, want ErrRevoked", rank, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProgressPoolGoroutineBound: the shared progress pool keeps the
+// process at O(cores) progress goroutines no matter how many
+// communicators exist or how many collectives are in flight — the
+// tentpole invariant of the pooled engine. 1000 idle communicators
+// contribute no goroutines; 64 collectives parked mid-schedule occupy
+// no pool worker while they wait for remote traffic.
+func TestProgressPoolGoroutineBound(t *testing.T) {
+	const (
+		idleComms = 1000
+		inFlight  = 64
+	)
+	err := mpi.Run(2, func(env *mpi.Env) error {
+		w := env.CommWorld()
+		rank := w.Rank()
+
+		comms := make([]*mpi.Intracomm, idleComms)
+		for i := range comms {
+			c, err := w.Dup()
+			if err != nil {
+				return err
+			}
+			comms[i] = c
+		}
+
+		if rank == 0 {
+			// Rank 0 holds back so rank 1's collectives park waiting for
+			// our contributions; the pause bounds how long they idle.
+			time.Sleep(300 * time.Millisecond)
+			reqs := make([]*mpi.CollRequest, inFlight)
+			for i := 0; i < inFlight; i++ {
+				r, err := comms[i].Iallreduce([]int64{1}, 0, []int64{0}, 0, 1, mpi.LONG, mpi.SUM)
+				if err != nil {
+					return err
+				}
+				reqs[i] = r
+			}
+			for _, r := range reqs {
+				if _, err := r.Wait(); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+
+		before := runtime.NumGoroutine()
+		reqs := make([]*mpi.CollRequest, inFlight)
+		for i := 0; i < inFlight; i++ {
+			r, err := comms[i].Iallreduce([]int64{1}, 0, []int64{0}, 0, 1, mpi.LONG, mpi.SUM)
+			if err != nil {
+				return err
+			}
+			reqs[i] = r
+		}
+		// Let the pool drain the runnable schedules to their first gate,
+		// where they park (rank 0 has not contributed yet).
+		time.Sleep(100 * time.Millisecond)
+		during := runtime.NumGoroutine()
+
+		// With per-schedule runner goroutines this would be ≥ before +
+		// inFlight; the pool bound is its worker cap plus a little slack
+		// for unrelated runtime goroutines starting up.
+		if limit := before + coll.MaxPoolWorkers() + 8; during > limit {
+			t.Errorf("goroutines: %d in flight took %d -> %d, want <= %d (pool cap %d)",
+				inFlight, before, during, limit, coll.MaxPoolWorkers())
+		}
+
+		for _, r := range reqs {
+			if _, err := r.Wait(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"sync"
 
+	"gompi/internal/coll"
 	"gompi/internal/core"
 	"gompi/internal/dtype"
 	"gompi/internal/transport"
@@ -269,7 +270,9 @@ func TestAny(reqs []*Request) (*Status, bool, error) {
 // WaitAll waits for every request and returns their statuses in order
 // (MPI_Waitall). The first operation error is returned (wrapped as
 // ErrInStatus when several requests are involved, with per-request
-// classes in the statuses).
+// classes in the statuses). For sets mixing request kinds (collectives,
+// persistent operations) use WaitAllAny; WaitAll remains the concrete
+// path for homogeneous point-to-point sets.
 func WaitAll(reqs []*Request) ([]*Status, error) {
 	sts := make([]*Status, len(reqs))
 	var firstErr error
@@ -350,27 +353,64 @@ func TestSome(reqs []*Request) ([]*Status, error) {
 	return out, nil
 }
 
-// Prequest is a persistent communication request (MPI_Send_init and
-// friends): a frozen argument list that Start activates repeatedly.
-type Prequest struct {
-	comm   *Comm
-	isRecv bool
-	mode   core.Mode
-	buffed bool // buffered mode
+// PersistentRequest is a persistent operation (MPI_Send_init,
+// MPI_Recv_init and — MPI-4 — the persistent collectives,
+// MPI_Bcast_init and friends): a frozen, validated argument list that
+// Start activates repeatedly. Point-to-point persistents freeze a send
+// or receive envelope; collective persistents hold a cached re-runnable
+// schedule with pre-minted tags in the runtime, so an activation pays
+// no validation, planning or tag-allocation cost. Both kinds share this
+// one type, so StartAll and the AnyRequest helpers work over mixed
+// sets.
+//
+// The buffer contract is MPI's: the operation re-reads (and for
+// receives, re-fills) the buffers bound at *Init time on every
+// activation. A previous activation must have completed — locally, via
+// Wait/Test on this request — before the next Start.
+type PersistentRequest struct {
+	comm *Comm
 
-	buf    any
-	offset int
-	count  int
-	dt     *Datatype
-	rank   int // dest or source
-	tag    int
+	// Point-to-point arm: the frozen envelope.
+	isRecv   bool
+	recvInto bool // zero-copy receive (RecvIntoInit)
+	mode     core.Mode
+	buffed   bool // buffered mode
+	buf      any
+	offset   int
+	count    int
+	dt       *Datatype
+	rank     int // dest or source
+	tag      int
 
-	active *Request
+	// Collective arm: the cached schedule plus the per-activation
+	// re-pack of the user buffers and the completion deposit.
+	pcol    *coll.Persistent
+	refresh func() error
+	fin     func(res any) error
+
+	active     *Request     // current point-to-point activation
+	activeColl *CollRequest // current collective activation
 }
 
+// Prequest is the persistent request's pre-MPI-4 name.
+//
+// Deprecated: use PersistentRequest; Prequest remains as an alias.
+type Prequest = PersistentRequest
+
 // Start activates the persistent request (MPI_Start). The previous
-// activation must have completed.
-func (p *Prequest) Start() error {
+// activation must have completed, and the communicator must not have
+// been revoked — Start is a fresh operation, so unlike Wait on an
+// in-flight request it refuses with ErrRevoked up front.
+func (p *PersistentRequest) Start() error {
+	if p.comm == nil {
+		return errf(ErrRequest, "Start on a freed persistent request")
+	}
+	if p.comm.Revoked() {
+		return p.comm.raise(errf(ErrRevoked, "Start on revoked communicator %q", p.comm.name))
+	}
+	if p.pcol != nil {
+		return p.startColl()
+	}
 	if p.active != nil {
 		if _, done, _ := p.active.Test(); !done {
 			return errf(ErrRequest, "Start on a still-active persistent request")
@@ -378,7 +418,9 @@ func (p *Prequest) Start() error {
 	}
 	var req *Request
 	var err error
-	if p.isRecv {
+	if p.isRecv && p.recvInto {
+		req, err = p.comm.IrecvInto(p.buf, p.offset, p.count, p.dt, p.rank, p.tag)
+	} else if p.isRecv {
 		req, err = p.comm.Irecv(p.buf, p.offset, p.count, p.dt, p.rank, p.tag)
 	} else if p.buffed {
 		req, err = p.comm.Ibsend(p.buf, p.offset, p.count, p.dt, p.rank, p.tag)
@@ -392,33 +434,84 @@ func (p *Prequest) Start() error {
 	return nil
 }
 
+// startColl activates the collective arm: re-pack the user buffers into
+// the schedule's bound inputs, then hand the cached schedule to the
+// shared progress pool.
+func (p *PersistentRequest) startColl() error {
+	if p.activeColl != nil {
+		if _, done, _ := p.activeColl.Test(); !done {
+			return errf(ErrRequest, "Start on a still-active persistent request")
+		}
+	}
+	if p.refresh != nil {
+		if err := p.refresh(); err != nil {
+			return p.comm.raise(err)
+		}
+	}
+	creq, err := p.pcol.Start()
+	if err != nil {
+		if errors.Is(err, coll.ErrActive) {
+			return errf(ErrRequest, "Start on a still-active persistent request")
+		}
+		return p.comm.raise(mapEngineErr(err))
+	}
+	p.activeColl = newCollRequest(p.comm, creq, p.fin)
+	return nil
+}
+
 // Wait waits for the current activation (MPI_Wait on a started
 // persistent request).
-func (p *Prequest) Wait() (*Status, error) {
+func (p *PersistentRequest) Wait() (*Status, error) {
+	if p.activeColl != nil {
+		return p.activeColl.Wait()
+	}
 	if p.active == nil {
 		return nullStatus(), nil
 	}
-	st, err := p.active.Wait()
-	return st, err
+	return p.active.Wait()
+}
+
+// WaitCtx waits for the current activation under a context; see
+// Request.WaitCtx and CollRequest.WaitCtx for the cancellation
+// contracts of the two arms.
+func (p *PersistentRequest) WaitCtx(ctx context.Context) (*Status, error) {
+	if p.activeColl != nil {
+		return p.activeColl.WaitCtx(ctx)
+	}
+	if p.active == nil {
+		return nullStatus(), nil
+	}
+	return p.active.WaitCtx(ctx)
 }
 
 // Test polls the current activation.
-func (p *Prequest) Test() (*Status, bool, error) {
+func (p *PersistentRequest) Test() (*Status, bool, error) {
+	if p.activeColl != nil {
+		return p.activeColl.Test()
+	}
 	if p.active == nil {
 		return nullStatus(), true, nil
 	}
 	return p.active.Test()
 }
 
-// Free releases the persistent request (MPI_Request_free).
-func (p *Prequest) Free() error {
+// Free releases the persistent request (MPI_Request_free). A collective
+// persistent's cached schedule is retired; the current activation, if
+// any, completes in the background.
+func (p *PersistentRequest) Free() error {
+	if p.pcol != nil {
+		p.pcol.Free()
+	}
 	p.active = nil
+	p.activeColl = nil
+	p.pcol = nil
 	p.comm = nil
 	return nil
 }
 
-// StartAll activates a list of persistent requests (MPI_Startall).
-func StartAll(ps []*Prequest) error {
+// StartAll activates a list of persistent requests (MPI_Startall) —
+// point-to-point, collective, or mixed.
+func StartAll(ps []*PersistentRequest) error {
 	for _, p := range ps {
 		if err := p.Start(); err != nil {
 			return err
@@ -427,13 +520,24 @@ func StartAll(ps []*Prequest) error {
 	return nil
 }
 
-// WaitAllP waits on the current activations of persistent requests.
-func WaitAllP(ps []*Prequest) ([]*Status, error) {
-	reqs := make([]*Request, len(ps))
+// WaitAllP waits on the current activations of persistent requests and
+// returns their statuses in order, Index fields set.
+//
+// Deprecated: WaitAllAny accepts mixed request kinds; WaitAllP remains
+// for homogeneous persistent sets.
+func WaitAllP(ps []*PersistentRequest) ([]*Status, error) {
+	sts := make([]*Status, len(ps))
+	var firstErr error
 	for i, p := range ps {
-		reqs[i] = p.active
+		st, err := p.Wait()
+		cp := *st
+		cp.Index = i
+		sts[i] = &cp
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
-	return WaitAll(reqs)
+	return sts, firstErr
 }
 
 // mapEngineErr converts engine- and schedule-layer failures into MPI

@@ -1,0 +1,234 @@
+package typed
+
+import (
+	"context"
+	"sync"
+
+	"gompi/mpi"
+)
+
+// Typed persistent operations (MPI-4 *Init/Start), generic over the
+// classic persistent surface: bind the buffers and plan the operation
+// once, then Start each activation. Where the classic API says
+//
+//	req, _ := world.SendInit(buf, 0, len(buf), mpi.DOUBLE, dest, tag)
+//
+// the typed API says
+//
+//	req, _ := typed.SendInit(world, buf, dest, tag)
+//
+// Buffers are re-read at each Start (sends, reduction operands) and
+// re-deposited at each completion (receives, collective results), so a
+// steady-state activation of a native-element request allocates
+// nothing. Obj-routed element types keep working: the typed handle
+// re-boxes the send buffer before each Start and unboxes the result
+// after each completion.
+
+// PeerInit is the point-to-point persistent surface the typed layer
+// builds on; *mpi.Comm satisfies it, and every concrete communicator
+// does through embedding.
+type PeerInit interface {
+	Peer
+	SendInit(buf any, offset, count int, d *mpi.Datatype, dest, tag int) (*mpi.PersistentRequest, error)
+	RecvInit(buf any, offset, count int, d *mpi.Datatype, source, tag int) (*mpi.PersistentRequest, error)
+	RecvIntoInit(buf any, offset, count int, d *mpi.Datatype, source, tag int) (*mpi.PersistentRequest, error)
+}
+
+// CommInit is the collective persistent surface; *mpi.Intracomm
+// satisfies it, and *mpi.Cartcomm and *mpi.Graphcomm do through
+// embedding.
+type CommInit interface {
+	Comm
+	BarrierInit() (*mpi.PersistentRequest, error)
+	BcastInit(buf any, offset, count int, d *mpi.Datatype, root int) (*mpi.PersistentRequest, error)
+	ReduceInit(sendbuf any, soffset int, recvbuf any, roffset int,
+		count int, d *mpi.Datatype, op *mpi.Op, root int) (*mpi.PersistentRequest, error)
+	AllreduceInit(sendbuf any, soffset int, recvbuf any, roffset int,
+		count int, d *mpi.Datatype, op *mpi.Op) (*mpi.PersistentRequest, error)
+}
+
+// PersistentRequest is a typed handle on a persistent operation. Start
+// begins an activation; each activation completes through Wait,
+// WaitCtx or Test on this handle exactly as a one-shot typed request
+// would, and the handle is then startable again. For Obj-routed
+// element types the typed buffer is only filled by completing through
+// this handle, not the raw one.
+type PersistentRequest[T any] struct {
+	p     *mpi.PersistentRequest
+	rebox func()       // re-snapshot the typed send buffer; nil for native
+	unbox func() error // deposit into the typed recv buffer; nil for native
+	mu    sync.Mutex
+	armed bool // an activation's unbox is still pending
+}
+
+// Raw exposes the underlying classic persistent request, for mixing
+// typed handles into mpi.StartAll / mpi.WaitAllAny sets.
+func (r *PersistentRequest[T]) Raw() *mpi.PersistentRequest { return r.p }
+
+// Start begins a new activation (MPI_Start): the send-side buffer is
+// re-read as of this call. The previous activation must have completed.
+func (r *PersistentRequest[T]) Start() error {
+	if r.rebox != nil {
+		r.rebox()
+	}
+	if err := r.p.Start(); err != nil {
+		return err
+	}
+	if r.unbox != nil {
+		r.mu.Lock()
+		r.armed = true
+		r.mu.Unlock()
+	}
+	return nil
+}
+
+// settle runs the unbox step at most once per activation; safe under
+// concurrent Wait/Test.
+func (r *PersistentRequest[T]) settle() error {
+	if r.unbox == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.armed {
+		return nil
+	}
+	r.armed = false
+	return r.unbox()
+}
+
+// Wait blocks until the current activation completes (MPI_Wait). As
+// with one-shot typed requests, the unbox step runs even when the
+// operation completed in error, and the operation's error takes
+// precedence over an unbox error.
+func (r *PersistentRequest[T]) Wait() (*mpi.Status, error) {
+	st, err := r.p.Wait()
+	if uerr := r.settle(); err == nil {
+		err = uerr
+	}
+	return st, err
+}
+
+// WaitCtx blocks until the current activation completes or ctx is
+// done; a cancelled wait leaves the typed buffer untouched.
+func (r *PersistentRequest[T]) WaitCtx(ctx context.Context) (*mpi.Status, error) {
+	st, err := r.p.WaitCtx(ctx)
+	if err != nil {
+		return st, err
+	}
+	return st, r.settle()
+}
+
+// Test polls the current activation for completion (MPI_Test).
+func (r *PersistentRequest[T]) Test() (*mpi.Status, bool, error) {
+	st, done, err := r.p.Test()
+	if !done {
+		return st, done, err
+	}
+	if uerr := r.settle(); err == nil {
+		err = uerr
+	}
+	return st, true, err
+}
+
+// Free releases the persistent operation (MPI_Request_free on an
+// inactive persistent request).
+func (r *PersistentRequest[T]) Free() error { return r.p.Free() }
+
+// viewInit resolves a buffer for a persistent binding. Unlike view,
+// which snapshots Obj-routed buffers once, it returns a rebox that
+// re-snapshots the typed buffer into the bound []any staging slice —
+// run before each send-side activation — alongside the usual unbox.
+func viewInit[T any](buf []T) (raw any, d *mpi.Datatype, rebox func(), unbox func() error) {
+	raw, d, _ = view(buf)
+	if tmp, boxed := raw.([]any); boxed && d == mpi.OBJECT {
+		rebox = func() {
+			for i, v := range buf {
+				tmp[i] = v
+			}
+		}
+		unbox = func() error { return unboxInto(buf, tmp) }
+	}
+	return raw, d, rebox, unbox
+}
+
+// SendInit builds a persistent standard-mode send (MPI_Send_init)
+// bound to buf; each Start sends buf's contents as of that call.
+func SendInit[T any](c PeerInit, buf []T, dest, tag int) (*PersistentRequest[T], error) {
+	raw, d, rebox, _ := viewInit(buf)
+	p, err := c.SendInit(raw, 0, len(buf), d, dest, tag)
+	if err != nil {
+		return nil, err
+	}
+	return &PersistentRequest[T]{p: p, rebox: rebox}, nil
+}
+
+// RecvInit builds a persistent receive (MPI_Recv_init) bound to buf;
+// each activation fills buf when completed through this handle.
+func RecvInit[T any](c PeerInit, buf []T, source, tag int) (*PersistentRequest[T], error) {
+	raw, d, _, unbox := viewInit(buf)
+	p, err := c.RecvInit(raw, 0, len(buf), d, source, tag)
+	if err != nil {
+		return nil, err
+	}
+	return &PersistentRequest[T]{p: p, unbox: unbox}, nil
+}
+
+// RecvIntoInit builds a persistent zero-copy receive (see RecvInto):
+// native-element activations land directly in buf with no staging
+// copy; other element types fall back to RecvInit semantics.
+func RecvIntoInit[T any](c PeerInit, buf []T, source, tag int) (*PersistentRequest[T], error) {
+	raw, d, _, unbox := viewInit(buf)
+	p, err := c.RecvIntoInit(raw, 0, len(buf), d, source, tag)
+	if err != nil {
+		return nil, err
+	}
+	return &PersistentRequest[T]{p: p, unbox: unbox}, nil
+}
+
+// BarrierInit builds a persistent barrier (MPI_Barrier_init). There is
+// no element type involved, so the classic handle is returned as-is.
+func BarrierInit(c CommInit) (*mpi.PersistentRequest, error) {
+	return c.BarrierInit()
+}
+
+// BcastInit builds a persistent broadcast (MPI_Bcast_init) bound to
+// buf: each activation re-reads root's buf at Start and fills every
+// other member's buf at completion.
+func BcastInit[T any](c CommInit, buf []T, root int) (*PersistentRequest[T], error) {
+	raw, d, rebox, unbox := viewInit(buf)
+	p, err := c.BcastInit(raw, 0, len(buf), d, root)
+	if err != nil {
+		return nil, err
+	}
+	if c.Rank() == root {
+		unbox = nil // root's buffer is the source; nothing arrives
+	} else {
+		rebox = nil
+	}
+	return &PersistentRequest[T]{p: p, rebox: rebox, unbox: unbox}, nil
+}
+
+// ReduceInit builds a persistent reduction (MPI_Reduce_init): each
+// activation folds the members' send slices, re-read at Start, into
+// root's recv slice at completion. The Primitive constraint keeps
+// reductions on dense native buffers — no boxing, so a steady-state
+// activation allocates nothing beyond the runtime's wire buffers.
+func ReduceInit[T Primitive](c CommInit, send, recv []T, op Op[T], root int) (*PersistentRequest[T], error) {
+	p, err := c.ReduceInit(send, 0, recv, 0, len(send), TypeOf[T](), op.op, root)
+	if err != nil {
+		return nil, err
+	}
+	return &PersistentRequest[T]{p: p}, nil
+}
+
+// AllreduceInit builds a persistent all-reduction
+// (MPI_Allreduce_init): the canonical persistent overlap primitive —
+// Init once, then per iteration Start, compute, Wait.
+func AllreduceInit[T Primitive](c CommInit, send, recv []T, op Op[T]) (*PersistentRequest[T], error) {
+	p, err := c.AllreduceInit(send, 0, recv, 0, len(send), TypeOf[T](), op.op)
+	if err != nil {
+		return nil, err
+	}
+	return &PersistentRequest[T]{p: p}, nil
+}

@@ -49,7 +49,7 @@ func (r *Request[T]) settle() error {
 // Collective completions carry no Status; their Wait returns nil.
 func (r *Request[T]) Wait() (*mpi.Status, error) {
 	if r.cr != nil {
-		err := r.cr.Wait()
+		_, err := r.cr.Wait()
 		if uerr := r.settle(); err == nil {
 			err = uerr
 		}
@@ -67,7 +67,7 @@ func (r *Request[T]) Wait() (*mpi.Status, error) {
 // contracts. A cancelled wait leaves the typed buffer untouched.
 func (r *Request[T]) WaitCtx(ctx context.Context) (*mpi.Status, error) {
 	if r.cr != nil {
-		if err := r.cr.WaitCtx(ctx); err != nil {
+		if _, err := r.cr.WaitCtx(ctx); err != nil {
 			return nil, err
 		}
 		return nil, r.settle()
@@ -82,7 +82,7 @@ func (r *Request[T]) WaitCtx(ctx context.Context) (*mpi.Status, error) {
 // Test polls the operation for completion (MPI_Test).
 func (r *Request[T]) Test() (*mpi.Status, bool, error) {
 	if r.cr != nil {
-		done, err := r.cr.Test()
+		_, done, err := r.cr.Test()
 		if !done {
 			return nil, false, nil
 		}
