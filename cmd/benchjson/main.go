@@ -2,11 +2,12 @@
 // plus the parallel I/O bandwidth benchmark and emits one
 // machine-readable JSON document — the perf trajectory record CI
 // writes as BENCH_PR<N>.json so regressions across PRs are visible in
-// version control rather than only in scrollback.
+// version control rather than only in scrollback. The committed
+// baselines live in internal/bench/.
 //
 // Usage:
 //
-//	go run ./cmd/benchjson -quick -out BENCH_PR5.json
+//	go run ./cmd/benchjson -quick -out internal/bench/BENCH_PR5.json
 package main
 
 import (

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"os/exec"
@@ -35,6 +36,38 @@ import (
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "mpirun: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// tailWriter tees a worker's stderr through to mpirun's own while
+// keeping the last few KiB, so a rank that fails on its own terms can
+// be reported together with its final complaint even after the job's
+// interleaved output has scrolled past it.
+type tailWriter struct {
+	mu  sync.Mutex
+	out io.Writer
+	buf []byte
+}
+
+const tailKeep = 4 << 10
+
+func (t *tailWriter) Write(p []byte) (int, error) {
+	t.mu.Lock()
+	t.buf = append(t.buf, p...)
+	if len(t.buf) > tailKeep {
+		t.buf = append(t.buf[:0], t.buf[len(t.buf)-tailKeep:]...)
+	}
+	t.mu.Unlock()
+	return t.out.Write(p)
+}
+
+func (t *tailWriter) tail() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return string(t.buf)
+}
+
+func indent(s string) string {
+	return "    " + strings.ReplaceAll(s, "\n", "\n    ")
 }
 
 // island is one group of ranks sharing a shared-memory segment.
@@ -202,8 +235,18 @@ func main() {
 		return env
 	}
 
+	// Process accounting covers both the launch-time ranks and any
+	// worlds spawned later through the control socket: one list for
+	// teardown, one live counter for the reaper, one death channel.
+	type exitEvent struct {
+		name string
+		tail *tailWriter
+		err  error
+	}
 	var procMu sync.Mutex
-	procs := make([]*exec.Cmd, *np)
+	var procs []*exec.Cmd
+	live := 0
+	deaths := make(chan exitEvent, 64)
 	killAll := func() {
 		procMu.Lock()
 		defer procMu.Unlock()
@@ -213,6 +256,62 @@ func main() {
 			}
 		}
 	}
+	watch := func(name string, tw *tailWriter, cmd *exec.Cmd) {
+		go func() { deaths <- exitEvent{name, tw, cmd.Wait()} }()
+	}
+
+	// Spawn-control service: MPI_Comm_spawn inside a worker sends its
+	// request here, so dynamically created ranks become mpirun's own
+	// children — same killAll, same reaper, same stderr tails and exit
+	// propagation as the launch-time ranks. The live count is raised
+	// before the reply is sent: the requester is itself alive until the
+	// reply lands, so the reaper can never observe live==0 with a spawn
+	// still in flight.
+	ctrlLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		cleanup()
+		fatalf("spawn control listener: %v", err)
+	}
+	defer ctrlLn.Close()
+	ctrlAddr := ctrlLn.Addr().String()
+	spawnSeq := 0
+	go func() {
+		for {
+			conn, err := ctrlLn.Accept()
+			if err != nil {
+				return
+			}
+			go launch.ServeSpawnConn(conn, func(req launch.SpawnRequest) error {
+				procMu.Lock()
+				spawnSeq++
+				id := spawnSeq
+				procMu.Unlock()
+				tws := make([]*tailWriter, req.N)
+				h, err := launch.SpawnLocal(launch.SpawnJob{
+					Prog: req.Prog, Args: req.Args, N: req.N,
+					ParentPort: req.ParentPort, Dir: req.Dir,
+					ExtraEnv: []string{launch.EnvControl + "=" + ctrlAddr},
+					Stderr: func(rank int) io.Writer {
+						tws[rank] = &tailWriter{out: os.Stderr}
+						return tws[rank]
+					},
+				})
+				if err != nil {
+					return err
+				}
+				procMu.Lock()
+				procs = append(procs, h.Cmds...)
+				live += len(h.Cmds)
+				procMu.Unlock()
+				for r, cmd := range h.Cmds {
+					watch(fmt.Sprintf("spawn%d rank %d", id, r), tws[r], cmd)
+				}
+				fmt.Fprintf(os.Stderr, "mpirun: spawned %d rank(s) of %s (world spawn%d)\n",
+					req.N, req.Prog, id)
+				return nil
+			})
+		}
+	}()
 
 	// Abnormal-exit path: tear workers down and remove the segments so
 	// an interrupted job leaks nothing.
@@ -228,63 +327,78 @@ func main() {
 
 	for r := 0; r < *np; r++ {
 		cmd := exec.Command(prog, args...)
+		tw := &tailWriter{out: os.Stderr}
 		cmd.Stdout = os.Stdout
-		cmd.Stderr = os.Stderr
-		cmd.Env = rankEnv(r)
+		cmd.Stderr = tw
+		cmd.Env = append(rankEnv(r), launch.EnvControl+"="+ctrlAddr)
 		procMu.Lock()
-		err := cmd.Start()
-		procs[r] = cmd
+		startErr := cmd.Start()
+		if startErr == nil {
+			procs = append(procs, cmd)
+			live++
+		}
 		procMu.Unlock()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "mpirun: starting rank %d: %v\n", r, err)
+		if startErr != nil {
+			fmt.Fprintf(os.Stderr, "mpirun: starting rank %d: %v\n", r, startErr)
 			killAll()
 			cleanup()
 			os.Exit(1)
 		}
+		watch(fmt.Sprintf("rank %d", r), tw, cmd)
 	}
 
 	// Reap children as they die, not in rank order: with fault-tolerant
 	// workers a killed rank exits minutes before its survivors, and its
 	// zombie should be collected — and its identity reported — the
-	// moment it happens. Each Wait runs on its own goroutine (reaping
-	// immediately); the channel serializes the death notices.
-	type exitEvent struct {
-		rank int
-		err  error
-	}
-	deaths := make(chan exitEvent, *np)
-	for r, p := range procs {
-		go func(rank int, cmd *exec.Cmd) {
-			deaths <- exitEvent{rank, cmd.Wait()}
-		}(r, p)
-	}
-
+	// moment it happens. Each watch goroutine Waits (reaping
+	// immediately); the channel serializes the death notices. The loop
+	// runs until the live count — launch ranks plus any spawned worlds —
+	// drains to zero.
 	exit := 0
-	firstFailed := -1
-	for reaped := 0; reaped < *np; reaped++ {
+	firstFailed := ""
+	for {
+		procMu.Lock()
+		n := live
+		procMu.Unlock()
+		if n == 0 {
+			break
+		}
 		ev := <-deaths
+		procMu.Lock()
+		live--
+		procMu.Unlock()
 		if ev.err == nil {
 			continue
 		}
-		fmt.Fprintf(os.Stderr, "mpirun: rank %d: %v\n", ev.rank, ev.err)
-		if firstFailed >= 0 {
-			continue
-		}
-		firstFailed = ev.rank
+		fmt.Fprintf(os.Stderr, "mpirun: %s: %v\n", ev.name, ev.err)
 		// Propagate the failed rank's own status when it has one:
-		// 128+signal for a killed child, its exit code otherwise.
-		exit = 1
+		// 128+signal for a killed child, its exit code otherwise. A rank
+		// killed by a signal says so in its wait status; one that failed
+		// on its own terms explained itself on stderr — replay its last
+		// words next to the verdict.
+		code := 1
+		signaled := false
 		var ee *exec.ExitError
 		if errors.As(ev.err, &ee) {
 			if ws, ok := ee.Sys().(syscall.WaitStatus); ok && ws.Signaled() {
-				exit = 128 + int(ws.Signal())
-			} else if code := ee.ExitCode(); code > 0 {
-				exit = code
+				code = 128 + int(ws.Signal())
+				signaled = true
+			} else if c := ee.ExitCode(); c > 0 {
+				code = c
 			}
 		}
+		if !signaled {
+			if tail := strings.TrimSpace(ev.tail.tail()); tail != "" {
+				fmt.Fprintf(os.Stderr, "mpirun: %s stderr tail:\n%s\n", ev.name, indent(tail))
+			}
+		}
+		if firstFailed == "" {
+			firstFailed = ev.name
+			exit = code
+		}
 	}
-	if firstFailed >= 0 {
-		fmt.Fprintf(os.Stderr, "mpirun: job failed: first failed rank %d (exit status %d)\n", firstFailed, exit)
+	if firstFailed != "" {
+		fmt.Fprintf(os.Stderr, "mpirun: job failed: first failed %s (exit status %d)\n", firstFailed, exit)
 	}
 	if err := <-coordErr; err != nil && exit == 0 {
 		fmt.Fprintf(os.Stderr, "mpirun: %v\n", err)

@@ -42,9 +42,16 @@
 // partition, so the repaired run's result line is verbatim-identical to
 // an undisturbed run's.
 //
+// Adding -respawn closes the other half of the loop with the dynamic
+// process primitives: after shrinking, the survivors Spawn one
+// replacement per lost rank, Merge the new world in (survivors ordered
+// first, so ranks stay stable) and repartition at full size; the
+// replacements find their parent world through Env.Parent, merge, and
+// restore from the shared checkpoint like everyone else.
+//
 //	go run ./examples/jacobi [-n 96] [-np 4] [-iters 500] \
 //	    [-checkpoint FILE] [-restore FILE] \
-//	    [-survive] [-checkpoint-every N] [-dawdle DUR]
+//	    [-survive] [-respawn] [-checkpoint-every N] [-dawdle DUR]
 package main
 
 import (
@@ -67,6 +74,7 @@ func main() {
 	ckpt := flag.String("checkpoint", "", "write a checkpoint file at end of run")
 	restore := flag.String("restore", "", "resume from a checkpoint file")
 	survive := flag.Bool("survive", false, "on rank failure: revoke, shrink, restore from the -checkpoint file and keep sweeping")
+	respawn := flag.Bool("respawn", false, "with -survive: after shrinking, spawn replacement ranks and merge back to full size")
 	ckptEvery := flag.Int("checkpoint-every", 0, "write the -checkpoint file every N sweeps (0 = only at end)")
 	dawdle := flag.Duration("dawdle", 0, "sleep per sweep, stretching the run so an external kill lands mid-solve")
 	flag.Parse()
@@ -76,7 +84,7 @@ func main() {
 		return jacobi(env, params{
 			n: *n, maxIters: *iters, tol: *tol,
 			ckpt: *ckpt, restore: *restore,
-			survive: *survive, ckptEvery: *ckptEvery, dawdle: *dawdle,
+			survive: *survive, respawn: *respawn, ckptEvery: *ckptEvery, dawdle: *dawdle,
 		})
 	})
 	if err != nil {
@@ -91,6 +99,7 @@ type params struct {
 	ckpt        string
 	restore     string
 	survive     bool
+	respawn     bool
 	ckptEvery   int
 	dawdle      time.Duration
 }
@@ -115,6 +124,26 @@ func ftError(err error) bool {
 func jacobi(env *mpi.Env, p params) error {
 	comm := env.CommWorld()
 	restoreFrom := p.restore
+	// A spawned replacement rank joins the repaired world before its
+	// first sweep: connect back through the parent's port, merge with
+	// the survivors ordered first (so their ranks are stable), and pick
+	// up the shared checkpoint.
+	if parent, err := env.Parent(); err != nil {
+		return err
+	} else if parent != nil {
+		merged, err := parent.Merge(true)
+		if err != nil {
+			return err
+		}
+		comm = merged
+		if p.ckpt != "" {
+			if _, statErr := os.Stat(p.ckpt); statErr == nil {
+				restoreFrom = p.ckpt
+			}
+		}
+		fmt.Fprintf(os.Stderr, "jacobi: joined as replacement rank %d/%d\n", comm.Rank(), comm.Size())
+	}
+	origSize := comm.Size()
 	for {
 		err := solve(env, comm, p, restoreFrom)
 		if err == nil || !p.survive || !ftError(err) {
@@ -132,9 +161,6 @@ func jacobi(env *mpi.Env, p params) error {
 			return errors.Join(err, serr)
 		}
 		comm = shrunk
-		if p.n%comm.Size() != 0 {
-			return fmt.Errorf("cannot repartition: grid side %d does not divide by %d survivors", p.n, comm.Size())
-		}
 		// Resume from the latest checkpoint when one exists; otherwise
 		// recompute from the initial state — either way the trajectory,
 		// being deterministic in the grid, reproduces the undisturbed
@@ -147,6 +173,24 @@ func jacobi(env *mpi.Env, p params) error {
 		}
 		fmt.Fprintf(os.Stderr, "jacobi: shrunk to %d ranks (rank %d), restoring from %q\n",
 			comm.Size(), comm.Rank(), restoreFrom)
+		// -respawn grows the world back: spawn one replacement per lost
+		// rank, merge with the survivors first so their ranks (and rank
+		// 0's reporting role) are stable, and repartition at full size.
+		if p.respawn && comm.Size() < origSize {
+			ic, sperr := comm.Spawn(os.Args[0], os.Args[1:], origSize-comm.Size())
+			if sperr != nil {
+				return errors.Join(err, sperr)
+			}
+			grown, merr := ic.Merge(false)
+			if merr != nil {
+				return errors.Join(err, merr)
+			}
+			comm = grown
+			fmt.Fprintf(os.Stderr, "jacobi: respawned to %d ranks (rank %d)\n", comm.Size(), comm.Rank())
+		}
+		if p.n%comm.Size() != 0 {
+			return fmt.Errorf("cannot repartition: grid side %d does not divide by %d survivors", p.n, comm.Size())
+		}
 	}
 }
 

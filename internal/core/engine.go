@@ -111,10 +111,14 @@ type Proc struct {
 	stats Stats
 
 	wg sync.WaitGroup
-	// inflight tracks control frames (CTS/ACK/DATA) sent
-	// asynchronously from the progress loop; Close drains them before
-	// closing the device so no frame is dropped at shutdown.
-	inflight sync.WaitGroup
+	// inflightN counts control frames (CTS/ACK/DATA) sent
+	// asynchronously from the progress loop; Close drains them (under
+	// mu, woken through cond) before closing the device so no frame is
+	// dropped at shutdown. A plain counter rather than a WaitGroup:
+	// late frames (revocation floods, failure notices) can start a
+	// send while Close is already draining, which WaitGroup's
+	// Add-during-Wait rule forbids.
+	inflightN int
 }
 
 // NewProc wraps a device with a progress engine and starts its progress
@@ -155,11 +159,13 @@ func (p *Proc) Close() error {
 	}
 	p.closed = true
 	p.cond.Broadcast()
-	p.mu.Unlock()
 	// Let asynchronously-sent control frames reach their destination
 	// inboxes first: a barrier completing on this rank may still owe a
 	// peer its rendezvous payload.
-	p.inflight.Wait()
+	for p.inflightN > 0 {
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
 	err := p.dev.Close()
 	p.wg.Wait()
 	return err
@@ -204,13 +210,7 @@ func (p *Proc) progress() {
 		// flow-control cycle between two ranks flooding each other.
 		// Matching-relevant frames (eager, RTS) are only ever sent
 		// from user goroutines, preserving MPI's non-overtaking rule.
-		for _, o := range outs {
-			p.inflight.Add(1)
-			go func(o outFrame) {
-				defer p.inflight.Done()
-				p.dev.Sendv(int(o.dst), o.hdr, o.payload, o.recycle) //nolint:errcheck // peer teardown races are benign
-			}(o)
-		}
+		p.sendAsync(outs)
 		// The rendezvous payload has been handed to the device (and,
 		// over shm, to the receiver) by the Sendv above; the send
 		// request completes now.
@@ -343,6 +343,22 @@ func (p *Proc) RegisterGroup(base int32, world []int) {
 	p.groups[base+1] = g
 }
 
+// RegisterGroupCtx records the matching-rank→world-rank table for one
+// context of a pair, overriding RegisterGroup's symmetric registration.
+// Intercommunicators need the split: point-to-point traffic matches
+// against the remote group (so peer-death attribution and revocation
+// routing on the point-to-point context must resolve remote ranks),
+// while collectives run within the local group on the paired context.
+func (p *Proc) RegisterGroupCtx(ctx int32, world []int) {
+	g := append([]int(nil), world...)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.groups == nil {
+		p.groups = make(map[int32][]int)
+	}
+	p.groups[ctx] = g
+}
+
 // DownPeers returns the world ranks currently known to have failed, in
 // rank order.
 func (p *Proc) DownPeers() []int {
@@ -396,15 +412,31 @@ func (p *Proc) ctxErrLocked(ctx, tag int32) error {
 }
 
 // sendAsync ships engine-produced control frames off the caller's
-// goroutine, tracked by inflight so Close drains them.
+// goroutine, tracked by inflightN so Close drains them.
 func (p *Proc) sendAsync(outs []outFrame) {
+	if len(outs) == 0 {
+		return
+	}
+	p.mu.Lock()
+	p.inflightN += len(outs)
+	p.mu.Unlock()
 	for _, o := range outs {
-		p.inflight.Add(1)
 		go func(o outFrame) {
-			defer p.inflight.Done()
+			defer p.doneSend()
 			p.dev.Sendv(int(o.dst), o.hdr, o.payload, o.recycle) //nolint:errcheck // peer teardown races are benign
 		}(o)
 	}
+}
+
+// doneSend retires one asynchronous control-frame send and wakes a
+// draining Close once the last one lands.
+func (p *Proc) doneSend() {
+	p.mu.Lock()
+	p.inflightN--
+	if p.inflightN == 0 {
+		p.cond.Broadcast()
+	}
+	p.mu.Unlock()
 }
 
 // revokeLocked records the revocation of (base, base+1), fails every

@@ -127,6 +127,22 @@ func buildRevoke(srcWorld, ctx int32) []byte {
 	return f
 }
 
+// PatchFrameSource overwrites the sender world rank a frame carries.
+// Every frame kind stores it in the same place — the four bytes after
+// the kind byte (the envelope's srcWorld for kEager/kEagerSync/kRts,
+// the bare srcWorld field for kCts/kData/kAck/kRevoke) — so a boundary
+// that renumbers peers (the dynamic-process fabric, where each process
+// assigns late-joining peers its own local indices) can rewrite the
+// sender's self-assigned rank to the receiver's index for that peer
+// with one fixed-offset store, before the engine parses the frame.
+func PatchFrameSource(data []byte, src int32) error {
+	if len(data) < 5 {
+		return fmt.Errorf("core: frame too short to carry a source rank (%d bytes)", len(data))
+	}
+	binary.LittleEndian.PutUint32(data[1:5], uint32(src))
+	return nil
+}
+
 // parsed is a decoded incoming frame. payload aliases the transport
 // frame's storage (or, over shm, the sender's payload buffer); frame
 // retains ownership so the engine can release or transfer it.

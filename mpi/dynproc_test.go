@@ -1,0 +1,363 @@
+package mpi_test
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"gompi/mpi"
+)
+
+// spawnHelperEnv re-enters the test binary as a spawned MPI child: the
+// variable must not carry the GOMPI_ prefix, or the launcher's
+// environment scrubbing would strip it before the child starts.
+const spawnHelperEnv = "MPI_TEST_SPAWN_HELPER"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(spawnHelperEnv) == "1" {
+		os.Exit(spawnHelperMain())
+	}
+	os.Exit(m.Run())
+}
+
+// spawnHelperMain is the child side of TestSpawnMerge: connect back to
+// the parent world and mirror its intercommunicator call sequence.
+func spawnHelperMain() int {
+	err := mpi.Main(1, func(env *mpi.Env) error {
+		parent, err := env.Parent()
+		if err != nil {
+			return err
+		}
+		if parent == nil {
+			return fmt.Errorf("spawned helper has no parent world")
+		}
+		if parent.RemoteSize() != 2 {
+			return fmt.Errorf("parent remote size %d, want 2", parent.RemoteSize())
+		}
+
+		// Rooted bcast from the parent world's rank 0.
+		got := make([]float64, 3)
+		if err := parent.Bcast(got, 0, 3, mpi.DOUBLE, 0); err != nil {
+			return err
+		}
+		if got[0] != 42 || got[1] != 43 || got[2] != 44 {
+			return fmt.Errorf("bcast from parent delivered %v", got)
+		}
+
+		// Each side of an intercomm allreduce receives the remote side's
+		// reduction: children contribute rank+1 (sum 3), parents 10 and
+		// 20 (sum 30).
+		send := []float64{float64(env.Rank() + 1)}
+		recv := []float64{0}
+		if err := parent.Allreduce(send, 0, recv, 0, 1, mpi.DOUBLE, mpi.SUM); err != nil {
+			return err
+		}
+		if recv[0] != 30 {
+			return fmt.Errorf("intercomm allreduce delivered %v, want the parents' 30", recv[0])
+		}
+		if err := parent.Barrier(); err != nil {
+			return err
+		}
+
+		// Merge with the parents ordered first: child world rank r
+		// becomes merged rank 2+r.
+		merged, err := parent.Merge(true)
+		if err != nil {
+			return err
+		}
+		if merged.Size() != 4 || merged.Rank() != 2+env.Rank() {
+			return fmt.Errorf("merged world rank %d/%d, want %d/4", merged.Rank(), merged.Size(), 2+env.Rank())
+		}
+		one := []float64{1}
+		sum := []float64{0}
+		if err := merged.Allreduce(one, 0, sum, 0, 1, mpi.DOUBLE, mpi.SUM); err != nil {
+			return err
+		}
+		if sum[0] != 4 {
+			return fmt.Errorf("merged allreduce gave %v, want 4", sum[0])
+		}
+		return merged.Barrier()
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spawn helper:", err)
+		return 1
+	}
+	return 0
+}
+
+// TestSpawnMerge grows a 2-rank world by two spawned processes (the
+// test binary re-entered through TestMain) and drives the parent side
+// of the mirrored sequence in spawnHelperMain.
+func TestSpawnMerge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatalf("locating test binary: %v", err)
+	}
+	os.Setenv(spawnHelperEnv, "1")
+	defer os.Unsetenv(spawnHelperEnv)
+
+	err = mpi.Run(2, func(env *mpi.Env) error {
+		world := env.CommWorld()
+		ic, err := world.Spawn(exe, []string{"-test.run=none"}, 2)
+		if err != nil {
+			return err
+		}
+		if ic.RemoteSize() != 2 {
+			return fmt.Errorf("spawned remote size %d, want 2", ic.RemoteSize())
+		}
+
+		buf := []float64{42, 43, 44}
+		root := mpi.ProcNull
+		if world.Rank() == 0 {
+			root = mpi.Root
+		}
+		if err := ic.Bcast(buf, 0, 3, mpi.DOUBLE, root); err != nil {
+			return err
+		}
+
+		send := []float64{float64(10 * (world.Rank() + 1))}
+		recv := []float64{0}
+		if err := ic.Allreduce(send, 0, recv, 0, 1, mpi.DOUBLE, mpi.SUM); err != nil {
+			return err
+		}
+		if recv[0] != 3 {
+			return fmt.Errorf("intercomm allreduce delivered %v, want the children's 3", recv[0])
+		}
+		if err := ic.Barrier(); err != nil {
+			return err
+		}
+
+		merged, err := ic.Merge(false)
+		if err != nil {
+			return err
+		}
+		if merged.Size() != 4 || merged.Rank() != world.Rank() {
+			return fmt.Errorf("merged world rank %d/%d, want %d/4", merged.Rank(), merged.Size(), world.Rank())
+		}
+		one := []float64{1}
+		sum := []float64{0}
+		if err := merged.Allreduce(one, 0, sum, 0, 1, mpi.DOUBLE, mpi.SUM); err != nil {
+			return err
+		}
+		if sum[0] != 4 {
+			return fmt.Errorf("merged allreduce gave %v, want 4", sum[0])
+		}
+		return merged.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConnectAccept joins two independent in-process worlds through a
+// port and exercises the intercommunicator collectives across the
+// boundary (satellite coverage for Bcast/Allreduce over Connect/Accept).
+func TestConnectAccept(t *testing.T) {
+	portCh := make(chan string, 1)
+	var wg sync.WaitGroup
+	var errA, errB error
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		errA = mpi.Run(2, func(env *mpi.Env) error {
+			world := env.CommWorld()
+			port := ""
+			if world.Rank() == 0 {
+				var err error
+				if port, err = env.OpenPort(); err != nil {
+					return err
+				}
+				if !strings.HasPrefix(port, "gompi-port://") {
+					return fmt.Errorf("port name %q has the wrong scheme", port)
+				}
+				portCh <- port
+			}
+			ic, err := world.Accept(port, 0)
+			if err != nil {
+				return err
+			}
+
+			// Rooted bcast: this side provides the root.
+			buf := []float64{7}
+			root := mpi.ProcNull
+			if world.Rank() == 0 {
+				root = mpi.Root
+			}
+			if err := ic.Bcast(buf, 0, 1, mpi.DOUBLE, root); err != nil {
+				return err
+			}
+
+			send := []float64{float64(10 * (world.Rank() + 1))}
+			recv := []float64{0}
+			if err := ic.Allreduce(send, 0, recv, 0, 1, mpi.DOUBLE, mpi.SUM); err != nil {
+				return err
+			}
+			if recv[0] != 3 {
+				return fmt.Errorf("accept side allreduce got %v, want 3", recv[0])
+			}
+
+			// Intercomm point-to-point addresses the remote group.
+			if world.Rank() == 0 {
+				if err := ic.Send([]float64{math.Pi}, 0, 1, mpi.DOUBLE, 1, 5); err != nil {
+					return err
+				}
+			}
+
+			merged, err := ic.Merge(false)
+			if err != nil {
+				return err
+			}
+			if merged.Size() != 4 || merged.Rank() != world.Rank() {
+				return fmt.Errorf("merged rank %d/%d, want %d/4", merged.Rank(), merged.Size(), world.Rank())
+			}
+			one, sum := []float64{1}, []float64{0}
+			if err := merged.Allreduce(one, 0, sum, 0, 1, mpi.DOUBLE, mpi.SUM); err != nil {
+				return err
+			}
+			if sum[0] != 4 {
+				return fmt.Errorf("merged allreduce gave %v", sum[0])
+			}
+			return merged.Barrier()
+		})
+	}()
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		errB = mpi.Run(2, func(env *mpi.Env) error {
+			world := env.CommWorld()
+			port := ""
+			if world.Rank() == 0 {
+				port = <-portCh
+			}
+			ic, err := world.Connect(port, 0)
+			if err != nil {
+				return err
+			}
+
+			buf := []float64{0}
+			if err := ic.Bcast(buf, 0, 1, mpi.DOUBLE, 0); err != nil {
+				return err
+			}
+			if buf[0] != 7 {
+				return fmt.Errorf("bcast across the join delivered %v, want 7", buf[0])
+			}
+
+			send := []float64{float64(world.Rank() + 1)}
+			recv := []float64{0}
+			if err := ic.Allreduce(send, 0, recv, 0, 1, mpi.DOUBLE, mpi.SUM); err != nil {
+				return err
+			}
+			if recv[0] != 30 {
+				return fmt.Errorf("connect side allreduce got %v, want 30", recv[0])
+			}
+
+			if world.Rank() == 1 {
+				in := []float64{0}
+				if _, err := ic.Recv(in, 0, 1, mpi.DOUBLE, 0, 5); err != nil {
+					return err
+				}
+				if in[0] != math.Pi {
+					return fmt.Errorf("intercomm pt2pt delivered %v", in[0])
+				}
+			}
+
+			merged, err := ic.Merge(false)
+			if err != nil {
+				return err
+			}
+			// The accept side orders first on a tie.
+			if merged.Size() != 4 || merged.Rank() != 2+world.Rank() {
+				return fmt.Errorf("merged rank %d/%d, want %d/4", merged.Rank(), merged.Size(), 2+world.Rank())
+			}
+			one, sum := []float64{1}, []float64{0}
+			if err := merged.Allreduce(one, 0, sum, 0, 1, mpi.DOUBLE, mpi.SUM); err != nil {
+				return err
+			}
+			if sum[0] != 4 {
+				return fmt.Errorf("merged allreduce gave %v", sum[0])
+			}
+			return merged.Barrier()
+		})
+	}()
+
+	wg.Wait()
+	if errA != nil {
+		t.Errorf("accept world: %v", errA)
+	}
+	if errB != nil {
+		t.Errorf("connect world: %v", errB)
+	}
+}
+
+// TestConnectRevokedFailsFast: the documented fault-tolerance
+// interplay — dynamic-process entry points refuse a revoked
+// communicator immediately instead of hanging in the rendezvous.
+func TestConnectRevokedFailsFast(t *testing.T) {
+	err := mpi.Run(2, func(env *mpi.Env) error {
+		world := env.CommWorld()
+		if err := world.Revoke(); err != nil {
+			return err
+		}
+		if _, err := world.Connect("gompi-port://127.0.0.1:1/ep0/kaa", 0); mpi.ClassOf(err) != mpi.ErrRevoked {
+			return fmt.Errorf("Connect on revoked world: %v (class %v), want ErrRevoked", err, mpi.ClassOf(err))
+		}
+		if _, err := world.Spawn("/bin/true", nil, 1); mpi.ClassOf(err) != mpi.ErrRevoked {
+			return fmt.Errorf("Spawn on revoked world: %v (class %v), want ErrRevoked", err, mpi.ClassOf(err))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPortLifecycleErrors(t *testing.T) {
+	err := mpi.Run(1, func(env *mpi.Env) error {
+		port, err := env.OpenPort()
+		if err != nil {
+			return err
+		}
+		if err := env.ClosePort(port); err != nil {
+			return err
+		}
+		if err := env.ClosePort(port); mpi.ClassOf(err) != mpi.ErrPort {
+			return fmt.Errorf("double ClosePort: %v, want ErrPort", err)
+		}
+		if _, err := env.CommWorld().Connect("not a port name", 0); mpi.ClassOf(err) != mpi.ErrPort {
+			return fmt.Errorf("Connect with a garbage name: %v, want ErrPort", err)
+		}
+		// Accept on a never-opened (or already closed) port fails at the
+		// root's handshake.
+		if _, err := env.CommWorld().Accept(port, 0); mpi.ClassOf(err) != mpi.ErrPort {
+			return fmt.Errorf("Accept on a closed port: %v, want ErrPort", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpawnErrors(t *testing.T) {
+	err := mpi.Run(2, func(env *mpi.Env) error {
+		world := env.CommWorld()
+		if _, err := world.Spawn("/this/binary/does/not/exist", nil, 1); mpi.ClassOf(err) != mpi.ErrSpawn {
+			return fmt.Errorf("Spawn of a missing binary: %v, want ErrSpawn", err)
+		}
+		if _, err := world.Spawn("/bin/true", nil, 0); mpi.ClassOf(err) != mpi.ErrSpawn {
+			return fmt.Errorf("Spawn of zero processes: %v, want ErrSpawn", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

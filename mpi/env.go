@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"gompi/internal/core"
+	"gompi/internal/dynproc"
 	"gompi/internal/spin"
 	"gompi/internal/transport"
 )
@@ -68,6 +69,7 @@ const (
 // mode) or handed to each rank's function by Run (in-process SPMD mode).
 type Env struct {
 	proc  *core.Proc
+	fab   *dynproc.Fabric
 	world *Intracomm
 	self  *Intracomm
 
@@ -77,18 +79,31 @@ type Env struct {
 	pool     attachPool
 	overhead atomic.Int64 // emulated binding-crossing cost, ns/call
 
+	// Dynamic-process state (dynproc.go): open rendezvous ports by
+	// name, and the cached connection to a spawning parent world.
+	portsMu   sync.Mutex
+	ports     map[string]*dynproc.Port
+	parentSet sync.Once
+	parent    *Intercomm
+	parentErr error
+
 	finalized atomic.Bool
 	closers   []func() error // extra teardown (launch plumbing)
 }
 
-// newEnv assembles an environment over a device.
+// newEnv assembles an environment over a device. The device is wrapped
+// in the dynamic-process fabric, so the engine above can reach peers
+// admitted after launch (Connect/Accept/Spawn) exactly like launch-time
+// ones.
 func newEnv(dev transport.Device, cfg core.Config) *Env {
 	host, _ := os.Hostname()
 	if host == "" {
 		host = "localhost"
 	}
+	fab := dynproc.NewFabric(dev)
 	e := &Env{
-		proc:     core.NewProc(dev, cfg),
+		proc:     core.NewProc(fab, cfg),
+		fab:      fab,
 		start:    time.Now(),
 		procName: fmt.Sprintf("%s:rank%d", host, dev.Rank()),
 	}

@@ -49,6 +49,17 @@ const (
 	// communicator so every member reaches the repair path (Shrink)
 	// instead of deadlocking on a dead participant.
 	ErrRevoked
+
+	// ErrPort reports a dynamic-process rendezvous failure
+	// (MPI-2 MPI_ERR_PORT): a malformed, unknown, closed or stale port
+	// name, a refused or timed-out Connect/Accept handshake, or a
+	// failure to establish the pairwise links behind a join.
+	ErrPort
+
+	// ErrSpawn reports that MPI_Comm_spawn could not provision the
+	// child processes (MPI-2 MPI_ERR_SPAWN): the launcher's spawn
+	// service refused, or starting the children locally failed.
+	ErrSpawn
 )
 
 var errClassNames = map[ErrClass]string{
@@ -62,6 +73,7 @@ var errClassNames = map[ErrClass]string{
 	ErrFile:    "MPI_ERR_FILE", ErrIO: "MPI_ERR_IO", ErrAmode: "MPI_ERR_AMODE",
 	ErrAccess: "MPI_ERR_ACCESS", ErrProcFailed: "MPI_ERR_PROC_FAILED",
 	ErrRevoked: "MPI_ERR_REVOKED",
+	ErrPort:    "MPI_ERR_PORT", ErrSpawn: "MPI_ERR_SPAWN",
 }
 
 func (c ErrClass) String() string {

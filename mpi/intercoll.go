@@ -1,0 +1,136 @@
+package mpi
+
+// Intercommunicator collectives (MPI-2 §7.3.2): rooted operations take
+// MPI_ROOT / MPI_PROC_NULL on the group providing the root, and the
+// root's rank within the remote group on the other side; all-to-all
+// operations deliver each group the contribution of the remote group.
+// The implementation composes the local group's collective algorithms
+// with a leader-to-leader relay on the reserved collective context, the
+// same pattern Merge and Dup already use for their exchanges.
+
+import (
+	"gompi/internal/core"
+	"gompi/internal/dtype"
+)
+
+// Root is the MPI_ROOT marker: on a rooted intercommunicator
+// collective, the single process of the origin group that provides (or
+// collects) the data passes Root; its group peers pass ProcNull.
+const Root = -4
+
+// tagInterColl is the reserved collective-context tag of the rooted
+// intercollective relays, distinct from tagInter (Merge/Dup exchanges)
+// so a mismatched program fails loudly instead of cross-matching.
+const tagInterColl = 0x7fe1
+
+// Barrier blocks until every process of both groups has entered it
+// (MPI_Barrier on an intercommunicator). The local barrier establishes
+// that the local group is complete; the leader exchange propagates the
+// fact across, and its trailing broadcast releases the local group only
+// after the remote group is complete too.
+func (ic *Intercomm) Barrier() error {
+	ic.env.enterCall()
+	if err := ic.ok(); err != nil {
+		return ic.raise(err)
+	}
+	if err := ic.cl.Barrier(); err != nil {
+		return ic.raise(mapEngineErr(err))
+	}
+	if _, err := ic.interExchange([]byte{1}); err != nil {
+		return ic.raise(mapEngineErr(err))
+	}
+	return nil
+}
+
+// Bcast broadcasts from the root process of one group to every process
+// of the other (MPI_Bcast on an intercommunicator). The origin group
+// passes Root at the root and ProcNull elsewhere; the destination group
+// passes the root's rank within its remote group.
+func (ic *Intercomm) Bcast(buf any, offset, count int, d *Datatype, root int) error {
+	ic.env.enterCall()
+	if err := ic.ok(); err != nil {
+		return ic.raise(err)
+	}
+	if err := ic.checkType(d); err != nil {
+		return ic.raise(err)
+	}
+	switch {
+	case root == ProcNull:
+		return nil
+	case root == Root:
+		wire, err := dtype.Pack(nil, buf, offset, count, d.t)
+		if err != nil {
+			return ic.raise(mapDataErr(err))
+		}
+		sreq, err := ic.env.proc.Isend(ic.collCtx, ic.rank, ic.remote[0], tagInterColl, wire, core.ModeStandard, false)
+		if err != nil {
+			return ic.raise(mapEngineErr(err))
+		}
+		if st := sreq.Wait(); st.Err != nil {
+			return ic.raise(mapEngineErr(st.Err))
+		}
+		return nil
+	case root >= 0 && root < len(ic.remote):
+		var wire []byte
+		if ic.rank == 0 {
+			rreq := ic.env.proc.Irecv(ic.collCtx, int32(root), tagInterColl)
+			if st := rreq.Wait(); st.Err != nil {
+				return ic.raise(mapEngineErr(st.Err))
+			}
+			wire = rreq.Payload
+		}
+		wire, err := ic.cl.Bcast(0, wire)
+		if err != nil {
+			return ic.raise(mapEngineErr(err))
+		}
+		if _, err := dtype.Unpack(wire, buf, offset, count, d.t); err != nil {
+			return ic.raise(mapDataErr(err))
+		}
+		return nil
+	default:
+		return ic.raise(errf(ErrRoot, "intercomm bcast root %d: want Root, ProcNull or a remote rank in [0,%d)", root, len(ic.remote)))
+	}
+}
+
+// Allreduce folds count items with op across each group and delivers
+// every process the reduction of the REMOTE group's contributions
+// (MPI_Allreduce on an intercommunicator, MPI-2 §7.3.3). Both groups
+// call it with the same count and type.
+func (ic *Intercomm) Allreduce(
+	sendbuf any, soffset int, recvbuf any, roffset int,
+	count int, d *Datatype, op *Op,
+) error {
+	ic.env.enterCall()
+	if err := ic.ok(); err != nil {
+		return ic.raise(err)
+	}
+	if err := ic.checkType(d); err != nil {
+		return ic.raise(err)
+	}
+	if err := checkOp(op, d); err != nil {
+		return ic.raise(err)
+	}
+	dense, err := dtype.Extract(sendbuf, soffset, count, d.t)
+	if err != nil {
+		return ic.raise(mapDataErr(err))
+	}
+	red, err := ic.cl.Reduce(0, dense, op.op)
+	if err != nil {
+		return ic.raise(mapEngineErr(err))
+	}
+	var mine []byte
+	if ic.rank == 0 {
+		if mine, err = dtype.EncodeDense(red); err != nil {
+			return ic.raise(mapDataErr(err))
+		}
+	}
+	remoteWire, err := ic.interExchange(mine)
+	if err != nil {
+		return ic.raise(mapEngineErr(err))
+	}
+	remoteDense, err := dtype.DecodeDense(remoteWire, d.t.Class())
+	if err != nil {
+		return ic.raise(mapDataErr(err))
+	}
+	return ic.raise(depositFin(recvbuf, roffset, count, d)(remoteDense))
+}

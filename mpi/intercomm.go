@@ -83,6 +83,10 @@ func (c *Intracomm) CreateIntercomm(peer *Comm, localLeader, remoteLeader, tag i
 	c.env.buildComm(&ic.Comm, c.group, c.rank, final, c.name+".inter")
 	ic.inter = true
 	ic.remote = remoteGroup
+	// Point-to-point ranks on an intercommunicator address the remote
+	// group: register it on the point-to-point context so the engine
+	// attributes peer deaths and routes revocations through it.
+	c.env.proc.RegisterGroupCtx(final, remoteGroup)
 	return ic, nil
 }
 
@@ -229,5 +233,6 @@ func (ic *Intercomm) Dup() (*Intercomm, error) {
 	ic.env.buildComm(&out.Comm, ic.group, ic.rank, final, ic.name+".dup")
 	out.inter = true
 	out.remote = ic.remote
+	ic.env.proc.RegisterGroupCtx(final, ic.remote)
 	return out, nil
 }
