@@ -44,6 +44,7 @@ type output struct {
 	IO        []bench.IOPoint        `json:"io_bandwidth_4ranks"`
 	Devices   []bench.DevPoint       `json:"device_pingpong"`
 	Persist   []bench.PersistPoint   `json:"persistent_vs_oneshot"`
+	Trace     []bench.TracePoint     `json:"trace_overhead"`
 }
 
 func main() {
@@ -115,6 +116,18 @@ func run(out string, quick bool) error {
 		return err
 	}
 	doc.Persist = append(pp, pa...)
+
+	// The trace pair proves the flight-recorder contract: with the
+	// recorder disarmed (every untraced run) the ping-pong hot path
+	// stays zero-alloc.
+	traceReps := 4096
+	if quick {
+		traceReps = 1024
+	}
+	doc.Trace, err = bench.TraceOverhead(1024, traceReps)
+	if err != nil {
+		return err
+	}
 
 	dir, err := os.MkdirTemp("", "gompi-iobench")
 	if err != nil {

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"gompi/internal/launch"
+	"gompi/internal/obs"
 	"gompi/internal/transport"
 	"gompi/internal/transport/shmipc"
 )
@@ -97,6 +98,9 @@ func main() {
 	nodes := flag.Int("nodes", 1, "emulated node count (>1 splits ranks into shm islands bridged by TCP)")
 	shmSlots := flag.Int("shm-slots", 0, "per-pair ring slots in the shared segment (0 = default)")
 	shmArenaMB := flag.Int("shm-arena-mb", 0, "shared frame-pool arena size in MiB (0 = default)")
+	trace := flag.Bool("trace", false, "arm every rank's flight recorder and merge the rings into a Chrome trace")
+	traceOut := flag.String("trace-out", "gompi-trace.json", "merged Chrome trace_event output path (with -trace)")
+	traceSummary := flag.Bool("trace-summary", false, "print the per-operation count/bytes/p50/p99 table after the run (with -trace)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: mpirun [-np N] [-device auto|shm|tcp] [-nodes N] [-eager BYTES] prog [args...]\n")
 		fmt.Fprintf(os.Stderr, "a faulty: prefix on -device (e.g. faulty:shm) injects the GOMPI_FAULT plan into the workers\n")
@@ -115,6 +119,18 @@ func main() {
 	}
 	prog := flag.Arg(0)
 	args := flag.Args()[1:]
+
+	// Tracing: workers dump their rings into a private staging directory
+	// on Finalize; mpirun merges them after the job drains.
+	traceDir := ""
+	if *trace {
+		d, err := os.MkdirTemp("", "gompi-trace-")
+		if err != nil {
+			fatalf("creating trace directory: %v", err)
+		}
+		traceDir = d
+		defer os.RemoveAll(traceDir)
+	}
 
 	// Crash-recovery sweep: segments whose creating mpirun died are
 	// dead weight in /dev/shm; remove them before provisioning ours.
@@ -223,6 +239,9 @@ func main() {
 		if coordAddr != "" {
 			env = append(env, launch.EnvCoord+"="+coordAddr)
 		}
+		if traceDir != "" {
+			env = append(env, obs.EnvTrace+"=1", obs.EnvTraceDir+"="+traceDir)
+		}
 		if isl := islandOf[r]; isl != nil {
 			ranks := make([]string, len(isl.ranks))
 			for i, w := range isl.ranks {
@@ -287,10 +306,20 @@ func main() {
 				id := spawnSeq
 				procMu.Unlock()
 				tws := make([]*tailWriter, req.N)
+				extra := []string{launch.EnvControl + "=" + ctrlAddr}
+				if traceDir != "" {
+					// Spawned worlds trace too, into a world-private
+					// subdirectory: their ranks restart at 0, so dumping
+					// next to the launch world's files would collide.
+					sub := filepath.Join(traceDir, fmt.Sprintf("spawn%d", id))
+					if err := os.Mkdir(sub, 0o755); err == nil {
+						extra = append(extra, obs.EnvTrace+"=1", obs.EnvTraceDir+"="+sub)
+					}
+				}
 				h, err := launch.SpawnLocal(launch.SpawnJob{
 					Prog: req.Prog, Args: req.Args, N: req.N,
 					ParentPort: req.ParentPort, Dir: req.Dir,
-					ExtraEnv: []string{launch.EnvControl + "=" + ctrlAddr},
+					ExtraEnv: extra,
 					Stderr: func(rank int) io.Writer {
 						tws[rank] = &tailWriter{out: os.Stderr}
 						return tws[rank]
@@ -377,20 +406,19 @@ func main() {
 		// on its own terms explained itself on stderr — replay its last
 		// words next to the verdict.
 		code := 1
-		signaled := false
 		var ee *exec.ExitError
 		if errors.As(ev.err, &ee) {
 			if ws, ok := ee.Sys().(syscall.WaitStatus); ok && ws.Signaled() {
 				code = 128 + int(ws.Signal())
-				signaled = true
 			} else if c := ee.ExitCode(); c > 0 {
 				code = c
 			}
 		}
-		if !signaled {
-			if tail := strings.TrimSpace(ev.tail.tail()); tail != "" {
-				fmt.Fprintf(os.Stderr, "mpirun: %s stderr tail:\n%s\n", ev.name, indent(tail))
-			}
+		// Replay the dying rank's last words for signal deaths too: a
+		// SIGKILLed chaos-run rank usually logged what it was doing
+		// right before the injected fault took it down.
+		if tail := strings.TrimSpace(ev.tail.tail()); tail != "" {
+			fmt.Fprintf(os.Stderr, "mpirun: %s stderr tail:\n%s\n", ev.name, indent(tail))
 		}
 		if firstFailed == "" {
 			firstFailed = ev.name
@@ -404,6 +432,64 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mpirun: %v\n", err)
 		exit = 1
 	}
+	if traceDir != "" {
+		if err := mergeTraces(traceDir, *traceOut, *traceSummary); err != nil {
+			fmt.Fprintf(os.Stderr, "mpirun: %v\n", err)
+			if exit == 0 {
+				exit = 1
+			}
+		}
+	}
 	cleanup()
 	os.Exit(exit)
+}
+
+// mergeTraces folds the per-rank flight-recorder dumps under dir — the
+// launch world's, plus any spawned worlds' subdirectories — into one
+// clock-aligned Chrome trace_event JSON at out. Spawned worlds' ranks
+// are offset by 1000 per world so their rows don't collide with the
+// launch world's.
+func mergeTraces(dir, out string, summary bool) error {
+	files, err := obs.ReadTraceDir(dir)
+	if err != nil {
+		return fmt.Errorf("reading traces: %v", err)
+	}
+	for id := 1; ; id++ {
+		sub := filepath.Join(dir, fmt.Sprintf("spawn%d", id))
+		sfs, serr := obs.ReadTraceDir(sub)
+		if serr != nil || len(sfs) == 0 {
+			break
+		}
+		for _, tf := range sfs {
+			tf.Rank += 1000 * id
+		}
+		files = append(files, sfs...)
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("no trace dumps found (did the ranks reach Finalize?)")
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return fmt.Errorf("creating %s: %v", out, err)
+	}
+	if err := obs.WriteChrome(f, files); err != nil {
+		f.Close()
+		return fmt.Errorf("writing %s: %v", out, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("writing %s: %v", out, err)
+	}
+	events := 0
+	for _, tf := range files {
+		events += len(tf.Events)
+	}
+	fmt.Fprintf(os.Stderr, "mpirun: merged trace of %d rank(s), %d event(s) -> %s (load in chrome://tracing or https://ui.perfetto.dev)\n",
+		len(files), events, out)
+	if summary {
+		fmt.Fprintf(os.Stderr, "mpirun: trace summary:\n")
+		if err := obs.WriteSummary(os.Stderr, files); err != nil {
+			return err
+		}
+	}
+	return nil
 }

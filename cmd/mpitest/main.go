@@ -61,12 +61,15 @@ func main() {
 		perCat := map[string][2]int{} // pass, fail
 		start := time.Now()
 		for _, p := range programs {
-			err := testsuite.RunProgramOpt(p, mpi.RunOptions{Device: md.device})
+			err, diag := testsuite.RunProgramDiag(p, mpi.RunOptions{Device: md.device})
 			pf := perCat[p.Category]
 			if err != nil {
 				pf[1]++
 				failures++
 				fmt.Printf("FAIL %-14s %-12s np=%d: %v\n", p.Category, p.Name, p.NP, err)
+				if diag != "" {
+					fmt.Print(diag)
+				}
 			} else {
 				pf[0]++
 				if *verbose {

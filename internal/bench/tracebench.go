@@ -1,0 +1,129 @@
+package bench
+
+// Trace-overhead benchmark: the flight recorder's contract is that a
+// disarmed recorder (the nil *obs.Recorder every production run gets
+// unless GOMPI_TRACE is set) costs one nil check per event site — the
+// zero-alloc ping-pong hot path must stay zero-alloc. This pair
+// measures the core-engine ping-pong with the recorder off and on and
+// reports both latency and a ReadMemStats-derived allocations-per-
+// round-trip figure, so the "disabled tracing is free" claim is a
+// number in the committed BENCH_PR*.json rather than folklore.
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"gompi/internal/core"
+	"gompi/internal/obs"
+	"gompi/internal/transport"
+)
+
+// TracePoint is one mode of the trace-overhead pair.
+type TracePoint struct {
+	// Mode is "disabled" (nil recorder) or "enabled" (armed ring).
+	Mode string `json:"mode"`
+	// Bytes is the ping-pong payload size.
+	Bytes int `json:"bytes"`
+	// OneWayNs is half the mean round-trip time.
+	OneWayNs int64 `json:"one_way_ns"`
+	// AllocsPerRT is heap allocations per round trip, summed across
+	// both ranks (the invariant: 0 for "disabled").
+	AllocsPerRT float64 `json:"allocs_per_rt"`
+}
+
+// TraceOverhead runs the core-engine ping-pong at one payload size with
+// the flight recorder disabled and then enabled.
+func TraceOverhead(size, reps int) ([]TracePoint, error) {
+	out := make([]TracePoint, 0, 2)
+	for _, mode := range []string{"disabled", "enabled"} {
+		var rec0, rec1 *obs.Recorder
+		if mode == "enabled" {
+			rec0 = obs.NewRecorder(0, obs.DefaultRingEvents)
+			rec1 = obs.NewRecorder(1, obs.DefaultRingEvents)
+		}
+		pt, err := tracePingPong(size, reps, rec0, rec1)
+		if err != nil {
+			return nil, err
+		}
+		pt.Mode = mode
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// tracePingPong is nativePingPong reduced to one size, with explicit
+// recorders and an allocation count around the timed loop.
+func tracePingPong(size, reps int, rec0, rec1 *obs.Recorder) (TracePoint, error) {
+	devs := transport.NewShmJob(2, 0)
+	p0 := core.NewProc(devs[0], core.Config{Recorder: rec0})
+	p1 := core.NewProc(devs[1], core.Config{Recorder: rec1})
+	defer p0.Close()
+	defer p1.Close()
+
+	const ctx, tag = 0, 5
+	warm := reps/4 + 16
+
+	var wg sync.WaitGroup
+	var echoErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Echo by reference: over the chan device the same buffer
+		// shuttles between the ranks, so steady state allocates nothing.
+		for r := 0; r < warm+reps; r++ {
+			rreq := p1.Irecv(ctx, 0, tag)
+			rreq.Wait()
+			payload := rreq.TakePayload()
+			rreq.Recycle()
+			sreq, err := p1.Isend(ctx, 1, 0, tag, payload, core.ModeStandard, false)
+			if err != nil {
+				echoErr = err
+				return
+			}
+			sreq.Wait()
+			sreq.Recycle()
+		}
+	}()
+
+	cur := make([]byte, size)
+	roundTrip := func() error {
+		sreq, err := p0.Isend(ctx, 0, 1, tag, cur, core.ModeStandard, false)
+		if err != nil {
+			return err
+		}
+		rreq := p0.Irecv(ctx, 1, tag)
+		rreq.Wait()
+		sreq.Wait()
+		cur = rreq.TakePayload()
+		rreq.Recycle()
+		sreq.Recycle()
+		return nil
+	}
+	for w := 0; w < warm; w++ {
+		if err := roundTrip(); err != nil {
+			return TracePoint{}, err
+		}
+	}
+
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for r := 0; r < reps; r++ {
+		if err := roundTrip(); err != nil {
+			return TracePoint{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	wg.Wait()
+	if echoErr != nil {
+		return TracePoint{}, echoErr
+	}
+	return TracePoint{
+		Bytes:       size,
+		OneWayNs:    (elapsed / time.Duration(2*reps)).Nanoseconds(),
+		AllocsPerRT: float64(m1.Mallocs-m0.Mallocs) / float64(reps),
+	}, nil
+}

@@ -37,6 +37,10 @@ type Comm struct {
 	// same Agree/Shrink call sequence, so a dedicated counter keeps
 	// the repair traffic's tags aligned.
 	rseq atomic.Uint32
+
+	// obs caches this communicator's performance-variable handles
+	// (see obs.go); the zero value resolves lazily on first use.
+	obs commObs
 }
 
 // Internal tag families, one per collective family, in the low

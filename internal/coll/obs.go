@@ -1,0 +1,49 @@
+package coll
+
+import (
+	"sync"
+
+	"gompi/internal/obs"
+)
+
+// commObs caches the collective layer's performance-variable handles so
+// the schedule executor touches atomics, not the registry's map+mutex.
+// The counters live in the rank's registry under "coll.*" — every
+// communicator of a rank shares them — and the zero value is usable, so
+// Comm remains constructible by struct literal.
+type commObs struct {
+	once    sync.Once
+	started *obs.Counter // schedule activations armed
+	parked  *obs.Counter // times a schedule gave its worker back
+	resumed *obs.Counter // times a parked schedule was re-enqueued
+	schedNs *obs.Timing  // activation wall time, arm to finish
+}
+
+// Warm forces the lazy registration of the collective layer's
+// performance and control variables, so enumeration is complete before
+// any collective has run.
+func (c *Comm) Warm() { c.vars() }
+
+// vars resolves (once) this communicator's handles in the rank's
+// registry and registers the pool-cap control variable.
+func (c *Comm) vars() *commObs {
+	c.obs.once.Do(func() {
+		reg := c.P.Obs()
+		c.obs.started = reg.Counter("coll.scheds_started")
+		c.obs.parked = reg.Counter("coll.scheds_parked")
+		c.obs.resumed = reg.Counter("coll.scheds_resumed")
+		c.obs.schedNs = reg.Timing("coll.sched_ns")
+		// The pool is process-wide; each rank's registry gets a cvar
+		// handle onto the one shared cap.
+		reg.RegisterControl(obs.Control{
+			Name: "coll.pool_max_workers",
+			Desc: "shared progress pool worker cap (process-wide)",
+			Get:  func() int64 { return int64(MaxPoolWorkers()) },
+			Set: func(v int64) error {
+				SetMaxPoolWorkers(int(v))
+				return nil
+			},
+		})
+	})
+	return &c.obs
+}

@@ -4,6 +4,7 @@ import (
 	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // forcePool routes the blocking collective entry points through the
@@ -27,6 +28,13 @@ type progressPool struct {
 	idle    int // workers blocked waiting for work
 	workers int // workers spawned so far, capped at max
 	max     int
+
+	// Occupancy, tracked outside the pool lock so readers (EngineStats,
+	// the pvar surface) never contend with the dispatch path: busy is
+	// the workers currently executing a schedule, peakBusy the high
+	// water mark over the process lifetime.
+	busy     atomic.Int64
+	peakBusy atomic.Int64
 }
 
 // sharedPool is the process-wide pool. Workers are spawned lazily, up
@@ -42,7 +50,48 @@ var sharedPool = func() *progressPool {
 
 // MaxPoolWorkers reports the pool's worker cap (for tests asserting the
 // O(cores) goroutine bound).
-func MaxPoolWorkers() int { return sharedPool.max }
+func MaxPoolWorkers() int {
+	sharedPool.mu.Lock()
+	defer sharedPool.mu.Unlock()
+	return sharedPool.max
+}
+
+// SetMaxPoolWorkers raises or lowers the pool's worker cap (the
+// "coll.pool_max_workers" control variable). Lowering the cap does not
+// kill workers already spawned — they drain and idle — but no new ones
+// start above it.
+func SetMaxPoolWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	sharedPool.mu.Lock()
+	sharedPool.max = n
+	sharedPool.mu.Unlock()
+}
+
+// PoolOccupancy is the shared progress pool's load read-out.
+type PoolOccupancy struct {
+	Busy     int // workers currently executing a schedule
+	PeakBusy int // high water mark of Busy over the process lifetime
+	Workers  int // workers spawned so far
+	Max      int // worker cap
+}
+
+// PoolStats snapshots the shared pool's occupancy. The pool is
+// process-wide: in-process multi-rank runs see one pool serving every
+// rank.
+func PoolStats() PoolOccupancy {
+	p := sharedPool
+	p.mu.Lock()
+	workers, max := p.workers, p.max
+	p.mu.Unlock()
+	return PoolOccupancy{
+		Busy:     int(p.busy.Load()),
+		PeakBusy: int(p.peakBusy.Load()),
+		Workers:  workers,
+		Max:      max,
+	}
+}
 
 // enqueue makes s runnable. It never blocks and takes only the pool's
 // own lock: completion callbacks invoke it under the engine lock.
@@ -73,7 +122,15 @@ func (p *progressPool) worker() {
 		p.q[p.head] = nil
 		p.head++
 		p.mu.Unlock()
+		b := p.busy.Add(1)
+		for {
+			pk := p.peakBusy.Load()
+			if b <= pk || p.peakBusy.CompareAndSwap(pk, b) {
+				break
+			}
+		}
 		s.run()
+		p.busy.Add(-1)
 		p.mu.Lock()
 	}
 }

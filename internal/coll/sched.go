@@ -5,8 +5,10 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gompi/internal/core"
+	"gompi/internal/obs"
 )
 
 // ErrCancelled is the completion error of a collective schedule that was
@@ -150,6 +152,10 @@ type sched struct {
 	gated []*core.Request
 	waits atomic.Int32
 	wake  func() // bound once; decrements waits, enqueues at zero
+
+	// t0 is the activation's arm time, feeding the "coll.sched_ns"
+	// timing variable on finish.
+	t0 time.Time
 }
 
 // newSched builds an empty schedule and mints its instance number —
@@ -163,7 +169,11 @@ func (c *Comm) newSched() *sched {
 	s := &sched{c: c, inst: c.seq.Add(1) - 1}
 	s.req = &Request{s: s}
 	s.wake = func() {
+		// Runs under the engine lock (completion callback); counter
+		// bump and trace record are single atomic operations.
 		if s.waits.Add(-1) == 0 {
+			s.c.vars().resumed.Inc()
+			s.c.P.Recorder().Instant(obs.EvCollResume, s.inst, int64(sharedPool.busy.Load()))
 			sharedPool.enqueue(s)
 		}
 	}
@@ -187,10 +197,16 @@ func (s *sched) step(fn func() error) { s.steps = append(s.steps, step{run: fn})
 func (s *sched) onReset(fn func()) { s.resets = append(s.resets, fn) }
 
 // arm runs the registered resets, initializing the activation's state.
+// Every activation passes through here exactly once — one-shot or
+// persistent, inline or pooled — so it is also where the activation's
+// span opens.
 func (s *sched) arm() {
 	for _, fn := range s.resets {
 		fn()
 	}
+	s.c.vars().started.Inc()
+	s.t0 = time.Now()
+	s.c.P.Recorder().Begin(obs.EvCollSched, s.inst, 0)
 }
 
 // rearm prepares a fresh activation of an already-run schedule: a new
@@ -423,6 +439,8 @@ func (s *sched) park(reqs ...*core.Request) bool {
 		s.gmu.Unlock()
 		return false
 	}
+	s.c.vars().parked.Inc()
+	s.c.P.Recorder().Instant(obs.EvCollPark, s.inst, int64(len(reqs)))
 	return true
 }
 
@@ -453,6 +471,12 @@ func (s *sched) cancelled() bool {
 
 // finish completes the activation's request.
 func (s *sched) finish(err error) {
+	if !s.t0.IsZero() {
+		// t0 is zero when a schedule fails before arming (argument
+		// validation); only armed activations count toward the timing.
+		s.c.vars().schedNs.Observe(time.Since(s.t0))
+		s.c.P.Recorder().End(obs.EvCollSched, s.inst, 0)
+	}
 	if err == nil {
 		s.req.res = s.res
 	}

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"gompi/internal/obs"
 	"gompi/internal/transport"
 )
 
@@ -44,6 +46,10 @@ type Config struct {
 	// EagerLimit is the eager/rendezvous switch-over in payload bytes;
 	// 0 selects DefaultEagerLimit, negative forces all-rendezvous.
 	EagerLimit int
+	// Recorder, when non-nil, receives this rank's trace events. A nil
+	// recorder disables tracing at the cost of one branch per
+	// instrumentation point.
+	Recorder *obs.Recorder
 }
 
 func (c Config) eagerLimit() int {
@@ -109,6 +115,19 @@ type Proc struct {
 	fatal error
 
 	stats Stats
+	// reg is the rank's pvar/cvar registry; stats is a typed view over
+	// it and layers above hang their own variables off it.
+	reg *obs.Registry
+	// rec is the rank's flight recorder (nil = tracing disabled).
+	rec *obs.Recorder
+	// eagerLim is the live eager/rendezvous threshold; a writable
+	// control variable ("core.eager_limit"), hence atomic rather than a
+	// Config read. Negative forces all-rendezvous.
+	eagerLim atomic.Int64
+	// unexpDepth mirrors len(arrived) for the registry
+	// ("core.unexpected_depth"): current and peak unexpected-queue
+	// occupancy without taking the engine lock to read.
+	unexpDepth *obs.Gauge
 
 	wg sync.WaitGroup
 	// inflightN counts control frames (CTS/ACK/DATA) sent
@@ -127,11 +146,22 @@ func NewProc(dev transport.Device, cfg Config) *Proc {
 	p := &Proc{
 		dev:     dev,
 		cfg:     cfg,
+		reg:     obs.NewRegistry(),
+		rec:     cfg.Recorder,
 		sent:    make(map[uint64]*Request),
 		recving: make(map[uint64]*Request),
 		nextCtx: 2, // 0 and 1 belong to COMM_WORLD
 	}
 	p.cond = sync.NewCond(&p.mu)
+	p.stats = newStats(p.reg)
+	p.unexpDepth = p.reg.Gauge("core.unexpected_depth")
+	p.eagerLim.Store(int64(cfg.eagerLimit()))
+	p.reg.RegisterControl(obs.Control{
+		Name: "core.eager_limit",
+		Desc: "eager/rendezvous switch-over in payload bytes (negative forces rendezvous)",
+		Get:  func() int64 { return p.eagerLim.Load() },
+		Set:  func(v int64) error { p.eagerLim.Store(v); return nil },
+	})
 	p.wg.Add(1)
 	go p.progress()
 	return p
@@ -143,8 +173,9 @@ func (p *Proc) Rank() int { return p.dev.Rank() }
 // Size returns the world size.
 func (p *Proc) Size() int { return p.dev.Size() }
 
-// EagerLimit reports the configured eager/rendezvous threshold.
-func (p *Proc) EagerLimit() int { return p.cfg.eagerLimit() }
+// EagerLimit reports the live eager/rendezvous threshold (the
+// "core.eager_limit" control variable).
+func (p *Proc) EagerLimit() int { return int(p.eagerLim.Load()) }
 
 // Close shuts the engine down: the device is closed and the progress
 // goroutine joined. Outstanding requests never complete after Close; the
@@ -243,6 +274,7 @@ func (p *Proc) failPeer(pl *transport.PeerLostError) {
 	}
 	p.peerDown[pl.Peer] = pl
 	p.stats.PeersLost.Add(1)
+	p.rec.Instant(obs.EvPeerLost, uint32(pl.Peer), 0)
 	peer := pl.Peer
 
 	kept := p.posted[:0]
@@ -453,6 +485,7 @@ func (p *Proc) revokeLocked(base int32) (outs []outFrame, fresh bool) {
 	err := fmt.Errorf("%w (ctx %d)", ErrCommRevoked, base)
 	p.revoked[base] = err
 	p.revoked[base+1] = err
+	p.rec.Instant(obs.EvRevoke, uint32(base), 0)
 
 	onPair := func(ctx int32) bool { return ctx == base || ctx == base+1 }
 
@@ -500,6 +533,7 @@ func (p *Proc) revokeLocked(base int32) (outs []outFrame, fresh bool) {
 		p.arrived[i] = nil
 	}
 	p.arrived = keptMsgs
+	p.unexpDepth.Set(int64(len(p.arrived)))
 
 	me := p.Rank()
 	members := p.groups[base]
@@ -536,11 +570,14 @@ func (p *Proc) handle(f parsed) (outs []outFrame, after []lateComplete) {
 				kind: f.kind, env: f.env, id: f.id,
 				payload: f.payload, frame: f.frame,
 			})
+			p.rec.Instant(obs.EvRecvUnexpected, uint32(f.env.srcGroup), int64(len(f.payload)))
+			p.unexpDepth.Set(int64(len(p.arrived)))
 			p.cond.Broadcast()
 			return nil, nil
 		}
 		p.stats.RecvsMatched.Add(1)
 		p.stats.BytesRecv.Add(uint64(len(f.payload)))
+		p.rec.Instant(obs.EvRecvMatched, uint32(f.env.srcGroup), int64(len(f.payload)))
 		p.deliverLocked(req, f.payload, f.frame, Status{
 			SourceGroup: int(f.env.srcGroup),
 			Tag:         int(f.env.tag),
@@ -551,8 +588,10 @@ func (p *Proc) handle(f parsed) (outs []outFrame, after []lateComplete) {
 	case kRts:
 		req := p.takeMatchLocked(f.env)
 		f.frame.Release() // RTS carries no payload; nothing to retain
+		p.rec.Instant(obs.EvRtsRecv, uint32(f.env.srcGroup), int64(f.size))
 		if req == nil {
 			p.arrived = append(p.arrived, &inMsg{kind: kRts, env: f.env, id: f.id, size: f.size})
+			p.unexpDepth.Set(int64(len(p.arrived)))
 			p.cond.Broadcast()
 			return nil, nil
 		}
@@ -566,6 +605,8 @@ func (p *Proc) handle(f parsed) (outs []outFrame, after []lateComplete) {
 			return nil, nil // cancelled or duplicate
 		}
 		delete(p.sent, f.id)
+		p.rec.Instant(obs.EvCtsRecv, uint32(f.id), 0)
+		p.rec.End(obs.EvSendRndv, uint32(f.id), 0)
 		outs = append(outs, outFrame{
 			dst:     f.env.srcWorld,
 			hdr:     buildDataHdr(int32(p.Rank()), f.recvID),
@@ -743,7 +784,7 @@ func (p *Proc) Isend(ctx int32, srcGroup int, dstWorld int, tag int, payload []b
 		return req, fmt.Errorf("core: send to rank %d: %w", dstWorld, lost)
 	}
 
-	eager := p.cfg.eagerLimit()
+	eager := int(p.eagerLim.Load())
 	small := eager >= 0 && len(payload) <= eager
 
 	p.stats.BytesSent.Add(uint64(len(payload)))
@@ -753,6 +794,7 @@ func (p *Proc) Isend(ctx int32, srcGroup int, dstWorld int, tag int, payload []b
 		// Sendv returns (and recycled downstream); the request
 		// completes immediately.
 		p.stats.SendsEager.Add(1)
+		p.rec.Instant(obs.EvSendEager, uint32(dstWorld), int64(len(payload)))
 		p.complete(req, nil, Status{Bytes: len(payload)})
 		if err := p.dev.Sendv(dstWorld, buildEagerHdr(false, env, 0), payload, recycle); err != nil {
 			return req, fmt.Errorf("core: eager send: %w", err)
@@ -760,6 +802,7 @@ func (p *Proc) Isend(ctx int32, srcGroup int, dstWorld int, tag int, payload []b
 	case mode == ModeSync && small:
 		// Eager synchronous: ship payload now, complete on matched ack.
 		p.stats.SendsSync.Add(1)
+		p.rec.Instant(obs.EvSendSync, uint32(dstWorld), int64(len(payload)))
 		p.mu.Lock()
 		p.nextID++
 		id := p.nextID
@@ -780,6 +823,10 @@ func (p *Proc) Isend(ctx int32, srcGroup int, dstWorld int, tag int, payload []b
 		req.recycle = recycle
 		p.sent[id] = req
 		p.mu.Unlock()
+		// The rendezvous span opens at the RTS and closes when the CTS
+		// grant arrives (both on this, the sender's, timeline): its
+		// width is the receiver-matching stall the eager path avoids.
+		p.rec.Begin(obs.EvSendRndv, uint32(id), int64(len(payload)))
 		if err := p.dev.Sendv(dstWorld, buildRts(env, id, len(payload)), nil, false); err != nil {
 			return req, fmt.Errorf("core: rts send: %w", err)
 		}
@@ -859,6 +906,7 @@ func (p *Proc) irecvInto(ctx, src, tag int32, into []byte, elemSize int) *Reques
 		return req
 	}
 	p.arrived = append(p.arrived[:idx], p.arrived[idx+1:]...)
+	p.unexpDepth.Set(int64(len(p.arrived)))
 	p.stats.RecvsUnexpected.Add(1)
 	if m.kind == kRts {
 		p.stats.BytesRecv.Add(uint64(m.size))

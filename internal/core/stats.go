@@ -1,46 +1,66 @@
 package core
 
 import (
-	"sync/atomic"
+	"gompi/internal/obs"
 
 	"gompi/internal/transport"
 )
 
 // Stats are monotonic per-engine counters, exposed for diagnostics and
 // for tests that assert protocol selection (eager vs rendezvous) and
-// matching behaviour. All counters are updated with atomics and may be
-// read at any time.
+// matching behaviour. Each field is a performance variable in the
+// engine's obs.Registry — Stats is a typed view over the registry, not
+// a parallel counter set — so the same values surface through
+// Env.PerfVars() under the "core.*" names. All counters are updated
+// with atomics and may be read at any time.
 type Stats struct {
 	// SendsEager counts standard/ready-mode messages shipped eagerly.
-	SendsEager atomic.Uint64
+	SendsEager *obs.Counter
 	// SendsSync counts synchronous-mode eager messages (ack-gated).
-	SendsSync atomic.Uint64
+	SendsSync *obs.Counter
 	// SendsRndv counts messages that took the RTS/CTS/DATA path.
-	SendsRndv atomic.Uint64
+	SendsRndv *obs.Counter
 	// BytesSent totals payload bytes handed to the device.
-	BytesSent atomic.Uint64
+	BytesSent *obs.Counter
 	// RecvsMatched counts receives satisfied from the posted queue
 	// (message arrived after the receive was posted).
-	RecvsMatched atomic.Uint64
+	RecvsMatched *obs.Counter
 	// RecvsUnexpected counts receives satisfied from the unexpected
 	// queue (message arrived first).
-	RecvsUnexpected atomic.Uint64
+	RecvsUnexpected *obs.Counter
 	// BytesRecv totals payload bytes delivered to receives.
-	BytesRecv atomic.Uint64
+	BytesRecv *obs.Counter
 	// BytesCopied totals payload bytes the engine copied on the
 	// receive side (receive-into deposits). Ordinary receives hand the
 	// frame over by reference and copy nothing here, so BytesCopied
 	// against BytesRecv measures how much of the traffic still pays an
 	// engine-side copy.
-	BytesCopied atomic.Uint64
+	BytesCopied *obs.Counter
 	// RecvsZeroCopy counts receives completed by transferring frame
 	// ownership instead of copying the payload.
-	RecvsZeroCopy atomic.Uint64
+	RecvsZeroCopy *obs.Counter
 	// Cancelled counts operations completed by cancellation.
-	Cancelled atomic.Uint64
+	Cancelled *obs.Counter
 	// PeersLost counts peer processes whose loss the engine has
 	// observed and converted into per-operation failures.
-	PeersLost atomic.Uint64
+	PeersLost *obs.Counter
+}
+
+// newStats registers the engine's counters in reg.
+func newStats(reg *obs.Registry) Stats {
+	return Stats{
+		SendsEager:      reg.Counter("core.sends_eager"),
+		SendsSync:       reg.Counter("core.sends_sync"),
+		SendsRndv:       reg.Counter("core.sends_rndv"),
+		BytesSent:       reg.Counter("core.bytes_sent"),
+		RecvsMatched:    reg.Counter("core.recvs_matched"),
+		RecvsUnexpected: reg.Counter("core.recvs_unexpected"),
+		BytesRecv:       reg.Counter("core.bytes_recv"),
+		BytesCopied:     reg.Counter("core.bytes_copied"),
+		RecvsZeroCopy:   reg.Counter("core.recvs_zero_copy"),
+		Cancelled:       reg.Counter("core.cancelled"),
+		PeersLost:       reg.Counter("core.peers_lost"),
+	}
 }
 
 // Snapshot is a plain-value copy of the counters, including the
@@ -70,6 +90,14 @@ type Snapshot struct {
 
 // Stats returns the engine's counter set.
 func (p *Proc) Stats() *Stats { return &p.stats }
+
+// Obs returns the engine's performance/control-variable registry.
+func (p *Proc) Obs() *obs.Registry { return p.reg }
+
+// Recorder returns the engine's flight recorder; nil when tracing is
+// disabled (every Recorder method is nil-safe, so callers thread the
+// pointer through unconditionally).
+func (p *Proc) Recorder() *obs.Recorder { return p.rec }
 
 // StatsSnapshot copies the current counter values.
 func (p *Proc) StatsSnapshot() Snapshot {

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"gompi/internal/core"
+	"gompi/internal/obs"
 	"gompi/internal/transport"
 )
 
@@ -85,6 +86,13 @@ type Fabric struct {
 
 	framesSent, framesRecv atomic.Uint64
 	bytesSent, bytesRecv   atomic.Uint64
+
+	// rec is the rank's flight recorder (nil = tracing disabled); the
+	// join/admit handshakes record spans on it. Set once at wiring
+	// time, before any handshake can run.
+	rec *obs.Recorder
+	// spanSeq mints ids for overlapping join/admit spans.
+	spanSeq atomic.Uint32
 }
 
 // NewFabric wraps base. The pump starts immediately: frames cost one
@@ -108,6 +116,20 @@ func NewFabric(base transport.Device) *Fabric {
 
 // GUID returns this process endpoint's globally unique id.
 func (f *Fabric) GUID() string { return f.guid }
+
+// SetRecorder attaches the rank's flight recorder. Call before the
+// first Connect/Accept; a nil recorder keeps tracing disabled.
+func (f *Fabric) SetRecorder(r *obs.Recorder) { f.rec = r }
+
+// span opens a trace span and returns its closer.
+func (f *Fabric) span(kind obs.EventKind, val int64) func() {
+	if f.rec == nil {
+		return func() {}
+	}
+	id := f.spanSeq.Add(1)
+	f.rec.Begin(kind, id, val)
+	return func() { f.rec.End(kind, id, 0) }
+}
 
 // Epoch returns the world epoch: the number of joins admitted so far.
 func (f *Fabric) Epoch() int {

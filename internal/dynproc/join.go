@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"gompi/internal/obs"
 	"gompi/internal/transport"
 )
 
@@ -247,6 +248,7 @@ func (f *Fabric) handleConn(c net.Conn) {
 // DialLeader runs the connect side of the leader handshake against a
 // remote port and returns the admission ticket for the local world.
 func (f *Fabric) DialLeader(portName string, local []Member, ctxCand int32, timeout time.Duration) (*Ticket, error) {
+	defer f.span(obs.EvJoin, int64(len(local)))()
 	addr, epoch, key, err := ParsePortName(portName)
 	if err != nil {
 		return nil, err
@@ -278,6 +280,7 @@ func (f *Fabric) DialLeader(portName string, local []Member, ctxCand int32, time
 // parked on the port, names the join, and replies with the local
 // member table.
 func (f *Fabric) AcceptLeader(p *Port, local []Member, ctxCand int32, timeout time.Duration) (*Ticket, error) {
+	defer f.span(obs.EvJoin, int64(len(local)))()
 	var in *inboundLeader
 	select {
 	case in = <-p.hellos:
@@ -463,6 +466,7 @@ func (f *Fabric) attach(guid string, c net.Conn) (int, error) {
 // same worlds — or a Merge after an Accept — never duplicates links.
 // On success the world epoch advances.
 func (f *Fabric) Admit(t *Ticket, timeout time.Duration) ([]int, error) {
+	defer f.span(obs.EvAdmit, int64(len(t.Remote)))()
 	deadline := time.Now().Add(timeout)
 	idxs := make([]int, len(t.Remote))
 	for i, m := range t.Remote {

@@ -1,0 +1,238 @@
+// Package obs is the runtime observability substrate: an MPI_T-style
+// registry of performance variables (counters, gauges, timings) and
+// writable control variables, plus a per-rank lock-free flight recorder
+// (trace.go) whose merged output mpirun renders as a Chrome trace.
+//
+// The registry follows the MPI-4 tools-information direction: variables
+// self-register by name, enumeration is cheap and read-only, and the
+// engine's own counters are registry entries first — EngineStats is one
+// view over them, not a parallel counter set. Every variable is safe
+// for concurrent update and read; updates are single atomic operations
+// so they can sit on the message hot path.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonic performance variable.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current count.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is an up/down performance variable that tracks its peak.
+type Gauge struct{ cur, peak atomic.Int64 }
+
+// Add moves the gauge by d and returns the new value, updating the peak.
+func (g *Gauge) Add(d int64) int64 {
+	n := g.cur.Add(d)
+	for {
+		p := g.peak.Load()
+		if n <= p || g.peak.CompareAndSwap(p, n) {
+			return n
+		}
+	}
+}
+
+// Set stores v, updating the peak.
+func (g *Gauge) Set(v int64) {
+	g.cur.Store(v)
+	for {
+		p := g.peak.Load()
+		if v <= p || g.peak.CompareAndSwap(p, v) {
+			return
+		}
+	}
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.cur.Load() }
+
+// Peak returns the largest value the gauge has held.
+func (g *Gauge) Peak() int64 { return g.peak.Load() }
+
+// Timing is a duration-accumulating performance variable.
+type Timing struct {
+	n     atomic.Uint64
+	total atomic.Int64 // nanoseconds
+}
+
+// Observe folds one duration in.
+func (t *Timing) Observe(d time.Duration) {
+	t.n.Add(1)
+	t.total.Add(int64(d))
+}
+
+// Count returns the number of observations.
+func (t *Timing) Count() uint64 { return t.n.Load() }
+
+// TotalNs returns the accumulated nanoseconds.
+func (t *Timing) TotalNs() int64 { return t.total.Load() }
+
+// VarValue is one performance variable's read-out.
+type VarValue struct {
+	Name  string `json:"name"`
+	Class string `json:"class"` // "counter", "gauge" or "timing"
+	// Value is the counter count, the gauge's current value, or the
+	// timing's total nanoseconds.
+	Value int64 `json:"value"`
+	// Aux is the gauge's peak or the timing's observation count; zero
+	// for counters.
+	Aux int64 `json:"aux,omitempty"`
+}
+
+// Control is a writable control variable: a named knob with live
+// get/set accessors (the MPI_T cvar analogue — eager threshold, pool
+// caps).
+type Control struct {
+	Name string
+	Desc string
+	Get  func() int64
+	Set  func(int64) error
+}
+
+// ControlValue is one control variable's enumeration entry.
+type ControlValue struct {
+	Name  string `json:"name"`
+	Desc  string `json:"desc"`
+	Value int64  `json:"value"`
+}
+
+// Registry holds one rank's performance and control variables.
+// Creation is get-or-create by name, so layers self-register without
+// coordination; reads never block updates.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	timings  map[string]*Timing
+	controls map[string]Control
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		timings:  make(map[string]*Timing),
+		controls: make(map[string]Control),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Timing returns the named timing, creating it on first use.
+func (r *Registry) Timing(name string) *Timing {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := r.timings[name]
+	if t == nil {
+		t = &Timing{}
+		r.timings[name] = t
+	}
+	return t
+}
+
+// RegisterControl installs (or replaces) a control variable.
+func (r *Registry) RegisterControl(c Control) {
+	r.mu.Lock()
+	r.controls[c.Name] = c
+	r.mu.Unlock()
+}
+
+// Value reads one performance variable by name (counter count, gauge
+// current value, or timing total); ok is false when no variable has
+// that name.
+func (r *Registry) Value(name string) (v int64, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c := r.counters[name]; c != nil {
+		return int64(c.Load()), true
+	}
+	if g := r.gauges[name]; g != nil {
+		return g.Load(), true
+	}
+	if t := r.timings[name]; t != nil {
+		return t.TotalNs(), true
+	}
+	return 0, false
+}
+
+// Snapshot enumerates every performance variable, sorted by name.
+func (r *Registry) Snapshot() []VarValue {
+	r.mu.Lock()
+	out := make([]VarValue, 0, len(r.counters)+len(r.gauges)+len(r.timings))
+	for n, c := range r.counters {
+		out = append(out, VarValue{Name: n, Class: "counter", Value: int64(c.Load())})
+	}
+	for n, g := range r.gauges {
+		out = append(out, VarValue{Name: n, Class: "gauge", Value: g.Load(), Aux: g.Peak()})
+	}
+	for n, t := range r.timings {
+		out = append(out, VarValue{Name: n, Class: "timing", Value: t.TotalNs(), Aux: int64(t.Count())})
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Controls enumerates the control variables with their live values,
+// sorted by name.
+func (r *Registry) Controls() []ControlValue {
+	r.mu.Lock()
+	cs := make([]Control, 0, len(r.controls))
+	for _, c := range r.controls {
+		cs = append(cs, c)
+	}
+	r.mu.Unlock()
+	out := make([]ControlValue, 0, len(cs))
+	for _, c := range cs {
+		out = append(out, ControlValue{Name: c.Name, Desc: c.Desc, Value: c.Get()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// SetControl writes one control variable by name.
+func (r *Registry) SetControl(name string, v int64) error {
+	r.mu.Lock()
+	c, ok := r.controls[name]
+	r.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("obs: unknown control variable %q", name)
+	}
+	return c.Set(v)
+}

@@ -4,8 +4,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"gompi/internal/coll"
+	"gompi/internal/obs"
 )
 
 // Two-phase collective I/O (the ROMIO technique): instead of every
@@ -27,6 +29,39 @@ import (
 // chunk wire format: u64 file byte offset, u32 length, then (for data
 // bundles) length payload bytes. Request bundles carry headers only.
 const chunkHdr = 12
+
+// pioSpan mints process-unique span ids for the trace: collective I/O
+// phases of distinct calls may overlap in flight (nonblocking Start
+// forms), so the instance-scoped ids the coll layer uses won't do.
+var pioSpan atomic.Uint32
+
+// spanStep brackets the steps appended between the call and the
+// returned closure with a trace span: the schedule executes the begin
+// step, the wrapped phase's steps, then the end step, so the span's
+// width is the phase's wall time on this rank. bytes is evaluated when
+// the begin step runs (bundles filled by earlier steps are complete by
+// then).
+func spanStep(p *coll.Plan, c *coll.Comm, kind obs.EventKind, bytes func() int64) (end func()) {
+	id := pioSpan.Add(1)
+	p.Step(func() error {
+		c.P.Recorder().Begin(kind, id, bytes())
+		return nil
+	})
+	return func() {
+		p.Step(func() error {
+			c.P.Recorder().End(kind, id, 0)
+			return nil
+		})
+	}
+}
+
+func bundleBytes(parts [][]byte) int64 {
+	var n int64
+	for _, b := range parts {
+		n += int64(len(b))
+	}
+	return n
+}
 
 func appendChunkHdr(dst []byte, off int64, n int) []byte {
 	dst = binary.LittleEndian.AppendUint64(dst, uint64(off))
@@ -84,13 +119,19 @@ func (f *File) WriteAllPlan(c *coll.Comm, off int, wire []byte) (*coll.Plan, err
 	}
 
 	// Phase 1: the data exchange.
+	endEx := spanStep(p, c, obs.EvPioExchange, func() int64 { return bundleBytes(parts) })
 	var got [][]byte
 	if err := p.Alltoall(parts, &got); err != nil {
 		return nil, err
 	}
+	endEx()
 
 	// Phase 2: this rank's aggregator pass over its received chunks.
 	p.Step(func() error {
+		rec := c.P.Recorder()
+		id := pioSpan.Add(1)
+		rec.Begin(obs.EvPioWrite, id, 0)
+		var written int64
 		for _, b := range got {
 			for len(b) > 0 {
 				o, n, rest, err := readChunkHdr(b)
@@ -103,9 +144,11 @@ func (f *File) WriteAllPlan(c *coll.Comm, off int, wire []byte) (*coll.Plan, err
 				if _, err := f.f.WriteAt(rest[:n], o); err != nil {
 					return &Error{Op: "write", Path: f.path, Err: err}
 				}
+				written += int64(n)
 				b = rest[n:]
 			}
 		}
+		rec.End(obs.EvPioWrite, id, written)
 		return nil
 	})
 	p.Publish(func() any { return nil })
@@ -150,15 +193,21 @@ func (f *File) ReadAllPlan(c *coll.Comm, off, n int) (*coll.Plan, error) {
 	}
 
 	// Phase 1: requests out to the aggregators.
+	endReq := spanStep(p, c, obs.EvPioExchange, func() int64 { return bundleBytes(reqs) })
 	var gotReqs [][]byte
 	if err := p.Alltoall(reqs, &gotReqs); err != nil {
 		return nil, err
 	}
+	endReq()
 
 	// Phase 2: this rank's aggregator pass — pread every requested
 	// range, short at end-of-file, and bundle the data per requester.
 	replies := make([][]byte, c.Size)
 	p.Step(func() error {
+		rec := c.P.Recorder()
+		id := pioSpan.Add(1)
+		rec.Begin(obs.EvPioRead, id, 0)
+		var read int64
 		for r, b := range gotReqs {
 			for len(b) > 0 {
 				o, cn, rest, err := readChunkHdr(b)
@@ -172,17 +221,21 @@ func (f *File) ReadAllPlan(c *coll.Comm, off, n int) (*coll.Plan, error) {
 				}
 				replies[r] = appendChunkHdr(replies[r], o, m)
 				replies[r] = append(replies[r], buf[:m]...)
+				read += int64(m)
 				b = rest
 			}
 		}
+		rec.End(obs.EvPioRead, id, read)
 		return nil
 	})
 
 	// Phase 3: data back to the requesters.
+	endData := spanStep(p, c, obs.EvPioExchange, func() int64 { return bundleBytes(replies) })
 	var gotData [][]byte
 	if err := p.Alltoall(replies, &gotData); err != nil {
 		return nil, err
 	}
+	endData()
 
 	// Phase 4: reassemble my wire buffer. A chunk shorter than
 	// requested marks the end of the file; the delivered count is the

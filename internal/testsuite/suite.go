@@ -11,6 +11,7 @@ package testsuite
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"gompi/mpi"
 )
@@ -77,6 +78,38 @@ func RunProgram(p Program, tcp bool) error {
 func RunProgramOpt(p Program, opt mpi.RunOptions) error {
 	opt.NP = p.NP
 	return mpi.RunWith(opt, p.Run)
+}
+
+// RunProgramDiag is RunProgramOpt plus a post-mortem: when the program
+// fails, diag holds every rank's performance-variable snapshot (the
+// MPI_T-style registry) at the time of death — which protocols fired,
+// how deep the unexpected queue got, whether a peer was declared lost.
+// The counters are plain atomics, so reading them after the failed
+// world is torn down is safe.
+func RunProgramDiag(p Program, opt mpi.RunOptions) (err error, diag string) {
+	opt.NP = p.NP
+	envs := make([]*mpi.Env, p.NP)
+	err = mpi.RunWith(opt, func(env *mpi.Env) error {
+		envs[env.Rank()] = env
+		return p.Run(env)
+	})
+	if err == nil {
+		return nil, ""
+	}
+	var b strings.Builder
+	for rank, env := range envs {
+		if env == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "rank %d perf vars:\n", rank)
+		for _, v := range env.PerfVars() {
+			if v.Value == 0 && v.Aux == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "  %-24s %d\n", v.Name, v.Value)
+		}
+	}
+	return err, b.String()
 }
 
 // RunAll executes the whole suite under both modes, mirroring the

@@ -35,6 +35,7 @@ import (
 
 	"gompi/internal/dynproc"
 	"gompi/internal/launch"
+	"gompi/internal/obs"
 )
 
 // dynTimeout bounds the out-of-band half of a join: the leader
@@ -242,6 +243,7 @@ type spawnWire struct {
 // every parent rank during the join.
 func (c *Intracomm) Spawn(command string, args []string, maxprocs int) (*Intercomm, error) {
 	c.env.enterCall()
+	defer c.env.span(obs.EvSpawn, int64(maxprocs))()
 	if err := c.ok(); err != nil {
 		return nil, c.raise(err)
 	}

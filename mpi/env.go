@@ -27,8 +27,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gompi/internal/coll"
 	"gompi/internal/core"
 	"gompi/internal/dynproc"
+	"gompi/internal/obs"
 	"gompi/internal/spin"
 	"gompi/internal/transport"
 )
@@ -101,6 +103,7 @@ func newEnv(dev transport.Device, cfg core.Config) *Env {
 		host = "localhost"
 	}
 	fab := dynproc.NewFabric(dev)
+	fab.SetRecorder(cfg.Recorder)
 	e := &Env{
 		proc:     core.NewProc(fab, cfg),
 		fab:      fab,
@@ -161,10 +164,21 @@ func (e *Env) Finalize() error {
 	if !e.proc.ContextRevoked(e.world.ptpCtx) {
 		barrierErr = e.world.cl.Barrier()
 	}
+	e.proc.Recorder().Instant(obs.EvFinalize, uint32(e.proc.Rank()), 0)
 	err := e.proc.Close()
 	for _, c := range e.closers {
 		if cerr := c(); err == nil {
 			err = cerr
+		}
+	}
+	// Environment-driven tracing (mpirun -trace, or a hand-exported
+	// GOMPI_TRACE) flushes the ring here, after the engine is quiescent.
+	// Programmatic traces (RunOptions.Trace without the env var) are
+	// dumped by the caller via DumpTrace, so tests don't litter their
+	// working directory.
+	if e.proc.Recorder() != nil && obs.EnvEnabled() {
+		if _, derr := e.proc.Recorder().DumpFile(obs.DirFromEnv()); derr != nil && err == nil {
+			err = derr
 		}
 	}
 	if barrierErr != nil {
@@ -190,6 +204,20 @@ type EngineStats struct {
 	PeersLost                        uint64
 	PoolHitRate                      float64
 
+	// Collective-layer counters (this rank): schedule activations, and
+	// how often the progress-pool executor parked a schedule waiting
+	// for a message versus re-enqueued one whose wait completed.
+	CollSchedsStarted uint64
+	CollSchedsParked  uint64
+	CollSchedsResumed uint64
+
+	// Shared progress-pool occupancy (process-wide: one pool serves
+	// every in-process rank): workers currently executing a schedule,
+	// the lifetime peak, and the worker cap.
+	PoolWorkersBusy int
+	PoolWorkersPeak int
+	PoolWorkersMax  int
+
 	// Devices breaks the traffic down by transport medium — one entry
 	// per device behind this rank's endpoint ("shm", "tcp", "chan"),
 	// each carrying its own frame/byte counters and buffer-pool hit
@@ -211,9 +239,17 @@ type DeviceStats struct {
 	PoolHitRate float64
 }
 
-// EngineStats snapshots the rank's hot-path counters.
+// EngineStats snapshots the rank's hot-path counters. It is a typed
+// view over the same obs.Registry PerfVars enumerates: every field here
+// is readable by name ("core.sends_eager", "coll.scheds_parked", ...)
+// through the tools interface.
 func (e *Env) EngineStats() EngineStats {
 	s := e.proc.StatsSnapshot()
+	reg := e.proc.Obs()
+	started, _ := reg.Value("coll.scheds_started")
+	parked, _ := reg.Value("coll.scheds_parked")
+	resumed, _ := reg.Value("coll.scheds_resumed")
+	po := coll.PoolStats()
 	devs := make([]DeviceStats, 0, len(s.Devices))
 	for _, d := range s.Devices {
 		devs = append(devs, DeviceStats{
@@ -239,6 +275,13 @@ func (e *Env) EngineStats() EngineStats {
 		PeersLost:       s.PeersLost,
 		PoolHitRate:     s.Pool.HitRate(),
 		DeviceStats:     devs,
+
+		CollSchedsStarted: uint64(started),
+		CollSchedsParked:  uint64(parked),
+		CollSchedsResumed: uint64(resumed),
+		PoolWorkersBusy:   po.Busy,
+		PoolWorkersPeak:   po.PeakBusy,
+		PoolWorkersMax:    po.Max,
 	}
 }
 

@@ -20,7 +20,7 @@ func Init(args []string) (*Env, []string, error) {
 	sizeStr := os.Getenv(launch.EnvSize)
 	if sizeStr == "" {
 		dev := transport.NewShmJob(1, 0)[0]
-		return newEnv(dev, core.Config{}), args, nil
+		return newEnv(dev, core.Config{Recorder: newRecorder(0, false)}), args, nil
 	}
 	size, err := strconv.Atoi(sizeStr)
 	if err != nil || size <= 0 {
@@ -30,7 +30,7 @@ func Init(args []string) (*Env, []string, error) {
 	if err != nil || rank < 0 || rank >= size {
 		return nil, args, errf(ErrArg, "bad %s=%q", launch.EnvRank, os.Getenv(launch.EnvRank))
 	}
-	cfg := core.Config{}
+	cfg := core.Config{Recorder: newRecorder(rank, false)}
 	if e := os.Getenv(launch.EnvEager); e != "" {
 		if v, err := strconv.Atoi(e); err == nil {
 			cfg.EagerLimit = v

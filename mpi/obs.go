@@ -1,0 +1,98 @@
+package mpi
+
+// The MPI_T-analogue tools surface (MPI-4 chapter 15 direction):
+// enumeration and read-out of the rank's performance variables, live
+// get/set of its control variables, and access to the flight recorder.
+// Variables self-register by name inside the runtime layers
+// ("core.sends_eager", "coll.scheds_parked", ...); this file is only
+// the window onto them.
+
+import (
+	"sync/atomic"
+
+	"gompi/internal/coll"
+	"gompi/internal/obs"
+)
+
+// PerfVars enumerates the rank's performance variables — counters,
+// gauges and timings — sorted by name. The "coll.pool_workers*" entries
+// are process-wide (the shared progress pool serves every in-process
+// rank); everything else is this rank's own.
+func (e *Env) PerfVars() []obs.VarValue {
+	vars := e.proc.Obs().Snapshot()
+	po := coll.PoolStats()
+	vars = append(vars,
+		obs.VarValue{Name: "coll.pool_workers", Class: "gauge", Value: int64(po.Workers), Aux: int64(po.Max)},
+		obs.VarValue{Name: "coll.pool_workers_busy", Class: "gauge", Value: int64(po.Busy), Aux: int64(po.PeakBusy)},
+	)
+	return vars
+}
+
+// PerfVar reads one performance variable by name.
+func (e *Env) PerfVar(name string) (int64, bool) {
+	return e.proc.Obs().Value(name)
+}
+
+// ControlVars enumerates the rank's writable control variables with
+// their live values ("core.eager_limit", "coll.pool_max_workers", ...).
+func (e *Env) ControlVars() []obs.ControlValue {
+	// The coll-layer cvar registers on first collective; touching the
+	// world communicator's collective context here makes enumeration
+	// complete even before any collective ran.
+	e.world.cl.Warm()
+	return e.proc.Obs().Controls()
+}
+
+// SetControlVar writes one control variable by name. The write takes
+// effect immediately — e.g. lowering "core.eager_limit" reroutes the
+// very next send through the rendezvous protocol.
+func (e *Env) SetControlVar(name string, v int64) error {
+	e.world.cl.Warm()
+	if err := e.proc.Obs().SetControl(name, v); err != nil {
+		return errf(ErrArg, "%v", err)
+	}
+	return nil
+}
+
+// TraceEnabled reports whether this rank's flight recorder is on.
+func (e *Env) TraceEnabled() bool { return e.proc.Recorder() != nil }
+
+// DumpTrace flushes the rank's flight-recorder ring to
+// dir/gompi-trace.<rank>.bin and returns the path. It is what Finalize
+// runs automatically when GOMPI_TRACE is set; programmatic runs
+// (RunOptions.Trace) call it wherever they want the dump. An error is
+// returned when tracing is disabled.
+func (e *Env) DumpTrace(dir string) (string, error) {
+	r := e.proc.Recorder()
+	if r == nil {
+		return "", errf(ErrOther, "tracing is not enabled (GOMPI_TRACE / RunOptions.Trace)")
+	}
+	path, err := r.DumpFile(dir)
+	if err != nil {
+		return "", errf(ErrIntern, "dumping trace: %v", err)
+	}
+	return path, nil
+}
+
+// envSpanSeq mints ids for binding-level trace spans (Spawn).
+var envSpanSeq atomic.Uint32
+
+// span opens a binding-level trace span and returns its closer.
+func (e *Env) span(kind obs.EventKind, val int64) func() {
+	r := e.proc.Recorder()
+	if r == nil {
+		return func() {}
+	}
+	id := envSpanSeq.Add(1)
+	r.Begin(kind, id, val)
+	return func() { r.End(kind, id, 0) }
+}
+
+// newRecorder builds the rank's flight recorder when tracing was
+// requested (explicitly or via GOMPI_TRACE); nil otherwise.
+func newRecorder(rank int, want bool) *obs.Recorder {
+	if !want && !obs.EnvEnabled() {
+		return nil
+	}
+	return obs.NewRecorder(rank, obs.RingFromEnv())
+}

@@ -62,6 +62,10 @@ type RunOptions struct {
 	// BindingOverhead injects the emulated JNI-crossing cost into
 	// every communication call (see Env.SetBindingOverhead).
 	BindingOverhead time.Duration
+	// Trace arms each rank's flight recorder (see Env.DumpTrace for
+	// retrieving the rings; GOMPI_TRACE=1 arms it too, and additionally
+	// auto-dumps on Finalize).
+	Trace bool
 	// WrapDevice, when set, decorates each rank's device after shaping
 	// — the hook the fault-injection tests use to interpose
 	// transport.Faulty deterministically on one rank.
@@ -86,9 +90,9 @@ func RunWith(opt RunOptions, fn func(*Env) error) error {
 	if err != nil {
 		return err
 	}
-	cfg := core.Config{EagerLimit: opt.EagerLimit}
 	envs := make([]*Env, opt.NP)
 	for i := range envs {
+		cfg := core.Config{EagerLimit: opt.EagerLimit, Recorder: newRecorder(i, opt.Trace)}
 		envs[i] = newEnv(devs[i], cfg)
 		envs[i].SetBindingOverhead(opt.BindingOverhead)
 	}

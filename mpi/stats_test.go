@@ -1,0 +1,216 @@
+package mpi
+
+import (
+	"sync"
+	"testing"
+
+	"gompi/internal/obs"
+)
+
+// TestStatsInvariants drives a deterministic 2-rank exchange across all
+// three send protocols and checks the pvar registry's bookkeeping: the
+// protocol counters partition the messages sent, and the byte totals
+// balance across the job.
+func TestStatsInvariants(t *testing.T) {
+	const (
+		eagerLim  = 1024
+		nEager    = 10
+		eagerSz   = 64
+		nRndv     = 3
+		rndvSz    = 4096
+		nSync     = 1
+		perRank   = nEager + nRndv + nSync
+		rankBytes = nEager*eagerSz + nRndv*rndvSz + nSync*eagerSz
+	)
+	stats := make([]EngineStats, 2)
+	var mu sync.Mutex
+
+	exchange := func(env *Env, sender int) error {
+		w := env.CommWorld()
+		peer := 1 - w.Rank()
+		small := make([]byte, eagerSz)
+		big := make([]byte, rndvSz)
+		if w.Rank() == sender {
+			for i := 0; i < nEager; i++ {
+				if err := w.Send(small, 0, eagerSz, BYTE, peer, 1); err != nil {
+					return err
+				}
+			}
+			for i := 0; i < nRndv; i++ {
+				if err := w.Send(big, 0, rndvSz, BYTE, peer, 2); err != nil {
+					return err
+				}
+			}
+			return w.Ssend(small, 0, eagerSz, BYTE, peer, 3)
+		}
+		for i := 0; i < nEager; i++ {
+			if _, err := w.Recv(small, 0, eagerSz, BYTE, peer, 1); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < nRndv; i++ {
+			if _, err := w.Recv(big, 0, rndvSz, BYTE, peer, 2); err != nil {
+				return err
+			}
+		}
+		_, err := w.Recv(small, 0, eagerSz, BYTE, peer, 3)
+		return err
+	}
+
+	err := RunWith(RunOptions{NP: 2, EagerLimit: eagerLim}, func(env *Env) error {
+		// Phase 1: rank 0 sends, rank 1 receives; phase 2 reverses. The
+		// receiving phase of each rank completes before it snapshots, so
+		// every payload byte is matched by snapshot time.
+		if err := exchange(env, 0); err != nil {
+			return err
+		}
+		if err := exchange(env, 1); err != nil {
+			return err
+		}
+		mu.Lock()
+		stats[env.Rank()] = env.EngineStats()
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var sent, recv, eager, sync_, rndv uint64
+	for rank, st := range stats {
+		if got := st.SendsEager + st.SendsSync + st.SendsRndv; got != perRank {
+			t.Errorf("rank %d: protocol counters %d+%d+%d = %d, want %d messages",
+				rank, st.SendsEager, st.SendsSync, st.SendsRndv, got, perRank)
+		}
+		if st.RecvsMatched+st.RecvsUnexpected != perRank {
+			t.Errorf("rank %d: matched %d + unexpected %d != %d received",
+				rank, st.RecvsMatched, st.RecvsUnexpected, perRank)
+		}
+		sent += st.BytesSent
+		recv += st.BytesRecv
+		eager += st.SendsEager
+		sync_ += st.SendsSync
+		rndv += st.SendsRndv
+	}
+	if sent != recv {
+		t.Errorf("job-wide BytesSent %d != BytesRecv %d", sent, recv)
+	}
+	if want := uint64(2 * rankBytes); sent != want {
+		t.Errorf("job-wide BytesSent = %d, want %d", sent, want)
+	}
+	if eager != 2*nEager || sync_ != 2*nSync || rndv != 2*nRndv {
+		t.Errorf("protocol split eager=%d sync=%d rndv=%d, want %d/%d/%d",
+			eager, sync_, rndv, 2*nEager, 2*nSync, 2*nRndv)
+	}
+}
+
+// TestPerfAndControlVars exercises the MPI_T-style surface: pvar
+// enumeration carries the engine counters, and the eager-limit cvar
+// retargets the protocol choice of subsequent sends.
+func TestPerfAndControlVars(t *testing.T) {
+	err := Run(2, func(env *Env) error {
+		w := env.CommWorld()
+		peer := 1 - w.Rank()
+		buf := make([]byte, 2048)
+
+		// Well below the default eager limit: counted as eager.
+		if w.Rank() == 0 {
+			if err := w.Send(buf, 0, len(buf), BYTE, peer, 1); err != nil {
+				return err
+			}
+		} else if _, err := w.Recv(buf, 0, len(buf), BYTE, peer, 1); err != nil {
+			return err
+		}
+
+		// Drop the threshold below the payload: the same send must now
+		// take the rendezvous path.
+		if err := env.SetControlVar("core.eager_limit", 256); err != nil {
+			return err
+		}
+		if w.Rank() == 0 {
+			if err := w.Send(buf, 0, len(buf), BYTE, peer, 2); err != nil {
+				return err
+			}
+			eager, _ := env.PerfVar("core.sends_eager")
+			rndv, _ := env.PerfVar("core.sends_rndv")
+			if eager != 1 || rndv != 1 {
+				return errf(ErrIntern, "after cvar flip: eager=%d rndv=%d, want 1/1", eager, rndv)
+			}
+		} else if _, err := w.Recv(buf, 0, len(buf), BYTE, peer, 2); err != nil {
+			return err
+		}
+
+		// The enumeration must cover every subsystem prefix.
+		seen := map[string]bool{}
+		for _, v := range env.PerfVars() {
+			for _, p := range []string{"core.", "coll."} {
+				if len(v.Name) > len(p) && v.Name[:len(p)] == p {
+					seen[p] = true
+				}
+			}
+		}
+		if !seen["core."] || !seen["coll."] {
+			return errf(ErrIntern, "PerfVars missing a subsystem: %v", seen)
+		}
+
+		cvs := env.ControlVars()
+		names := map[string]bool{}
+		for _, cv := range cvs {
+			names[cv.Name] = true
+		}
+		if !names["core.eager_limit"] || !names["coll.pool_max_workers"] {
+			return errf(ErrIntern, "ControlVars = %v, missing eager_limit or pool_max_workers", names)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunTraceRecords checks RunOptions.Trace end to end in-process:
+// the recorder arms, the exchange lands in the ring, and DumpTrace
+// round-trips through the wire format.
+func TestRunTraceRecords(t *testing.T) {
+	dir := t.TempDir()
+	err := RunWith(RunOptions{NP: 2, Trace: true}, func(env *Env) error {
+		w := env.CommWorld()
+		buf := make([]byte, 128)
+		var err error
+		if w.Rank() == 0 {
+			err = w.Send(buf, 0, len(buf), BYTE, 1, 9)
+		} else {
+			_, err = w.Recv(buf, 0, len(buf), BYTE, 0, 9)
+		}
+		if err != nil {
+			return err
+		}
+		if !env.TraceEnabled() {
+			return errf(ErrIntern, "Trace option did not arm the recorder")
+		}
+		_, err = env.DumpTrace(dir)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err := obs.ReadTraceDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 {
+		t.Fatalf("got %d trace dumps, want 2", len(files))
+	}
+	kinds := map[obs.EventKind]bool{}
+	for _, tf := range files {
+		for _, ev := range tf.Events {
+			kinds[ev.Kind] = true
+		}
+	}
+	if !kinds[obs.EvSendEager] {
+		t.Error("trace lacks the eager send event")
+	}
+	if !kinds[obs.EvRecvMatched] && !kinds[obs.EvRecvUnexpected] {
+		t.Error("trace lacks any receive event")
+	}
+}
